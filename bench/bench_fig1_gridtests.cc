@@ -1,0 +1,83 @@
+// Figure 1: the grid-like tests for monotonic determinacy. Builds the
+// n×m grid test instances (axes + projections + tile marks) for tilings
+// produced by the solver, and checks the defining property: the test
+// falsifies Q_TP exactly when the tiling is a valid solution.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/eval.h"
+#include "reductions/thm6.h"
+
+namespace mondet {
+namespace {
+
+void BM_Fig1_GridTest_ValidTiling(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  auto solution = tp.Solve(n, n);
+  bool query_false = false;
+  size_t facts = 0;
+  for (auto _ : state) {
+    Instance test = gadget.MakeGridTest(n, n, *solution);
+    facts = test.num_facts();
+    query_false = !DatalogHoldsOn(gadget.query, test);
+  }
+  state.counters["facts"] = static_cast<double>(facts);
+  state.SetLabel(query_false
+                     ? "valid tiling -> failing test (Figure 1 shape)"
+                     : "UNEXPECTED: query fired");
+}
+BENCHMARK(BM_Fig1_GridTest_ValidTiling)->Arg(2)->Arg(3)->Arg(4)->Arg(6);
+
+void BM_Fig1_GridTest_BrokenTiling(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  auto solution = tp.Solve(n, n);
+  // Corrupt one interior cell to violate a compatibility constraint.
+  std::vector<int> broken = *solution;
+  broken[1] = broken[0];
+  bool query_true = false;
+  for (auto _ : state) {
+    Instance test = gadget.MakeGridTest(n, n, broken);
+    query_true = DatalogHoldsOn(gadget.query, test);
+  }
+  state.SetLabel(query_true ? "broken tiling -> Qverify fires"
+                            : "UNEXPECTED: violation missed");
+}
+BENCHMARK(BM_Fig1_GridTest_BrokenTiling)->Arg(2)->Arg(3)->Arg(4);
+
+// Adjacency gadgets of Figure 1(b): HA/VA detect exactly the horizontal
+// and vertical neighbors of the encoded grid.
+void BM_Fig1_AdjacencyGadgets(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  auto solution = tp.Solve(n, n);
+  Instance test = gadget.MakeGridTest(n, n, *solution);
+  CQ ha(gadget.vocab);
+  {
+    VarId z1 = ha.AddVar("z1"), z2 = ha.AddVar("z2"), y = ha.AddVar("y"),
+          x1 = ha.AddVar("x1"), x2 = ha.AddVar("x2");
+    ha.AddAtom(gadget.yproj, {y, z1});
+    ha.AddAtom(gadget.yproj, {y, z2});
+    ha.AddAtom(gadget.xproj, {x1, z1});
+    ha.AddAtom(gadget.xproj, {x2, z2});
+    ha.AddAtom(gadget.xsucc, {x1, x2});
+    ha.SetFreeVars({z1, z2});
+  }
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = ha.Evaluate(test).size();
+  }
+  // (n-1) horizontal neighbor pairs per row, n rows.
+  state.counters["ha_pairs"] = static_cast<double>(pairs);
+  state.SetLabel(pairs == static_cast<size_t>((n - 1) * n)
+                     ? "HA counts = (n-1)*n (Figure 1(b))"
+                     : "UNEXPECTED adjacency count");
+}
+BENCHMARK(BM_Fig1_AdjacencyGadgets)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,49 @@
+// Figure 2: a typical approximation of the Qstart atom (the two marked
+// axes) and its view image, where the grid-generating view S produces the
+// full C×D product. Reproduces the shape: |S(V(I_n,m))| = n*m.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/eval.h"
+#include "reductions/thm6.h"
+
+namespace mondet {
+namespace {
+
+void BM_Fig2_AxesImage(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  PredId s = kNoPred;
+  for (const View& v : gadget.views.views()) {
+    if (gadget.vocab->name(v.pred) == "S") s = v.pred;
+  }
+  size_t s_facts = 0;
+  bool qstart_true = false;
+  for (auto _ : state) {
+    Instance axes = gadget.MakeAxes(n, n);
+    qstart_true = DatalogHoldsOn(gadget.query, axes);
+    Instance image = gadget.views.Image(axes);
+    s_facts = image.FactsWith(s).size();
+  }
+  state.counters["S_facts"] = static_cast<double>(s_facts);
+  bool shape = s_facts == static_cast<size_t>(n) * n && qstart_true;
+  state.SetLabel(shape ? "S = C x D product (Figure 2(b)); Qstart holds"
+                       : "UNEXPECTED image shape");
+}
+BENCHMARK(BM_Fig2_AxesImage)->Arg(2)->Arg(3)->Arg(5)->Arg(8);
+
+void BM_Fig2_ImageScaling(benchmark::State& state) {
+  // Image computation cost as the axes grow (the S-product dominates).
+  int n = static_cast<int>(state.range(0));
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  Instance axes = gadget.MakeAxes(n, n);
+  for (auto _ : state) {
+    Instance image = gadget.views.Image(axes);
+    benchmark::DoNotOptimize(image);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_Fig2_ImageScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();
+
+}  // namespace
+}  // namespace mondet

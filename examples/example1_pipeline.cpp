@@ -1,0 +1,103 @@
+// The paper's Example 1, end to end: the Datalog query Q over
+// {T, B, U1, U2}, the two view families V0–V2 and V3–V4, and both
+// rewritings (the Datalog one and the CQ one), machine-verified on a
+// family of diamond-chain instances.
+
+#include <cstdio>
+
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "views/inverse_rules.h"
+
+using namespace mondet;
+
+namespace {
+
+Instance MakeChain(const VocabularyPtr& vocab, int diamonds) {
+  Instance inst(vocab);
+  PredId t = *vocab->FindPredicate("T");
+  PredId b = *vocab->FindPredicate("B");
+  PredId u1 = *vocab->FindPredicate("U1");
+  PredId u2 = *vocab->FindPredicate("U2");
+  ElemId prev = inst.AddElement("x0");
+  inst.AddFact(u1, {prev});
+  for (int i = 0; i < diamonds; ++i) {
+    ElemId y = inst.AddElement();
+    ElemId z = inst.AddElement();
+    ElemId next = inst.AddElement();
+    inst.AddFact(t, {prev, y, z});
+    inst.AddFact(b, {z, next});
+    inst.AddFact(b, {y, next});
+    prev = next;
+  }
+  inst.AddFact(u2, {prev});
+  return inst;
+}
+
+}  // namespace
+
+int main() {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto query = ParseQuery(R"(
+    Q() :- U1(x), W1(x).
+    W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
+    W1(x) :- U2(x).
+  )",
+                          "Q", vocab, &error);
+  if (!query) return 1;
+
+  // --- View family 1: V0, V1, V2 (CQ views). -----------------------------
+  ViewSet views1(vocab);
+  views1.AddCqView(
+      "V0", *ParseCq("V0(x,w) :- T(x,y,z), B(z,w), B(y,w).", vocab, &error));
+  views1.AddCqView("V1", *ParseCq("V1(x) :- U1(x).", vocab, &error));
+  views1.AddCqView("V2", *ParseCq("V2(x) :- U2(x).", vocab, &error));
+
+  MonDetResult mondet = CheckMonotonicDeterminacy(*query, views1);
+  std::printf("[V0-V2] monotonic determinacy: %s\n",
+              mondet.verdict == Verdict::kNotDetermined ? "REFUTED"
+                                                        : "no counterexample");
+
+  DatalogQuery rewriting1 = InverseRulesRewriting(*query, views1);
+  std::printf("[V0-V2] inverse-rules rewriting: %zu rules\n",
+              rewriting1.program.rules().size());
+  for (int n = 1; n <= 5; ++n) {
+    Instance chain = MakeChain(vocab, n);
+    bool direct = DatalogHoldsOn(*query, chain);
+    bool rewritten = DatalogHoldsOn(rewriting1, views1.Image(chain));
+    std::printf("  chain(%d): Q=%d rewriting=%d %s\n", n, direct, rewritten,
+                direct == rewritten ? "AGREE" : "MISMATCH");
+  }
+
+  // --- View family 2: V3 (CQ) and V4 (recursive Datalog view). -----------
+  ViewSet views2(vocab);
+  PredId v3 =
+      views2.AddCqView("V3", *ParseCq("V3(y,z) :- U1(x), T(x,y,z).", vocab,
+                                      &error));
+  auto v4_def = ParseQuery(R"(
+    GoalV4(y,z) :- T(x,y,z), B(z,w), B(y,w), T(w,q,r), GoalV4(q,r).
+    GoalV4(y,z) :- B(y,w), B(z,w), U2(w).
+  )",
+                           "GoalV4", vocab, &error);
+  if (!v4_def) return 1;
+  PredId v4 = views2.AddView("V4", *v4_def);
+
+  // The paper's CQ rewriting: ∃yz V3(y,z) ∧ V4(y,z).
+  CQ cq_rewriting(vocab);
+  VarId y = cq_rewriting.AddVar("y");
+  VarId z = cq_rewriting.AddVar("z");
+  cq_rewriting.AddAtom(v3, {y, z});
+  cq_rewriting.AddAtom(v4, {y, z});
+  cq_rewriting.SetFreeVars({});
+  std::printf("[V3-V4] CQ rewriting: exists y,z. V3(y,z) AND V4(y,z)\n");
+  for (int n = 1; n <= 5; ++n) {
+    Instance chain = MakeChain(vocab, n);
+    bool direct = DatalogHoldsOn(*query, chain);
+    bool rewritten = cq_rewriting.HoldsOn(views2.Image(chain));
+    std::printf("  chain(%d): Q=%d cq-rewriting=%d %s\n", n, direct,
+                rewritten, direct == rewritten ? "AGREE" : "MISMATCH");
+  }
+  return 0;
+}

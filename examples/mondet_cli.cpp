@@ -1,0 +1,177 @@
+// A command-line driver: reads a task file describing a query, views and
+// (optionally) an instance, then reports fragment classification, the
+// monotonic-determinacy verdict, a rewriting when one is constructible,
+// and evaluation results.
+//
+// Task file format (sections in any order, one `.query`, any number of
+// `.view`s, optional `.instance`):
+//
+//   .query Goal
+//   P(x) :- U(x).
+//   P(x) :- R(x,y), P(y).
+//   Goal() :- P(x).
+//
+//   .view VR
+//   VR(x,y) :- R(x,y).
+//
+//   .instance
+//   R(a,b). R(b,c). U(c).
+//
+// Usage: mondet_cli <task-file>     (defaults to a built-in demo task)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+#include "datalog/parser.h"
+#include "views/inverse_rules.h"
+
+using namespace mondet;
+
+namespace {
+
+constexpr char kDemoTask[] = R"(
+.query Goal
+P(x) :- U(x).
+P(x) :- R(x,y), P(y).
+Goal() :- P(x).
+
+.view VR
+VR(x,y) :- R(x,y).
+
+.view VU
+VU(x) :- U(x).
+
+.instance
+R(a,b). R(b,c). U(c).
+)";
+
+struct Section {
+  std::string kind;  // "query", "view", "instance"
+  std::string arg;   // goal / view predicate name
+  std::string body;
+};
+
+std::vector<Section> SplitSections(const std::string& text) {
+  std::vector<Section> sections;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(".", 0) == 0) {
+      std::istringstream header(line.substr(1));
+      Section s;
+      header >> s.kind >> s.arg;
+      sections.push_back(s);
+    } else if (!sections.empty()) {
+      sections.back().body += line + "\n";
+    }
+  }
+  return sections;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string text = kDemoTask;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    text = buffer.str();
+  } else {
+    std::printf("(no task file given; running the built-in demo)\n\n");
+  }
+
+  auto vocab = MakeVocabulary();
+  std::optional<DatalogQuery> query;
+  ViewSet views(vocab);
+  std::optional<Instance> instance;
+  std::string error;
+
+  for (const Section& s : SplitSections(text)) {
+    if (s.kind == "query") {
+      query = ParseQuery(s.body, s.arg, vocab, &error);
+      if (!query) {
+        std::fprintf(stderr, "query parse error: %s\n", error.c_str());
+        return 1;
+      }
+    } else if (s.kind == "view") {
+      ParseResult result = ParseProgram(s.body, vocab);
+      if (!result.ok()) {
+        std::fprintf(stderr, "view parse error: %s\n", result.error.c_str());
+        return 1;
+      }
+      auto goal = vocab->FindPredicate(s.arg);
+      if (!goal || !result.program->IsIdb(*goal)) {
+        std::fprintf(stderr, "view %s has no rules\n", s.arg.c_str());
+        return 1;
+      }
+      views.AddView(s.arg, DatalogQuery(std::move(*result.program), *goal));
+    } else if (s.kind == "instance") {
+      instance = ParseInstance(s.body, vocab, &error);
+      if (!instance) {
+        std::fprintf(stderr, "instance parse error: %s\n", error.c_str());
+        return 1;
+      }
+    } else {
+      std::fprintf(stderr, "unknown section .%s\n", s.kind.c_str());
+      return 1;
+    }
+  }
+  if (!query) {
+    std::fprintf(stderr, "task has no .query section\n");
+    return 1;
+  }
+
+  // --- Fragment report. ----------------------------------------------------
+  std::printf("query: goal %s, %zu rules; monadic=%s frontier-guarded=%s "
+              "recursive=%s\n",
+              vocab->name(query->goal).c_str(),
+              query->program.rules().size(),
+              IsMonadic(query->program) ? "yes" : "no",
+              IsFrontierGuarded(query->program) ? "yes" : "no",
+              IsNonRecursive(query->program) ? "no" : "yes");
+  std::printf("views: %zu (all CQ: %s)\n", views.views().size(),
+              views.AllCq() ? "yes" : "no");
+
+  // --- Monotonic determinacy. ----------------------------------------------
+  MonDetResult verdict = CheckMonotonicDeterminacy(*query, views);
+  const char* verdict_name =
+      verdict.verdict == Verdict::kDetermined       ? "DETERMINED (exact)"
+      : verdict.verdict == Verdict::kNotDetermined  ? "NOT DETERMINED"
+                                                    : "no counterexample "
+                                                      "within bounds";
+  std::printf("monotonic determinacy: %s (%zu canonical tests)\n",
+              verdict_name, verdict.tests_run);
+  if (verdict.failure) {
+    std::printf("  failing test D': %s\n",
+                verdict.failure->dprime.DebugString().c_str());
+  }
+
+  // --- Rewriting (CQ views only). -------------------------------------------
+  if (views.AllCq() && verdict.verdict != Verdict::kNotDetermined) {
+    DatalogQuery rewriting = InverseRulesRewriting(*query, views);
+    std::printf("inverse-rules rewriting over the view schema (%zu rules):\n%s",
+                rewriting.program.rules().size(),
+                rewriting.program.DebugString().c_str());
+    if (instance) {
+      Instance image = views.Image(*instance);
+      std::printf("on the instance: Q = %s, rewriting(V(I)) = %s\n",
+                  DatalogHoldsOn(*query, *instance) ? "true" : "false",
+                  DatalogHoldsOn(rewriting, image) ? "true" : "false");
+    }
+  } else if (instance) {
+    std::printf("on the instance: Q = %s\n",
+                DatalogHoldsOn(*query, *instance) ? "true" : "false");
+  }
+  return 0;
+}

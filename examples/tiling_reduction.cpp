@@ -1,0 +1,58 @@
+// The Thm 6 undecidability gadget in action: for a tiling problem TP, the
+// builder produces an MDL query Q_TP and UCQ views V_TP such that Q_TP is
+// monotonically determined by V_TP iff TP has no solution (Prop. 10).
+//
+// We run both directions on concrete tiling problems and print the failing
+// canonical test for the solvable one.
+
+#include <cstdio>
+
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "reductions/thm6.h"
+
+using namespace mondet;
+
+namespace {
+
+void RunCase(const char* name, const TilingProblem& tp) {
+  Thm6Gadget gadget = BuildThm6(tp);
+  std::printf("== %s: %d tiles, solvable(<=3x3)=%s\n", name, tp.num_tiles,
+              tp.HasSolutionUpTo(3, 3) ? "yes" : "no");
+  std::printf("   query: %zu MDL rules; views: %zu\n",
+              gadget.query.program.rules().size(),
+              gadget.views.views().size());
+
+  MonDetOptions options;
+  options.query_depth = 5;
+  options.view_depth = 3;
+  options.max_query_expansions = 60;
+  options.max_tests_per_expansion = 5000;
+  MonDetResult result =
+      CheckMonotonicDeterminacy(gadget.query, gadget.views, options);
+  switch (result.verdict) {
+    case Verdict::kNotDetermined:
+      std::printf("   NOT monotonically determined (%zu tests).\n",
+                  result.tests_run);
+      std::printf("   failing test D' (a correctly tiled grid):\n   %s\n",
+                  result.failure->dprime.DebugString().c_str());
+      break;
+    case Verdict::kDetermined:
+      std::printf("   monotonically determined (exact).\n");
+      break;
+    case Verdict::kUnknownBounded:
+      std::printf(
+          "   no failing test within bounds (%zu tests) — consistent with "
+          "monotonic determinacy.\n",
+          result.tests_run);
+      break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  RunCase("solvable tiling problem", SolvableTilingProblem());
+  RunCase("unsolvable tiling problem", UnsolvableTilingProblem());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "automata/nta.h"
+
+#include <functional>
+
+#include "base/check.h"
+
+namespace mondet {
+
+std::vector<std::set<State>> Nta::Run(const TreeCode& code) const {
+  std::vector<std::set<State>> states(code.nodes.size());
+  std::function<void(int)> visit = [&](int u) {
+    const CodeNode& node = code.nodes[u];
+    for (int c : node.children) visit(c);
+    NodeLabel label(node.atoms.begin(), node.atoms.end());
+    if (node.children.empty()) {
+      for (const LeafTransition& t : leaf_) {
+        if (t.label == label) states[u].insert(t.to);
+      }
+    } else if (node.children.size() == 1) {
+      for (const UnaryTransition& t : unary_) {
+        if (t.label == label && t.edge == node.edge_labels[0] &&
+            states[node.children[0]].count(t.child)) {
+          states[u].insert(t.to);
+        }
+      }
+    } else {
+      for (const BinaryTransition& t : binary_) {
+        if (t.label == label && t.edge1 == node.edge_labels[0] &&
+            t.edge2 == node.edge_labels[1] &&
+            states[node.children[0]].count(t.child1) &&
+            states[node.children[1]].count(t.child2)) {
+          states[u].insert(t.to);
+        }
+      }
+    }
+  };
+  if (!code.nodes.empty()) visit(0);
+  return states;
+}
+
+bool Nta::Accepts(const TreeCode& code) const {
+  if (code.nodes.empty()) return false;
+  std::vector<std::set<State>> states = Run(code);
+  for (State q : states[0]) {
+    if (finals_.count(q)) return true;
+  }
+  return false;
+}
+
+}  // namespace mondet

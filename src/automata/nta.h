@@ -1,0 +1,96 @@
+#ifndef MONDET_AUTOMATA_NTA_H_
+#define MONDET_AUTOMATA_NTA_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tree/code.h"
+
+namespace mondet {
+
+/// Automaton state id.
+using State = uint32_t;
+
+/// A node label: the set of unary predicates T^R_n holding at a code node.
+using NodeLabel = std::set<AtomLabel>;
+
+/// A nondeterministic bottom-up tree automaton over tree codes of a fixed
+/// width (Sec. 3). Transitions exist for leaves, unary nodes and binary
+/// nodes; edge labels participate in the symbol, matching the paper's
+/// consolidated alphabet σ^{s1,s2}_L.
+class Nta {
+ public:
+  struct LeafTransition {
+    NodeLabel label;
+    State to;
+  };
+  struct UnaryTransition {
+    NodeLabel label;
+    EdgeLabel edge;
+    State child;
+    State to;
+  };
+  struct BinaryTransition {
+    NodeLabel label;
+    EdgeLabel edge1;
+    EdgeLabel edge2;
+    State child1;
+    State child2;
+    State to;
+  };
+
+  explicit Nta(int width) : width_(width) {}
+
+  int width() const { return width_; }
+
+  State AddState() { return num_states_++; }
+  size_t num_states() const { return num_states_; }
+
+  void AddFinal(State q) { finals_.insert(q); }
+  const std::set<State>& finals() const { return finals_; }
+
+  void AddLeaf(NodeLabel label, State to) {
+    leaf_.push_back({std::move(label), to});
+  }
+  void AddUnary(NodeLabel label, EdgeLabel edge, State child, State to) {
+    unary_.push_back({std::move(label), std::move(edge), child, to});
+  }
+  void AddBinary(NodeLabel label, EdgeLabel e1, EdgeLabel e2, State c1,
+                 State c2, State to) {
+    binary_.push_back({std::move(label), std::move(e1), std::move(e2), c1,
+                       c2, to});
+  }
+
+  const std::vector<LeafTransition>& leaf_transitions() const {
+    return leaf_;
+  }
+  const std::vector<UnaryTransition>& unary_transitions() const {
+    return unary_;
+  }
+  const std::vector<BinaryTransition>& binary_transitions() const {
+    return binary_;
+  }
+
+  size_t num_transitions() const {
+    return leaf_.size() + unary_.size() + binary_.size();
+  }
+
+  /// Bottom-up run: the set of states reachable at each code node.
+  std::vector<std::set<State>> Run(const TreeCode& code) const;
+
+  /// True iff some run labels the root with a final state.
+  bool Accepts(const TreeCode& code) const;
+
+ private:
+  int width_;
+  State num_states_ = 0;
+  std::set<State> finals_;
+  std::vector<LeafTransition> leaf_;
+  std::vector<UnaryTransition> unary_;
+  std::vector<BinaryTransition> binary_;
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_AUTOMATA_NTA_H_

@@ -1,0 +1,405 @@
+#include "automata/ops.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+
+namespace mondet {
+
+Nta Product(const Nta& a, const Nta& b) {
+  MONDET_CHECK(a.width() == b.width());
+  Nta out(a.width());
+  size_t nb = b.num_states();
+  auto pair_state = [&](State qa, State qb) {
+    return static_cast<State>(qa * nb + qb);
+  };
+  for (size_t i = 0; i < a.num_states() * b.num_states(); ++i) out.AddState();
+  for (State qa : a.finals()) {
+    for (State qb : b.finals()) out.AddFinal(pair_state(qa, qb));
+  }
+  for (const auto& ta : a.leaf_transitions()) {
+    for (const auto& tb : b.leaf_transitions()) {
+      if (ta.label == tb.label) {
+        out.AddLeaf(ta.label, pair_state(ta.to, tb.to));
+      }
+    }
+  }
+  for (const auto& ta : a.unary_transitions()) {
+    for (const auto& tb : b.unary_transitions()) {
+      if (ta.label == tb.label && ta.edge == tb.edge) {
+        out.AddUnary(ta.label, ta.edge, pair_state(ta.child, tb.child),
+                     pair_state(ta.to, tb.to));
+      }
+    }
+  }
+  for (const auto& ta : a.binary_transitions()) {
+    for (const auto& tb : b.binary_transitions()) {
+      if (ta.label == tb.label && ta.edge1 == tb.edge1 &&
+          ta.edge2 == tb.edge2) {
+        out.AddBinary(ta.label, ta.edge1, ta.edge2,
+                      pair_state(ta.child1, tb.child1),
+                      pair_state(ta.child2, tb.child2),
+                      pair_state(ta.to, tb.to));
+      }
+    }
+  }
+  return out;
+}
+
+Nta UnionNta(const Nta& a, const Nta& b) {
+  MONDET_CHECK(a.width() == b.width());
+  Nta out(a.width());
+  for (size_t i = 0; i < a.num_states() + b.num_states(); ++i) out.AddState();
+  State off = static_cast<State>(a.num_states());
+  for (State q : a.finals()) out.AddFinal(q);
+  for (State q : b.finals()) out.AddFinal(q + off);
+  for (const auto& t : a.leaf_transitions()) out.AddLeaf(t.label, t.to);
+  for (const auto& t : a.unary_transitions()) {
+    out.AddUnary(t.label, t.edge, t.child, t.to);
+  }
+  for (const auto& t : a.binary_transitions()) {
+    out.AddBinary(t.label, t.edge1, t.edge2, t.child1, t.child2, t.to);
+  }
+  for (const auto& t : b.leaf_transitions()) out.AddLeaf(t.label, t.to + off);
+  for (const auto& t : b.unary_transitions()) {
+    out.AddUnary(t.label, t.edge, t.child + off, t.to + off);
+  }
+  for (const auto& t : b.binary_transitions()) {
+    out.AddBinary(t.label, t.edge1, t.edge2, t.child1 + off, t.child2 + off,
+                  t.to + off);
+  }
+  return out;
+}
+
+namespace {
+NodeLabel FilterLabel(const NodeLabel& label,
+                      const std::unordered_set<PredId>& keep) {
+  NodeLabel out;
+  for (const AtomLabel& a : label) {
+    if (keep.count(a.pred)) out.insert(a);
+  }
+  return out;
+}
+}  // namespace
+
+Nta ProjectLabels(const Nta& a, const std::unordered_set<PredId>& keep) {
+  Nta out(a.width());
+  for (size_t i = 0; i < a.num_states(); ++i) out.AddState();
+  for (State q : a.finals()) out.AddFinal(q);
+  for (const auto& t : a.leaf_transitions()) {
+    out.AddLeaf(FilterLabel(t.label, keep), t.to);
+  }
+  for (const auto& t : a.unary_transitions()) {
+    out.AddUnary(FilterLabel(t.label, keep), t.edge, t.child, t.to);
+  }
+  for (const auto& t : a.binary_transitions()) {
+    out.AddBinary(FilterLabel(t.label, keep), t.edge1, t.edge2, t.child1,
+                  t.child2, t.to);
+  }
+  return out;
+}
+
+namespace {
+
+/// Computes the inhabited (bottom-up reachable) states.
+std::vector<bool> Inhabited(const Nta& a) {
+  std::vector<bool> in(a.num_states(), false);
+  for (const auto& t : a.leaf_transitions()) in[t.to] = true;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& t : a.unary_transitions()) {
+      if (!in[t.to] && in[t.child]) {
+        in[t.to] = true;
+        changed = true;
+      }
+    }
+    for (const auto& t : a.binary_transitions()) {
+      if (!in[t.to] && in[t.child1] && in[t.child2]) {
+        in[t.to] = true;
+        changed = true;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace
+
+bool IsEmpty(const Nta& a) {
+  std::vector<bool> in = Inhabited(a);
+  for (State q : a.finals()) {
+    if (in[q]) return false;
+  }
+  return true;
+}
+
+std::optional<TreeCode> EmptinessWitness(const Nta& a) {
+  // For each state, remember one minimal derivation: -1 = none,
+  // otherwise (kind, transition index).
+  struct Deriv {
+    int kind = -1;  // 0 leaf, 1 unary, 2 binary
+    size_t idx = 0;
+  };
+  std::vector<Deriv> deriv(a.num_states());
+  std::vector<bool> in(a.num_states(), false);
+  for (size_t i = 0; i < a.leaf_transitions().size(); ++i) {
+    State q = a.leaf_transitions()[i].to;
+    if (!in[q]) {
+      in[q] = true;
+      deriv[q] = {0, i};
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < a.unary_transitions().size(); ++i) {
+      const auto& t = a.unary_transitions()[i];
+      if (!in[t.to] && in[t.child]) {
+        in[t.to] = true;
+        deriv[t.to] = {1, i};
+        changed = true;
+      }
+    }
+    for (size_t i = 0; i < a.binary_transitions().size(); ++i) {
+      const auto& t = a.binary_transitions()[i];
+      if (!in[t.to] && in[t.child1] && in[t.child2]) {
+        in[t.to] = true;
+        deriv[t.to] = {2, i};
+        changed = true;
+      }
+    }
+  }
+  State root = kNoElem;
+  for (State q : a.finals()) {
+    if (in[q]) {
+      root = q;
+      break;
+    }
+  }
+  if (root == kNoElem) return std::nullopt;
+
+  TreeCode code;
+  code.width = a.width();
+  std::function<int(State, int)> build = [&](State q, int parent) -> int {
+    int id = static_cast<int>(code.nodes.size());
+    code.nodes.emplace_back();
+    code.nodes[id].parent = parent;
+    const Deriv& d = deriv[q];
+    MONDET_CHECK(d.kind >= 0);
+    if (d.kind == 0) {
+      const auto& t = a.leaf_transitions()[d.idx];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+    } else if (d.kind == 1) {
+      const auto& t = a.unary_transitions()[d.idx];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+      int c = build(t.child, id);
+      code.nodes[id].children.push_back(c);
+      code.nodes[id].edge_labels.push_back(t.edge);
+    } else {
+      const auto& t = a.binary_transitions()[d.idx];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+      int c1 = build(t.child1, id);
+      code.nodes[id].children.push_back(c1);
+      code.nodes[id].edge_labels.push_back(t.edge1);
+      int c2 = build(t.child2, id);
+      code.nodes[id].children.push_back(c2);
+      code.nodes[id].edge_labels.push_back(t.edge2);
+    }
+    return id;
+  };
+  build(root, -1);
+  return code;
+}
+
+void SymbolUniverse::Merge(const SymbolUniverse& o) {
+  leaves.insert(o.leaves.begin(), o.leaves.end());
+  unaries.insert(o.unaries.begin(), o.unaries.end());
+  binaries.insert(o.binaries.begin(), o.binaries.end());
+}
+
+SymbolUniverse SymbolsOf(const Nta& a) {
+  SymbolUniverse u;
+  for (const auto& t : a.leaf_transitions()) u.leaves.insert(t.label);
+  for (const auto& t : a.unary_transitions()) {
+    u.unaries.insert({t.label, t.edge});
+  }
+  for (const auto& t : a.binary_transitions()) {
+    u.binaries.insert({t.label, t.edge1, t.edge2});
+  }
+  return u;
+}
+
+SymbolUniverse SymbolsOf(const TreeCode& code) {
+  SymbolUniverse u;
+  for (const CodeNode& n : code.nodes) {
+    NodeLabel label(n.atoms.begin(), n.atoms.end());
+    if (n.children.empty()) {
+      u.leaves.insert(label);
+    } else if (n.children.size() == 1) {
+      u.unaries.insert({label, n.edge_labels[0]});
+    } else {
+      u.binaries.insert({label, n.edge_labels[0], n.edge_labels[1]});
+    }
+  }
+  return u;
+}
+
+Nta Determinize(const Nta& a, const SymbolUniverse& universe) {
+  Nta out(a.width());
+  std::map<std::set<State>, State> subset_id;
+  std::vector<std::set<State>> subsets;
+  auto intern = [&](const std::set<State>& s) {
+    auto it = subset_id.find(s);
+    if (it != subset_id.end()) return it->second;
+    State q = out.AddState();
+    subset_id.emplace(s, q);
+    subsets.push_back(s);
+    return q;
+  };
+
+  // Leaf transitions, one per leaf symbol (deterministic, complete).
+  for (const NodeLabel& sym : universe.leaves) {
+    std::set<State> s;
+    for (const auto& t : a.leaf_transitions()) {
+      if (t.label == sym) s.insert(t.to);
+    }
+    out.AddLeaf(sym, intern(s));
+  }
+  // Saturate unary/binary transitions over discovered subsets, emitting
+  // each (children, symbol) combination exactly once.
+  std::set<std::pair<size_t, size_t>> done_unary;  // (subset, symbol idx)
+  std::set<std::tuple<size_t, size_t, size_t>> done_binary;
+  std::vector<SymbolUniverse::UnSym> unaries(universe.unaries.begin(),
+                                             universe.unaries.end());
+  std::vector<SymbolUniverse::BinSym> binaries(universe.binaries.begin(),
+                                               universe.binaries.end());
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    size_t n = subsets.size();
+    for (size_t si = 0; si < n; ++si) {
+      for (size_t yi = 0; yi < unaries.size(); ++yi) {
+        if (!done_unary.insert({si, yi}).second) continue;
+        const auto& sym = unaries[yi];
+        std::set<State> to;
+        for (const auto& t : a.unary_transitions()) {
+          if (t.label == sym.label && t.edge == sym.edge &&
+              subsets[si].count(t.child)) {
+            to.insert(t.to);
+          }
+        }
+        State from = subset_id.at(subsets[si]);
+        size_t before = subsets.size();
+        out.AddUnary(sym.label, sym.edge, from, intern(to));
+        if (before != subsets.size()) changed = true;
+      }
+    }
+    for (size_t s1 = 0; s1 < n; ++s1) {
+      for (size_t s2 = 0; s2 < n; ++s2) {
+        for (size_t yi = 0; yi < binaries.size(); ++yi) {
+          if (!done_binary.insert({s1, s2, yi}).second) continue;
+          const auto& sym = binaries[yi];
+          std::set<State> to;
+          for (const auto& t : a.binary_transitions()) {
+            if (t.label == sym.label && t.edge1 == sym.edge1 &&
+                t.edge2 == sym.edge2 && subsets[s1].count(t.child1) &&
+                subsets[s2].count(t.child2)) {
+              to.insert(t.to);
+            }
+          }
+          State f1 = subset_id.at(subsets[s1]);
+          State f2 = subset_id.at(subsets[s2]);
+          size_t before = subsets.size();
+          out.AddBinary(sym.label, sym.edge1, sym.edge2, f1, f2, intern(to));
+          if (before != subsets.size()) changed = true;
+        }
+      }
+    }
+    if (subsets.size() != n) changed = true;
+  }
+  for (const auto& [s, q] : subset_id) {
+    for (State f : a.finals()) {
+      if (s.count(f)) {
+        out.AddFinal(q);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Nta Complement(const Nta& a, const SymbolUniverse& universe) {
+  Nta det = Determinize(a, universe);
+  Nta out(det.width());
+  for (size_t i = 0; i < det.num_states(); ++i) out.AddState();
+  for (State q = 0; q < det.num_states(); ++q) {
+    if (!det.finals().count(q)) out.AddFinal(q);
+  }
+  for (const auto& t : det.leaf_transitions()) out.AddLeaf(t.label, t.to);
+  for (const auto& t : det.unary_transitions()) {
+    out.AddUnary(t.label, t.edge, t.child, t.to);
+  }
+  for (const auto& t : det.binary_transitions()) {
+    out.AddBinary(t.label, t.edge1, t.edge2, t.child1, t.child2, t.to);
+  }
+  return out;
+}
+
+Nta Trim(const Nta& a) {
+  std::vector<bool> in = Inhabited(a);
+  std::vector<bool> useful(a.num_states(), false);
+  for (State q : a.finals()) {
+    if (in[q]) useful[q] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& t : a.unary_transitions()) {
+      if (useful[t.to] && in[t.child] && !useful[t.child]) {
+        useful[t.child] = true;
+        changed = true;
+      }
+    }
+    for (const auto& t : a.binary_transitions()) {
+      if (useful[t.to] && in[t.child1] && in[t.child2]) {
+        if (!useful[t.child1]) {
+          useful[t.child1] = true;
+          changed = true;
+        }
+        if (!useful[t.child2]) {
+          useful[t.child2] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<State> remap(a.num_states(), kNoElem);
+  Nta out(a.width());
+  for (State q = 0; q < a.num_states(); ++q) {
+    if (in[q] && useful[q]) remap[q] = out.AddState();
+  }
+  for (State q : a.finals()) {
+    if (remap[q] != kNoElem) out.AddFinal(remap[q]);
+  }
+  auto live = [&](State q) { return remap[q] != kNoElem; };
+  for (const auto& t : a.leaf_transitions()) {
+    if (live(t.to)) out.AddLeaf(t.label, remap[t.to]);
+  }
+  for (const auto& t : a.unary_transitions()) {
+    if (live(t.to) && live(t.child)) {
+      out.AddUnary(t.label, t.edge, remap[t.child], remap[t.to]);
+    }
+  }
+  for (const auto& t : a.binary_transitions()) {
+    if (live(t.to) && live(t.child1) && live(t.child2)) {
+      out.AddBinary(t.label, t.edge1, t.edge2, remap[t.child1],
+                    remap[t.child2], remap[t.to]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mondet

@@ -1,0 +1,75 @@
+#ifndef MONDET_AUTOMATA_OPS_H_
+#define MONDET_AUTOMATA_OPS_H_
+
+#include <optional>
+#include <unordered_set>
+
+#include "automata/nta.h"
+
+namespace mondet {
+
+/// Intersection: accepts exactly the codes accepted by both automata.
+Nta Product(const Nta& a, const Nta& b);
+
+/// Union of languages (disjoint union of automata).
+Nta UnionNta(const Nta& a, const Nta& b);
+
+/// Projection onto a subsignature (Prop. 5): relabels every transition by
+/// dropping atom labels whose predicate is outside `keep`. Captures the
+/// class of restricted instances; same size.
+Nta ProjectLabels(const Nta& a, const std::unordered_set<PredId>& keep);
+
+/// Emptiness test (least fixpoint of inhabited states).
+bool IsEmpty(const Nta& a);
+
+/// A witness code for non-emptiness (minimal-height derivation), or
+/// nullopt when the language is empty.
+std::optional<TreeCode> EmptinessWitness(const Nta& a);
+
+/// The symbol universe of an automaton or code: the node/edge label
+/// combinations appearing in its transitions. Determinization and
+/// complementation are relative to such a universe.
+struct SymbolUniverse {
+  struct UnSym {
+    NodeLabel label;
+    EdgeLabel edge;
+    bool operator<(const UnSym& o) const {
+      if (!(label == o.label)) return label < o.label;
+      return edge < o.edge;
+    }
+  };
+  struct BinSym {
+    NodeLabel label;
+    EdgeLabel edge1;
+    EdgeLabel edge2;
+    bool operator<(const BinSym& o) const {
+      if (!(label == o.label)) return label < o.label;
+      if (!(edge1 == o.edge1)) return edge1 < o.edge1;
+      return edge2 < o.edge2;
+    }
+  };
+  std::set<NodeLabel> leaves;
+  std::set<UnSym> unaries;
+  std::set<BinSym> binaries;
+
+  void Merge(const SymbolUniverse& o);
+};
+
+SymbolUniverse SymbolsOf(const Nta& a);
+SymbolUniverse SymbolsOf(const TreeCode& code);
+
+/// Subset-construction determinization relative to `universe`. The result
+/// is a deterministic, complete automaton over exactly those symbols that
+/// accepts the same codes built from the universe.
+Nta Determinize(const Nta& a, const SymbolUniverse& universe);
+
+/// Complement relative to `universe` (determinize, then flip finals).
+Nta Complement(const Nta& a, const SymbolUniverse& universe);
+
+/// Removes states that are not inhabited (bottom-up reachable) or not
+/// co-reachable from a final state. Language-preserving.
+Nta Trim(const Nta& a);
+
+}  // namespace mondet
+
+#endif  // MONDET_AUTOMATA_OPS_H_

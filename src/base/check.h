@@ -1,0 +1,21 @@
+#ifndef MONDET_BASE_CHECK_H_
+#define MONDET_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// MONDET_CHECK(cond) aborts with a diagnostic when `cond` is false.
+///
+/// The library does not use exceptions (per the project style); invariant
+/// violations are programming errors and terminate the process. Recoverable
+/// failures (e.g. parse errors) are reported through return values instead.
+#define MONDET_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MONDET_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#endif  // MONDET_BASE_CHECK_H_

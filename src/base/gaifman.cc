@@ -1,0 +1,100 @@
+#include "base/gaifman.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/check.h"
+
+namespace mondet {
+
+GaifmanGraph::GaifmanGraph(const Instance& inst) : inst_(inst) {
+  adj_.resize(inst.num_elements());
+  for (const Fact& f : inst.facts()) {
+    for (size_t i = 0; i < f.args.size(); ++i) {
+      for (size_t j = i + 1; j < f.args.size(); ++j) {
+        if (f.args[i] != f.args[j]) {
+          adj_[f.args[i]].push_back(f.args[j]);
+          adj_[f.args[j]].push_back(f.args[i]);
+        }
+      }
+    }
+  }
+  for (auto& nbrs : adj_) {
+    std::sort(nbrs.begin(), nbrs.end());
+    nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  }
+  active_ = inst.ActiveDomain();
+}
+
+std::vector<int> GaifmanGraph::DistancesFrom(ElemId source) const {
+  std::vector<int> dist(adj_.size(), -1);
+  if (source >= adj_.size()) return dist;
+  std::deque<ElemId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    ElemId u = queue.front();
+    queue.pop_front();
+    for (ElemId v : adj_[u]) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+int GaifmanGraph::Eccentricity(ElemId source) const {
+  std::vector<int> dist = DistancesFrom(source);
+  int ecc = 0;
+  for (ElemId e : active_) {
+    if (dist[e] < 0) return -1;
+    ecc = std::max(ecc, dist[e]);
+  }
+  return ecc;
+}
+
+int GaifmanGraph::Radius() const {
+  if (active_.empty()) return 0;
+  int best = -1;
+  for (ElemId e : active_) {
+    int ecc = Eccentricity(e);
+    if (ecc < 0) continue;
+    if (best < 0 || ecc < best) best = ecc;
+  }
+  return best;
+}
+
+bool GaifmanGraph::IsConnected() const {
+  if (active_.size() <= 1) return true;
+  std::vector<int> dist = DistancesFrom(active_[0]);
+  for (ElemId e : active_) {
+    if (dist[e] < 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<ElemId>> GaifmanGraph::Components() const {
+  std::vector<std::vector<ElemId>> comps;
+  std::vector<bool> seen(adj_.size(), false);
+  for (ElemId root : active_) {
+    if (seen[root]) continue;
+    comps.emplace_back();
+    std::deque<ElemId> queue{root};
+    seen[root] = true;
+    while (!queue.empty()) {
+      ElemId u = queue.front();
+      queue.pop_front();
+      comps.back().push_back(u);
+      for (ElemId v : adj_[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+}  // namespace mondet

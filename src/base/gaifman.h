@@ -1,0 +1,47 @@
+#ifndef MONDET_BASE_GAIFMAN_H_
+#define MONDET_BASE_GAIFMAN_H_
+
+#include <vector>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// The Gaifman graph of an instance: nodes are active-domain elements,
+/// edges connect elements co-occurring in a fact (Sec. 2 of the paper).
+class GaifmanGraph {
+ public:
+  explicit GaifmanGraph(const Instance& inst);
+
+  size_t num_nodes() const { return adj_.size(); }
+  const std::vector<ElemId>& Neighbors(ElemId e) const { return adj_[e]; }
+
+  /// BFS distances from `source`; unreachable nodes get -1. The vector is
+  /// indexed by element id (inactive elements are unreachable).
+  std::vector<int> DistancesFrom(ElemId source) const;
+
+  /// Eccentricity of `source`: max distance to any active element in the
+  /// same connected component; -1 if the graph is disconnected from the
+  /// perspective of `source` (some active element unreachable).
+  int Eccentricity(ElemId source) const;
+
+  /// The radius min_u max_v dist(u,v). Returns -1 for a disconnected graph
+  /// and 0 for an empty/singleton one.
+  int Radius() const;
+
+  /// True if all active elements lie in one connected component
+  /// (vacuously true for <=1 active element).
+  bool IsConnected() const;
+
+  /// Connected components of the active domain, each a list of elements.
+  std::vector<std::vector<ElemId>> Components() const;
+
+ private:
+  const Instance& inst_;
+  std::vector<std::vector<ElemId>> adj_;
+  std::vector<ElemId> active_;
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_BASE_GAIFMAN_H_

@@ -1,0 +1,162 @@
+#include "base/homomorphism.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace mondet {
+
+HomSearch::HomSearch(const Instance& pattern, const Instance& target)
+    : pattern_(pattern), target_(target) {
+  MONDET_CHECK(pattern.vocab().get() == target.vocab().get());
+  // Greedy atom ordering: repeatedly pick the unprocessed pattern fact
+  // sharing the most elements with already-processed facts (ties: fewer
+  // target facts of that predicate). Keeps the search tree narrow.
+  size_t n = pattern_.num_facts();
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(pattern_.num_elements(), false);
+  atom_order_.reserve(n);
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    int best_bound = -1;
+    size_t best_rel = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      const Fact& f = pattern_.facts()[i];
+      int nb = 0;
+      for (ElemId a : f.args) nb += bound[a] ? 1 : 0;
+      size_t rel = target_.FactsWith(f.pred).size();
+      if (nb > best_bound || (nb == best_bound && rel < best_rel)) {
+        best = static_cast<int>(i);
+        best_bound = nb;
+        best_rel = rel;
+      }
+    }
+    used[best] = true;
+    atom_order_.push_back(static_cast<uint32_t>(best));
+    for (ElemId a : pattern_.facts()[best].args) bound[a] = true;
+  }
+}
+
+bool HomSearch::Search(size_t depth, std::vector<ElemId>& map,
+                       const Callback& cb) const {
+  if (depth == atom_order_.size()) {
+    // Assign isolated (fact-free) pattern elements canonically.
+    std::vector<size_t> filled;
+    for (ElemId e = 0; e < pattern_.num_elements(); ++e) {
+      if (map[e] == kNoElem) {
+        if (target_.num_elements() == 0) return true;  // continue: no hom
+        map[e] = 0;
+        filled.push_back(e);
+      }
+    }
+    bool keep_going = cb(map);
+    for (size_t e : filled) map[e] = kNoElem;
+    return keep_going;
+  }
+  const Fact& atom = pattern_.facts()[atom_order_[depth]];
+  // Candidate target facts: use the tightest available index.
+  const std::vector<uint32_t>* candidates = &target_.FactsWith(atom.pred);
+  int anchor_pos = -1;
+  for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
+    if (map[atom.args[pos]] != kNoElem) {
+      const auto& idx =
+          target_.FactsWith(atom.pred, pos, map[atom.args[pos]]);
+      if (anchor_pos < 0 || idx.size() < candidates->size()) {
+        candidates = &idx;
+        anchor_pos = pos;
+      }
+    }
+  }
+  for (uint32_t fi : *candidates) {
+    const Fact& tf = target_.facts()[fi];
+    std::vector<ElemId> newly_bound;
+    bool ok = true;
+    for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+      ElemId pe = atom.args[pos];
+      if (map[pe] == kNoElem) {
+        map[pe] = tf.args[pos];
+        newly_bound.push_back(pe);
+      } else if (map[pe] != tf.args[pos]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      if (!Search(depth + 1, map, cb)) {
+        for (ElemId pe : newly_bound) map[pe] = kNoElem;
+        return false;
+      }
+    }
+    for (ElemId pe : newly_bound) map[pe] = kNoElem;
+  }
+  return true;
+}
+
+bool HomSearch::Run(const Fixed& fixed, const Callback& cb) const {
+  std::vector<ElemId> map(pattern_.num_elements(), kNoElem);
+  for (const auto& [pe, te] : fixed) {
+    MONDET_CHECK(pe < pattern_.num_elements());
+    MONDET_CHECK(te < target_.num_elements());
+    if (map[pe] != kNoElem && map[pe] != te) return true;  // inconsistent
+    map[pe] = te;
+  }
+  return Search(0, map, cb);
+}
+
+bool HomSearch::Exists(const Fixed& fixed) const {
+  bool found = false;
+  Run(fixed, [&found](const std::vector<ElemId>&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+std::optional<std::vector<ElemId>> HomSearch::FindOne(
+    const Fixed& fixed) const {
+  std::optional<std::vector<ElemId>> result;
+  Run(fixed, [&result](const std::vector<ElemId>& map) {
+    result = map;
+    return false;
+  });
+  return result;
+}
+
+void HomSearch::ForEach(const Fixed& fixed, const Callback& cb) const {
+  Run(fixed, cb);
+}
+
+size_t HomSearch::Count(const Fixed& fixed) const {
+  size_t n = 0;
+  Run(fixed, [&n](const std::vector<ElemId>&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+bool HasHomomorphism(const Instance& pattern, const Instance& target) {
+  return HomSearch(pattern, target).Exists();
+}
+
+bool IsHomomorphism(const Instance& pattern, const Instance& target,
+                    const std::vector<ElemId>& map) {
+  if (map.size() != pattern.num_elements()) return false;
+  for (ElemId e = 0; e < pattern.num_elements(); ++e) {
+    if (map[e] >= target.num_elements()) return false;
+  }
+  for (const Fact& f : pattern.facts()) {
+    std::vector<ElemId> img;
+    img.reserve(f.args.size());
+    for (ElemId a : f.args) img.push_back(map[a]);
+    if (!target.HasFact(f.pred, img)) return false;
+  }
+  return true;
+}
+
+bool HomEquivalent(const Instance& a, const Instance& b) {
+  return HasHomomorphism(a, b) && HasHomomorphism(b, a);
+}
+
+}  // namespace mondet

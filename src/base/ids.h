@@ -1,0 +1,26 @@
+#ifndef MONDET_BASE_IDS_H_
+#define MONDET_BASE_IDS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace mondet {
+
+/// Identifier of a relation symbol within a Vocabulary.
+using PredId = uint32_t;
+
+/// Identifier of a domain element within an Instance.
+using ElemId = uint32_t;
+
+/// Identifier of a variable within a single query or rule.
+using VarId = uint32_t;
+
+/// Sentinel "no element" value used by partial maps.
+inline constexpr ElemId kNoElem = std::numeric_limits<ElemId>::max();
+
+/// Sentinel "no predicate" value.
+inline constexpr PredId kNoPred = std::numeric_limits<PredId>::max();
+
+}  // namespace mondet
+
+#endif  // MONDET_BASE_IDS_H_

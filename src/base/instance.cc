@@ -1,0 +1,138 @@
+#include "base/instance.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+uint64_t PackKey(PredId pred, int pos, ElemId val) {
+  return (static_cast<uint64_t>(pred) << 40) ^
+         (static_cast<uint64_t>(pos) << 32) ^ static_cast<uint64_t>(val);
+}
+const std::vector<uint32_t> kEmptyIndex;
+}  // namespace
+
+ElemId Instance::AddElement(std::string name) {
+  ElemId id = static_cast<ElemId>(num_elements_++);
+  if (name.empty()) name = "e" + std::to_string(id);
+  names_.push_back(std::move(name));
+  degree_.push_back(0);
+  return id;
+}
+
+void Instance::EnsureElements(size_t n) {
+  while (num_elements_ < n) AddElement();
+}
+
+bool Instance::AddFact(PredId pred, const std::vector<ElemId>& args) {
+  MONDET_CHECK(pred < vocab_->size());
+  MONDET_CHECK(static_cast<int>(args.size()) == vocab_->arity(pred));
+  for (ElemId a : args) MONDET_CHECK(a < num_elements_);
+  Fact f(pred, args);
+  if (!fact_set_.insert(f).second) return false;
+  uint32_t idx = static_cast<uint32_t>(facts_.size());
+  facts_.push_back(std::move(f));
+  if (by_pred_.size() <= pred) by_pred_.resize(vocab_->size());
+  by_pred_[pred].push_back(idx);
+  for (ElemId a : args) degree_[a]++;
+  return true;
+}
+
+bool Instance::HasFact(PredId pred, const std::vector<ElemId>& args) const {
+  Fact f(pred, args);
+  return fact_set_.count(f) > 0;
+}
+
+const std::vector<uint32_t>& Instance::FactsWith(PredId pred) const {
+  if (pred >= by_pred_.size()) return kEmptyIndex;
+  return by_pred_[pred];
+}
+
+void Instance::IndexUpTo(size_t n) const {
+  for (size_t i = pos_indexed_upto_; i < n; ++i) {
+    const Fact& f = facts_[i];
+    for (int pos = 0; pos < static_cast<int>(f.args.size()); ++pos) {
+      pos_index_[PackKey(f.pred, pos, f.args[pos])].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+  pos_indexed_upto_ = n;
+}
+
+const std::vector<uint32_t>& Instance::FactsWith(PredId pred, int pos,
+                                                 ElemId val) const {
+  IndexUpTo(facts_.size());
+  auto it = pos_index_.find(PackKey(pred, pos, val));
+  if (it == pos_index_.end()) return kEmptyIndex;
+  return it->second;
+}
+
+std::vector<ElemId> Instance::ActiveDomain() const {
+  std::vector<ElemId> out;
+  for (ElemId e = 0; e < num_elements_; ++e) {
+    if (degree_[e] > 0) out.push_back(e);
+  }
+  return out;
+}
+
+bool Instance::InActiveDomain(ElemId e) const {
+  return e < num_elements_ && degree_[e] > 0;
+}
+
+size_t Instance::Degree(ElemId e) const {
+  MONDET_CHECK(e < num_elements_);
+  return degree_[e];
+}
+
+std::vector<ElemId> Instance::DisjointUnionWith(const Instance& other) {
+  MONDET_CHECK(vocab_.get() == other.vocab_.get());
+  std::vector<ElemId> translation(other.num_elements());
+  for (ElemId e = 0; e < other.num_elements(); ++e) {
+    translation[e] = AddElement(other.element_name(e) + "'");
+  }
+  for (const Fact& f : other.facts()) {
+    std::vector<ElemId> args;
+    args.reserve(f.args.size());
+    for (ElemId a : f.args) args.push_back(translation[a]);
+    AddFact(f.pred, args);
+  }
+  return translation;
+}
+
+Instance Instance::RestrictTo(const std::unordered_set<PredId>& preds) const {
+  Instance out(vocab_);
+  out.EnsureElements(num_elements_);
+  for (ElemId e = 0; e < num_elements_; ++e) out.names_[e] = names_[e];
+  for (const Fact& f : facts_) {
+    if (preds.count(f.pred)) out.AddFact(f);
+  }
+  return out;
+}
+
+std::string Instance::DebugString() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const Fact& f : facts_) {
+    if (!first) os << ", ";
+    first = false;
+    os << FactToString(*this, f);
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string FactToString(const Instance& inst, const Fact& f) {
+  std::ostringstream os;
+  os << inst.vocab()->name(f.pred) << "(";
+  for (size_t i = 0; i < f.args.size(); ++i) {
+    if (i) os << ",";
+    os << inst.element_name(f.args[i]);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mondet

@@ -1,0 +1,121 @@
+#ifndef MONDET_BASE_INSTANCE_H_
+#define MONDET_BASE_INSTANCE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/ids.h"
+#include "base/symbol_table.h"
+
+namespace mondet {
+
+/// A single ground fact R(c1..cn).
+struct Fact {
+  PredId pred = kNoPred;
+  std::vector<ElemId> args;
+
+  Fact() = default;
+  Fact(PredId p, std::vector<ElemId> a) : pred(p), args(std::move(a)) {}
+
+  bool operator==(const Fact& o) const {
+    return pred == o.pred && args == o.args;
+  }
+};
+
+struct FactHash {
+  size_t operator()(const Fact& f) const {
+    size_t h = std::hash<uint32_t>()(f.pred);
+    for (ElemId e : f.args) h = h * 1315423911u + e + 0x9e3779b9u;
+    return h;
+  }
+};
+
+/// A database instance: a finite set of facts over a shared Vocabulary.
+///
+/// Elements are dense ids 0..num_elements()-1 local to this instance.
+/// The active domain (Sec. 2 of the paper) is the set of elements occurring
+/// in some fact; elements can also exist unused (e.g. reserved names).
+class Instance {
+ public:
+  explicit Instance(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Creates a fresh element, optionally with a debug name.
+  ElemId AddElement(std::string name = "");
+
+  /// Ensures at least n elements exist; returns nothing.
+  void EnsureElements(size_t n);
+
+  size_t num_elements() const { return num_elements_; }
+  const std::string& element_name(ElemId e) const { return names_[e]; }
+  void set_element_name(ElemId e, std::string name) {
+    names_[e] = std::move(name);
+  }
+
+  /// Adds a fact if not already present. Returns true if newly added.
+  /// All argument elements must already exist.
+  bool AddFact(PredId pred, const std::vector<ElemId>& args);
+  bool AddFact(const Fact& f) { return AddFact(f.pred, f.args); }
+
+  bool HasFact(PredId pred, const std::vector<ElemId>& args) const;
+  bool HasFact(const Fact& f) const { return HasFact(f.pred, f.args); }
+
+  /// All facts, in insertion order.
+  const std::vector<Fact>& facts() const { return facts_; }
+  size_t num_facts() const { return facts_.size(); }
+
+  /// Indices (into facts()) of the facts with the given predicate.
+  const std::vector<uint32_t>& FactsWith(PredId pred) const;
+
+  /// Indices of the facts with predicate `pred` whose argument at `pos`
+  /// equals `val`. Backed by a lazily-built index.
+  const std::vector<uint32_t>& FactsWith(PredId pred, int pos,
+                                         ElemId val) const;
+
+  /// The active domain: elements occurring in some fact.
+  std::vector<ElemId> ActiveDomain() const;
+
+  /// True if the element occurs in some fact.
+  bool InActiveDomain(ElemId e) const;
+
+  /// Number of facts that mention element `e`.
+  size_t Degree(ElemId e) const;
+
+  /// Copies all facts of `other` into this instance, mapping element `e` of
+  /// `other` to a fresh element here. Returns the element translation.
+  /// Both instances must share the same Vocabulary object.
+  std::vector<ElemId> DisjointUnionWith(const Instance& other);
+
+  /// Returns the subinstance containing only facts over the given predicate
+  /// set (the restriction F|Σ' of the paper). Elements are preserved.
+  Instance RestrictTo(const std::unordered_set<PredId>& preds) const;
+
+  /// Human-readable rendering (for logs / examples).
+  std::string DebugString() const;
+
+ private:
+  VocabularyPtr vocab_;
+  size_t num_elements_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Fact> facts_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+  std::vector<std::vector<uint32_t>> by_pred_;
+  // Lazily built: key packs (pred, pos, val).
+  mutable std::unordered_map<uint64_t, std::vector<uint32_t>> pos_index_;
+  mutable size_t pos_indexed_upto_ = 0;
+  std::vector<uint32_t> degree_;
+
+  void IndexUpTo(size_t n) const;
+};
+
+/// Renders a fact like "R(a,b)" using instance element names (or e<i>).
+std::string FactToString(const Instance& inst, const Fact& f);
+
+}  // namespace mondet
+
+#endif  // MONDET_BASE_INSTANCE_H_

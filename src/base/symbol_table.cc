@@ -1,0 +1,33 @@
+#include "base/symbol_table.h"
+
+#include "base/check.h"
+
+namespace mondet {
+
+PredId Vocabulary::AddPredicate(const std::string& name, int arity) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    MONDET_CHECK(arities_[it->second] == arity);
+    return it->second;
+  }
+  PredId id = static_cast<PredId>(names_.size());
+  names_.push_back(name);
+  arities_.push_back(arity);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<PredId> Vocabulary::FindPredicate(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PredId> Vocabulary::AllPredicates() const {
+  std::vector<PredId> out;
+  out.reserve(names_.size());
+  for (PredId p = 0; p < names_.size(); ++p) out.push_back(p);
+  return out;
+}
+
+}  // namespace mondet

@@ -1,0 +1,52 @@
+#ifndef MONDET_BASE_SYMBOL_TABLE_H_
+#define MONDET_BASE_SYMBOL_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/ids.h"
+
+namespace mondet {
+
+/// A relational schema: an interned set of relation symbols with arities.
+///
+/// Vocabularies are shared (via std::shared_ptr) between instances, queries
+/// and views so that predicate ids are globally consistent within one
+/// reasoning task. Predicates may be added at any time (e.g. IDB predicates
+/// of a Datalog program, view predicates, annotated predicates produced by
+/// the inverse-rules algorithm); existing ids are never invalidated.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `name` with the given arity and returns its id. If `name` is
+  /// already present its arity must match.
+  PredId AddPredicate(const std::string& name, int arity);
+
+  /// Returns the id of `name` if present.
+  std::optional<PredId> FindPredicate(const std::string& name) const;
+
+  const std::string& name(PredId p) const { return names_[p]; }
+  int arity(PredId p) const { return arities_[p]; }
+  size_t size() const { return names_.size(); }
+
+  /// All predicate ids, in insertion order.
+  std::vector<PredId> AllPredicates() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<int> arities_;
+  std::unordered_map<std::string, PredId> by_name_;
+};
+
+using VocabularyPtr = std::shared_ptr<Vocabulary>;
+
+/// Convenience factory.
+inline VocabularyPtr MakeVocabulary() { return std::make_shared<Vocabulary>(); }
+
+}  // namespace mondet
+
+#endif  // MONDET_BASE_SYMBOL_TABLE_H_

@@ -1,0 +1,240 @@
+#include "core/backward.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+/// Shared builder state for emitting the backward-mapping rules.
+class BackwardBuilder {
+ public:
+  BackwardBuilder(const Nta& nta, const std::vector<PredId>& schema_preds,
+                  VocabularyPtr vocab, const std::string& prefix)
+      : nta_(nta), vocab_(std::move(vocab)), program_(vocab_) {
+    k_ = nta.width();
+    adom_ = vocab_->AddPredicate(prefix + ".Adom", 1);
+    goal_ = vocab_->AddPredicate(prefix + ".Goal", 0);
+    for (State q = 0; q < nta_.num_states(); ++q) {
+      state_pred_.push_back(
+          vocab_->AddPredicate(prefix + ".P" + std::to_string(q), k_));
+    }
+    // Adom saturation: Adom(xi) ← R(x1..xn) for every schema predicate.
+    for (PredId r : schema_preds) {
+      int arity = vocab_->arity(r);
+      for (int i = 0; i < arity; ++i) {
+        Rule rule;
+        std::vector<VarId> args;
+        for (int j = 0; j < arity; ++j) {
+          args.push_back(static_cast<VarId>(j));
+        }
+        for (int j = 0; j < arity; ++j) {
+          rule.var_names.push_back("x" + std::to_string(j));
+        }
+        rule.head = QAtom(adom_, {static_cast<VarId>(i)});
+        rule.body.push_back(QAtom(r, args));
+        program_.AddRule(std::move(rule));
+      }
+    }
+  }
+
+  /// Emits the rule for one transition. `children` pairs each child state
+  /// with its edge label.
+  void EmitTransition(const NodeLabel& label, State to,
+                      const std::vector<std::pair<State, const EdgeLabel*>>&
+                          children) {
+    Rule rule;
+    // Head variables x_0..x_{k-1}.
+    for (int i = 0; i < k_; ++i) {
+      rule.var_names.push_back("x" + std::to_string(i));
+    }
+    std::vector<VarId> head_args;
+    for (int i = 0; i < k_; ++i) head_args.push_back(static_cast<VarId>(i));
+    rule.head = QAtom(state_pred_[to], head_args);
+    // Adom(x_i) for all head variables.
+    for (int i = 0; i < k_; ++i) {
+      rule.body.push_back(QAtom(adom_, {static_cast<VarId>(i)}));
+    }
+    // Child state atoms with equalities applied by unification: child
+    // position j equals head position i whenever s(i)=j.
+    for (size_t c = 0; c < children.size(); ++c) {
+      std::vector<VarId> child_args(k_, kNoElem);
+      for (const auto& [pi, ci] : children[c].second->same) {
+        child_args[ci] = static_cast<VarId>(pi);
+      }
+      for (int j = 0; j < k_; ++j) {
+        if (child_args[j] == kNoElem) {
+          child_args[j] = static_cast<VarId>(rule.var_names.size());
+          rule.var_names.push_back("y" + std::to_string(c) + "_" +
+                                   std::to_string(j));
+        }
+      }
+      rule.body.push_back(QAtom(state_pred_[children[c].first], child_args));
+    }
+    // Atoms of the node label.
+    for (const AtomLabel& a : label) {
+      std::vector<VarId> args;
+      for (int p : a.positions) args.push_back(static_cast<VarId>(p));
+      rule.body.push_back(QAtom(a.pred, args));
+    }
+    program_.AddRule(std::move(rule));
+  }
+
+  DatalogQuery Finish() {
+    for (State q : nta_.finals()) {
+      Rule rule;
+      std::vector<VarId> args;
+      for (int i = 0; i < k_; ++i) {
+        args.push_back(static_cast<VarId>(i));
+        rule.var_names.push_back("x" + std::to_string(i));
+      }
+      rule.head = QAtom(goal_, {});
+      rule.body.push_back(QAtom(state_pred_[q], args));
+      program_.AddRule(std::move(rule));
+    }
+    return DatalogQuery(std::move(program_), goal_);
+  }
+
+ private:
+  const Nta& nta_;
+  VocabularyPtr vocab_;
+  Program program_;
+  int k_;
+  PredId adom_;
+  PredId goal_;
+  std::vector<PredId> state_pred_;
+};
+
+}  // namespace
+
+DatalogQuery BackwardMapping(const Nta& automaton,
+                             const std::vector<PredId>& schema_preds,
+                             const VocabularyPtr& vocab,
+                             const std::string& name_prefix) {
+  BackwardBuilder builder(automaton, schema_preds, vocab, name_prefix);
+  for (const auto& t : automaton.leaf_transitions()) {
+    builder.EmitTransition(t.label, t.to, {});
+  }
+  for (const auto& t : automaton.unary_transitions()) {
+    builder.EmitTransition(t.label, t.to, {{t.child, &t.edge}});
+  }
+  for (const auto& t : automaton.binary_transitions()) {
+    builder.EmitTransition(t.label, t.to,
+                           {{t.child1, &t.edge1}, {t.child2, &t.edge2}});
+  }
+  return builder.Finish();
+}
+
+namespace {
+
+/// Builder for the frontier-one (MDL) variant.
+class MdlBackwardBuilder {
+ public:
+  MdlBackwardBuilder(const Nta& nta, const std::vector<PredId>& schema_preds,
+                     VocabularyPtr vocab, const std::string& prefix)
+      : nta_(nta), vocab_(std::move(vocab)), program_(vocab_) {
+    adom_ = vocab_->AddPredicate(prefix + ".Adom", 1);
+    goal_ = vocab_->AddPredicate(prefix + ".Goal", 0);
+    for (State q = 0; q < nta_.num_states(); ++q) {
+      state_pred_.push_back(
+          vocab_->AddPredicate(prefix + ".P" + std::to_string(q), 1));
+    }
+    for (PredId r : schema_preds) {
+      int arity = vocab_->arity(r);
+      for (int i = 0; i < arity; ++i) {
+        Rule rule;
+        std::vector<VarId> args;
+        for (int j = 0; j < arity; ++j) {
+          args.push_back(static_cast<VarId>(j));
+          rule.var_names.push_back("x" + std::to_string(j));
+        }
+        rule.head = QAtom(adom_, {static_cast<VarId>(i)});
+        rule.body.push_back(QAtom(r, args));
+        program_.AddRule(std::move(rule));
+      }
+    }
+  }
+
+  void EmitTransition(
+      const NodeLabel& label, State to,
+      const std::vector<std::pair<State, const EdgeLabel*>>& children) {
+    // Collect the positions this rule actually constrains.
+    std::set<int> used{0};
+    for (const AtomLabel& a : label) {
+      used.insert(a.positions.begin(), a.positions.end());
+    }
+    std::vector<int> child_pos;
+    for (const auto& [child, edge] : children) {
+      (void)child;
+      MONDET_CHECK(edge->same.size() == 1);
+      MONDET_CHECK(edge->same[0].second == 0);  // child frontier at 0
+      used.insert(edge->same[0].first);
+      child_pos.push_back(edge->same[0].first);
+    }
+    Rule rule;
+    std::map<int, VarId> var_of;
+    for (int p : used) {
+      var_of[p] = static_cast<VarId>(rule.var_names.size());
+      rule.var_names.push_back("x" + std::to_string(p));
+    }
+    rule.head = QAtom(state_pred_[to], {var_of.at(0)});
+    for (int p : used) {
+      rule.body.push_back(QAtom(adom_, {var_of.at(p)}));
+    }
+    for (size_t c = 0; c < children.size(); ++c) {
+      rule.body.push_back(
+          QAtom(state_pred_[children[c].first], {var_of.at(child_pos[c])}));
+    }
+    for (const AtomLabel& a : label) {
+      std::vector<VarId> args;
+      for (int p : a.positions) args.push_back(var_of.at(p));
+      rule.body.push_back(QAtom(a.pred, args));
+    }
+    program_.AddRule(std::move(rule));
+  }
+
+  DatalogQuery Finish() {
+    for (State q : nta_.finals()) {
+      Rule rule;
+      rule.var_names.push_back("x");
+      rule.head = QAtom(goal_, {});
+      rule.body.push_back(QAtom(state_pred_[q], {0}));
+      program_.AddRule(std::move(rule));
+    }
+    return DatalogQuery(std::move(program_), goal_);
+  }
+
+ private:
+  const Nta& nta_;
+  VocabularyPtr vocab_;
+  Program program_;
+  PredId adom_;
+  PredId goal_;
+  std::vector<PredId> state_pred_;
+};
+
+}  // namespace
+
+DatalogQuery BackwardMappingMdl(const Nta& automaton,
+                                const std::vector<PredId>& schema_preds,
+                                const VocabularyPtr& vocab,
+                                const std::string& name_prefix) {
+  MdlBackwardBuilder builder(automaton, schema_preds, vocab, name_prefix);
+  for (const auto& t : automaton.leaf_transitions()) {
+    builder.EmitTransition(t.label, t.to, {});
+  }
+  for (const auto& t : automaton.unary_transitions()) {
+    builder.EmitTransition(t.label, t.to, {{t.child, &t.edge}});
+  }
+  for (const auto& t : automaton.binary_transitions()) {
+    builder.EmitTransition(t.label, t.to,
+                           {{t.child1, &t.edge1}, {t.child2, &t.edge2}});
+  }
+  return builder.Finish();
+}
+
+}  // namespace mondet

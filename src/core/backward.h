@@ -1,0 +1,46 @@
+#ifndef MONDET_CORE_BACKWARD_H_
+#define MONDET_CORE_BACKWARD_H_
+
+#include <vector>
+
+#include "automata/nta.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// The backward mapping of Sec. 3: converts an NTA A running on width-k
+/// codes into a Boolean Datalog query Q_A over the given schema
+/// predicates. For every transition q1,q2,σ^{s1,s2}_L → q the construction
+/// emits a rule
+///
+///   P_q(x1..xk) ← Adom(x1) ∧ .. ∧ P_q1(x^1) ∧ P_q2(x^2)
+///                 ∧ equalities from s1,s2 ∧ atoms of L,
+///
+/// with equalities applied by unification, plus Adom-saturation rules for
+/// every schema predicate and Goal_A ← P_q(x) for accepting q.
+///
+/// By Prop. 7, when A sandwiches the view images of the approximations of
+/// a homomorphically-determined query, Q_A is a Datalog rewriting.
+DatalogQuery BackwardMapping(const Nta& automaton,
+                             const std::vector<PredId>& schema_preds,
+                             const VocabularyPtr& vocab,
+                             const std::string& name_prefix = "bw");
+
+/// The frontier-one refinement (appendix of Thm 1): when the automaton
+/// respects frontier-one codes — every edge label is a single pair
+/// (p, 0), i.e. a child shares exactly its position-0 element with the
+/// parent — the backward mapping can use *unary* state predicates
+/// P_q(x) = "the subtree derives state q with frontier element x",
+/// producing a Monadic Datalog query. MONDET_CHECK-fails on automata
+/// violating the frontier-one shape (leaf transitions are unrestricted).
+///
+/// Applying this to ApproximationAutomaton of a normalized MDL query
+/// yields an MDL query equivalent to the original.
+DatalogQuery BackwardMappingMdl(const Nta& automaton,
+                                const std::vector<PredId>& schema_preds,
+                                const VocabularyPtr& vocab,
+                                const std::string& name_prefix = "bwm");
+
+}  // namespace mondet
+
+#endif  // MONDET_CORE_BACKWARD_H_

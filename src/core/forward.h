@@ -1,0 +1,37 @@
+#ifndef MONDET_CORE_FORWARD_H_
+#define MONDET_CORE_FORWARD_H_
+
+#include "automata/nta.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// Result of the forward mapping (Prop. 3): an NTA that captures the
+/// canonical databases of the CQ approximations of a Datalog query, over
+/// standard codes of width `width`. Accepted codes decode exactly to
+/// expansion canonical databases; every expansion has an accepted code.
+struct ForwardResult {
+  Nta automaton;
+  int width = 0;
+  /// Per rule, the canonical variable order used for its bag
+  /// (deduplicated head variables first, then the rest).
+  std::vector<std::vector<VarId>> bag_order;
+};
+
+/// Builds the approximation automaton A_Q of Prop. 3.
+///
+/// Preprocessing ensures every rule has at most two IDB body atoms (extra
+/// atoms are folded into auxiliary predicates, which leaves the expansion
+/// set unchanged). Requirements checked: body IDB atoms have pairwise
+/// distinct arguments and IDB rule heads have pairwise distinct variables
+/// (true of every construction in the paper).
+ForwardResult ApproximationAutomaton(const DatalogQuery& query);
+
+/// Rewrites the program so that every rule body contains at most `max_idb`
+/// IDB atoms, by folding surplus IDB atoms into fresh auxiliary
+/// predicates. The set of CQ approximations of the query is preserved.
+DatalogQuery LimitIdbAtomsPerRule(const DatalogQuery& query, int max_idb);
+
+}  // namespace mondet
+
+#endif  // MONDET_CORE_FORWARD_H_

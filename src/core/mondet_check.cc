@@ -1,0 +1,303 @@
+#include "core/mondet_check.h"
+
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+#include "core/cq_automaton.h"
+#include "core/forward.h"
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+
+namespace mondet {
+
+namespace {
+
+/// All expansions of a view definition up to `depth`, capped. Returns
+/// (expansions, exhaustive).
+std::pair<std::vector<Expansion>, bool> ViewExpansions(const View& view,
+                                                       int depth,
+                                                       size_t cap) {
+  std::vector<Expansion> out;
+  bool exhaustive = EnumeratePredExpansions(
+      view.definition.program, view.definition.goal, depth, cap,
+      [&](const Expansion& e) {
+        out.push_back(e);
+        return true;
+      });
+  return {std::move(out), exhaustive};
+}
+
+/// Builds D' for one choice of per-fact view expansions: each view fact
+/// V(c) is replaced by the chosen expansion's facts, frontier unified with
+/// c and other elements fresh. Returns nullopt when some expansion's
+/// frontier cannot be unified with its fact's arguments.
+std::optional<Instance> BuildDPrime(
+    const VocabularyPtr& vocab, const Instance& image,
+    const std::vector<const Expansion*>& choice, size_t base_elems) {
+  Instance dprime(vocab);
+  dprime.EnsureElements(base_elems);
+  for (size_t fi = 0; fi < image.num_facts(); ++fi) {
+    const Fact& fact = image.facts()[fi];
+    const Expansion& exp = *choice[fi];
+    // Map the expansion's elements: frontier -> fact args, others fresh.
+    std::vector<ElemId> map(exp.inst.num_elements(), kNoElem);
+    for (size_t i = 0; i < exp.frontier.size(); ++i) {
+      ElemId from = exp.frontier[i];
+      if (map[from] != kNoElem && map[from] != fact.args[i]) {
+        return std::nullopt;  // frontier repeats, fact args differ
+      }
+      map[from] = fact.args[i];
+    }
+    for (ElemId e = 0; e < exp.inst.num_elements(); ++e) {
+      if (map[e] == kNoElem) map[e] = dprime.AddElement();
+    }
+    for (const Fact& f : exp.inst.facts()) {
+      std::vector<ElemId> args;
+      args.reserve(f.args.size());
+      for (ElemId a : f.args) args.push_back(map[a]);
+      dprime.AddFact(f.pred, args);
+    }
+  }
+  return dprime;
+}
+
+}  // namespace
+
+MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
+                                       const ViewSet& views,
+                                       const MonDetOptions& options) {
+  const VocabularyPtr& vocab = query.program.vocab();
+  MonDetResult result;
+
+  // Pre-enumerate view definition expansions.
+  std::map<PredId, std::vector<Expansion>> view_exps;
+  bool views_exhaustive = true;
+  for (const View& v : views.views()) {
+    auto [exps, exhaustive] =
+        ViewExpansions(v, options.view_depth, options.max_tests_per_expansion);
+    views_exhaustive = views_exhaustive && exhaustive &&
+                       IsNonRecursive(v.definition.program);
+    view_exps[v.pred] = std::move(exps);
+  }
+
+  bool query_exhaustive =
+      IsNonRecursive(query.program) &&
+      options.query_depth >=
+          static_cast<int>(query.program.Idbs().size()) + 1;
+  bool all_tests_built = true;
+
+  bool stopped_early = false;
+  bool enumeration_complete = EnumerateExpansions(
+      query, options.query_depth, options.max_query_expansions,
+      [&](const Expansion& qi) {
+        result.expansions_tried++;
+        Instance image = views.Image(qi.inst);
+        // Per-fact expansion choices.
+        size_t nfacts = image.num_facts();
+        std::vector<const std::vector<Expansion>*> options_per_fact;
+        for (const Fact& f : image.facts()) {
+          options_per_fact.push_back(&view_exps.at(f.pred));
+          if (options_per_fact.back()->empty()) {
+            // No expansion of this view within the depth bound: cannot
+            // build any D' through this fact.
+            all_tests_built = false;
+          }
+        }
+        std::vector<const Expansion*> choice(nfacts, nullptr);
+        size_t tests_here = 0;
+        std::function<bool(size_t)> descend = [&](size_t fi) -> bool {
+          if (tests_here >= options.max_tests_per_expansion) {
+            all_tests_built = false;
+            return true;
+          }
+          if (fi == nfacts) {
+            ++tests_here;
+            ++result.tests_run;
+            auto dprime = BuildDPrime(vocab, image, choice,
+                                      qi.inst.num_elements());
+            if (!dprime) return true;  // unbuildable choice, not a test
+            // The test succeeds if D' |= Q(c) for Qi's frontier tuple c
+            // (the paper states the Boolean case; the tuple version is the
+            // natural non-Boolean extension).
+            if (!DatalogHoldsOn(query, *dprime, qi.frontier)) {
+              result.failure.emplace(qi, std::move(*dprime));
+              return false;  // counterexample found
+            }
+            return true;
+          }
+          for (const Expansion& e : *options_per_fact[fi]) {
+            choice[fi] = &e;
+            if (!descend(fi + 1)) return false;
+          }
+          return true;
+        };
+        if (!descend(0)) {
+          stopped_early = true;
+          return false;  // stop expansion enumeration
+        }
+        return true;
+      });
+
+  if (result.failure) {
+    result.verdict = Verdict::kNotDetermined;
+    return result;
+  }
+  (void)stopped_early;
+  if (query_exhaustive && views_exhaustive && enumeration_complete &&
+      all_tests_built) {
+    result.verdict = Verdict::kDetermined;
+  } else {
+    result.verdict = Verdict::kUnknownBounded;
+  }
+  return result;
+}
+
+ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
+                                        const UCQ& ucq) {
+  ContainmentResult result;
+  ForwardResult fwd = ApproximationAutomaton(query);
+  UcqMatchAutomaton dp(ucq, fwd.width);
+  const Nta& nta = fwd.automaton;
+
+  // Discovered pairs (NTA state, DP state) with their derivations.
+  struct Deriv {
+    int kind = -1;  // 0 leaf, 1 unary, 2 binary
+    size_t trans = 0;
+    int child1 = -1;
+    int child2 = -1;
+  };
+  std::map<std::pair<State, uint32_t>, int> pair_id;
+  std::vector<std::pair<State, uint32_t>> pairs;
+  std::vector<Deriv> derivs;
+  auto intern = [&](State q, uint32_t d, Deriv deriv) {
+    auto key = std::make_pair(q, d);
+    auto it = pair_id.find(key);
+    if (it != pair_id.end()) return std::make_pair(it->second, false);
+    int id = static_cast<int>(pairs.size());
+    pair_id.emplace(key, id);
+    pairs.push_back(key);
+    derivs.push_back(deriv);
+    return std::make_pair(id, true);
+  };
+
+  for (size_t ti = 0; ti < nta.leaf_transitions().size(); ++ti) {
+    const auto& t = nta.leaf_transitions()[ti];
+    intern(t.to, dp.Leaf(t.label), Deriv{0, ti, -1, -1});
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    size_t n = pairs.size();
+    for (size_t ti = 0; ti < nta.unary_transitions().size(); ++ti) {
+      const auto& t = nta.unary_transitions()[ti];
+      for (size_t pi = 0; pi < n; ++pi) {
+        if (pairs[pi].first != t.child) continue;
+        uint32_t d = dp.Unary(pairs[pi].second, t.label, t.edge);
+        auto [id, fresh] =
+            intern(t.to, d, Deriv{1, ti, static_cast<int>(pi), -1});
+        (void)id;
+        if (fresh) changed = true;
+      }
+    }
+    for (size_t ti = 0; ti < nta.binary_transitions().size(); ++ti) {
+      const auto& t = nta.binary_transitions()[ti];
+      for (size_t p1 = 0; p1 < n; ++p1) {
+        if (pairs[p1].first != t.child1) continue;
+        for (size_t p2 = 0; p2 < n; ++p2) {
+          if (pairs[p2].first != t.child2) continue;
+          uint32_t d = dp.Binary(pairs[p1].second, pairs[p2].second, t.label,
+                                 t.edge1, t.edge2);
+          auto [id, fresh] =
+              intern(t.to, d,
+                     Deriv{2, ti, static_cast<int>(p1),
+                           static_cast<int>(p2)});
+          (void)id;
+          if (fresh) changed = true;
+        }
+      }
+    }
+  }
+  result.pairs_explored = pairs.size();
+
+  // A counterexample: a final NTA state paired with a rejecting DP state.
+  int bad = -1;
+  for (size_t pi = 0; pi < pairs.size(); ++pi) {
+    if (nta.finals().count(pairs[pi].first) && !dp.Accepting(pairs[pi].second)) {
+      bad = static_cast<int>(pi);
+      break;
+    }
+  }
+  if (bad < 0) {
+    result.contained = true;
+    return result;
+  }
+  // Reconstruct the violating code.
+  TreeCode code;
+  code.width = fwd.width;
+  std::function<int(int, int)> build = [&](int pi, int parent) -> int {
+    const Deriv& d = derivs[pi];
+    int id = static_cast<int>(code.nodes.size());
+    code.nodes.emplace_back();
+    code.nodes[id].parent = parent;
+    if (d.kind == 0) {
+      const auto& t = nta.leaf_transitions()[d.trans];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+    } else if (d.kind == 1) {
+      const auto& t = nta.unary_transitions()[d.trans];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+      int c = build(d.child1, id);
+      code.nodes[id].children.push_back(c);
+      code.nodes[id].edge_labels.push_back(t.edge);
+    } else {
+      const auto& t = nta.binary_transitions()[d.trans];
+      code.nodes[id].atoms.insert(t.label.begin(), t.label.end());
+      int c1 = build(d.child1, id);
+      code.nodes[id].children.push_back(c1);
+      code.nodes[id].edge_labels.push_back(t.edge1);
+      int c2 = build(d.child2, id);
+      code.nodes[id].children.push_back(c2);
+      code.nodes[id].edge_labels.push_back(t.edge2);
+    }
+    return id;
+  };
+  build(bad, -1);
+  result.counterexample = std::move(code);
+  return result;
+}
+
+Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views) {
+  MONDET_CHECK(query.free_vars().empty());
+  const VocabularyPtr& vocab = query.vocab();
+
+  // Q'' = Π_V ∪ { Goal'' ← V(Q) }: the views applied to Q's canonical
+  // database, read back as a query over the view schema, with the view
+  // definitions as rules.
+  Instance canon = query.CanonicalDb();
+  Instance image = views.Image(canon);
+  Program program = views.CombinedProgram();
+  PredId goal2 = vocab->AddPredicate("Thm5.Goal", 0);
+  Rule goal_rule;
+  for (size_t e = 0; e < canon.num_elements(); ++e) {
+    goal_rule.var_names.push_back(canon.element_name(static_cast<ElemId>(e)));
+  }
+  goal_rule.head = QAtom(goal2, {});
+  for (const Fact& f : image.facts()) {
+    goal_rule.body.push_back(
+        QAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end())));
+  }
+  program.AddRule(std::move(goal_rule));
+  DatalogQuery q2(std::move(program), goal2);
+
+  UCQ target(vocab);
+  target.AddDisjunct(query);
+  ContainmentResult contained = DatalogContainedInUcq(q2, target);
+
+  Thm5Result out;
+  out.determined = contained.contained;
+  out.pairs_explored = contained.pairs_explored;
+  out.counterexample = std::move(contained.counterexample);
+  return out;
+}
+
+}  // namespace mondet

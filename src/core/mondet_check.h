@@ -1,0 +1,90 @@
+#ifndef MONDET_CORE_MONDET_CHECK_H_
+#define MONDET_CORE_MONDET_CHECK_H_
+
+#include <optional>
+
+#include "datalog/approximation.h"
+#include "datalog/program.h"
+#include "tree/code.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// Outcome of a monotonic-determinacy check.
+enum class Verdict {
+  /// Every canonical test succeeds and the search space was exhausted:
+  /// Q is monotonically determined over V.
+  kDetermined,
+  /// A failing canonical test was found: Q is NOT monotonically determined.
+  kNotDetermined,
+  /// All tests within the bounds succeeded but the enumeration was not
+  /// exhaustive (recursive query/views or caps hit): no counterexample up
+  /// to the bounds.
+  kUnknownBounded,
+};
+
+/// A failing canonical test (Qi, D'): the approximation satisfies Q, its
+/// inverse-expanded view image D' does not (Lemma 5).
+struct FailingTest {
+  Expansion approximation;
+  Instance dprime;
+
+  FailingTest(Expansion a, Instance d)
+      : approximation(std::move(a)), dprime(std::move(d)) {}
+};
+
+struct MonDetOptions {
+  /// Expansion depth for the query's CQ approximations.
+  int query_depth = 4;
+  /// Expansion depth for the view definitions during inverse application.
+  int view_depth = 4;
+  /// Cap on the number of query approximations considered.
+  size_t max_query_expansions = 500;
+  /// Cap on the number of D' instances per approximation.
+  size_t max_tests_per_expansion = 2000;
+};
+
+struct MonDetResult {
+  Verdict verdict = Verdict::kUnknownBounded;
+  std::optional<FailingTest> failure;
+  size_t tests_run = 0;
+  size_t expansions_tried = 0;
+};
+
+/// The canonical-test procedure of Lemma 5: enumerates tests (Qi, D') and
+/// evaluates Q on each D'. Sound refuter for all of Datalog; exact decision
+/// when query and views are non-recursive and the bounds cover every
+/// expansion (in particular: the NP-complete CQ/CQ case of [21] and the
+/// Πp2 UCQ/UCQ case). The query must be Boolean.
+MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
+                                       const ViewSet& views,
+                                       const MonDetOptions& options = {});
+
+/// Exact decision for a Boolean CQ query over arbitrary Datalog views
+/// (Thm 5, 2ExpTime): builds Q'' = Π_V ∪ {Goal'' ← V(Q)} and decides the
+/// Datalog-in-CQ containment Q'' ⊑ Q via the approximation automaton
+/// (Prop. 3) intersected with the complement of the CQ-match evaluator.
+/// Returns a witness expansion of Q'' violating Q when not determined.
+struct Thm5Result {
+  bool determined = false;
+  /// Number of (NTA state, DP state) pairs explored (2ExpTime witness).
+  size_t pairs_explored = 0;
+  std::optional<TreeCode> counterexample;
+};
+Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views);
+
+/// Decides Datalog ⊑ UCQ containment (Chaudhuri–Vardi style) exactly:
+/// true iff every CQ approximation of `query` satisfies `ucq`. Both
+/// Boolean. Exposed because Thm 5 reduces to it; also used by Prop. 9's
+/// reductions. Returns a violating code when not contained.
+struct ContainmentResult {
+  bool contained = false;
+  size_t pairs_explored = 0;
+  std::optional<TreeCode> counterexample;
+};
+ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
+                                        const UCQ& ucq);
+
+}  // namespace mondet
+
+#endif  // MONDET_CORE_MONDET_CHECK_H_

@@ -1,0 +1,56 @@
+#include "core/rewriting.h"
+
+#include "base/check.h"
+#include "datalog/eval.h"
+
+namespace mondet {
+
+std::optional<CQ> SimpleCqRewriting(const CQ& query, const ViewSet& views) {
+  Instance canon = query.CanonicalDb();
+  Instance image = views.Image(canon);
+  CQ out(query.vocab());
+  // One variable per canonical element (some may end up unused).
+  for (size_t e = 0; e < canon.num_elements(); ++e) {
+    out.AddVar(canon.element_name(static_cast<ElemId>(e)));
+  }
+  std::vector<bool> used(canon.num_elements(), false);
+  for (const Fact& f : image.facts()) {
+    out.AddAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end()));
+    for (ElemId a : f.args) used[a] = true;
+  }
+  std::vector<VarId> frees;
+  for (VarId v : query.free_vars()) {
+    if (!used[v]) return std::nullopt;  // unsafe: free var not in image
+    frees.push_back(v);
+  }
+  out.SetFreeVars(frees);
+  return out;
+}
+
+std::optional<UCQ> SimpleUcqRewriting(const UCQ& query, const ViewSet& views) {
+  UCQ out(query.vocab());
+  for (const CQ& d : query.disjuncts()) {
+    auto r = SimpleCqRewriting(d, views);
+    if (!r) return std::nullopt;
+    out.AddDisjunct(std::move(*r));
+  }
+  return out;
+}
+
+DatalogQuery ComposeWithViews(const DatalogQuery& rewriting,
+                              const ViewSet& views) {
+  Program program = views.CombinedProgram();
+  program.AddRules(rewriting.program);
+  return DatalogQuery(std::move(program), rewriting.goal);
+}
+
+bool RewritingAgreesOn(const DatalogQuery& query,
+                       const DatalogQuery& rewriting, const ViewSet& views,
+                       const Instance& inst) {
+  MONDET_CHECK(query.arity() == 0 && rewriting.arity() == 0);
+  bool q = DatalogHoldsOn(query, inst);
+  bool r = DatalogHoldsOn(rewriting, views.Image(inst));
+  return q == r;
+}
+
+}  // namespace mondet

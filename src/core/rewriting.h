@@ -1,0 +1,35 @@
+#ifndef MONDET_CORE_REWRITING_H_
+#define MONDET_CORE_REWRITING_H_
+
+#include <optional>
+
+#include "cq/ucq.h"
+#include "datalog/program.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// Prop. 8's "degenerate forward–backward" rewriting: V(Q), the view image
+/// of Q's canonical database read back as a CQ over the view schema, with
+/// free variables the images of Q's free variables. If Q is monotonically
+/// determined by V, this is a CQ rewriting. Returns nullopt when a free
+/// variable of Q does not occur in the image (unsafe rewriting).
+std::optional<CQ> SimpleCqRewriting(const CQ& query, const ViewSet& views);
+
+/// Prop. 8(b): per-disjunct application of SimpleCqRewriting.
+std::optional<UCQ> SimpleUcqRewriting(const UCQ& query, const ViewSet& views);
+
+/// Composes a rewriting R over the view schema with the view definitions:
+/// the result is a Datalog query over the base schema, equivalent to
+/// evaluating R on V(I). Used to machine-verify rewritings by equivalence
+/// checks and instance sweeps.
+DatalogQuery ComposeWithViews(const DatalogQuery& rewriting,
+                              const ViewSet& views);
+
+/// Checks Q(I) == R(V(I)) on one instance (Boolean queries).
+bool RewritingAgreesOn(const DatalogQuery& query, const DatalogQuery& rewriting,
+                       const ViewSet& views, const Instance& inst);
+
+}  // namespace mondet
+
+#endif  // MONDET_CORE_REWRITING_H_

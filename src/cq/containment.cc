@@ -1,0 +1,110 @@
+#include "cq/containment.h"
+
+#include <unordered_set>
+
+#include "base/check.h"
+#include "base/homomorphism.h"
+
+namespace mondet {
+
+bool CqContained(const CQ& q1, const CQ& q2) {
+  MONDET_CHECK(q1.vocab().get() == q2.vocab().get());
+  MONDET_CHECK(q1.arity() == q2.arity());
+  if (q2.atoms().empty()) return true;  // q2 trivially true (Boolean)
+  if (q1.atoms().empty()) {
+    // q1 is trivially true; containment would require q2 to hold on the
+    // empty instance, which a nonempty-body CQ never does.
+    return false;
+  }
+  Instance canon1 = q1.CanonicalDb();
+  Instance canon2 = q2.CanonicalDb();
+  HomSearch::Fixed fixed;
+  for (size_t i = 0; i < q2.free_vars().size(); ++i) {
+    fixed.emplace_back(q2.free_vars()[i], q1.free_vars()[i]);
+  }
+  return HomSearch(canon2, canon1).Exists(fixed);
+}
+
+bool CqEquivalent(const CQ& q1, const CQ& q2) {
+  return CqContained(q1, q2) && CqContained(q2, q1);
+}
+
+bool UcqContained(const UCQ& q1, const UCQ& q2) {
+  for (const CQ& d1 : q1.disjuncts()) {
+    bool covered = false;
+    for (const CQ& d2 : q2.disjuncts()) {
+      if (CqContained(d1, d2)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+bool UcqEquivalent(const UCQ& q1, const UCQ& q2) {
+  return UcqContained(q1, q2) && UcqContained(q2, q1);
+}
+
+CQ CqCore(const CQ& q) {
+  if (q.atoms().empty()) return q;
+  Instance canon = q.CanonicalDb();
+  size_t n = canon.num_elements();
+  // Current retraction, as an element map (initially the identity).
+  std::vector<ElemId> retract(n);
+  for (ElemId e = 0; e < n; ++e) retract[e] = e;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Build the current image instance.
+    Instance image(q.vocab());
+    image.EnsureElements(n);
+    std::unordered_set<ElemId> live;
+    for (const Fact& f : canon.facts()) {
+      std::vector<ElemId> args;
+      for (ElemId a : f.args) args.push_back(retract[a]);
+      image.AddFact(f.pred, args);
+      for (ElemId a : args) live.insert(a);
+    }
+    HomSearch search(image, image);
+    HomSearch::Fixed fixed;
+    for (VarId v : q.free_vars()) fixed.emplace_back(retract[v], retract[v]);
+    search.ForEach(fixed, [&](const std::vector<ElemId>& h) {
+      std::unordered_set<ElemId> img;
+      for (ElemId e : live) img.insert(h[e]);
+      if (img.size() < live.size()) {
+        for (ElemId e = 0; e < n; ++e) retract[e] = h[retract[e]];
+        changed = true;
+        return false;  // restart with the smaller image
+      }
+      return true;
+    });
+  }
+
+  // Rebuild a CQ over the surviving elements.
+  CQ core(q.vocab());
+  std::vector<VarId> new_var(n, kNoElem);
+  std::unordered_set<std::string> seen_atoms;
+  auto var_of = [&](ElemId e) {
+    if (new_var[e] == kNoElem) new_var[e] = core.AddVar(q.var_name(e));
+    return new_var[e];
+  };
+  for (const Fact& f : canon.facts()) {
+    std::vector<VarId> args;
+    std::string key = std::to_string(f.pred);
+    for (ElemId a : f.args) {
+      VarId v = var_of(retract[a]);
+      args.push_back(v);
+      key += "," + std::to_string(v);
+    }
+    if (seen_atoms.insert(key).second) core.AddAtom(f.pred, args);
+  }
+  std::vector<VarId> frees;
+  for (VarId v : q.free_vars()) frees.push_back(var_of(retract[v]));
+  core.SetFreeVars(frees);
+  return core;
+}
+
+}  // namespace mondet

@@ -1,0 +1,31 @@
+#ifndef MONDET_CQ_CONTAINMENT_H_
+#define MONDET_CQ_CONTAINMENT_H_
+
+#include "cq/cq.h"
+#include "cq/ucq.h"
+
+namespace mondet {
+
+/// Q1 ⊑ Q2: every output tuple of Q1 is an output of Q2 on every instance.
+/// Decided by the Chandra–Merlin criterion: a homomorphism from
+/// Canondb(Q2) into Canondb(Q1) mapping the i-th free variable of Q2 to the
+/// i-th free variable of Q1.
+bool CqContained(const CQ& q1, const CQ& q2);
+
+/// CQ equivalence (containment both ways).
+bool CqEquivalent(const CQ& q1, const CQ& q2);
+
+/// UCQ containment (Sagiv–Yannakakis): Q1 ⊑ Q2 iff every disjunct of Q1 is
+/// contained in some disjunct of Q2.
+bool UcqContained(const UCQ& q1, const UCQ& q2);
+
+bool UcqEquivalent(const UCQ& q1, const UCQ& q2);
+
+/// The core of a CQ: a minimal equivalent subquery, computed by greedily
+/// folding the canonical database into itself. Free variables are kept
+/// fixed. Used to normalize gadget outputs and speed up containment tests.
+CQ CqCore(const CQ& q);
+
+}  // namespace mondet
+
+#endif  // MONDET_CQ_CONTAINMENT_H_

@@ -1,0 +1,112 @@
+#include "cq/cq.h"
+
+#include <sstream>
+
+#include "base/check.h"
+#include "base/gaifman.h"
+#include "base/homomorphism.h"
+
+namespace mondet {
+
+VarId CQ::AddVar(std::string name) {
+  VarId id = static_cast<VarId>(var_names_.size());
+  if (name.empty()) name = "v" + std::to_string(id);
+  var_names_.push_back(std::move(name));
+  return id;
+}
+
+void CQ::AddAtom(PredId pred, const std::vector<VarId>& args) {
+  MONDET_CHECK(pred < vocab_->size());
+  MONDET_CHECK(static_cast<int>(args.size()) == vocab_->arity(pred));
+  for (VarId v : args) MONDET_CHECK(v < var_names_.size());
+  atoms_.emplace_back(pred, args);
+}
+
+void CQ::SetFreeVars(std::vector<VarId> free_vars) {
+  for (VarId v : free_vars) MONDET_CHECK(v < var_names_.size());
+  free_vars_ = std::move(free_vars);
+}
+
+Instance CQ::CanonicalDb() const {
+  Instance inst(vocab_);
+  for (size_t v = 0; v < var_names_.size(); ++v) {
+    inst.AddElement(var_names_[v]);
+  }
+  for (const QAtom& a : atoms_) {
+    std::vector<ElemId> args(a.args.begin(), a.args.end());
+    inst.AddFact(a.pred, args);
+  }
+  return inst;
+}
+
+std::set<std::vector<ElemId>> CQ::Evaluate(const Instance& inst) const {
+  std::set<std::vector<ElemId>> out;
+  if (atoms_.empty()) {
+    // Trivially true Boolean query; for arity > 0 there is nothing safe to
+    // range over, so we only support the Boolean case.
+    MONDET_CHECK(free_vars_.empty());
+    out.insert({});
+    return out;
+  }
+  Instance canon = CanonicalDb();
+  HomSearch search(canon, inst);
+  search.ForEach({}, [&](const std::vector<ElemId>& map) {
+    std::vector<ElemId> tuple;
+    tuple.reserve(free_vars_.size());
+    for (VarId v : free_vars_) tuple.push_back(map[v]);
+    out.insert(std::move(tuple));
+    return true;
+  });
+  return out;
+}
+
+bool CQ::HoldsOn(const Instance& inst) const {
+  if (atoms_.empty()) return true;
+  Instance canon = CanonicalDb();
+  return HomSearch(canon, inst).Exists();
+}
+
+bool CQ::HoldsOn(const Instance& inst,
+                 const std::vector<ElemId>& tuple) const {
+  MONDET_CHECK(tuple.size() == free_vars_.size());
+  if (atoms_.empty()) return true;
+  Instance canon = CanonicalDb();
+  HomSearch::Fixed fixed;
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    fixed.emplace_back(free_vars_[i], tuple[i]);
+  }
+  return HomSearch(canon, inst).Exists(fixed);
+}
+
+int CQ::Radius() const {
+  Instance canon = CanonicalDb();
+  return GaifmanGraph(canon).Radius();
+}
+
+bool CQ::IsConnected() const {
+  Instance canon = CanonicalDb();
+  return GaifmanGraph(canon).IsConnected();
+}
+
+std::string CQ::DebugString(const std::string& head_name) const {
+  std::ostringstream os;
+  os << head_name << "(";
+  for (size_t i = 0; i < free_vars_.size(); ++i) {
+    if (i) os << ",";
+    os << var_names_[free_vars_[i]];
+  }
+  os << ") :- ";
+  if (atoms_.empty()) os << "true";
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i) os << ", ";
+    os << vocab_->name(atoms_[i].pred) << "(";
+    for (size_t j = 0; j < atoms_[i].args.size(); ++j) {
+      if (j) os << ",";
+      os << var_names_[atoms_[i].args[j]];
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+}  // namespace mondet

@@ -1,0 +1,86 @@
+#ifndef MONDET_CQ_CQ_H_
+#define MONDET_CQ_CQ_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/symbol_table.h"
+
+namespace mondet {
+
+/// An atom R(x1..xn) over variables, used in CQ bodies and Datalog rules.
+struct QAtom {
+  PredId pred = kNoPred;
+  std::vector<VarId> args;
+
+  QAtom() = default;
+  QAtom(PredId p, std::vector<VarId> a) : pred(p), args(std::move(a)) {}
+
+  bool operator==(const QAtom& o) const {
+    return pred == o.pred && args == o.args;
+  }
+};
+
+/// A conjunctive query q(x) = ∃y φ(x,y): a set of atoms with an ordered
+/// tuple of free variables (Sec. 2). Constants are not supported (the paper
+/// uses none); every free variable must occur in some atom unless the CQ is
+/// the trivial Boolean query with an empty body.
+class CQ {
+ public:
+  explicit CQ(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Creates a fresh variable (optionally named) and returns its id.
+  VarId AddVar(std::string name = "");
+
+  size_t num_vars() const { return var_names_.size(); }
+  const std::string& var_name(VarId v) const { return var_names_[v]; }
+
+  /// Appends an atom; arity must match the predicate.
+  void AddAtom(PredId pred, const std::vector<VarId>& args);
+  void AddAtom(const QAtom& a) { AddAtom(a.pred, a.args); }
+
+  /// Sets the ordered tuple of free (answer) variables.
+  void SetFreeVars(std::vector<VarId> free_vars);
+
+  const std::vector<QAtom>& atoms() const { return atoms_; }
+  const std::vector<VarId>& free_vars() const { return free_vars_; }
+  int arity() const { return static_cast<int>(free_vars_.size()); }
+
+  /// The canonical database Canondb(Q): one element per variable, one fact
+  /// per atom. Element i corresponds to variable i.
+  Instance CanonicalDb() const;
+
+  /// Output(Q, I): the set of answer tuples.
+  std::set<std::vector<ElemId>> Evaluate(const Instance& inst) const;
+
+  /// True if the Boolean query (ignoring free vars) holds on `inst`.
+  bool HoldsOn(const Instance& inst) const;
+
+  /// True if the given answer tuple is in Output(Q, inst).
+  bool HoldsOn(const Instance& inst, const std::vector<ElemId>& tuple) const;
+
+  /// Radius of the Gaifman graph of the canonical database; -1 when
+  /// disconnected (Sec. 2).
+  int Radius() const;
+
+  /// True when the canonical database is connected.
+  bool IsConnected() const;
+
+  /// Human-readable rendering, e.g. "Q(x) :- R(x,y), S(y)".
+  std::string DebugString(const std::string& head_name = "Q") const;
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<std::string> var_names_;
+  std::vector<QAtom> atoms_;
+  std::vector<VarId> free_vars_;
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_CQ_CQ_H_

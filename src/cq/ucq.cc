@@ -1,0 +1,54 @@
+#include "cq/ucq.h"
+
+#include <sstream>
+
+#include "base/check.h"
+
+namespace mondet {
+
+void UCQ::AddDisjunct(CQ cq) {
+  MONDET_CHECK(cq.vocab().get() == vocab_.get());
+  if (!disjuncts_.empty()) {
+    MONDET_CHECK(cq.arity() == disjuncts_.front().arity());
+  }
+  disjuncts_.push_back(std::move(cq));
+}
+
+int UCQ::arity() const {
+  return disjuncts_.empty() ? 0 : disjuncts_.front().arity();
+}
+
+std::set<std::vector<ElemId>> UCQ::Evaluate(const Instance& inst) const {
+  std::set<std::vector<ElemId>> out;
+  for (const CQ& cq : disjuncts_) {
+    auto part = cq.Evaluate(inst);
+    out.insert(part.begin(), part.end());
+  }
+  return out;
+}
+
+bool UCQ::HoldsOn(const Instance& inst) const {
+  for (const CQ& cq : disjuncts_) {
+    if (cq.HoldsOn(inst)) return true;
+  }
+  return false;
+}
+
+bool UCQ::HoldsOn(const Instance& inst,
+                  const std::vector<ElemId>& tuple) const {
+  for (const CQ& cq : disjuncts_) {
+    if (cq.HoldsOn(inst, tuple)) return true;
+  }
+  return false;
+}
+
+std::string UCQ::DebugString(const std::string& head_name) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i) os << "\n";
+    os << disjuncts_[i].DebugString(head_name);
+  }
+  return os.str();
+}
+
+}  // namespace mondet

@@ -1,0 +1,40 @@
+#ifndef MONDET_CQ_UCQ_H_
+#define MONDET_CQ_UCQ_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+
+namespace mondet {
+
+/// A union of conjunctive queries. All disjuncts share one arity.
+class UCQ {
+ public:
+  explicit UCQ(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  /// Appends a disjunct; its arity must match previously-added ones.
+  void AddDisjunct(CQ cq);
+
+  const std::vector<CQ>& disjuncts() const { return disjuncts_; }
+  int arity() const;
+  bool empty() const { return disjuncts_.empty(); }
+
+  /// Output(Q, I): union of disjunct outputs.
+  std::set<std::vector<ElemId>> Evaluate(const Instance& inst) const;
+  bool HoldsOn(const Instance& inst) const;
+  bool HoldsOn(const Instance& inst, const std::vector<ElemId>& tuple) const;
+
+  std::string DebugString(const std::string& head_name = "Q") const;
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<CQ> disjuncts_;
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_CQ_UCQ_H_

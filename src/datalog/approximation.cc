@@ -1,0 +1,176 @@
+#include "datalog/approximation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+/// A derivation-tree skeleton: a rule index plus one child per IDB body
+/// atom (in body order).
+struct Tree {
+  size_t rule = 0;
+  std::vector<Tree> children;
+
+  int Depth() const {
+    int d = 0;
+    for (const Tree& c : children) d = std::max(d, c.Depth());
+    return d + 1;
+  }
+};
+
+/// Union-find over provisional element ids, used to honor repeated head
+/// variables during materialization.
+class Dsu {
+ public:
+  int Make() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    return parent_.back();
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+  size_t size() const { return parent_.size(); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// Enumerates derivation trees for `pred` of depth <= max_depth; the
+/// callback returns false to stop. Returns false iff stopped.
+bool EmitTrees(const Program& prog, PredId pred, int max_depth,
+               const std::function<bool(const Tree&)>& cb) {
+  if (max_depth <= 0) return true;
+  for (size_t ri : prog.RulesFor(pred)) {
+    const Rule& rule = prog.rules()[ri];
+    std::vector<PredId> child_preds;
+    for (const QAtom& a : rule.body) {
+      if (prog.IsIdb(a.pred)) child_preds.push_back(a.pred);
+    }
+    Tree tree;
+    tree.rule = ri;
+    tree.children.resize(child_preds.size());
+    std::function<bool(size_t)> rec = [&](size_t idx) -> bool {
+      if (idx == child_preds.size()) return cb(tree);
+      return EmitTrees(prog, child_preds[idx], max_depth - 1,
+                       [&](const Tree& child) {
+                         tree.children[idx] = child;
+                         return rec(idx + 1);
+                       });
+    };
+    if (!rec(0)) return false;
+  }
+  return true;
+}
+
+void MaterializeNode(const Program& prog, const Tree& tree,
+                     const std::vector<int>& head_args, Dsu& dsu,
+                     std::vector<std::pair<PredId, std::vector<int>>>& facts) {
+  const Rule& rule = prog.rules()[tree.rule];
+  std::vector<int> var_elem(rule.num_vars(), -1);
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    VarId v = rule.head.args[i];
+    if (var_elem[v] < 0) {
+      var_elem[v] = head_args[i];
+    } else {
+      dsu.Union(var_elem[v], head_args[i]);
+    }
+  }
+  auto elem_of = [&](VarId v) {
+    if (var_elem[v] < 0) var_elem[v] = dsu.Make();
+    return var_elem[v];
+  };
+  size_t child_idx = 0;
+  for (const QAtom& atom : rule.body) {
+    std::vector<int> args;
+    args.reserve(atom.args.size());
+    for (VarId v : atom.args) args.push_back(elem_of(v));
+    if (prog.IsIdb(atom.pred)) {
+      MaterializeNode(prog, tree.children[child_idx++], args, dsu, facts);
+    } else {
+      facts.emplace_back(atom.pred, std::move(args));
+    }
+  }
+}
+
+Expansion Materialize(const Program& prog, PredId goal, const Tree& tree) {
+  Dsu dsu;
+  int arity = prog.vocab()->arity(goal);
+  std::vector<int> frontier;
+  frontier.reserve(arity);
+  for (int i = 0; i < arity; ++i) frontier.push_back(dsu.Make());
+  std::vector<std::pair<PredId, std::vector<int>>> facts;
+  MaterializeNode(prog, tree, frontier, dsu, facts);
+
+  Expansion e(prog.vocab());
+  std::unordered_map<int, ElemId> compact;
+  auto elem_of = [&](int provisional) {
+    int root = dsu.Find(provisional);
+    auto it = compact.find(root);
+    if (it != compact.end()) return it->second;
+    ElemId id = e.inst.AddElement();
+    compact.emplace(root, id);
+    return id;
+  };
+  for (const auto& [pred, args] : facts) {
+    std::vector<ElemId> elems;
+    elems.reserve(args.size());
+    for (int a : args) elems.push_back(elem_of(a));
+    e.inst.AddFact(pred, elems);
+  }
+  for (int f : frontier) e.frontier.push_back(elem_of(f));
+  e.depth = tree.Depth();
+  return e;
+}
+
+}  // namespace
+
+bool EnumeratePredExpansions(
+    const Program& program, PredId pred, int max_depth, size_t max_count,
+    const std::function<bool(const Expansion&)>& cb) {
+  size_t count = 0;
+  bool exhaustive = true;
+  EmitTrees(program, pred, max_depth, [&](const Tree& tree) {
+    if (count >= max_count) {
+      exhaustive = false;
+      return false;
+    }
+    ++count;
+    Expansion e = Materialize(program, pred, tree);
+    if (!cb(e)) {
+      exhaustive = false;
+      return false;
+    }
+    return true;
+  });
+  return exhaustive;
+}
+
+bool EnumerateExpansions(const DatalogQuery& query, int max_depth,
+                         size_t max_count,
+                         const std::function<bool(const Expansion&)>& cb) {
+  return EnumeratePredExpansions(query.program, query.goal, max_depth,
+                                 max_count, cb);
+}
+
+CQ ExpansionToCq(const Expansion& e) {
+  CQ cq(e.inst.vocab());
+  for (size_t i = 0; i < e.inst.num_elements(); ++i) {
+    cq.AddVar(e.inst.element_name(static_cast<ElemId>(i)));
+  }
+  for (const Fact& f : e.inst.facts()) {
+    cq.AddAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end()));
+  }
+  cq.SetFreeVars(std::vector<VarId>(e.frontier.begin(), e.frontier.end()));
+  return cq;
+}
+
+}  // namespace mondet

@@ -1,0 +1,46 @@
+#ifndef MONDET_DATALOG_APPROXIMATION_H_
+#define MONDET_DATALOG_APPROXIMATION_H_
+
+#include <functional>
+
+#include "base/instance.h"
+#include "cq/cq.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// A CQ approximation of a Datalog query (Sec. 2), materialized as its
+/// canonical database together with the frontier tuple (images of the goal
+/// variables). By Prop. 1, I ⊨ Q(c) iff some approximation maps into I
+/// sending the frontier to c.
+struct Expansion {
+  Instance inst;
+  std::vector<ElemId> frontier;
+  int depth = 0;
+
+  explicit Expansion(VocabularyPtr vocab) : inst(std::move(vocab)) {}
+};
+
+/// Streams the expansions of `query` whose derivation trees have depth at
+/// most `max_depth` (depth 1 = rules with EDB-only bodies), emitting at
+/// most `max_count` of them. The callback returns false to stop early.
+///
+/// Returns true iff the enumeration was exhaustive: every expansion of
+/// depth <= max_depth was emitted (no cap hit, no early stop).
+bool EnumerateExpansions(const DatalogQuery& query, int max_depth,
+                         size_t max_count,
+                         const std::function<bool(const Expansion&)>& cb);
+
+/// Same, for an arbitrary IDB predicate of the program (the paper's
+/// "approximation of an atom": the program with that atom as goal).
+bool EnumeratePredExpansions(const Program& program, PredId pred,
+                             int max_depth, size_t max_count,
+                             const std::function<bool(const Expansion&)>& cb);
+
+/// Converts an expansion into a CQ (one variable per element, free
+/// variables = the frontier).
+CQ ExpansionToCq(const Expansion& e);
+
+}  // namespace mondet
+
+#endif  // MONDET_DATALOG_APPROXIMATION_H_

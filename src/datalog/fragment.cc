@@ -1,0 +1,105 @@
+#include "datalog/fragment.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+#include "cq/ucq.h"
+#include "datalog/approximation.h"
+#include "datalog/eval.h"
+
+namespace mondet {
+
+bool IsMonadic(const Program& program) {
+  for (PredId p : program.Idbs()) {
+    if (program.vocab()->arity(p) > 1) return false;
+  }
+  return true;
+}
+
+bool IsFrontierGuarded(const Program& program) {
+  if (IsMonadic(program)) return true;  // paper's convention
+  for (const Rule& rule : program.rules()) {
+    if (rule.head.args.empty()) continue;  // vacuously guarded
+    bool guarded = false;
+    for (const QAtom& a : rule.body) {
+      if (program.IsIdb(a.pred)) continue;  // guard must be extensional
+      bool covers = true;
+      for (VarId v : rule.head.args) {
+        if (std::find(a.args.begin(), a.args.end(), v) == a.args.end()) {
+          covers = false;
+          break;
+        }
+      }
+      if (covers) {
+        guarded = true;
+        break;
+      }
+    }
+    if (!guarded) return false;
+  }
+  return true;
+}
+
+bool IsNonRecursive(const Program& program) {
+  // DFS for a cycle in the IDB dependency graph.
+  std::unordered_map<PredId, int> state;  // 0 unseen, 1 on stack, 2 done
+  bool cyclic = false;
+  std::function<void(PredId)> visit = [&](PredId p) {
+    state[p] = 1;
+    for (size_t ri : program.RulesFor(p)) {
+      for (const QAtom& a : program.rules()[ri].body) {
+        if (!program.IsIdb(a.pred)) continue;
+        int s = state.count(a.pred) ? state[a.pred] : 0;
+        if (s == 1) cyclic = true;
+        if (s == 0) visit(a.pred);
+        if (cyclic) return;
+      }
+    }
+    state[p] = 2;
+  };
+  for (PredId p : program.Idbs()) {
+    if ((state.count(p) ? state[p] : 0) == 0) visit(p);
+    if (cyclic) return false;
+  }
+  return true;
+}
+
+BoundedContainment CheckDatalogContainmentBounded(const DatalogQuery& q1,
+                                                  const DatalogQuery& q2,
+                                                  int depth,
+                                                  size_t max_expansions) {
+  MONDET_CHECK(q1.arity() == q2.arity());
+  BoundedContainment result;
+  bool complete = EnumerateExpansions(
+      q1, depth, max_expansions, [&](const Expansion& e) {
+        ++result.expansions_checked;
+        if (!DatalogHoldsOn(q2, e.inst, e.frontier)) {
+          result.refuted = true;
+          result.witness = e.inst;
+          return false;
+        }
+        return true;
+      });
+  result.exhaustive =
+      complete && IsNonRecursive(q1.program) &&
+      depth >= static_cast<int>(q1.program.Idbs().size()) + 1;
+  return result;
+}
+
+UCQ UnfoldToUcq(const DatalogQuery& query, size_t max_disjuncts) {
+  MONDET_CHECK(IsNonRecursive(query.program));
+  // A non-recursive derivation tree never repeats a predicate on a path,
+  // so depth <= |IDBs| + 1 covers every expansion.
+  int depth = static_cast<int>(query.program.Idbs().size()) + 1;
+  UCQ out(query.program.vocab());
+  bool exhaustive = EnumerateExpansions(
+      query, depth, max_disjuncts, [&](const Expansion& e) {
+        out.AddDisjunct(ExpansionToCq(e));
+        return true;
+      });
+  MONDET_CHECK(exhaustive);
+  return out;
+}
+
+}  // namespace mondet

@@ -1,0 +1,237 @@
+#include "datalog/normalize.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/check.h"
+#include "datalog/fragment.h"
+
+namespace mondet {
+
+namespace {
+
+/// Counts IDB atoms per variable and on the head variable of a rule.
+bool RuleIsNormalized(const Program& prog, const Rule& rule) {
+  std::map<VarId, int> idb_count;
+  for (const QAtom& a : rule.body) {
+    if (!prog.IsIdb(a.pred)) continue;
+    for (VarId v : a.args) idb_count[v]++;
+  }
+  for (VarId v : rule.head.args) {
+    if (idb_count.count(v)) return false;
+  }
+  for (const auto& [v, n] : idb_count) {
+    if (n > 1) return false;
+  }
+  return true;
+}
+
+using PredSet = std::set<PredId>;
+
+std::string SetPredName(const Vocabulary& vocab, const PredSet& s) {
+  std::ostringstream os;
+  os << "N[";
+  bool first = true;
+  for (PredId p : s) {
+    if (!first) os << "&";
+    first = false;
+    os << vocab.name(p);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace
+
+bool IsNormalizedMdl(const DatalogQuery& query) {
+  if (!IsMonadic(query.program)) return false;
+  for (const Rule& rule : query.program.rules()) {
+    if (rule.head.pred == query.goal) continue;
+    if (!RuleIsNormalized(query.program, rule)) return false;
+  }
+  return true;
+}
+
+DatalogQuery NormalizeMdl(const DatalogQuery& query) {
+  const Program& prog = query.program;
+  MONDET_CHECK(IsMonadic(prog));
+  VocabularyPtr vocab = prog.vocab();
+
+  // Unary IDB predicates (candidates for conjunction sets).
+  std::vector<PredId> unary_idbs;
+  for (PredId p : prog.Idbs()) {
+    if (vocab->arity(p) == 1) unary_idbs.push_back(p);
+  }
+  std::sort(unary_idbs.begin(), unary_idbs.end());
+
+  Program out(vocab);
+  PredId new_goal =
+      vocab->AddPredicate(vocab->name(query.goal) + "_norm",
+                          vocab->arity(query.goal));
+
+  std::map<PredSet, PredId> set_pred;
+  std::vector<PredSet> worklist;
+  auto pred_for_set = [&](const PredSet& s) {
+    MONDET_CHECK(!s.empty());
+    auto it = set_pred.find(s);
+    if (it != set_pred.end()) return it->second;
+    PredId p = vocab->AddPredicate(SetPredName(*vocab, s), 1);
+    set_pred.emplace(s, p);
+    worklist.push_back(s);
+    return p;
+  };
+
+  // Transforms a rule body: EDB atoms are kept; IDB atoms are grouped per
+  // variable into conjunction-set atoms. Returns the transformed body;
+  // `skip_var` (the head variable of set rules) has its IDB atoms dropped
+  // (they are discharged by the closure machinery); pass kNoElem to keep
+  // all variables.
+  auto transform_body = [&](const std::vector<QAtom>& body, VarId skip_var,
+                            std::vector<QAtom>* out_body) {
+    std::map<VarId, PredSet> per_var;
+    for (const QAtom& a : body) {
+      if (prog.IsIdb(a.pred)) {
+        MONDET_CHECK(a.args.size() == 1);  // monadic; 0-ary goal never in body
+        if (a.args[0] != skip_var) per_var[a.args[0]].insert(a.pred);
+      } else {
+        out_body->push_back(a);
+      }
+    }
+    for (const auto& [v, s] : per_var) {
+      out_body->push_back(QAtom(pred_for_set(s), {v}));
+    }
+  };
+
+  // Goal rules: transformed in place (IDB atoms on the head variable are
+  // permitted at the root; see IsNormalizedMdl).
+  for (size_t ri : prog.RulesFor(query.goal)) {
+    const Rule& r = prog.rules()[ri];
+    Rule nr;
+    nr.var_names = r.var_names;
+    nr.head = QAtom(new_goal, r.head.args);
+    transform_body(r.body, kNoElem, &nr.body);
+    out.AddRule(std::move(nr));
+  }
+
+  // Rules for conjunction sets: enumerate acyclic self-supporting
+  // assignments pred -> rule over the support closure of S.
+  while (!worklist.empty()) {
+    PredSet s = worklist.back();
+    worklist.pop_back();
+    PredId head_pred = set_pred.at(s);
+
+    // Assignment state: chosen rule per predicate in the closure.
+    std::map<PredId, size_t> choice;
+    std::function<void(std::vector<PredId>)> assign =
+        [&](std::vector<PredId> pending) {
+          // Find the first pending predicate without a choice.
+          while (!pending.empty() && choice.count(pending.back())) {
+            pending.pop_back();
+          }
+          if (pending.empty()) {
+            // Check acyclicity of the head-variable dependency graph.
+            std::map<PredId, int> state;  // 0 unseen, 1 stack, 2 done
+            bool cyclic = false;
+            std::function<void(PredId)> visit = [&](PredId p) {
+              state[p] = 1;
+              const Rule& r = prog.rules()[choice.at(p)];
+              VarId hv = r.head.args[0];
+              for (const QAtom& a : r.body) {
+                if (!prog.IsIdb(a.pred) || a.args[0] != hv) continue;
+                int st = state.count(a.pred) ? state[a.pred] : 0;
+                if (st == 1) cyclic = true;
+                if (st == 0) visit(a.pred);
+                if (cyclic) return;
+              }
+              state[p] = 2;
+            };
+            for (const auto& [p, ri] : choice) {
+              (void)ri;
+              if ((state.count(p) ? state[p] : 0) == 0) visit(p);
+              if (cyclic) return;
+            }
+
+            // Build the combined rule.
+            Rule nr;
+            VarId x = 0;
+            nr.var_names.push_back("x");
+            nr.head = QAtom(head_pred, {x});
+            std::vector<QAtom> raw_body;
+            bool head_var_in_body = false;
+            for (const auto& [p, ri] : choice) {
+              (void)p;
+              const Rule& r = prog.rules()[ri];
+              VarId hv = r.head.args[0];
+              std::vector<VarId> rename(r.num_vars(), kNoElem);
+              rename[hv] = x;
+              for (size_t v = 0; v < r.num_vars(); ++v) {
+                if (v == hv) continue;
+                rename[v] = static_cast<VarId>(nr.var_names.size());
+                nr.var_names.push_back(r.var_names[v] + "_" +
+                                       std::to_string(ri));
+              }
+              for (const QAtom& a : r.body) {
+                if (prog.IsIdb(a.pred) && a.args[0] == hv) continue;
+                std::vector<VarId> args;
+                for (VarId v : a.args) args.push_back(rename[v]);
+                if (std::find(args.begin(), args.end(), x) != args.end() &&
+                    !prog.IsIdb(a.pred)) {
+                  head_var_in_body = true;
+                }
+                raw_body.push_back(QAtom(a.pred, args));
+              }
+            }
+            // Group IDB atoms of the combined body per variable.
+            std::map<VarId, PredSet> per_var;
+            for (const QAtom& a : raw_body) {
+              if (prog.IsIdb(a.pred)) {
+                per_var[a.args[0]].insert(a.pred);
+              } else {
+                nr.body.push_back(a);
+              }
+            }
+            for (const auto& [v, t] : per_var) {
+              nr.body.push_back(QAtom(pred_for_set(t), {v}));
+            }
+            // Safety: the head variable must occur in the body. If none of
+            // the chosen rules put an EDB atom on it, add an Adom-style
+            // guard is impossible in pure Datalog — but this cannot happen:
+            // each chosen base rule is safe and discharges its head var in
+            // its own (EDB or child) atoms on x only via EDB atoms, because
+            // IDB atoms on x were dropped and safety of the original rule
+            // guarantees an occurrence of x in some body atom. If x only
+            // occurred in dropped IDB atoms, the acyclic support must
+            // bottom out at a rule whose x occurs in an EDB atom.
+            if (!head_var_in_body) {
+              // Skip assignments that never anchor x in an EDB atom; a
+              // bottoming-out assignment exists for every derivable set.
+              return;
+            }
+            out.AddRule(std::move(nr));
+            return;
+          }
+          PredId p = pending.back();
+          for (size_t ri : prog.RulesFor(p)) {
+            choice[p] = ri;
+            const Rule& r = prog.rules()[ri];
+            VarId hv = r.head.args[0];
+            std::vector<PredId> next = pending;
+            for (const QAtom& a : r.body) {
+              if (prog.IsIdb(a.pred) && a.args[0] == hv) {
+                next.push_back(a.pred);
+              }
+            }
+            assign(next);
+            choice.erase(p);
+          }
+        };
+    assign(std::vector<PredId>(s.begin(), s.end()));
+  }
+
+  return DatalogQuery(std::move(out), new_goal);
+}
+
+}  // namespace mondet

@@ -1,0 +1,27 @@
+#ifndef MONDET_DATALOG_NORMALIZE_H_
+#define MONDET_DATALOG_NORMALIZE_H_
+
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// True if a Monadic Datalog query is normalized: in every non-goal rule
+/// the body has no IDB atom on the head variable and at most one IDB atom
+/// per variable. This is the shape Lemma 1 needs for the treespan bound
+/// l(TD) <= 2 on expansion decompositions (goal rules are the roots of
+/// derivation trees, so they are exempt).
+bool IsNormalizedMdl(const DatalogQuery& query);
+
+/// Normalizes a Monadic Datalog query into an equivalent normalized one
+/// (Prop. 2, following Chaudhuri–Vardi [12]). New IDB predicates stand for
+/// conjunctions of the original unary IDBs; the rules for a conjunction
+/// I_S are produced from acyclic self-supporting rule assignments that
+/// discharge every IDB requirement on the shared variable.
+///
+/// The query must be monadic. New predicates are added to the shared
+/// vocabulary with names "N[A&B&...]".
+DatalogQuery NormalizeMdl(const DatalogQuery& query);
+
+}  // namespace mondet
+
+#endif  // MONDET_DATALOG_NORMALIZE_H_

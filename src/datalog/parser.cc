@@ -1,0 +1,337 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+namespace mondet {
+
+namespace {
+
+/// Minimal recursive-descent tokenizer/parser for the rule syntax.
+class Parser {
+ public:
+  Parser(const std::string& text, VocabularyPtr vocab)
+      : text_(text), vocab_(std::move(vocab)) {}
+
+  std::optional<std::vector<Rule>> Parse(std::string* error) {
+    std::vector<Rule> rules;
+    SkipWs();
+    while (pos_ < text_.size()) {
+      auto rule = ParseRule();
+      if (!rule) {
+        *error = error_;
+        return std::nullopt;
+      }
+      rules.push_back(std::move(*rule));
+      SkipWs();
+    }
+    return rules;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatArrow() {
+    SkipWs();
+    if (text_.compare(pos_, 2, ":-") == 0) {
+      pos_ += 2;
+      return true;
+    }
+    if (text_.compare(pos_, 2, "<-") == 0) {
+      pos_ += 2;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> Identifier() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    return text_.substr(start, pos_ - start);
+  }
+
+  bool Fail(const std::string& msg) {
+    std::ostringstream os;
+    os << msg << " at offset " << pos_;
+    error_ = os.str();
+    return false;
+  }
+
+  /// Parses "Pred(v1,...,vn)" or a bare "Pred" (0-ary). Interns the
+  /// predicate and returns the atom; nullopt on error.
+  std::optional<QAtom> ParseAtom(RuleBuilder* builder,
+                                 std::vector<std::string>* arg_names) {
+    auto name = Identifier();
+    if (!name) {
+      Fail("expected predicate name");
+      return std::nullopt;
+    }
+    arg_names->clear();
+    if (Eat('(')) {
+      if (!Eat(')')) {
+        while (true) {
+          auto var = Identifier();
+          if (!var) {
+            Fail("expected variable name");
+            return std::nullopt;
+          }
+          arg_names->push_back(*var);
+          if (Eat(')')) break;
+          if (!Eat(',')) {
+            Fail("expected ',' or ')'");
+            return std::nullopt;
+          }
+        }
+      }
+    }
+    auto existing = vocab_->FindPredicate(*name);
+    if (existing && vocab_->arity(*existing) !=
+                        static_cast<int>(arg_names->size())) {
+      Fail("arity mismatch for predicate " + *name);
+      return std::nullopt;
+    }
+    PredId pred =
+        vocab_->AddPredicate(*name, static_cast<int>(arg_names->size()));
+    std::vector<VarId> args;
+    for (const std::string& v : *arg_names) args.push_back(builder->Var(v));
+    return QAtom(pred, args);
+  }
+
+  std::optional<Rule> ParseRule() {
+    RuleBuilder builder(vocab_);
+    std::vector<std::string> arg_names;
+    auto head = ParseAtom(&builder, &arg_names);
+    if (!head) return std::nullopt;
+    Rule rule;
+    std::vector<std::string> head_vars = arg_names;
+    if (Eat('.')) {
+      // Fact-style rule with empty body (only legal for 0-ary heads).
+      if (!head->args.empty()) {
+        Fail("rule with variables must have a body");
+        return std::nullopt;
+      }
+      builder.Head(head->pred, {});
+      return builder.Build();
+    }
+    if (!EatArrow()) {
+      Fail("expected ':-'");
+      return std::nullopt;
+    }
+    std::vector<std::pair<PredId, std::vector<std::string>>> body;
+    while (true) {
+      std::vector<std::string> body_args;
+      auto atom = ParseAtom(&builder, &body_args);
+      if (!atom) return std::nullopt;
+      body.emplace_back(atom->pred, body_args);
+      if (Eat('.')) break;
+      if (!Eat(',')) {
+        Fail("expected ',' or '.'");
+        return std::nullopt;
+      }
+    }
+    builder.Head(head->pred, head_vars);
+    for (const auto& [pred, vars] : body) builder.Atom(pred, vars);
+    // Safety check mirrors Program::AddRule but reports instead of dying.
+    Rule built = builder.Build();
+    for (VarId v : built.head.args) {
+      bool found = false;
+      for (const QAtom& a : built.body) {
+        for (VarId bv : a.args) {
+          if (bv == v) found = true;
+        }
+      }
+      if (!found) {
+        Fail("unsafe rule: head variable missing from body");
+        return std::nullopt;
+      }
+    }
+    return built;
+  }
+
+  const std::string& text_;
+  VocabularyPtr vocab_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseProgram(const std::string& text,
+                         const VocabularyPtr& vocab) {
+  ParseResult result;
+  Parser parser(text, vocab);
+  auto rules = parser.Parse(&result.error);
+  if (!rules) return result;
+  Program program(vocab);
+  for (Rule& r : *rules) program.AddRule(std::move(r));
+  result.program = std::move(program);
+  return result;
+}
+
+std::optional<DatalogQuery> ParseQuery(const std::string& text,
+                                       const std::string& goal_name,
+                                       const VocabularyPtr& vocab,
+                                       std::string* error) {
+  ParseResult result = ParseProgram(text, vocab);
+  if (!result.ok()) {
+    if (error) *error = result.error;
+    return std::nullopt;
+  }
+  auto goal = vocab->FindPredicate(goal_name);
+  if (!goal || !result.program->IsIdb(*goal)) {
+    if (error) *error = "goal predicate " + goal_name + " has no rules";
+    return std::nullopt;
+  }
+  return DatalogQuery(std::move(*result.program), *goal);
+}
+
+std::optional<UCQ> ParseUcq(const std::string& text,
+                            const VocabularyPtr& vocab, std::string* error) {
+  ParseResult result = ParseProgram(text, vocab);
+  if (!result.ok()) {
+    if (error) *error = result.error;
+    return std::nullopt;
+  }
+  const Program& prog = *result.program;
+  if (prog.rules().empty()) {
+    if (error) *error = "no rules";
+    return std::nullopt;
+  }
+  PredId head = prog.rules().front().head.pred;
+  UCQ ucq(vocab);
+  for (const Rule& r : prog.rules()) {
+    if (r.head.pred != head) {
+      if (error) *error = "UCQ rules must share one head predicate";
+      return std::nullopt;
+    }
+    for (const QAtom& a : r.body) {
+      if (prog.IsIdb(a.pred)) {
+        if (error) *error = "UCQ body uses an intensional predicate";
+        return std::nullopt;
+      }
+    }
+    CQ cq(vocab);
+    for (size_t v = 0; v < r.num_vars(); ++v) cq.AddVar(r.var_names[v]);
+    for (const QAtom& a : r.body) cq.AddAtom(a);
+    cq.SetFreeVars(r.head.args);
+    ucq.AddDisjunct(std::move(cq));
+  }
+  return ucq;
+}
+
+std::optional<CQ> ParseCq(const std::string& text, const VocabularyPtr& vocab,
+                          std::string* error) {
+  auto ucq = ParseUcq(text, vocab, error);
+  if (!ucq) return std::nullopt;
+  if (ucq->disjuncts().size() != 1) {
+    if (error) *error = "expected exactly one rule";
+    return std::nullopt;
+  }
+  return ucq->disjuncts().front();
+}
+
+std::optional<Instance> ParseInstance(const std::string& text,
+                                      const VocabularyPtr& vocab,
+                                      std::string* error) {
+  // Reuse the rule parser: each fact is a bodiless "rule head". The rule
+  // grammar requires a body, so parse fact statements manually with the
+  // same token shapes.
+  Instance inst(vocab);
+  std::unordered_map<std::string, ElemId> elems;
+  size_t pos = 0;
+  auto skip_ws = [&]() {
+    while (pos < text.size()) {
+      if (text[pos] == '#') {
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto ident = [&]() -> std::optional<std::string> {
+    skip_ws();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_' || text[pos] == '\'')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    return text.substr(start, pos - start);
+  };
+  auto eat = [&](char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg + " at offset " + std::to_string(pos);
+    return std::optional<Instance>();
+  };
+  skip_ws();
+  while (pos < text.size()) {
+    auto pred_name = ident();
+    if (!pred_name) return fail("expected predicate name");
+    std::vector<ElemId> args;
+    if (eat('(')) {
+      if (!eat(')')) {
+        while (true) {
+          auto elem_name = ident();
+          if (!elem_name) return fail("expected element name");
+          auto it = elems.find(*elem_name);
+          if (it == elems.end()) {
+            it = elems.emplace(*elem_name, inst.AddElement(*elem_name)).first;
+          }
+          args.push_back(it->second);
+          if (eat(')')) break;
+          if (!eat(',')) return fail("expected ',' or ')'");
+        }
+      }
+    }
+    auto existing = vocab->FindPredicate(*pred_name);
+    if (existing &&
+        vocab->arity(*existing) != static_cast<int>(args.size())) {
+      return fail("arity mismatch for predicate " + *pred_name);
+    }
+    PredId pred =
+        vocab->AddPredicate(*pred_name, static_cast<int>(args.size()));
+    inst.AddFact(pred, args);
+    if (!eat('.')) return fail("expected '.'");
+    skip_ws();
+  }
+  return inst;
+}
+
+}  // namespace mondet

@@ -1,0 +1,61 @@
+#ifndef MONDET_DATALOG_PARSER_H_
+#define MONDET_DATALOG_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "cq/ucq.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// Result of parsing; `error` is non-empty iff parsing failed.
+struct ParseResult {
+  std::optional<Program> program;
+  std::string error;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Parses a Datalog program in the conventional textual syntax:
+///
+///   # comment
+///   Goal() :- U1(x), W1(x).
+///   W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
+///
+/// Predicates are introduced implicitly with the arity of their first
+/// occurrence (later occurrences must match). All argument identifiers are
+/// variables (the paper uses no constants). A 0-ary head may be written
+/// "Goal" or "Goal()". Predicates are interned into `vocab`.
+ParseResult ParseProgram(const std::string& text, const VocabularyPtr& vocab);
+
+/// Parses a program and wraps it as a query with the given goal predicate.
+/// Fails if the goal is not the head of any rule.
+std::optional<DatalogQuery> ParseQuery(const std::string& text,
+                                       const std::string& goal_name,
+                                       const VocabularyPtr& vocab,
+                                       std::string* error = nullptr);
+
+/// Parses the rules as a UCQ: all rules must share the same head predicate
+/// and none may use IDB predicates in bodies.
+std::optional<UCQ> ParseUcq(const std::string& text,
+                            const VocabularyPtr& vocab,
+                            std::string* error = nullptr);
+
+/// Parses a single rule as a CQ.
+std::optional<CQ> ParseCq(const std::string& text, const VocabularyPtr& vocab,
+                          std::string* error = nullptr);
+
+/// Parses a ground instance: one fact per statement, identifiers are
+/// constants (elements are created on first use and shared by name):
+///
+///   R(a,b). R(b,c). U(c).
+///
+/// Predicates are interned into `vocab` with the arity of first use.
+std::optional<Instance> ParseInstance(const std::string& text,
+                                      const VocabularyPtr& vocab,
+                                      std::string* error = nullptr);
+
+}  // namespace mondet
+
+#endif  // MONDET_DATALOG_PARSER_H_

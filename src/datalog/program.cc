@@ -1,0 +1,148 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace mondet {
+
+VarId RuleBuilder::Var(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  VarId id = static_cast<VarId>(rule_.var_names.size());
+  rule_.var_names.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+RuleBuilder& RuleBuilder::Head(PredId pred,
+                               const std::vector<std::string>& vars) {
+  std::vector<VarId> args;
+  for (const auto& v : vars) args.push_back(Var(v));
+  rule_.head = QAtom(pred, args);
+  return *this;
+}
+
+RuleBuilder& RuleBuilder::Atom(PredId pred,
+                               const std::vector<std::string>& vars) {
+  std::vector<VarId> args;
+  for (const auto& v : vars) args.push_back(Var(v));
+  rule_.body.emplace_back(pred, args);
+  return *this;
+}
+
+Rule RuleBuilder::Build() {
+  MONDET_CHECK(rule_.head.pred != kNoPred);
+  return std::move(rule_);
+}
+
+void Program::AddRule(Rule rule) {
+  MONDET_CHECK(rule.head.pred < vocab_->size());
+  MONDET_CHECK(static_cast<int>(rule.head.args.size()) ==
+               vocab_->arity(rule.head.pred));
+  // Safety: every head variable occurs in the body.
+  for (VarId v : rule.head.args) {
+    bool found = false;
+    for (const QAtom& a : rule.body) {
+      if (std::find(a.args.begin(), a.args.end(), v) != a.args.end()) {
+        found = true;
+        break;
+      }
+    }
+    MONDET_CHECK(found);
+  }
+  idbs_.insert(rule.head.pred);
+  rules_.push_back(std::move(rule));
+}
+
+void Program::AddRules(const Program& other) {
+  MONDET_CHECK(vocab_.get() == other.vocab_.get());
+  for (const Rule& r : other.rules_) AddRule(r);
+}
+
+std::unordered_set<PredId> Program::Edbs() const {
+  std::unordered_set<PredId> out;
+  for (const Rule& r : rules_) {
+    for (const QAtom& a : r.body) {
+      if (!IsIdb(a.pred)) out.insert(a.pred);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> Program::RulesFor(PredId p) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].head.pred == p) out.push_back(i);
+  }
+  return out;
+}
+
+size_t Program::MaxRuleVars() const {
+  size_t k = 0;
+  for (const Rule& r : rules_) k = std::max(k, r.num_vars());
+  return k;
+}
+
+namespace {
+void AppendAtom(std::ostringstream& os, const Vocabulary& vocab,
+                const QAtom& a, const std::vector<std::string>& names) {
+  os << vocab.name(a.pred) << "(";
+  for (size_t i = 0; i < a.args.size(); ++i) {
+    if (i) os << ",";
+    os << names[a.args[i]];
+  }
+  os << ")";
+}
+}  // namespace
+
+std::string Program::DebugString() const {
+  std::ostringstream os;
+  for (const Rule& r : rules_) {
+    AppendAtom(os, *vocab_, r.head, r.var_names);
+    os << " :- ";
+    for (size_t i = 0; i < r.body.size(); ++i) {
+      if (i) os << ", ";
+      AppendAtom(os, *vocab_, r.body[i], r.var_names);
+    }
+    os << ".\n";
+  }
+  return os.str();
+}
+
+std::string DatalogQuery::DebugString() const {
+  return "goal: " + program.vocab()->name(goal) + "\n" +
+         program.DebugString();
+}
+
+DatalogQuery CqAsDatalog(const CQ& cq, const std::string& goal_name) {
+  VocabularyPtr vocab = cq.vocab();
+  PredId goal = vocab->AddPredicate(goal_name, cq.arity());
+  Program prog(vocab);
+  Rule r;
+  r.var_names.reserve(cq.num_vars());
+  for (size_t v = 0; v < cq.num_vars(); ++v) r.var_names.push_back(cq.var_name(v));
+  r.head = QAtom(goal, cq.free_vars());
+  r.body = cq.atoms();
+  prog.AddRule(std::move(r));
+  return DatalogQuery(std::move(prog), goal);
+}
+
+DatalogQuery UcqAsDatalog(const UCQ& ucq, const std::string& goal_name) {
+  VocabularyPtr vocab = ucq.vocab();
+  PredId goal = vocab->AddPredicate(goal_name, ucq.arity());
+  Program prog(vocab);
+  for (const CQ& cq : ucq.disjuncts()) {
+    Rule r;
+    for (size_t v = 0; v < cq.num_vars(); ++v) {
+      r.var_names.push_back(cq.var_name(v));
+    }
+    r.head = QAtom(goal, cq.free_vars());
+    r.body = cq.atoms();
+    prog.AddRule(std::move(r));
+  }
+  return DatalogQuery(std::move(prog), goal);
+}
+
+}  // namespace mondet

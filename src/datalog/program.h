@@ -1,0 +1,96 @@
+#ifndef MONDET_DATALOG_PROGRAM_H_
+#define MONDET_DATALOG_PROGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/ucq.h"
+
+namespace mondet {
+
+/// A Datalog rule P(x) ← φ(x). Variables are dense ids local to the rule;
+/// every head variable must occur in the body (safety, Sec. 2).
+struct Rule {
+  QAtom head;
+  std::vector<QAtom> body;
+  std::vector<std::string> var_names;
+
+  size_t num_vars() const { return var_names.size(); }
+};
+
+/// Helper for building rules by variable name.
+class RuleBuilder {
+ public:
+  explicit RuleBuilder(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  /// Returns the id for a named variable, creating it on first use.
+  VarId Var(const std::string& name);
+
+  RuleBuilder& Head(PredId pred, const std::vector<std::string>& vars);
+  RuleBuilder& Atom(PredId pred, const std::vector<std::string>& vars);
+
+  Rule Build();
+
+ private:
+  VocabularyPtr vocab_;
+  Rule rule_;
+  std::unordered_map<std::string, VarId> by_name_;
+};
+
+/// A Datalog program: a finite set of rules over a shared Vocabulary.
+/// IDB predicates are those occurring in some head; the rest are EDB.
+class Program {
+ public:
+  explicit Program(VocabularyPtr vocab) : vocab_(std::move(vocab)) {}
+
+  const VocabularyPtr& vocab() const { return vocab_; }
+
+  void AddRule(Rule rule);
+  void AddRules(const Program& other);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  bool IsIdb(PredId p) const { return idbs_.count(p) > 0; }
+  const std::unordered_set<PredId>& Idbs() const { return idbs_; }
+
+  /// EDB predicates actually occurring in some body.
+  std::unordered_set<PredId> Edbs() const;
+
+  /// Indices of the rules whose head predicate is `p`.
+  std::vector<size_t> RulesFor(PredId p) const;
+
+  /// Maximum number of variables in any rule (the treewidth bound k of
+  /// Lemma 1 / Prop. 3).
+  size_t MaxRuleVars() const;
+
+  std::string DebugString() const;
+
+ private:
+  VocabularyPtr vocab_;
+  std::vector<Rule> rules_;
+  std::unordered_set<PredId> idbs_;
+};
+
+/// A Datalog query (Π, Goal) — a program plus a distinguished goal IDB.
+struct DatalogQuery {
+  Program program;
+  PredId goal = kNoPred;
+
+  DatalogQuery(Program p, PredId g) : program(std::move(p)), goal(g) {}
+
+  int arity() const { return program.vocab()->arity(goal); }
+  std::string DebugString() const;
+};
+
+/// Wraps a CQ as a single-rule Datalog query with the given goal name.
+DatalogQuery CqAsDatalog(const CQ& cq, const std::string& goal_name);
+
+/// Wraps a UCQ as a Datalog query (one rule per disjunct).
+DatalogQuery UcqAsDatalog(const UCQ& ucq, const std::string& goal_name);
+
+}  // namespace mondet
+
+#endif  // MONDET_DATALOG_PROGRAM_H_

@@ -1,0 +1,182 @@
+#include "games/pebble.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+/// One domain (a sorted subset of the pattern's active domain) together
+/// with the set of still-alive images.
+struct DomainEntry {
+  std::vector<ElemId> domain;                // sorted pattern elements
+  std::vector<std::vector<ElemId>> images;   // candidate images
+  std::vector<bool> alive;
+  // Facts of the pattern whose arguments all lie in this domain.
+  std::vector<const Fact*> facts;
+};
+
+}  // namespace
+
+bool DuplicatorWins(const Instance& from, const Instance& to, int k,
+                    size_t max_family) {
+  MONDET_CHECK(k >= 1);
+  std::vector<ElemId> fe = from.ActiveDomain();
+  std::vector<ElemId> te = to.ActiveDomain();
+  if (fe.empty()) return true;
+  if (te.empty()) return false;
+
+  // Enumerate domains of size 1..k.
+  std::vector<DomainEntry> entries;
+  std::map<std::vector<ElemId>, size_t> domain_index;
+  std::vector<ElemId> current;
+  std::function<void(size_t)> gen = [&](size_t start) {
+    if (!current.empty()) {
+      DomainEntry entry;
+      entry.domain = current;
+      domain_index[current] = entries.size();
+      entries.push_back(std::move(entry));
+    }
+    if (static_cast<int>(current.size()) == k) return;
+    for (size_t i = start; i < fe.size(); ++i) {
+      current.push_back(fe[i]);
+      gen(i + 1);
+      current.pop_back();
+    }
+  };
+  gen(0);
+
+  // Position of a pattern element within a sorted domain.
+  auto pos_in = [](const std::vector<ElemId>& domain, ElemId e) {
+    auto it = std::lower_bound(domain.begin(), domain.end(), e);
+    MONDET_CHECK(it != domain.end() && *it == e);
+    return static_cast<size_t>(it - domain.begin());
+  };
+
+  // Attach covered facts.
+  for (DomainEntry& entry : entries) {
+    for (const Fact& f : from.facts()) {
+      bool inside = true;
+      for (ElemId a : f.args) {
+        inside = inside && std::binary_search(entry.domain.begin(),
+                                              entry.domain.end(), a);
+      }
+      if (inside) entry.facts.push_back(&f);
+    }
+  }
+
+  // Enumerate candidate images (partial homomorphisms only).
+  size_t total = 0;
+  for (DomainEntry& entry : entries) {
+    size_t s = entry.domain.size();
+    std::vector<ElemId> img(s, 0);
+    std::function<void(size_t)> fill = [&](size_t i) {
+      if (i == s) {
+        for (const Fact* f : entry.facts) {
+          std::vector<ElemId> args;
+          for (ElemId a : f->args) args.push_back(img[pos_in(entry.domain, a)]);
+          if (!to.HasFact(f->pred, args)) return;
+        }
+        entry.images.push_back(img);
+        return;
+      }
+      for (ElemId b : te) {
+        img[i] = b;
+        fill(i + 1);
+      }
+    };
+    fill(0);
+    entry.alive.assign(entry.images.size(), true);
+    total += entry.images.size();
+    MONDET_CHECK(total <= max_family);
+  }
+
+  // Image lookup per domain.
+  std::vector<std::map<std::vector<ElemId>, size_t>> image_index(
+      entries.size());
+  for (size_t d = 0; d < entries.size(); ++d) {
+    for (size_t i = 0; i < entries[d].images.size(); ++i) {
+      image_index[d][entries[d].images[i]] = i;
+    }
+  }
+  auto is_alive = [&](const std::vector<ElemId>& domain,
+                      const std::vector<ElemId>& img) {
+    auto dit = domain_index.find(domain);
+    if (dit == domain_index.end()) return false;
+    auto iit = image_index[dit->second].find(img);
+    if (iit == image_index[dit->second].end()) return false;
+    return static_cast<bool>(entries[dit->second].alive[iit->second]);
+  };
+
+  // Iterated deletion.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t d = 0; d < entries.size(); ++d) {
+      DomainEntry& entry = entries[d];
+      size_t s = entry.domain.size();
+      for (size_t i = 0; i < entry.images.size(); ++i) {
+        if (!entry.alive[i]) continue;
+        bool kill = false;
+        // Downward closure: every one-point restriction must be alive.
+        for (size_t drop = 0; drop < s && !kill && s > 1; ++drop) {
+          std::vector<ElemId> sub_dom;
+          std::vector<ElemId> sub_img;
+          for (size_t j = 0; j < s; ++j) {
+            if (j == drop) continue;
+            sub_dom.push_back(entry.domain[j]);
+            sub_img.push_back(entry.images[i][j]);
+          }
+          if (!is_alive(sub_dom, sub_img)) kill = true;
+        }
+        // Forth property for domains below size k.
+        if (!kill && static_cast<int>(s) < k) {
+          for (ElemId a : fe) {
+            if (std::binary_search(entry.domain.begin(), entry.domain.end(),
+                                   a)) {
+              continue;
+            }
+            std::vector<ElemId> ext_dom = entry.domain;
+            ext_dom.insert(
+                std::upper_bound(ext_dom.begin(), ext_dom.end(), a), a);
+            size_t apos = pos_in(ext_dom, a);
+            bool extendable = false;
+            for (ElemId b : te) {
+              std::vector<ElemId> ext_img = entry.images[i];
+              ext_img.insert(ext_img.begin() + apos, b);
+              if (is_alive(ext_dom, ext_img)) {
+                extendable = true;
+                break;
+              }
+            }
+            if (!extendable) {
+              kill = true;
+              break;
+            }
+          }
+        }
+        if (kill) {
+          entry.alive[i] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // The empty map survives iff every element has a surviving singleton.
+  for (ElemId a : fe) {
+    auto dit = domain_index.find({a});
+    MONDET_CHECK(dit != domain_index.end());
+    const DomainEntry& entry = entries[dit->second];
+    bool any = false;
+    for (bool alive : entry.alive) any = any || alive;
+    if (!any) return false;
+  }
+  return true;
+}
+
+}  // namespace mondet

@@ -1,0 +1,25 @@
+#ifndef MONDET_GAMES_PEBBLE_H_
+#define MONDET_GAMES_PEBBLE_H_
+
+#include <cstddef>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// The existential k-pebble game (Sec. 7). Decides whether the Duplicator
+/// has a winning strategy on (from, to), written from →k to.
+///
+/// Implementation: the Fact 5 characterization — compute the largest
+/// non-empty family H of partial homomorphisms with domain size <= k that
+/// is closed under subfunctions and has the forth (extension) property,
+/// by iterated deletion. Duplicator wins iff H is non-empty.
+///
+/// Cost is Θ(#domains * |to|^k); guarded by `max_family` (MONDET_CHECK
+/// fails if exceeded) — keep |adom(from)| and k small.
+bool DuplicatorWins(const Instance& from, const Instance& to, int k,
+                    size_t max_family = 20000000);
+
+}  // namespace mondet
+
+#endif  // MONDET_GAMES_PEBBLE_H_

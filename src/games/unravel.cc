@@ -1,0 +1,143 @@
+#include "games/unravel.h"
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+/// Enumerates the candidate child bags: non-empty subsets of the active
+/// domain of size <= k (optionally restricted to fact-induced subsets and
+/// singletons).
+std::vector<std::vector<ElemId>> CandidateBags(const Instance& source,
+                                               const UnravelOptions& opt) {
+  std::vector<ElemId> adom = source.ActiveDomain();
+  std::vector<std::vector<ElemId>> out;
+  std::vector<ElemId> current;
+  std::function<void(size_t)> gen = [&](size_t start) {
+    if (!current.empty()) {
+      bool keep = true;
+      if (opt.connected_subsets_only && current.size() > 1) {
+        keep = false;
+        for (const Fact& f : source.facts()) {
+          size_t inside = 0;
+          for (ElemId a : f.args) {
+            for (ElemId c : current) inside += (a == c) ? 1 : 0;
+          }
+          // Keep subsets fully covered by one fact's elements.
+          std::vector<ElemId> distinct;
+          for (ElemId c : current) distinct.push_back(c);
+          bool covered = true;
+          for (ElemId c : distinct) {
+            bool in_fact = false;
+            for (ElemId a : f.args) in_fact = in_fact || a == c;
+            covered = covered && in_fact;
+          }
+          if (covered) {
+            keep = true;
+            break;
+          }
+        }
+      }
+      if (keep) out.push_back(current);
+    }
+    if (static_cast<int>(current.size()) == opt.k) return;
+    for (size_t i = start; i < adom.size(); ++i) {
+      current.push_back(adom[i]);
+      gen(i + 1);
+      current.pop_back();
+    }
+  };
+  gen(0);
+  return out;
+}
+
+}  // namespace
+
+Unravelling BoundedUnravelling(const Instance& source,
+                               const UnravelOptions& options) {
+  Unravelling result{Instance(source.vocab()), {}, 0, false};
+  Instance& inst = result.inst;
+  std::vector<std::vector<ElemId>> bags = CandidateBags(source, options);
+  if (bags.empty()) return result;
+
+  struct Node {
+    std::vector<ElemId> targets;   // source elements of the bag
+    std::vector<ElemId> locals;    // unravelling elements (parallel)
+    int depth = 0;
+  };
+  std::deque<Node> queue;
+
+  auto add_node = [&](const std::vector<ElemId>& targets,
+                      const std::vector<ElemId>& inherited_locals,
+                      int depth) {
+    Node node;
+    node.targets = targets;
+    node.depth = depth;
+    for (size_t i = 0; i < targets.size(); ++i) {
+      if (inherited_locals[i] != kNoElem) {
+        node.locals.push_back(inherited_locals[i]);
+      } else {
+        ElemId fresh = inst.AddElement(source.element_name(targets[i]) + "~" +
+                                       std::to_string(depth));
+        result.phi.push_back(targets[i]);
+        node.locals.push_back(fresh);
+      }
+    }
+    // Facts of the source induced by the bag.
+    for (const Fact& f : source.facts()) {
+      std::vector<ElemId> args;
+      bool inside = true;
+      for (ElemId a : f.args) {
+        bool found = false;
+        for (size_t i = 0; i < targets.size() && !found; ++i) {
+          if (targets[i] == a) {
+            args.push_back(node.locals[i]);
+            found = true;
+          }
+        }
+        inside = inside && found;
+      }
+      if (inside) inst.AddFact(f.pred, args);
+    }
+    queue.push_back(node);
+    ++result.nodes;
+  };
+
+  // Root: first candidate bag, all fresh.
+  add_node(bags.front(),
+           std::vector<ElemId>(bags.front().size(), kNoElem), 0);
+
+  while (!queue.empty()) {
+    Node node = std::move(queue.front());
+    queue.pop_front();
+    if (node.depth >= options.depth) continue;
+    for (const auto& bag : bags) {
+      if (result.nodes >= options.max_nodes) {
+        result.truncated = true;
+        return result;
+      }
+      // Shared elements with the parent bag.
+      std::vector<ElemId> inherited(bag.size(), kNoElem);
+      int shared = 0;
+      for (size_t i = 0; i < bag.size(); ++i) {
+        for (size_t j = 0; j < node.targets.size(); ++j) {
+          if (node.targets[j] == bag[i]) {
+            if (!options.one_overlap || shared == 0) {
+              inherited[i] = node.locals[j];
+              ++shared;
+            }
+          }
+        }
+      }
+      add_node(bag, inherited, node.depth + 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace mondet

@@ -1,0 +1,39 @@
+#ifndef MONDET_GAMES_UNRAVEL_H_
+#define MONDET_GAMES_UNRAVEL_H_
+
+#include <vector>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// Options for bounded unravellings (Sec. 7). True unravellings are
+/// infinite; the library builds depth-bounded truncations, which suffice
+/// for the finite pattern/hom/game checks the paper's proofs perform
+/// (documented per experiment in EXPERIMENTS.md).
+struct UnravelOptions {
+  int k = 2;           // bag size bound
+  int depth = 3;       // tree depth (root = 0)
+  bool one_overlap = false;  // (1,k)-unravelling: share <=1 element per edge
+  /// Only spawn children for subsets that induce at least one fact or are
+  /// singletons; keeps the branching factor manageable while preserving
+  /// every pattern the checks look for.
+  bool connected_subsets_only = true;
+  size_t max_nodes = 200000;
+};
+
+struct Unravelling {
+  Instance inst;
+  /// Φ: element of the unravelling -> element of the source instance.
+  std::vector<ElemId> phi;
+  size_t nodes = 0;
+  bool truncated = false;  // hit max_nodes before reaching full depth
+};
+
+/// Builds a depth-bounded k-unravelling of `source`.
+Unravelling BoundedUnravelling(const Instance& source,
+                               const UnravelOptions& options);
+
+}  // namespace mondet
+
+#endif  // MONDET_GAMES_UNRAVEL_H_

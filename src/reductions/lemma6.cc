@@ -1,0 +1,145 @@
+#include "reductions/lemma6.h"
+
+#include <map>
+#include <vector>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+struct Point {
+  int i = 0;
+  int j = 0;
+  bool operator<(const Point& o) const {
+    if (i != o.i) return i < o.i;
+    return j < o.j;
+  }
+  bool operator==(const Point& o) const { return i == o.i && j == o.j; }
+};
+
+using Edge = std::pair<Point, Point>;  // endpoints, smaller first
+
+Edge MakeEdge(Point a, Point b) {
+  if (b < a) std::swap(a, b);
+  return {a, b};
+}
+
+/// Incident edges of u in the fixed order: left, right, down, up
+/// (only those present in the 3×3 grid).
+std::vector<Edge> IncidentEdges(Point u) {
+  std::vector<Edge> out;
+  if (u.i > 1) out.push_back(MakeEdge({u.i - 1, u.j}, u));
+  if (u.i < 3) out.push_back(MakeEdge(u, {u.i + 1, u.j}));
+  if (u.j > 1) out.push_back(MakeEdge({u.i, u.j - 1}, u));
+  if (u.j < 3) out.push_back(MakeEdge(u, {u.i, u.j + 1}));
+  return out;
+}
+
+int EdgeIndex(const std::vector<Edge>& edges, const Edge& e) {
+  for (size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i] == e) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+struct Tile {
+  Point point;
+  std::vector<int> bits;  // parallel to IncidentEdges(point)
+};
+
+}  // namespace
+
+TilingProblem MakeParityTilingProblem() {
+  // Enumerate tiles.
+  std::vector<Tile> tiles;
+  for (int i = 1; i <= 3; ++i) {
+    for (int j = 1; j <= 3; ++j) {
+      Point u{i, j};
+      int degree = static_cast<int>(IncidentEdges(u).size());
+      int want_parity = (i == 1 && j == 1) ? 1 : 0;
+      for (int mask = 0; mask < (1 << degree); ++mask) {
+        int parity = 0;
+        std::vector<int> bits(degree);
+        for (int b = 0; b < degree; ++b) {
+          bits[b] = (mask >> b) & 1;
+          parity ^= bits[b];
+        }
+        if (parity == want_parity) tiles.push_back(Tile{u, bits});
+      }
+    }
+  }
+
+  TilingProblem tp;
+  tp.num_tiles = static_cast<int>(tiles.size());
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    if (tiles[t].point == Point{1, 1}) tp.initial.push_back(t);
+    if (tiles[t].point == Point{3, 3}) tp.final_tiles.push_back(t);
+  }
+
+  auto bit_of = [&](const Tile& t, const Edge& e) {
+    int idx = EdgeIndex(IncidentEdges(t.point), e);
+    return idx < 0 ? -1 : t.bits[idx];
+  };
+
+  for (int t1 = 0; t1 < tp.num_tiles; ++t1) {
+    for (int t2 = 0; t2 < tp.num_tiles; ++t2) {
+      const Tile& a = tiles[t1];
+      const Tile& b = tiles[t2];
+      // Horizontal compatibility.
+      if (a.point.j == b.point.j) {
+        if (b.point.i == a.point.i + 1) {
+          // Distinct abstract points joined by a horizontal edge.
+          Edge e = MakeEdge(a.point, b.point);
+          if (bit_of(a, e) == bit_of(b, e)) tp.hc.emplace_back(t1, t2);
+        } else if (a.point == b.point && a.point.i == 2) {
+          // Repeated interior column: right edge of a = left edge of b.
+          Edge right = MakeEdge(a.point, {3, a.point.j});
+          Edge left = MakeEdge({1, a.point.j}, a.point);
+          if (bit_of(a, right) == bit_of(b, left)) {
+            tp.hc.emplace_back(t1, t2);
+          }
+        }
+      }
+      // Vertical compatibility.
+      if (a.point.i == b.point.i) {
+        if (b.point.j == a.point.j + 1) {
+          Edge e = MakeEdge(a.point, b.point);
+          if (bit_of(a, e) == bit_of(b, e)) tp.vc.emplace_back(t1, t2);
+        } else if (a.point == b.point && a.point.j == 2) {
+          Edge up = MakeEdge(a.point, {a.point.i, 3});
+          Edge down = MakeEdge({a.point.i, 1}, a.point);
+          if (bit_of(a, up) == bit_of(b, down)) {
+            tp.vc.emplace_back(t1, t2);
+          }
+        }
+      }
+    }
+  }
+  return tp;
+}
+
+std::pair<int, int> ParityTileAbstractPoint(int tile) {
+  // Reconstruct by re-enumerating in the same order as the builder.
+  int index = 0;
+  for (int i = 1; i <= 3; ++i) {
+    for (int j = 1; j <= 3; ++j) {
+      Point u{i, j};
+      int degree = static_cast<int>(IncidentEdges(u).size());
+      int want_parity = (i == 1 && j == 1) ? 1 : 0;
+      for (int mask = 0; mask < (1 << degree); ++mask) {
+        int parity = 0;
+        for (int b = 0; b < degree; ++b) parity ^= (mask >> b) & 1;
+        if (parity == want_parity) {
+          if (index == tile) return {i, j};
+          ++index;
+        }
+      }
+    }
+  }
+  MONDET_CHECK(false);
+  return {0, 0};
+}
+
+}  // namespace mondet

@@ -1,0 +1,24 @@
+#ifndef MONDET_REDUCTIONS_LEMMA6_H_
+#define MONDET_REDUCTIONS_LEMMA6_H_
+
+#include "reductions/tiling.h"
+
+namespace mondet {
+
+/// The Lemma 6 construction (adapted from Atserias–Bulatov–Dalmau [4]):
+/// a tiling problem TP* such that no rectangular grid can be tiled, but
+/// every grid is k-approximately tileable — I^grid_{n,m} →k I_TP* for all
+/// 2 <= k < min{n,m}.
+///
+/// Tiles are pairs (u, b) of an abstract grid point u of the 3×3 grid and
+/// a 0/1 assignment b to u's incident edges, with odd parity at (1,1) and
+/// even parity elsewhere; compatibility forces edge assignments to agree
+/// between neighbors.
+TilingProblem MakeParityTilingProblem();
+
+/// The abstract grid point (1..3, 1..3) of a TP* tile index.
+std::pair<int, int> ParityTileAbstractPoint(int tile);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_LEMMA6_H_

@@ -1,0 +1,59 @@
+#include "reductions/prop9.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+
+namespace mondet {
+
+Prop9Reduction ContainmentToMonDet(const DatalogQuery& q1,
+                                   const DatalogQuery& q2) {
+  VocabularyPtr vocab = q1.program.vocab();
+  MONDET_CHECK(q2.program.vocab().get() == vocab.get());
+  MONDET_CHECK(q1.arity() == 0 && q2.arity() == 0);
+
+  PredId e = vocab->AddPredicate("e.marker", 0);
+  PredId goal = vocab->AddPredicate("QLemma8", 0);
+
+  Program prog(vocab);
+  prog.AddRules(q1.program);
+  prog.AddRules(q2.program);
+  {
+    // Q ← Q1 ∧ e.
+    Rule r;
+    r.head = QAtom(goal, {});
+    r.body.push_back(QAtom(q1.goal, {}));
+    r.body.push_back(QAtom(e, {}));
+    prog.AddRule(std::move(r));
+  }
+  {
+    // Q ← Q2.
+    Rule r;
+    r.head = QAtom(goal, {});
+    r.body.push_back(QAtom(q2.goal, {}));
+    prog.AddRule(std::move(r));
+  }
+  DatalogQuery query(std::move(prog), goal);
+
+  // Views: atomic copies of every extensional predicate except e.
+  ViewSet views(vocab);
+  std::set<PredId> edbs;
+  for (PredId p : query.program.Edbs()) edbs.insert(p);
+  edbs.erase(e);
+  for (PredId p : edbs) {
+    views.AddAtomicView(vocab->name(p) + "'", p);
+  }
+  return Prop9Reduction(std::move(query), std::move(views));
+}
+
+Lemma7Instance EquivalenceToMonDet(const DatalogQuery& q,
+                                   const DatalogQuery& view_def) {
+  VocabularyPtr vocab = q.program.vocab();
+  MONDET_CHECK(view_def.program.vocab().get() == vocab.get());
+  ViewSet views(vocab);
+  views.AddView("VLemma7", view_def);
+  return Lemma7Instance(q, std::move(views));
+}
+
+}  // namespace mondet

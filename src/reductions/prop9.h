@@ -1,0 +1,40 @@
+#ifndef MONDET_REDUCTIONS_PROP9_H_
+#define MONDET_REDUCTIONS_PROP9_H_
+
+#include "datalog/program.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// Lemma 8 (Prop. 9): given Boolean Datalog queries Q1, Q2 over a shared
+/// base schema, builds Q = (Q1 ∧ e) ∨ Q2 (e a fresh 0-ary EDB) and the
+/// views exposing every base predicate of Q except e. Then Q1 ⊑ Q2 iff Q
+/// is monotonically determined by the views.
+struct Prop9Reduction {
+  DatalogQuery query;
+  ViewSet views;
+
+  Prop9Reduction(DatalogQuery q, ViewSet v)
+      : query(std::move(q)), views(std::move(v)) {}
+};
+
+Prop9Reduction ContainmentToMonDet(const DatalogQuery& q1,
+                                   const DatalogQuery& q2);
+
+/// Lemma 7 (Prop. 9): Q is monotonically determined by the single view
+/// (V, Q_V) iff Q ≡ Q_V. This builder just packages the pair for the
+/// equivalence-based benches.
+struct Lemma7Instance {
+  DatalogQuery query;
+  ViewSet views;
+
+  Lemma7Instance(DatalogQuery q, ViewSet v)
+      : query(std::move(q)), views(std::move(v)) {}
+};
+
+Lemma7Instance EquivalenceToMonDet(const DatalogQuery& q,
+                                   const DatalogQuery& view_def);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_PROP9_H_

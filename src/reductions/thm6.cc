@@ -1,0 +1,342 @@
+#include "reductions/thm6.h"
+
+#include <string>
+
+#include "base/check.h"
+#include "datalog/parser.h"
+
+namespace mondet {
+
+namespace {
+
+/// Adds rule (8)/(9)-style adjacency bodies. HA(z1,z2,x1,x2,y) checks that
+/// z2 is the right neighbor of z1; VA checks vertical adjacency. (The
+/// paper's displayed VA formula has a typo — "XSucc(y1,y2)" — which
+/// Figure 1(b) and the Thm 8 proof correct to YSucc(y1,y2); rule (10) is
+/// likewise used with YProj(y,z) in the Thm 8 proof.)
+void AddHaBody(RuleBuilder& b, const Thm6Gadget& g) {
+  b.Atom(g.yproj, {"y", "z1"});
+  b.Atom(g.yproj, {"y", "z2"});
+  b.Atom(g.xproj, {"x1", "z1"});
+  b.Atom(g.xproj, {"x2", "z2"});
+  b.Atom(g.xsucc, {"x1", "x2"});
+}
+
+void AddVaBody(RuleBuilder& b, const Thm6Gadget& g) {
+  b.Atom(g.yproj, {"y1", "z1"});
+  b.Atom(g.yproj, {"y2", "z2"});
+  b.Atom(g.xproj, {"x", "z1"});
+  b.Atom(g.xproj, {"x", "z2"});
+  b.Atom(g.ysucc, {"y1", "y2"});
+}
+
+}  // namespace
+
+Thm6Gadget BuildThm6(const TilingProblem& tp) {
+  VocabularyPtr vocab = MakeVocabulary();
+
+  // Base schema σ.
+  PredId xsucc = vocab->AddPredicate("XSucc", 2);
+  PredId ysucc = vocab->AddPredicate("YSucc", 2);
+  PredId cpred = vocab->AddPredicate("C", 1);
+  PredId dpred = vocab->AddPredicate("D", 1);
+  PredId xend = vocab->AddPredicate("XEnd", 1);
+  PredId yend = vocab->AddPredicate("YEnd", 1);
+  PredId xproj = vocab->AddPredicate("XProj", 2);
+  PredId yproj = vocab->AddPredicate("YProj", 2);
+  std::vector<PredId> tiles;
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    tiles.push_back(vocab->AddPredicate("T" + std::to_string(t), 1));
+  }
+
+  // --- Query Q_TP: rules (1)–(11) with one 0-ary goal. ------------------
+  PredId goal = vocab->AddPredicate("QTP", 0);
+  PredId apred = vocab->AddPredicate("A", 1);
+  PredId bpred = vocab->AddPredicate("B", 1);
+  Program prog(vocab);
+
+  {  // (1) Qstart ← A(x), B(x)
+    RuleBuilder b(vocab);
+    b.Head(goal, {}).Atom(apred, {"x"}).Atom(bpred, {"x"});
+    prog.AddRule(b.Build());
+  }
+  {  // (2) A(x) ← XSucc(x,x'), A(x'), C(x')
+    RuleBuilder b(vocab);
+    b.Head(apred, {"x"})
+        .Atom(xsucc, {"x", "xp"})
+        .Atom(apred, {"xp"})
+        .Atom(cpred, {"xp"});
+    prog.AddRule(b.Build());
+  }
+  {  // (3) base case. The paper writes A(x) ← XEnd(x); we use
+     //     A(x) ← XSucc(x,x'), C(x'), XEnd(x') so that every Qstart
+     //     approximation carries at least one C (and, symmetrically, one
+     //     D) mark. Without this, the degenerate approximation with an
+     //     empty y-axis has a view image with no S-facts at all, whose
+     //     inverse expansion loses the C marks and falsifies Q — a
+     //     failing test that exists regardless of the tiling problem.
+     //     The repaired gadget restores Prop. 10 verbatim (grids start at
+     //     1×1). See DESIGN.md, "substitutions".
+    RuleBuilder b(vocab);
+    b.Head(apred, {"x"})
+        .Atom(xsucc, {"x", "xp"})
+        .Atom(cpred, {"xp"})
+        .Atom(xend, {"xp"});
+    prog.AddRule(b.Build());
+  }
+  {  // (4) B(y) ← YSucc(y,y'), B(y'), D(y')
+    RuleBuilder b(vocab);
+    b.Head(bpred, {"y"})
+        .Atom(ysucc, {"y", "yp"})
+        .Atom(bpred, {"yp"})
+        .Atom(dpred, {"yp"});
+    prog.AddRule(b.Build());
+  }
+  {  // (5) base case, repaired symmetrically to (3).
+    RuleBuilder b(vocab);
+    b.Head(bpred, {"y"})
+        .Atom(ysucc, {"y", "yp"})
+        .Atom(dpred, {"yp"})
+        .Atom(yend, {"yp"});
+    prog.AddRule(b.Build());
+  }
+  {  // (6) Qhelper ← C(u), YProj(y,z), XProj(x,z)
+    RuleBuilder b(vocab);
+    b.Head(goal, {})
+        .Atom(cpred, {"u"})
+        .Atom(yproj, {"y", "z"})
+        .Atom(xproj, {"x", "z"});
+    prog.AddRule(b.Build());
+  }
+  {  // (7) Qhelper ← D(u), YProj(y,z), XProj(x,z)
+    RuleBuilder b(vocab);
+    b.Head(goal, {})
+        .Atom(dpred, {"u"})
+        .Atom(yproj, {"y", "z"})
+        .Atom(xproj, {"x", "z"});
+    prog.AddRule(b.Build());
+  }
+
+  Thm6Gadget partial(vocab, DatalogQuery(Program(vocab), goal),
+                     ViewSet(vocab), tp);
+  partial.xsucc = xsucc;
+  partial.ysucc = ysucc;
+  partial.cpred = cpred;
+  partial.dpred = dpred;
+  partial.xend = xend;
+  partial.yend = yend;
+  partial.xproj = xproj;
+  partial.yproj = yproj;
+  partial.tile_preds = tiles;
+
+  // (8) horizontal violations.
+  for (int t1 = 0; t1 < tp.num_tiles; ++t1) {
+    for (int t2 = 0; t2 < tp.num_tiles; ++t2) {
+      if (tp.HcAllows(t1, t2)) continue;
+      RuleBuilder b(vocab);
+      b.Head(goal, {});
+      AddHaBody(b, partial);
+      b.Atom(tiles[t1], {"z1"}).Atom(tiles[t2], {"z2"});
+      prog.AddRule(b.Build());
+    }
+  }
+  // (9) vertical violations.
+  for (int t1 = 0; t1 < tp.num_tiles; ++t1) {
+    for (int t2 = 0; t2 < tp.num_tiles; ++t2) {
+      if (tp.VcAllows(t1, t2)) continue;
+      RuleBuilder b(vocab);
+      b.Head(goal, {});
+      AddVaBody(b, partial);
+      b.Atom(tiles[t1], {"z1"}).Atom(tiles[t2], {"z2"});
+      prog.AddRule(b.Build());
+    }
+  }
+  // (10) initial-tile violations at the origin cell (1,1).
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    if (tp.IsInitial(t)) continue;
+    RuleBuilder b(vocab);
+    b.Head(goal, {})
+        .Atom(ysucc, {"o", "y"})
+        .Atom(yproj, {"y", "z"})
+        .Atom(xsucc, {"o", "x"})
+        .Atom(xproj, {"x", "z"})
+        .Atom(tiles[t], {"z"});
+    prog.AddRule(b.Build());
+  }
+  // (11) final-tile violations at the top-right cell (n,m).
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    if (tp.IsFinal(t)) continue;
+    RuleBuilder b(vocab);
+    b.Head(goal, {})
+        .Atom(yend, {"y"})
+        .Atom(yproj, {"y", "z"})
+        .Atom(tiles[t], {"z"})
+        .Atom(xproj, {"x", "z"})
+        .Atom(xend, {"x"});
+    prog.AddRule(b.Build());
+  }
+
+  DatalogQuery query(std::move(prog), goal);
+
+  // --- Views V_TP. --------------------------------------------------------
+  ViewSet views(vocab);
+  {
+    // Grid-generating view S (a UCQ view).
+    Program sdef(vocab);
+    PredId sgoal = vocab->AddPredicate("S.def", 2);
+    {
+      RuleBuilder b(vocab);
+      b.Head(sgoal, {"x", "y"}).Atom(cpred, {"x"}).Atom(dpred, {"y"});
+      sdef.AddRule(b.Build());
+    }
+    for (int t = 0; t < tp.num_tiles; ++t) {
+      RuleBuilder b(vocab);
+      b.Head(sgoal, {"x", "y"})
+          .Atom(xproj, {"x", "z"})
+          .Atom(tiles[t], {"z"})
+          .Atom(yproj, {"y", "z"});
+      sdef.AddRule(b.Build());
+    }
+    views.AddView("S", DatalogQuery(std::move(sdef), sgoal));
+  }
+  views.AddAtomicView("VYSucc", ysucc);
+  views.AddAtomicView("VXSucc", xsucc);
+  views.AddAtomicView("VYEnd", yend);
+  views.AddAtomicView("VXEnd", xend);
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    views.AddAtomicView("VT" + std::to_string(t), tiles[t]);
+  }
+  {
+    CQ cq(vocab);
+    VarId u = cq.AddVar("u"), x = cq.AddVar("x"), y = cq.AddVar("y"),
+          z = cq.AddVar("z");
+    cq.AddAtom(cpred, {u});
+    cq.AddAtom(xproj, {x, z});
+    cq.AddAtom(yproj, {y, z});
+    cq.SetFreeVars({u, x, y, z});
+    views.AddCqView("VhelperC", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId u = cq.AddVar("u"), x = cq.AddVar("x"), y = cq.AddVar("y"),
+          z = cq.AddVar("z");
+    cq.AddAtom(dpred, {u});
+    cq.AddAtom(xproj, {x, z});
+    cq.AddAtom(yproj, {y, z});
+    cq.SetFreeVars({u, x, y, z});
+    views.AddCqView("VhelperD", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId z1 = cq.AddVar("z1"), z2 = cq.AddVar("z2"), y = cq.AddVar("y"),
+          x1 = cq.AddVar("x1"), x2 = cq.AddVar("x2");
+    cq.AddAtom(yproj, {y, z1});
+    cq.AddAtom(yproj, {y, z2});
+    cq.AddAtom(xproj, {x1, z1});
+    cq.AddAtom(xproj, {x2, z2});
+    cq.AddAtom(xsucc, {x1, x2});
+    cq.SetFreeVars({z1, z2, y, x1, x2});
+    views.AddCqView("VHA", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId z1 = cq.AddVar("z1"), z2 = cq.AddVar("z2"), y1 = cq.AddVar("y1"),
+          y2 = cq.AddVar("y2"), x = cq.AddVar("x");
+    cq.AddAtom(yproj, {y1, z1});
+    cq.AddAtom(yproj, {y2, z2});
+    cq.AddAtom(xproj, {x, z1});
+    cq.AddAtom(xproj, {x, z2});
+    cq.AddAtom(ysucc, {y1, y2});
+    cq.SetFreeVars({z1, z2, y1, y2, x});
+    views.AddCqView("VVA", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId o = cq.AddVar("o"), x = cq.AddVar("x"), y = cq.AddVar("y"),
+          z = cq.AddVar("z");
+    cq.AddAtom(xsucc, {o, x});
+    cq.AddAtom(xproj, {x, z});
+    cq.AddAtom(ysucc, {o, y});
+    cq.AddAtom(yproj, {y, z});
+    cq.SetFreeVars({o, x, y, z});
+    views.AddCqView("VI", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId x = cq.AddVar("x"), y = cq.AddVar("y"), z = cq.AddVar("z");
+    cq.AddAtom(xproj, {x, z});
+    cq.AddAtom(xend, {x});
+    cq.AddAtom(yend, {y});
+    cq.AddAtom(yproj, {y, z});
+    cq.SetFreeVars({x, y, z});
+    views.AddCqView("VF", cq);
+  }
+
+  Thm6Gadget gadget(vocab, std::move(query), std::move(views), tp);
+  gadget.xsucc = xsucc;
+  gadget.ysucc = ysucc;
+  gadget.cpred = cpred;
+  gadget.dpred = dpred;
+  gadget.xend = xend;
+  gadget.yend = yend;
+  gadget.xproj = xproj;
+  gadget.yproj = yproj;
+  gadget.tile_preds = tiles;
+  return gadget;
+}
+
+Instance Thm6Gadget::MakeAxes(int n, int m) const {
+  Instance inst(vocab);
+  ElemId z0 = inst.AddElement("z0");
+  std::vector<ElemId> xs;
+  std::vector<ElemId> ys;
+  for (int i = 1; i <= n; ++i) {
+    xs.push_back(inst.AddElement("x" + std::to_string(i)));
+  }
+  for (int j = 1; j <= m; ++j) {
+    ys.push_back(inst.AddElement("y" + std::to_string(j)));
+  }
+  inst.AddFact(xsucc, {z0, xs[0]});
+  inst.AddFact(ysucc, {z0, ys[0]});
+  for (int i = 0; i + 1 < n; ++i) inst.AddFact(xsucc, {xs[i], xs[i + 1]});
+  for (int j = 0; j + 1 < m; ++j) inst.AddFact(ysucc, {ys[j], ys[j + 1]});
+  for (ElemId x : xs) inst.AddFact(cpred, {x});
+  for (ElemId y : ys) inst.AddFact(dpred, {y});
+  inst.AddFact(xend, {xs.back()});
+  inst.AddFact(yend, {ys.back()});
+  return inst;
+}
+
+Instance Thm6Gadget::MakeGridTest(int n, int m,
+                                  const std::vector<int>& assignment) const {
+  MONDET_CHECK(assignment.size() == static_cast<size_t>(n) * m);
+  Instance inst(vocab);
+  ElemId z0 = inst.AddElement("z0");
+  std::vector<ElemId> xs;
+  std::vector<ElemId> ys;
+  for (int i = 1; i <= n; ++i) {
+    xs.push_back(inst.AddElement("x" + std::to_string(i)));
+  }
+  for (int j = 1; j <= m; ++j) {
+    ys.push_back(inst.AddElement("y" + std::to_string(j)));
+  }
+  inst.AddFact(xsucc, {z0, xs[0]});
+  inst.AddFact(ysucc, {z0, ys[0]});
+  for (int i = 0; i + 1 < n; ++i) inst.AddFact(xsucc, {xs[i], xs[i + 1]});
+  for (int j = 0; j + 1 < m; ++j) inst.AddFact(ysucc, {ys[j], ys[j + 1]});
+  inst.AddFact(xend, {xs.back()});
+  inst.AddFact(yend, {ys.back()});
+  for (int j = 1; j <= m; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      ElemId z = inst.AddElement("z" + std::to_string(i) + "_" +
+                                 std::to_string(j));
+      inst.AddFact(xproj, {xs[i - 1], z});
+      inst.AddFact(yproj, {ys[j - 1], z});
+      int tile = assignment[static_cast<size_t>(j - 1) * n + (i - 1)];
+      inst.AddFact(tile_preds[tile], {z});
+    }
+  }
+  return inst;
+}
+
+}  // namespace mondet

@@ -1,0 +1,46 @@
+#ifndef MONDET_REDUCTIONS_THM6_H_
+#define MONDET_REDUCTIONS_THM6_H_
+
+#include <vector>
+
+#include "datalog/program.h"
+#include "reductions/tiling.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// The Thm 6 reduction: given a tiling problem TP, builds the MDL query
+/// Q_TP (rules (1)–(11)) and the UCQ views V_TP (grid-generating view S,
+/// atomic views, special views) such that Q_TP is monotonically determined
+/// by V_TP iff TP has no solution (Prop. 10).
+struct Thm6Gadget {
+  VocabularyPtr vocab;
+  DatalogQuery query;
+  ViewSet views;
+
+  // Base schema σ.
+  PredId xsucc, ysucc, cpred, dpred, xend, yend, xproj, yproj;
+  std::vector<PredId> tile_preds;
+
+  const TilingProblem tp;
+
+  Thm6Gadget(VocabularyPtr v, DatalogQuery q, ViewSet vs, TilingProblem t)
+      : vocab(std::move(v)),
+        query(std::move(q)),
+        views(std::move(vs)),
+        tp(std::move(t)) {}
+
+  /// Figure 2(a): the expansion of Qstart generating the two axes of
+  /// length n (x-axis, marked C) and m (y-axis, marked D), joined at z0.
+  Instance MakeAxes(int n, int m) const;
+
+  /// Figure 1(a): a grid-like test instance for an n×m grid carrying the
+  /// given tile assignment (row-major, as produced by TilingProblem::Solve).
+  Instance MakeGridTest(int n, int m, const std::vector<int>& tiles) const;
+};
+
+Thm6Gadget BuildThm6(const TilingProblem& tp);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_THM6_H_

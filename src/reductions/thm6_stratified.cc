@@ -1,0 +1,159 @@
+#include "reductions/thm6_stratified.h"
+
+#include <set>
+#include <string>
+
+#include "base/check.h"
+#include "datalog/eval.h"
+
+namespace mondet {
+
+namespace {
+
+PredId ViewByName(const Thm6Gadget& gadget, const std::string& name) {
+  auto id = gadget.vocab->FindPredicate(name);
+  MONDET_CHECK(id.has_value());
+  return *id;
+}
+
+}  // namespace
+
+bool StratifiedRewritingHolds(const Thm6Gadget& gadget,
+                              const Instance& image) {
+  const VocabularyPtr& vocab = gadget.vocab;
+  PredId s = ViewByName(gadget, "S");
+  PredId vxsucc = ViewByName(gadget, "VXSucc");
+  PredId vysucc = ViewByName(gadget, "VYSucc");
+  PredId vxend = ViewByName(gadget, "VXEnd");
+  PredId vyend = ViewByName(gadget, "VYEnd");
+  PredId vhc = ViewByName(gadget, "VhelperC");
+  PredId vhd = ViewByName(gadget, "VhelperD");
+  PredId vha = ViewByName(gadget, "VHA");
+  PredId vva = ViewByName(gadget, "VVA");
+  PredId vi = ViewByName(gadget, "VI");
+  PredId vf = ViewByName(gadget, "VF");
+  std::vector<PredId> vtiles;
+  for (int t = 0; t < gadget.tp.num_tiles; ++t) {
+    vtiles.push_back(ViewByName(gadget, "VT" + std::to_string(t)));
+  }
+
+  // --- Disjunct 1/2: the helper views are non-empty. ----------------------
+  if (!image.FactsWith(vhc).empty() || !image.FactsWith(vhd).empty()) {
+    return true;
+  }
+
+  // --- Disjunct 3: Q*_verify over the view atoms. --------------------------
+  auto tile_of = [&](ElemId z) {
+    std::set<int> tiles;
+    for (int t = 0; t < gadget.tp.num_tiles; ++t) {
+      for (uint32_t fi : image.FactsWith(vtiles[t], 0, z)) {
+        (void)fi;
+        tiles.insert(t);
+      }
+    }
+    return tiles;
+  };
+  for (uint32_t fi : image.FactsWith(vha)) {
+    const Fact& f = image.facts()[fi];  // VHA(z1,z2,y,x1,x2)
+    for (int t1 : tile_of(f.args[0])) {
+      for (int t2 : tile_of(f.args[1])) {
+        if (!gadget.tp.HcAllows(t1, t2)) return true;
+      }
+    }
+  }
+  for (uint32_t fi : image.FactsWith(vva)) {
+    const Fact& f = image.facts()[fi];  // VVA(z1,z2,y1,y2,x)
+    for (int t1 : tile_of(f.args[0])) {
+      for (int t2 : tile_of(f.args[1])) {
+        if (!gadget.tp.VcAllows(t1, t2)) return true;
+      }
+    }
+  }
+  for (uint32_t fi : image.FactsWith(vi)) {
+    const Fact& f = image.facts()[fi];  // VI(o,x,y,z)
+    for (int t : tile_of(f.args[3])) {
+      if (!gadget.tp.IsInitial(t)) return true;
+    }
+  }
+  for (uint32_t fi : image.FactsWith(vf)) {
+    const Fact& f = image.facts()[fi];  // VF(x,y,z)
+    for (int t : tile_of(f.args[2])) {
+      if (!gadget.tp.IsFinal(t)) return true;
+    }
+  }
+
+  // --- Disjunct 4: Q*_start ∧ ProductTest. ---------------------------------
+  // ProductTest: S equals the product of its projections (relational
+  // algebra; the stratified stratum).
+  std::set<ElemId> proj1;
+  std::set<ElemId> proj2;
+  for (uint32_t fi : image.FactsWith(s)) {
+    const Fact& f = image.facts()[fi];
+    proj1.insert(f.args[0]);
+    proj2.insert(f.args[1]);
+  }
+  for (ElemId x : proj1) {
+    for (ElemId y : proj2) {
+      if (!image.HasFact(s, {x, y})) return false;  // ProductTest fails
+    }
+  }
+
+  // Q*_start: Qstart with C/D replaced by the S-projections (mirroring the
+  // repaired base rules of BuildThm6).
+  Program prog(vocab);
+  PredId sp1 = vocab->AddPredicate("Strat.SP1", 1);
+  PredId sp2 = vocab->AddPredicate("Strat.SP2", 1);
+  PredId apred = vocab->AddPredicate("Strat.A", 1);
+  PredId bpred = vocab->AddPredicate("Strat.B", 1);
+  PredId goal = vocab->AddPredicate("Strat.Goal", 0);
+  {
+    RuleBuilder b(vocab);
+    b.Head(sp1, {"x"}).Atom(s, {"x", "y"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(sp2, {"y"}).Atom(s, {"x", "y"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(apred, {"x"})
+        .Atom(vxsucc, {"x", "xp"})
+        .Atom(sp1, {"xp"})
+        .Atom(vxend, {"xp"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(apred, {"x"})
+        .Atom(vxsucc, {"x", "xp"})
+        .Atom(apred, {"xp"})
+        .Atom(sp1, {"xp"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(bpred, {"y"})
+        .Atom(vysucc, {"y", "yp"})
+        .Atom(sp2, {"yp"})
+        .Atom(vyend, {"yp"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(bpred, {"y"})
+        .Atom(vysucc, {"y", "yp"})
+        .Atom(bpred, {"yp"})
+        .Atom(sp2, {"yp"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(goal, {}).Atom(apred, {"x"}).Atom(bpred, {"x"});
+    prog.AddRule(b.Build());
+  }
+  return DatalogHoldsOn(DatalogQuery(std::move(prog), goal), image);
+}
+
+}  // namespace mondet

@@ -1,0 +1,27 @@
+#ifndef MONDET_REDUCTIONS_THM6_STRATIFIED_H_
+#define MONDET_REDUCTIONS_THM6_STRATIFIED_H_
+
+#include "reductions/thm6.h"
+
+namespace mondet {
+
+/// The appendix's "Additional comments on non-Datalog-rewritable examples":
+/// for every tiling problem TP whose rectangular grids cannot be tiled,
+/// the query Q_TP has a *stratified* rewriting over V_TP — the positive
+/// Boolean combination
+///
+///   Vhelper_C ∨ Vhelper_D ∨ Q*_verify ∨ (Q*_start ∧ ProductTest),
+///
+/// where Q*_start replaces C/D by the projections of the grid-generating
+/// view S, Q*_verify replaces base atoms by the corresponding views, and
+/// ProductTest (relational algebra) checks S = π1(S) × π2(S).
+///
+/// Evaluates that rewriting on a view-schema instance. When TP has no
+/// solution, this agrees with Q_TP ∘ V_TP^{-1} on every view image — a
+/// PTime separator even though no Datalog rewriting exists (Thm 8).
+bool StratifiedRewritingHolds(const Thm6Gadget& gadget,
+                              const Instance& image);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_THM6_STRATIFIED_H_

@@ -1,0 +1,141 @@
+#include "reductions/thm7.h"
+
+#include <string>
+
+#include "base/check.h"
+
+namespace mondet {
+
+Thm7Gadget BuildThm7() {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId a = vocab->AddPredicate("A", 2);
+  PredId b = vocab->AddPredicate("B", 2);
+  PredId c = vocab->AddPredicate("C", 2);
+  PredId d = vocab->AddPredicate("D", 2);
+  PredId u = vocab->AddPredicate("U", 1);
+  PredId m = vocab->AddPredicate("M", 1);
+
+  // Query: W(x) ← A(x,y),B(y,v),C(x,z),D(z,v),U(v)
+  //        W(x) ← A(x,y),B(y,v),C(x,z),D(z,v),W(v)
+  //        Goal ← W(x),M(x)
+  PredId w = vocab->AddPredicate("W", 1);
+  PredId goal = vocab->AddPredicate("Goal7", 0);
+  Program prog(vocab);
+  {
+    RuleBuilder rb(vocab);
+    rb.Head(w, {"x"})
+        .Atom(a, {"x", "y"})
+        .Atom(b, {"y", "v"})
+        .Atom(c, {"x", "z"})
+        .Atom(d, {"z", "v"})
+        .Atom(u, {"v"});
+    prog.AddRule(rb.Build());
+  }
+  {
+    RuleBuilder rb(vocab);
+    rb.Head(w, {"x"})
+        .Atom(a, {"x", "y"})
+        .Atom(b, {"y", "v"})
+        .Atom(c, {"x", "z"})
+        .Atom(d, {"z", "v"})
+        .Atom(w, {"v"});
+    prog.AddRule(rb.Build());
+  }
+  {
+    RuleBuilder rb(vocab);
+    rb.Head(goal, {}).Atom(w, {"x"}).Atom(m, {"x"});
+    prog.AddRule(rb.Build());
+  }
+  DatalogQuery query(std::move(prog), goal);
+
+  // Views: S(x,y,z) ← M(x),A(x,y),C(x,z)
+  //        R(y,z,y',z') ← B(y,v),D(z,v),A(v,y'),C(v,z')
+  //        T(y,z,v) ← U(v),B(y,v),D(z,v)
+  ViewSet views(vocab);
+  PredId s_view;
+  PredId r_view;
+  PredId t_view;
+  {
+    CQ cq(vocab);
+    VarId x = cq.AddVar("x"), y = cq.AddVar("y"), z = cq.AddVar("z");
+    cq.AddAtom(m, {x});
+    cq.AddAtom(a, {x, y});
+    cq.AddAtom(c, {x, z});
+    cq.SetFreeVars({x, y, z});
+    s_view = views.AddCqView("S", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId y = cq.AddVar("y"), z = cq.AddVar("z"), v = cq.AddVar("v"),
+          yp = cq.AddVar("yp"), zp = cq.AddVar("zp");
+    cq.AddAtom(b, {y, v});
+    cq.AddAtom(d, {z, v});
+    cq.AddAtom(a, {v, yp});
+    cq.AddAtom(c, {v, zp});
+    cq.SetFreeVars({y, z, yp, zp});
+    r_view = views.AddCqView("R", cq);
+  }
+  {
+    CQ cq(vocab);
+    VarId y = cq.AddVar("y"), z = cq.AddVar("z"), v = cq.AddVar("v");
+    cq.AddAtom(u, {v});
+    cq.AddAtom(b, {y, v});
+    cq.AddAtom(d, {z, v});
+    cq.SetFreeVars({y, z, v});
+    t_view = views.AddCqView("T", cq);
+  }
+
+  Thm7Gadget gadget(vocab, std::move(query), std::move(views));
+  gadget.a = a;
+  gadget.b = b;
+  gadget.c = c;
+  gadget.d = d;
+  gadget.u = u;
+  gadget.m = m;
+  gadget.s_view = s_view;
+  gadget.r_view = r_view;
+  gadget.t_view = t_view;
+  return gadget;
+}
+
+Instance Thm7Gadget::DiamondChain(int diamonds, bool mark_ends) const {
+  MONDET_CHECK(diamonds >= 1);
+  Instance inst(vocab);
+  // Spine points s = p0, p1, .., p_n (n = diamonds); diamond i connects
+  // p_{i-1} to p_i through fresh y_i (A/B path) and z_i (C/D path).
+  std::vector<ElemId> spine;
+  for (int i = 0; i <= diamonds; ++i) {
+    spine.push_back(inst.AddElement("p" + std::to_string(i)));
+  }
+  for (int i = 1; i <= diamonds; ++i) {
+    ElemId y = inst.AddElement("y" + std::to_string(i));
+    ElemId z = inst.AddElement("z" + std::to_string(i));
+    inst.AddFact(a, {spine[i - 1], y});
+    inst.AddFact(b, {y, spine[i]});
+    inst.AddFact(c, {spine[i - 1], z});
+    inst.AddFact(d, {z, spine[i]});
+  }
+  if (mark_ends) {
+    inst.AddFact(m, {spine.front()});
+    inst.AddFact(u, {spine.back()});
+  }
+  return inst;
+}
+
+Instance Thm7Gadget::RRowPattern(int count) const {
+  MONDET_CHECK(count >= 1);
+  Instance inst(vocab);
+  // R(y_i, z_i, y_{i+1}, z_{i+1}) for i = 0..count-1.
+  std::vector<ElemId> ys;
+  std::vector<ElemId> zs;
+  for (int i = 0; i <= count; ++i) {
+    ys.push_back(inst.AddElement("ry" + std::to_string(i)));
+    zs.push_back(inst.AddElement("rz" + std::to_string(i)));
+  }
+  for (int i = 0; i < count; ++i) {
+    inst.AddFact(r_view, {ys[i], zs[i], ys[i + 1], zs[i + 1]});
+  }
+  return inst;
+}
+
+}  // namespace mondet

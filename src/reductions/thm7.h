@@ -1,0 +1,37 @@
+#ifndef MONDET_REDUCTIONS_THM7_H_
+#define MONDET_REDUCTIONS_THM7_H_
+
+#include "datalog/program.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// The Thm 7 gadget: an MDL query Q over schema {A,B,C,D,U,M} that checks
+/// for an M-point connected to a U-point by a chain of "diamonds", and CQ
+/// views {S,R,T} over which Q is Datalog-rewritable but not
+/// MDL-rewritable.
+struct Thm7Gadget {
+  VocabularyPtr vocab;
+  DatalogQuery query;
+  ViewSet views;
+
+  PredId a, b, c, d, u, m;        // base schema
+  PredId s_view, r_view, t_view;  // view predicates
+
+  Thm7Gadget(VocabularyPtr v, DatalogQuery q, ViewSet vs)
+      : vocab(std::move(v)), query(std::move(q)), views(std::move(vs)) {}
+
+  /// I_k: a chain of `diamonds` diamonds from an M-marked source to a
+  /// U-marked sink (Figure 3(a)). Q holds iff `mark_ends` is true.
+  Instance DiamondChain(int diamonds, bool mark_ends = true) const;
+
+  /// The Figure 4 pattern: a row of `count` R-rectangles, as an instance
+  /// over the view schema.
+  Instance RRowPattern(int count) const;
+};
+
+Thm7Gadget BuildThm7();
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_THM7_H_

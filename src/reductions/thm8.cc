@@ -1,0 +1,124 @@
+#include "reductions/thm8.h"
+
+#include <map>
+
+#include "base/check.h"
+#include "base/homomorphism.h"
+#include "reductions/tiling.h"
+
+namespace mondet {
+
+namespace {
+
+PredId ViewByName(const Thm6Gadget& gadget, const std::string& name) {
+  auto id = gadget.vocab->FindPredicate(name);
+  MONDET_CHECK(id.has_value());
+  return *id;
+}
+
+}  // namespace
+
+std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
+                                              int ell, int k, int depth,
+                                              size_t max_nodes) {
+  MONDET_CHECK(ell >= 2);
+  const VocabularyPtr& vocab = gadget.vocab;
+  PredId s = ViewByName(gadget, "S");
+  PredId vxsucc = ViewByName(gadget, "VXSucc");
+  PredId vysucc = ViewByName(gadget, "VYSucc");
+  PredId vxend = ViewByName(gadget, "VXEnd");
+  PredId vyend = ViewByName(gadget, "VYEnd");
+
+  // I_ℓ: the axes (element layout of MakeAxes: z0 = 0, x-axis 1..ℓ,
+  // y-axis ℓ+1..2ℓ).
+  Instance axes = gadget.MakeAxes(ell, ell);
+  ElemId x1 = 1;
+  ElemId xl = static_cast<ElemId>(ell);
+  ElemId y1 = static_cast<ElemId>(ell + 1);
+  ElemId yl = static_cast<ElemId>(2 * ell);
+
+  // E_ℓ: the view image.
+  Instance image = gadget.views.Image(axes);
+
+  // U_ℓ: a bounded k-unravelling of E_ℓ.
+  UnravelOptions options;
+  options.k = k;
+  options.depth = depth;
+  options.one_overlap = false;
+  options.connected_subsets_only = true;
+  options.max_nodes = max_nodes;
+  Unravelling unravelling = BoundedUnravelling(image, options);
+  const Instance& u = unravelling.inst;
+  const std::vector<ElemId>& phi = unravelling.phi;
+
+  // W_ℓ: the δ-structure whose elements are the S-facts of U_ℓ. Our S
+  // convention: S(x, y) with x on the x-axis (C side), y on the y-axis.
+  DeltaSchema delta = DeltaSchema::Create(vocab);
+  Instance w(vocab);
+  std::map<uint32_t, ElemId> w_elem;  // U_ℓ fact index -> W element
+  for (uint32_t fi : u.FactsWith(s)) {
+    w_elem[fi] = w.AddElement("p" + std::to_string(fi));
+  }
+  for (const auto& [fi, we] : w_elem) {
+    const Fact& f = u.facts()[fi];
+    if (phi[f.args[0]] == x1 && phi[f.args[1]] == y1) {
+      w.AddFact(delta.i, {we});
+    }
+    if (phi[f.args[0]] == xl && phi[f.args[1]] == yl) {
+      w.AddFact(delta.f, {we});
+    }
+  }
+  for (const auto& [f1, w1] : w_elem) {
+    const Fact& a = u.facts()[f1];
+    for (const auto& [f2, w2] : w_elem) {
+      const Fact& b = u.facts()[f2];
+      // H: same y-element, x advances by a VXSucc edge of U_ℓ.
+      if (a.args[1] == b.args[1] && u.HasFact(vxsucc, {a.args[0], b.args[0]})) {
+        w.AddFact(delta.h, {w1, w2});
+      }
+      // V: same x-element, y advances by a VYSucc edge.
+      if (a.args[0] == b.args[0] && u.HasFact(vysucc, {a.args[1], b.args[1]})) {
+        w.AddFact(delta.v, {w1, w2});
+      }
+    }
+  }
+
+  // χ: a TP*-tiling of W_ℓ, i.e. a homomorphism into I_TP (Lemma 6).
+  Instance target = TilingProblemAsInstance(gadget.tp, vocab, delta);
+  auto chi = HomSearch(w, target).FindOne();
+
+  bool tiled = chi.has_value();
+  std::vector<int> tiling;
+  Instance iprime(vocab);
+  if (tiled) {
+    tiling.assign(chi->begin(), chi->end());
+    // I'_ℓ: chase U_ℓ back to the base schema. Elements of U_ℓ keep their
+    // ids; each S-fact gets a fresh grid-point element with its tile.
+    iprime.EnsureElements(u.num_elements());
+    for (const Fact& f : u.facts()) {
+      if (f.pred == vxsucc) {
+        iprime.AddFact(gadget.xsucc, f.args);
+      } else if (f.pred == vysucc) {
+        iprime.AddFact(gadget.ysucc, f.args);
+      } else if (f.pred == vxend) {
+        iprime.AddFact(gadget.xend, f.args);
+      } else if (f.pred == vyend) {
+        iprime.AddFact(gadget.yend, f.args);
+      }
+    }
+    for (const auto& [fi, we] : w_elem) {
+      const Fact& f = u.facts()[fi];
+      ElemId grid_point = iprime.AddElement("s" + std::to_string(fi));
+      iprime.AddFact(gadget.xproj, {f.args[0], grid_point});
+      iprime.AddFact(gadget.yproj, {f.args[1], grid_point});
+      int tile = tiling[we];
+      iprime.AddFact(gadget.tile_preds[tile], {grid_point});
+    }
+  }
+  return Thm8Pipeline{std::move(axes),   std::move(image),
+                      std::move(unravelling), std::move(w),
+                      std::move(tiling), std::move(iprime),
+                      tiled};
+}
+
+}  // namespace mondet

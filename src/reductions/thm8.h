@@ -1,0 +1,45 @@
+#ifndef MONDET_REDUCTIONS_THM8_H_
+#define MONDET_REDUCTIONS_THM8_H_
+
+#include <optional>
+
+#include "games/unravel.h"
+#include "reductions/thm6.h"
+
+namespace mondet {
+
+/// The Thm 8 instance pipeline, executed on bounded unravellings:
+///
+///   I_ℓ  — the axes expansion of Qstart (Q_TP*(I_ℓ) = True);
+///   E_ℓ  — its view image (S-facts form the ℓ×ℓ grid);
+///   U_ℓ  — a k-unravelling of E_ℓ (depth-bounded truncation);
+///   W_ℓ  — the δ-structure on U_ℓ's S-facts (grid points);
+///   χ    — a TP*-tiling of W_ℓ (exists by Lemma 6: W_ℓ maps into I_TP*);
+///   I'_ℓ — U_ℓ chased back to the base schema using χ.
+///
+/// The punchline (Q_TP* has no Datalog rewriting): Q(I_ℓ) = True,
+/// Q(I'_ℓ) = False, yet U_ℓ ⊆ V(I'_ℓ), so the view images are
+/// k-indistinguishable (Fact 4) and Fact 2 applies.
+struct Thm8Pipeline {
+  Instance axes;        // I_ℓ
+  Instance image;       // E_ℓ
+  Unravelling unravelling;  // U_ℓ with Φ
+  Instance w_structure;     // W_ℓ over the δ schema
+  std::vector<int> tiling;  // χ, per W_ℓ element
+  Instance iprime;          // I'_ℓ
+
+  bool tiled = false;  // χ was found (Lemma 6 direction)
+};
+
+/// Runs the pipeline for the ℓ×ℓ axes with bag size k and unravelling
+/// depth `depth`. `gadget` must be built from a tiling problem; for the
+/// theorem use MakeParityTilingProblem(). If no tiling of W_ℓ exists the
+/// result has `tiled == false` and `iprime` empty (cannot happen for TP*
+/// with 2 <= k < ℓ, per Lemma 6).
+std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
+                                              int ell, int k, int depth,
+                                              size_t max_nodes = 100000);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_THM8_H_

@@ -1,0 +1,446 @@
+#include "reductions/thm9.h"
+
+#include <string>
+
+#include "base/check.h"
+
+namespace mondet {
+
+std::optional<std::vector<TuringMachine::Config>> TuringMachine::Run(
+    const std::vector<int>& input, size_t max_steps) const {
+  Config config;
+  config.tape.push_back(0);  // left blank
+  for (int s : input) config.tape.push_back(s);
+  config.tape.push_back(0);  // right blank
+  config.head = 1;
+  config.state = start;
+  std::vector<Config> trace{config};
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (config.state == accept) return trace;
+    auto it = delta.find({config.state, config.tape[config.head]});
+    if (it == delta.end()) return std::nullopt;  // stuck (should not happen)
+    config.tape[config.head] = it->second.write;
+    config.state = it->second.next_state;
+    config.head += it->second.move;
+    MONDET_CHECK(config.head >= 0 &&
+                 config.head < static_cast<int>(config.tape.size()));
+    trace.push_back(config);
+  }
+  if (config.state == accept) return trace;
+  return std::nullopt;
+}
+
+TuringMachine EraserMachine() {
+  // States: 0 = scan right, 1 = at right end / erase, 2 = return left,
+  // 3 = accept. Symbols: 0 = blank, 1 = one.
+  TuringMachine tm;
+  tm.num_states = 4;
+  tm.num_symbols = 2;
+  tm.start = 0;
+  tm.accept = 3;
+  tm.delta[{0, 1}] = {0, 1, +1};   // scan right over 1s
+  tm.delta[{0, 0}] = {1, 0, -1};   // hit right blank: step back
+  tm.delta[{1, 1}] = {2, 0, -1};   // erase rightmost 1, return
+  tm.delta[{1, 0}] = {3, 0, 0};    // nothing left: accept
+  tm.delta[{2, 1}] = {2, 1, -1};   // walk left over 1s
+  tm.delta[{2, 0}] = {0, 0, +1};   // hit left blank: restart scan
+  return tm;
+}
+
+namespace {
+
+/// Label bundle used when generating the run-checking rules.
+struct RunSchema {
+  PredId succ;
+  PredId inp_begin, inp_end, sep, run_end;
+  std::vector<PredId> inp_sym;
+  std::vector<std::vector<PredId>> cell;  // [state+1][symbol], 0 = headless
+
+  std::vector<PredId> AllLabels() const {
+    std::vector<PredId> out{inp_begin, inp_end, sep, run_end};
+    out.insert(out.end(), inp_sym.begin(), inp_sym.end());
+    for (const auto& row : cell) out.insert(out.end(), row.begin(), row.end());
+    return out;
+  }
+  std::vector<PredId> CellLabels() const {
+    std::vector<PredId> out;
+    for (const auto& row : cell) out.insert(out.end(), row.begin(), row.end());
+    return out;
+  }
+};
+
+/// A window symbol: a cell (state -1 = headless) or the boundary marker.
+struct WinSym {
+  bool boundary = false;
+  int state = -1;  // -1 = headless
+  int symbol = 0;
+};
+
+/// Emits the run-consistency rules into `prog` with head `goal`:
+/// duplicate labels, bad adjacencies, configuration alignment and
+/// determinism-violation windows; optionally the acceptance rules.
+/// IDB helper predicates are prefixed to keep different copies disjoint.
+void AddRunCheckRules(Program& prog, PredId goal, const RunSchema& s,
+                      const TuringMachine& tm, const std::string& prefix,
+                      bool include_accept, bool include_bad) {
+  VocabularyPtr vocab = prog.vocab();
+  PredId cellp = vocab->AddPredicate(prefix + ".Cell", 1);
+  PredId seplike = vocab->AddPredicate(prefix + ".SepLike", 1);
+  PredId chain = vocab->AddPredicate(prefix + ".Chain", 2);
+  PredId par = vocab->AddPredicate(prefix + ".Par", 2);
+  PredId corr = vocab->AddPredicate(prefix + ".Corr", 2);
+
+  // Cell and SepLike unions.
+  for (PredId c : s.CellLabels()) {
+    RuleBuilder b(vocab);
+    b.Head(cellp, {"x"}).Atom(c, {"x"});
+    prog.AddRule(b.Build());
+  }
+  for (PredId m : {s.inp_end, s.sep}) {
+    RuleBuilder b(vocab);
+    b.Head(seplike, {"x"}).Atom(m, {"x"});
+    prog.AddRule(b.Build());
+  }
+  // Chain / Par / Corr (configuration alignment).
+  {
+    RuleBuilder b(vocab);
+    b.Head(chain, {"s", "x"})
+        .Atom(seplike, {"s"})
+        .Atom(s.succ, {"s", "x"})
+        .Atom(cellp, {"x"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(chain, {"s", "y"})
+        .Atom(chain, {"s", "x"})
+        .Atom(s.succ, {"x", "y"})
+        .Atom(cellp, {"y"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(par, {"s1", "s2"})
+        .Atom(chain, {"s1", "x"})
+        .Atom(s.succ, {"x", "s2"})
+        .Atom(s.sep, {"s2"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(corr, {"x", "y"})
+        .Atom(par, {"s1", "s2"})
+        .Atom(s.succ, {"s1", "x"})
+        .Atom(s.succ, {"s2", "y"})
+        .Atom(cellp, {"x"})
+        .Atom(cellp, {"y"});
+    prog.AddRule(b.Build());
+  }
+  {
+    RuleBuilder b(vocab);
+    b.Head(corr, {"xp", "yp"})
+        .Atom(corr, {"x", "y"})
+        .Atom(s.succ, {"x", "xp"})
+        .Atom(s.succ, {"y", "yp"})
+        .Atom(cellp, {"xp"})
+        .Atom(cellp, {"yp"});
+    prog.AddRule(b.Build());
+  }
+
+  if (include_bad) {
+    // (a) Duplicate labels on one node.
+    std::vector<PredId> labels = s.AllLabels();
+    for (size_t i = 0; i < labels.size(); ++i) {
+      for (size_t j = i + 1; j < labels.size(); ++j) {
+        RuleBuilder b(vocab);
+        b.Head(goal, {}).Atom(labels[i], {"x"}).Atom(labels[j], {"x"});
+        prog.AddRule(b.Build());
+      }
+    }
+    // (b) Forbidden adjacencies.
+    auto allowed = [&](PredId x, PredId y) {
+      auto is_inp = [&](PredId p) {
+        for (PredId q : s.inp_sym) {
+          if (p == q) return true;
+        }
+        return false;
+      };
+      auto is_cell = [&](PredId p) {
+        for (PredId q : s.CellLabels()) {
+          if (p == q) return true;
+        }
+        return false;
+      };
+      if (x == s.inp_begin) return is_inp(y) || y == s.inp_end;
+      if (is_inp(x)) return is_inp(y) || y == s.inp_end;
+      if (x == s.inp_end) return is_cell(y);
+      if (is_cell(x)) return is_cell(y) || y == s.sep || y == s.run_end;
+      if (x == s.sep) return is_cell(y);
+      return false;  // nothing follows run_end
+    };
+    for (PredId x : labels) {
+      for (PredId y : labels) {
+        if (allowed(x, y)) continue;
+        RuleBuilder b(vocab);
+        b.Head(goal, {})
+            .Atom(x, {"x"})
+            .Atom(s.succ, {"x", "y"})
+            .Atom(y, {"y"});
+        prog.AddRule(b.Build());
+      }
+    }
+    // (c) Determinism-violation windows: Corr(x,y) aligned positions with
+    // context (l, c, r) around x whose successor-config center differs
+    // from the machine's transition function.
+    std::vector<WinSym> contexts;
+    contexts.push_back(WinSym{true, -1, 0});
+    for (int st = -1; st < tm.num_states; ++st) {
+      for (int sym = 0; sym < tm.num_symbols; ++sym) {
+        contexts.push_back(WinSym{false, st, sym});
+      }
+    }
+    auto states_in = [&](const WinSym& w) { return !w.boundary && w.state >= 0; };
+    auto expected_center = [&](const WinSym& l, const WinSym& c,
+                               const WinSym& r) -> std::optional<WinSym> {
+      if (states_in(c)) {
+        auto it = tm.delta.find({c.state, c.symbol});
+        if (it == tm.delta.end()) return std::nullopt;  // halt: unconstrained
+        if (it->second.move == 0) {
+          return WinSym{false, it->second.next_state, it->second.write};
+        }
+        return WinSym{false, -1, it->second.write};
+      }
+      if (states_in(l)) {
+        auto it = tm.delta.find({l.state, l.symbol});
+        if (it == tm.delta.end()) return std::nullopt;
+        if (it->second.move == +1) {
+          return WinSym{false, it->second.next_state, c.symbol};
+        }
+        return WinSym{false, -1, c.symbol};
+      }
+      if (states_in(r)) {
+        auto it = tm.delta.find({r.state, r.symbol});
+        if (it == tm.delta.end()) return std::nullopt;
+        if (it->second.move == -1) {
+          return WinSym{false, it->second.next_state, c.symbol};
+        }
+        return WinSym{false, -1, c.symbol};
+      }
+      return WinSym{false, -1, c.symbol};
+    };
+    auto add_context_atom = [&](RuleBuilder& b, const WinSym& w,
+                                const std::string& var, bool left) {
+      if (w.boundary) {
+        b.Atom(seplike, {var});
+        (void)left;
+      } else {
+        b.Atom(s.cell[w.state + 1][w.symbol], {var});
+      }
+    };
+    for (const WinSym& l : contexts) {
+      for (const WinSym& c : contexts) {
+        if (c.boundary) continue;
+        for (const WinSym& r : contexts) {
+          int stateful = (states_in(l) ? 1 : 0) + (states_in(c) ? 1 : 0) +
+                         (states_in(r) ? 1 : 0);
+          if (stateful > 1) continue;
+          auto expect = expected_center(l, c, r);
+          if (!expect) continue;
+          for (int st = -1; st < tm.num_states; ++st) {
+            for (int sym = 0; sym < tm.num_symbols; ++sym) {
+              if (st == expect->state && sym == expect->symbol) continue;
+              RuleBuilder b(vocab);
+              b.Head(goal, {});
+              b.Atom(corr, {"x", "y"});
+              add_context_atom(b, l, "xl", true);
+              b.Atom(s.succ, {"xl", "x"});
+              add_context_atom(b, c, "x", false);
+              b.Atom(s.succ, {"x", "xr"});
+              add_context_atom(b, r, "xr", false);
+              b.Atom(s.cell[st + 1][sym], {"y"});
+              prog.AddRule(b.Build());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (include_accept) {
+    for (int sym = 0; sym < tm.num_symbols; ++sym) {
+      RuleBuilder b(vocab);
+      b.Head(goal, {}).Atom(s.cell[tm.accept + 1][sym], {"x"});
+      prog.AddRule(b.Build());
+    }
+  }
+}
+
+RunSchema MakeRunSchema(const VocabularyPtr& vocab, const TuringMachine& tm) {
+  RunSchema s;
+  s.succ = vocab->AddPredicate("Succ", 2);
+  s.inp_begin = vocab->AddPredicate("InpBegin", 1);
+  s.inp_end = vocab->AddPredicate("InpEnd", 1);
+  s.sep = vocab->AddPredicate("Sep", 1);
+  s.run_end = vocab->AddPredicate("RunEnd", 1);
+  for (int sym = 0; sym < tm.num_symbols; ++sym) {
+    s.inp_sym.push_back(vocab->AddPredicate("In" + std::to_string(sym), 1));
+  }
+  s.cell.resize(tm.num_states + 1);
+  for (int st = -1; st < tm.num_states; ++st) {
+    for (int sym = 0; sym < tm.num_symbols; ++sym) {
+      std::string name = st < 0 ? "Cl_" + std::to_string(sym)
+                                : "Cl_q" + std::to_string(st) + "_" +
+                                      std::to_string(sym);
+      s.cell[st + 1].push_back(vocab->AddPredicate(name, 1));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Thm9Gadget BuildThm9(const TuringMachine& tm) {
+  VocabularyPtr vocab = MakeVocabulary();
+  RunSchema schema = MakeRunSchema(vocab, tm);
+
+  // Query: badly-shaped ∨ accepting.
+  PredId goal = vocab->AddPredicate("Q9", 0);
+  Program prog(vocab);
+  AddRunCheckRules(prog, goal, schema, tm, "q", /*include_accept=*/true,
+                   /*include_bad=*/true);
+  DatalogQuery query(std::move(prog), goal);
+
+  // Views.
+  ViewSet views(vocab);
+  // Input views: begin/end markers, symbols and input edges.
+  views.AddAtomicView("VInpBegin", schema.inp_begin);
+  views.AddAtomicView("VInpEnd", schema.inp_end);
+  for (int sym = 0; sym < tm.num_symbols; ++sym) {
+    views.AddAtomicView("VIn" + std::to_string(sym), schema.inp_sym[sym]);
+  }
+  {
+    // Successor edges within the input segment (and its borders), so that
+    // the separator sees the input but not the run's length.
+    auto edge_view = [&](const std::string& name, PredId left, PredId right) {
+      CQ cq(vocab);
+      VarId x = cq.AddVar("x"), y = cq.AddVar("y");
+      cq.AddAtom(left, {x});
+      cq.AddAtom(schema.succ, {x, y});
+      cq.AddAtom(right, {y});
+      cq.SetFreeVars({x, y});
+      views.AddCqView(name, cq);
+    };
+    for (int a = 0; a < tm.num_symbols; ++a) {
+      edge_view("VEdgeB" + std::to_string(a), schema.inp_begin,
+                schema.inp_sym[a]);
+      edge_view("VEdgeE" + std::to_string(a), schema.inp_sym[a],
+                schema.inp_end);
+      for (int b = 0; b < tm.num_symbols; ++b) {
+        edge_view("VEdge" + std::to_string(a) + "_" + std::to_string(b),
+                  schema.inp_sym[a], schema.inp_sym[b]);
+      }
+    }
+  }
+  {
+    // V_badly_shaped: 0-ary Datalog view flagging corruption.
+    Program bad(vocab);
+    PredId bad_goal = vocab->AddPredicate("VBad.def", 0);
+    AddRunCheckRules(bad, bad_goal, schema, tm, "vb",
+                     /*include_accept=*/false, /*include_bad=*/true);
+    views.AddView("VBad", DatalogQuery(std::move(bad), bad_goal));
+  }
+  {
+    // V_prerun: x is an input-end marker from which a completed run
+    // (ending in RunEnd) is reachable.
+    Program pre(vocab);
+    PredId reach = vocab->AddPredicate("VPre.Reach", 1);
+    PredId pre_goal = vocab->AddPredicate("VPre.def", 1);
+    {
+      RuleBuilder b(vocab);
+      b.Head(reach, {"x"}).Atom(schema.succ, {"x", "y"}).Atom(
+          schema.run_end, {"y"});
+      pre.AddRule(b.Build());
+    }
+    {
+      RuleBuilder b(vocab);
+      b.Head(reach, {"x"}).Atom(schema.succ, {"x", "y"}).Atom(reach, {"y"});
+      pre.AddRule(b.Build());
+    }
+    {
+      RuleBuilder b(vocab);
+      b.Head(pre_goal, {"x"}).Atom(schema.inp_end, {"x"}).Atom(reach, {"x"});
+      pre.AddRule(b.Build());
+    }
+    views.AddView("VPreRun", DatalogQuery(std::move(pre), pre_goal));
+  }
+
+  Thm9Gadget gadget(vocab, std::move(query), std::move(views), tm);
+  gadget.succ = schema.succ;
+  gadget.inp_begin = schema.inp_begin;
+  gadget.inp_end = schema.inp_end;
+  gadget.sep = schema.sep;
+  gadget.run_end = schema.run_end;
+  gadget.inp_sym = schema.inp_sym;
+  gadget.cell = schema.cell;
+  return gadget;
+}
+
+Instance Thm9Gadget::EncodeRun(const std::vector<int>& input,
+                               size_t max_steps) const {
+  auto trace = machine.Run(input, max_steps);
+  MONDET_CHECK(trace.has_value());
+  Instance inst(vocab);
+  ElemId prev = inst.AddElement("begin");
+  inst.AddFact(inp_begin, {prev});
+  auto append = [&](PredId label, const std::string& name) {
+    ElemId e = inst.AddElement(name);
+    inst.AddFact(succ, {prev, e});
+    inst.AddFact(label, {e});
+    prev = e;
+    return e;
+  };
+  for (size_t i = 0; i < input.size(); ++i) {
+    append(inp_sym[input[i]], "in" + std::to_string(i));
+  }
+  append(inp_end, "inpend");
+  for (size_t t = 0; t < trace->size(); ++t) {
+    const auto& config = (*trace)[t];
+    for (size_t pos = 0; pos < config.tape.size(); ++pos) {
+      int st = static_cast<int>(pos) == config.head ? config.state : -1;
+      append(cell[st + 1][config.tape[pos]],
+             "c" + std::to_string(t) + "_" + std::to_string(pos));
+    }
+    if (t + 1 < trace->size()) {
+      append(sep, "sep" + std::to_string(t));
+    }
+  }
+  append(run_end, "end");
+  return inst;
+}
+
+Instance Thm9Gadget::EncodeCorruptedRun(const std::vector<int>& input,
+                                        size_t max_steps) const {
+  Instance inst = EncodeRun(input, max_steps);
+  // Flip one mid-run headless cell label to corrupt the computation: find
+  // a fact with a headless cell label and swap its symbol.
+  Instance out(vocab);
+  out.EnsureElements(inst.num_elements());
+  bool flipped = false;
+  size_t midpoint = inst.num_facts() / 2;
+  for (size_t fi = 0; fi < inst.num_facts(); ++fi) {
+    Fact g = inst.facts()[fi];
+    if (!flipped && fi >= midpoint) {
+      for (int sym = 0; sym < machine.num_symbols && !flipped; ++sym) {
+        if (g.pred == cell[0][sym]) {
+          g.pred = cell[0][(sym + 1) % machine.num_symbols];
+          flipped = true;
+        }
+      }
+    }
+    out.AddFact(g);
+  }
+  MONDET_CHECK(flipped);
+  return out;
+}
+
+}  // namespace mondet

@@ -1,0 +1,83 @@
+#ifndef MONDET_REDUCTIONS_THM9_H_
+#define MONDET_REDUCTIONS_THM9_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "datalog/program.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// A deterministic single-tape Turing machine with a fixed tape window
+/// (symbol 0 is blank). Used by the Thm 9 construction: separators for
+/// the derived query/views must effectively re-simulate the machine.
+struct TuringMachine {
+  struct Action {
+    int next_state = 0;
+    int write = 0;
+    int move = 0;  // -1, 0, +1
+  };
+  int num_states = 0;
+  int num_symbols = 2;
+  int start = 0;
+  int accept = 0;
+  std::map<std::pair<int, int>, Action> delta;  // (state, symbol) -> action
+
+  struct Config {
+    std::vector<int> tape;
+    int head = 0;
+    int state = 0;
+  };
+
+  /// Runs on the window [blank, input..., blank]; returns the
+  /// configuration sequence up to (and including) the accepting
+  /// configuration, or nullopt if the machine does not halt in max_steps.
+  std::optional<std::vector<Config>> Run(const std::vector<int>& input,
+                                         size_t max_steps) const;
+};
+
+/// The quadratic-time "eraser" machine: repeatedly erases the rightmost 1
+/// and returns to the left end; accepts when no 1s remain. Θ(n²) steps on
+/// input 1^n.
+TuringMachine EraserMachine();
+
+/// The Thm 9 gadget for a machine M: base schema encodes run strings
+/// (input segment + configurations separated by markers); the query holds
+/// iff the string is locally corrupted (badly shaped / not a valid step)
+/// or reaches the accepting state; views expose the input segment and a
+/// "badly shaped" flag. Determinism of M makes the query monotonically
+/// determined; any separator must decide acceptance, i.e. re-simulate M.
+struct Thm9Gadget {
+  VocabularyPtr vocab;
+  DatalogQuery query;
+  ViewSet views;
+  TuringMachine machine;
+
+  PredId succ;                 // run-string successor
+  PredId inp_begin, inp_end;   // markers
+  PredId sep, run_end;         // markers
+  std::vector<PredId> inp_sym;               // input labels per symbol
+  std::vector<std::vector<PredId>> cell;     // cell[state+1][symbol]
+                                             // (index 0 = headless cell)
+
+  Thm9Gadget(VocabularyPtr v, DatalogQuery q, ViewSet vs, TuringMachine tm)
+      : vocab(std::move(v)),
+        query(std::move(q)),
+        views(std::move(vs)),
+        machine(std::move(tm)) {}
+
+  /// Encodes input + full run as a well-shaped run-string instance.
+  Instance EncodeRun(const std::vector<int>& input, size_t max_steps) const;
+
+  /// Encodes a corrupted run (one cell's symbol flipped mid-run).
+  Instance EncodeCorruptedRun(const std::vector<int>& input,
+                              size_t max_steps) const;
+};
+
+Thm9Gadget BuildThm9(const TuringMachine& tm);
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_THM9_H_

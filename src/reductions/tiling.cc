@@ -1,0 +1,147 @@
+#include "reductions/tiling.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+#include "base/homomorphism.h"
+
+namespace mondet {
+
+bool TilingProblem::HcAllows(int a, int b) const {
+  return std::find(hc.begin(), hc.end(), std::make_pair(a, b)) != hc.end();
+}
+
+bool TilingProblem::VcAllows(int a, int b) const {
+  return std::find(vc.begin(), vc.end(), std::make_pair(a, b)) != vc.end();
+}
+
+bool TilingProblem::IsInitial(int t) const {
+  return std::find(initial.begin(), initial.end(), t) != initial.end();
+}
+
+bool TilingProblem::IsFinal(int t) const {
+  return std::find(final_tiles.begin(), final_tiles.end(), t) !=
+         final_tiles.end();
+}
+
+std::optional<std::vector<int>> TilingProblem::Solve(int n, int m) const {
+  std::vector<int> assign(static_cast<size_t>(n) * m, -1);
+  auto at = [&](int i, int j) -> int& {
+    return assign[static_cast<size_t>(j - 1) * n + (i - 1)];
+  };
+  std::function<bool(int)> place = [&](int idx) -> bool {
+    if (idx == n * m) return true;
+    int i = idx % n + 1;
+    int j = idx / n + 1;
+    for (int t = 0; t < num_tiles; ++t) {
+      if (i == 1 && j == 1 && !IsInitial(t)) continue;
+      if (i == n && j == m && !IsFinal(t)) continue;
+      if (i > 1 && !HcAllows(at(i - 1, j), t)) continue;
+      if (j > 1 && !VcAllows(at(i, j - 1), t)) continue;
+      at(i, j) = t;
+      if (place(idx + 1)) return true;
+      at(i, j) = -1;
+    }
+    return false;
+  };
+  if (place(0)) return assign;
+  return std::nullopt;
+}
+
+bool TilingProblem::HasSolutionUpTo(int max_n, int max_m) const {
+  for (int n = 1; n <= max_n; ++n) {
+    for (int m = 1; m <= max_m; ++m) {
+      if (Solve(n, m)) return true;
+    }
+  }
+  return false;
+}
+
+DeltaSchema DeltaSchema::Create(const VocabularyPtr& vocab) {
+  DeltaSchema s;
+  s.h = vocab->AddPredicate("H", 2);
+  s.v = vocab->AddPredicate("V", 2);
+  s.i = vocab->AddPredicate("I", 1);
+  s.f = vocab->AddPredicate("F", 1);
+  return s;
+}
+
+Instance TilingProblemAsInstance(const TilingProblem& tp,
+                                 const VocabularyPtr& vocab,
+                                 const DeltaSchema& schema) {
+  Instance inst(vocab);
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    inst.AddElement("tile" + std::to_string(t));
+  }
+  for (const auto& [a, b] : tp.hc) {
+    inst.AddFact(schema.h, {static_cast<ElemId>(a), static_cast<ElemId>(b)});
+  }
+  for (const auto& [a, b] : tp.vc) {
+    inst.AddFact(schema.v, {static_cast<ElemId>(a), static_cast<ElemId>(b)});
+  }
+  for (int t : tp.initial) inst.AddFact(schema.i, {static_cast<ElemId>(t)});
+  for (int t : tp.final_tiles) {
+    inst.AddFact(schema.f, {static_cast<ElemId>(t)});
+  }
+  return inst;
+}
+
+Instance GridInstance(int n, int m, const VocabularyPtr& vocab,
+                      const DeltaSchema& schema) {
+  Instance inst(vocab);
+  auto elem = [&](int i, int j) {
+    return static_cast<ElemId>((j - 1) * n + (i - 1));
+  };
+  for (int j = 1; j <= m; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      inst.AddElement("g" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  inst.AddFact(schema.i, {elem(1, 1)});
+  inst.AddFact(schema.f, {elem(n, m)});
+  for (int j = 1; j <= m; ++j) {
+    for (int i = 1; i < n; ++i) {
+      inst.AddFact(schema.h, {elem(i, j), elem(i + 1, j)});
+    }
+  }
+  for (int j = 1; j < m; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      inst.AddFact(schema.v, {elem(i, j), elem(i, j + 1)});
+    }
+  }
+  return inst;
+}
+
+bool CanBeTiled(const Instance& delta_instance, const TilingProblem& tp,
+                const DeltaSchema& schema) {
+  Instance target =
+      TilingProblemAsInstance(tp, delta_instance.vocab(), schema);
+  return HasHomomorphism(delta_instance, target);
+}
+
+TilingProblem SolvableTilingProblem() {
+  // Two tiles alternating in both directions; tile 0 is initial, both are
+  // final. Any n×m grid with the right parity can be tiled.
+  TilingProblem tp;
+  tp.num_tiles = 2;
+  tp.hc = {{0, 1}, {1, 0}};
+  tp.vc = {{0, 1}, {1, 0}};
+  tp.initial = {0};
+  tp.final_tiles = {0, 1};
+  return tp;
+}
+
+TilingProblem UnsolvableTilingProblem() {
+  // A single tile incompatible with itself horizontally and vertically:
+  // only the 1×1 grid could be tiled, but the tile is not final.
+  TilingProblem tp;
+  tp.num_tiles = 1;
+  tp.hc = {};
+  tp.vc = {};
+  tp.initial = {0};
+  tp.final_tiles = {};
+  return tp;
+}
+
+}  // namespace mondet

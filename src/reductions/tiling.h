@@ -1,0 +1,70 @@
+#ifndef MONDET_REDUCTIONS_TILING_H_
+#define MONDET_REDUCTIONS_TILING_H_
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// A tiling problem TP = (Tiles, HC, VC, IT, FT) (Sec. 6). Tiles are
+/// 0..num_tiles-1; HC/VC are the allowed horizontal/vertical neighbor
+/// pairs; IT/FT are the initial (bottom-left) and final (top-right) tiles.
+struct TilingProblem {
+  int num_tiles = 0;
+  std::vector<std::pair<int, int>> hc;
+  std::vector<std::pair<int, int>> vc;
+  std::vector<int> initial;
+  std::vector<int> final_tiles;
+
+  bool HcAllows(int a, int b) const;
+  bool VcAllows(int a, int b) const;
+  bool IsInitial(int t) const;
+  bool IsFinal(int t) const;
+
+  /// Searches for a solution on the n×m grid by backtracking. Returns the
+  /// tile assignment in row-major order ((i,j) at index (j-1)*n+(i-1),
+  /// 1-based grid coordinates) or nullopt.
+  std::optional<std::vector<int>> Solve(int n, int m) const;
+
+  /// True if some n×m grid with n <= max_n, m <= max_m has a solution.
+  bool HasSolutionUpTo(int max_n, int max_m) const;
+};
+
+/// The δ = {H, V, I, F} schema used to phrase tilings as homomorphism
+/// problems (Thm 8).
+struct DeltaSchema {
+  PredId h = kNoPred;  // binary
+  PredId v = kNoPred;  // binary
+  PredId i = kNoPred;  // unary
+  PredId f = kNoPred;  // unary
+
+  static DeltaSchema Create(const VocabularyPtr& vocab);
+};
+
+/// I_TP: the tiling problem as a δ-structure with the tiles as domain.
+Instance TilingProblemAsInstance(const TilingProblem& tp,
+                                 const VocabularyPtr& vocab,
+                                 const DeltaSchema& schema);
+
+/// I^grid_{n,m}: the n×m grid δ-instance with I((1,1)) and F((n,m)).
+/// Element of grid point (i,j) (1-based) is (j-1)*n + (i-1).
+Instance GridInstance(int n, int m, const VocabularyPtr& vocab,
+                      const DeltaSchema& schema);
+
+/// A δ-instance can be tiled by TP exactly when it maps homomorphically
+/// into I_TP (Thm 8's characterization).
+bool CanBeTiled(const Instance& delta_instance, const TilingProblem& tp,
+                const DeltaSchema& schema);
+
+/// A small tiling problem with a solution (used by undecidability benches).
+TilingProblem SolvableTilingProblem();
+
+/// A small tiling problem without any rectangular solution.
+TilingProblem UnsolvableTilingProblem();
+
+}  // namespace mondet
+
+#endif  // MONDET_REDUCTIONS_TILING_H_

@@ -1,0 +1,183 @@
+#include "tree/code.h"
+
+#include <map>
+#include <sstream>
+
+#include "base/check.h"
+
+namespace mondet {
+
+namespace {
+
+/// Union-find over flat (node * width + position) indices.
+class Dsu {
+ public:
+  explicit Dsu(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Instance TreeCode::Decode(const VocabularyPtr& vocab,
+                          std::vector<std::vector<ElemId>>* class_of) const {
+  size_t n = nodes.size();
+  Dsu dsu(n * width);
+  auto flat = [&](int node, int pos) { return node * width + pos; };
+  for (size_t u = 0; u < n; ++u) {
+    for (size_t c = 0; c < nodes[u].children.size(); ++c) {
+      int child = nodes[u].children[c];
+      for (const auto& [pi, ci] : nodes[u].edge_labels[c].same) {
+        dsu.Union(flat(static_cast<int>(u), pi), flat(child, ci));
+      }
+    }
+  }
+  Instance inst(vocab);
+  std::map<int, ElemId> elem_of_class;
+  auto elem = [&](int node, int pos) {
+    int root = dsu.Find(flat(node, pos));
+    auto it = elem_of_class.find(root);
+    if (it != elem_of_class.end()) return it->second;
+    ElemId e = inst.AddElement();
+    elem_of_class.emplace(root, e);
+    return e;
+  };
+  for (size_t u = 0; u < n; ++u) {
+    for (const AtomLabel& a : nodes[u].atoms) {
+      std::vector<ElemId> args;
+      args.reserve(a.positions.size());
+      for (int p : a.positions) args.push_back(elem(static_cast<int>(u), p));
+      inst.AddFact(a.pred, args);
+    }
+  }
+  if (class_of) {
+    class_of->assign(n, std::vector<ElemId>(width, kNoElem));
+    for (size_t u = 0; u < n; ++u) {
+      for (int p = 0; p < width; ++p) {
+        int root = dsu.Find(flat(static_cast<int>(u), p));
+        auto it = elem_of_class.find(root);
+        if (it != elem_of_class.end()) (*class_of)[u][p] = it->second;
+      }
+    }
+  }
+  return inst;
+}
+
+bool TreeCode::Validate() const {
+  for (const CodeNode& node : nodes) {
+    if (node.children.size() > 2) return false;
+    if (node.children.size() != node.edge_labels.size()) return false;
+    for (const AtomLabel& a : node.atoms) {
+      for (int p : a.positions) {
+        if (p < 0 || p >= width) return false;
+      }
+    }
+    for (const EdgeLabel& e : node.edge_labels) {
+      std::set<int> from;
+      std::set<int> to;
+      for (const auto& [pi, ci] : e.same) {
+        if (pi < 0 || pi >= width || ci < 0 || ci >= width) return false;
+        if (!from.insert(pi).second) return false;  // not a partial map
+        if (!to.insert(ci).second) return false;    // not injective
+      }
+    }
+  }
+  return true;
+}
+
+std::string TreeCode::DebugString(const Vocabulary& vocab) const {
+  std::ostringstream os;
+  for (size_t u = 0; u < nodes.size(); ++u) {
+    os << "node " << u << " [";
+    bool first = true;
+    for (const AtomLabel& a : nodes[u].atoms) {
+      if (!first) os << " ";
+      first = false;
+      os << vocab.name(a.pred) << "(";
+      for (size_t i = 0; i < a.positions.size(); ++i) {
+        if (i) os << ",";
+        os << a.positions[i];
+      }
+      os << ")";
+    }
+    os << "]";
+    for (size_t c = 0; c < nodes[u].children.size(); ++c) {
+      os << " ->" << nodes[u].children[c] << "{";
+      for (const auto& [pi, ci] : nodes[u].edge_labels[c].same) {
+        os << pi << "=" << ci << " ";
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+TreeCode EncodeInstance(const Instance& inst, const TreeDecomposition& td,
+                        int k) {
+  MONDET_CHECK(td.width() <= k);
+  MONDET_CHECK(td.MaxOutdegree() <= 2);
+  TreeCode code;
+  code.width = k;
+  code.nodes.resize(td.nodes.size());
+
+  // Position of an element within a bag (bag order).
+  auto pos_in = [&](int node, ElemId e) -> int {
+    const auto& bag = td.nodes[node].bag;
+    for (size_t i = 0; i < bag.size(); ++i) {
+      if (bag[i] == e) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  for (size_t u = 0; u < td.nodes.size(); ++u) {
+    code.nodes[u].parent = td.nodes[u].parent;
+    for (int child : td.nodes[u].children) {
+      EdgeLabel label;
+      const auto& cbag = td.nodes[child].bag;
+      for (size_t ci = 0; ci < cbag.size(); ++ci) {
+        int pi = pos_in(static_cast<int>(u), cbag[ci]);
+        if (pi >= 0) label.same.emplace_back(pi, static_cast<int>(ci));
+      }
+      code.nodes[u].children.push_back(child);
+      code.nodes[u].edge_labels.push_back(std::move(label));
+    }
+  }
+
+  // Attach each fact to the first node whose bag covers it.
+  for (const Fact& f : inst.facts()) {
+    bool attached = false;
+    for (size_t u = 0; u < td.nodes.size() && !attached; ++u) {
+      AtomLabel label;
+      label.pred = f.pred;
+      bool ok = true;
+      for (ElemId e : f.args) {
+        int p = pos_in(static_cast<int>(u), e);
+        if (p < 0) {
+          ok = false;
+          break;
+        }
+        label.positions.push_back(p);
+      }
+      if (ok) {
+        code.nodes[u].atoms.insert(std::move(label));
+        attached = true;
+      }
+    }
+    MONDET_CHECK(attached);
+  }
+  return code;
+}
+
+}  // namespace mondet

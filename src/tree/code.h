@@ -1,0 +1,76 @@
+#ifndef MONDET_TREE_CODE_H_
+#define MONDET_TREE_CODE_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "tree/decomposition.h"
+
+namespace mondet {
+
+/// A unary label T^R_n of the code signature Code(S,k) (Sec. 3): the atom
+/// R applied to the bag positions `positions` (0-based).
+struct AtomLabel {
+  PredId pred = kNoPred;
+  std::vector<int> positions;
+
+  bool operator<(const AtomLabel& o) const {
+    if (pred != o.pred) return pred < o.pred;
+    return positions < o.positions;
+  }
+  bool operator==(const AtomLabel& o) const {
+    return pred == o.pred && positions == o.positions;
+  }
+};
+
+/// An edge label T_s: a partial 1-1 map between parent and child positions,
+/// stored as sorted (parent_pos, child_pos) pairs. (parent, child) in T_s
+/// with s(i) = j means parent position i and child position j denote the
+/// same element.
+struct EdgeLabel {
+  std::vector<std::pair<int, int>> same;
+
+  bool operator<(const EdgeLabel& o) const { return same < o.same; }
+  bool operator==(const EdgeLabel& o) const { return same == o.same; }
+};
+
+/// The label content of one code node (its atoms plus the edge labels to
+/// its <= 2 children). Leaf/internal distinction is by children count.
+struct CodeNode {
+  std::set<AtomLabel> atoms;
+  std::vector<int> children;          // node indices, size <= 2
+  std::vector<EdgeLabel> edge_labels; // parallel to children
+  int parent = -1;
+};
+
+/// A tree code of width k for a schema (Sec. 3): a labelled binary tree
+/// whose decoding D(T) is an instance. Node 0 is the root.
+struct TreeCode {
+  int width = 0;  // k: the number of positions per bag
+  std::vector<CodeNode> nodes;
+
+  /// D(T): the decoded instance. Elements are the ≡0-equivalence classes
+  /// of (node, position) pairs that occur in some atom. If `class_of` is
+  /// non-null it receives, per node, the element of each position
+  /// (kNoElem for positions whose class carries no atom).
+  Instance Decode(const VocabularyPtr& vocab,
+                  std::vector<std::vector<ElemId>>* class_of = nullptr) const;
+
+  /// Structural sanity: positions within range, edge labels 1-1, binary.
+  bool Validate() const;
+
+  std::string DebugString(const Vocabulary& vocab) const;
+};
+
+/// Encodes an instance with a (binarized) tree decomposition of width <= k
+/// into a tree code of width k. Every fact is attached to one node whose
+/// bag covers it.
+TreeCode EncodeInstance(const Instance& inst, const TreeDecomposition& td,
+                        int k);
+
+}  // namespace mondet
+
+#endif  // MONDET_TREE_CODE_H_

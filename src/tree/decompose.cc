@@ -1,0 +1,158 @@
+#include "tree/decompose.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/check.h"
+#include "base/gaifman.h"
+
+namespace mondet {
+
+namespace {
+
+using AdjMap = std::map<ElemId, std::set<ElemId>>;
+
+AdjMap BuildAdjacency(const Instance& inst) {
+  AdjMap adj;
+  for (ElemId e : inst.ActiveDomain()) adj[e];  // ensure presence
+  for (const Fact& f : inst.facts()) {
+    for (size_t i = 0; i < f.args.size(); ++i) {
+      for (size_t j = i + 1; j < f.args.size(); ++j) {
+        if (f.args[i] != f.args[j]) {
+          adj[f.args[i]].insert(f.args[j]);
+          adj[f.args[j]].insert(f.args[i]);
+        }
+      }
+    }
+  }
+  return adj;
+}
+
+int FillIn(const AdjMap& adj, ElemId v) {
+  const auto& nbrs = adj.at(v);
+  int fill = 0;
+  for (auto it1 = nbrs.begin(); it1 != nbrs.end(); ++it1) {
+    auto it2 = it1;
+    for (++it2; it2 != nbrs.end(); ++it2) {
+      if (!adj.at(*it1).count(*it2)) ++fill;
+    }
+  }
+  return fill;
+}
+
+}  // namespace
+
+TreeDecomposition DecomposeMinFill(const Instance& inst) {
+  AdjMap adj = BuildAdjacency(inst);
+
+  // Elimination: record (vertex, bag = {v} ∪ N(v)) per step.
+  std::vector<std::pair<ElemId, std::vector<ElemId>>> elim;
+  while (!adj.empty()) {
+    ElemId best = adj.begin()->first;
+    int best_fill = FillIn(adj, best);
+    size_t best_deg = adj.begin()->second.size();
+    for (const auto& [v, nbrs] : adj) {
+      int fill = FillIn(adj, v);
+      if (fill < best_fill ||
+          (fill == best_fill && nbrs.size() < best_deg)) {
+        best = v;
+        best_fill = fill;
+        best_deg = nbrs.size();
+      }
+    }
+    std::vector<ElemId> bag{best};
+    const auto nbrs = adj.at(best);
+    bag.insert(bag.end(), nbrs.begin(), nbrs.end());
+    // Make N(v) a clique, remove v.
+    for (ElemId a : nbrs) {
+      for (ElemId b : nbrs) {
+        if (a != b) adj[a].insert(b);
+      }
+    }
+    for (ElemId a : nbrs) adj[a].erase(best);
+    adj.erase(best);
+    elim.emplace_back(best, std::move(bag));
+  }
+
+  TreeDecomposition td;
+  if (elim.empty()) {
+    td.nodes.push_back({{}, {}, -1});
+    return td;
+  }
+  // Build nodes in reverse elimination order; the parent of step i's bag is
+  // the node of the earliest-uneliminated neighbor (standard clique-tree
+  // construction). Node ids follow reverse order so the root is the last
+  // eliminated vertex.
+  std::map<ElemId, int> node_of;  // vertex -> node index in td
+  for (int i = static_cast<int>(elim.size()) - 1; i >= 0; --i) {
+    const auto& [v, bag] = elim[i];
+    int id = static_cast<int>(td.nodes.size());
+    int parent = -1;
+    // Find the neighbor eliminated soonest after v (bag minus v are all
+    // eliminated after v).
+    int best_step = static_cast<int>(elim.size());
+    for (ElemId u : bag) {
+      if (u == v) continue;
+      for (int j = i + 1; j < static_cast<int>(elim.size()); ++j) {
+        if (elim[j].first == u) {
+          if (j < best_step) best_step = j;
+          break;
+        }
+      }
+    }
+    if (best_step < static_cast<int>(elim.size())) {
+      parent = node_of.at(elim[best_step].first);
+    } else if (id != 0) {
+      parent = 0;  // disconnected component: hang off the root
+    }
+    td.nodes.push_back({bag, {}, parent});
+    if (parent >= 0) td.nodes[parent].children.push_back(id);
+    node_of[v] = id;
+  }
+  return td;
+}
+
+namespace {
+
+/// Branch and bound over elimination orderings for exact treewidth
+/// (max-bag-size convention).
+int BnB(AdjMap& adj, int current_max, int best) {
+  if (current_max >= best) return best;
+  if (adj.empty()) return current_max;
+  // Simplicial vertices can always be eliminated first.
+  for (const auto& [v, nbrs] : adj) {
+    if (FillIn(adj, v) == 0) {
+      int bag = static_cast<int>(nbrs.size()) + 1;
+      AdjMap copy = adj;
+      for (ElemId a : copy[v]) copy[a].erase(v);
+      copy.erase(v);
+      return BnB(copy, std::max(current_max, bag), best);
+    }
+  }
+  for (const auto& [v, nbrs] : adj) {
+    int bag = static_cast<int>(nbrs.size()) + 1;
+    if (std::max(current_max, bag) >= best) continue;
+    AdjMap copy = adj;
+    for (ElemId a : copy[v]) {
+      for (ElemId b : copy[v]) {
+        if (a != b) copy[a].insert(b);
+      }
+    }
+    for (ElemId a : copy[v]) copy[a].erase(v);
+    copy.erase(v);
+    int result = BnB(copy, std::max(current_max, bag), best);
+    best = std::min(best, result);
+  }
+  return best;
+}
+
+}  // namespace
+
+int ExactTreewidth(const Instance& inst, int upper_bound) {
+  AdjMap adj = BuildAdjacency(inst);
+  if (adj.empty()) return 0;
+  return BnB(adj, 0, upper_bound + 1);
+}
+
+}  // namespace mondet

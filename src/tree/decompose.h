@@ -1,0 +1,22 @@
+#ifndef MONDET_TREE_DECOMPOSE_H_
+#define MONDET_TREE_DECOMPOSE_H_
+
+#include "tree/decomposition.h"
+
+namespace mondet {
+
+/// Computes a tree decomposition of `inst` using the min-fill elimination
+/// heuristic on the Gaifman graph. The result validates against `inst`;
+/// its width is an upper bound on the treewidth (tight on the families the
+/// paper's constructions produce: trees, grids with small sides, expansion
+/// canonical databases).
+TreeDecomposition DecomposeMinFill(const Instance& inst);
+
+/// Exact treewidth (paper convention: max bag size) by branch-and-bound
+/// over elimination orderings. Only feasible for small active domains
+/// (<= ~20 elements); used by tests and the Lemma 3 bench.
+int ExactTreewidth(const Instance& inst, int upper_bound);
+
+}  // namespace mondet
+
+#endif  // MONDET_TREE_DECOMPOSE_H_

@@ -1,0 +1,142 @@
+#include "tree/decomposition.h"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "base/check.h"
+
+namespace mondet {
+
+int TreeDecomposition::width() const {
+  int w = 0;
+  for (const Node& n : nodes) w = std::max(w, static_cast<int>(n.bag.size()));
+  return w;
+}
+
+int TreeDecomposition::MaxBagsPerElement() const {
+  std::map<ElemId, int> count;
+  for (const Node& n : nodes) {
+    for (ElemId e : n.bag) count[e]++;
+  }
+  int l = 0;
+  for (const auto& [e, c] : count) {
+    (void)e;
+    l = std::max(l, c);
+  }
+  return l;
+}
+
+int TreeDecomposition::MaxOutdegree() const {
+  int d = 0;
+  for (const Node& n : nodes) {
+    d = std::max(d, static_cast<int>(n.children.size()));
+  }
+  return d;
+}
+
+bool TreeDecomposition::Validate(const Instance& inst) const {
+  // Bags have distinct elements.
+  for (const Node& n : nodes) {
+    std::set<ElemId> s(n.bag.begin(), n.bag.end());
+    if (s.size() != n.bag.size()) return false;
+  }
+  // Every fact is covered by some bag.
+  for (const Fact& f : inst.facts()) {
+    bool covered = false;
+    for (const Node& n : nodes) {
+      std::set<ElemId> s(n.bag.begin(), n.bag.end());
+      bool all = true;
+      for (ElemId e : f.args) all = all && s.count(e) > 0;
+      if (all) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  // Connectivity: for each element, the nodes containing it form a subtree.
+  std::map<ElemId, std::vector<int>> occ;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (ElemId e : nodes[i].bag) occ[e].push_back(static_cast<int>(i));
+  }
+  for (const auto& [e, where] : occ) {
+    (void)e;
+    std::set<int> member(where.begin(), where.end());
+    // BFS within member nodes from where[0]; all must be reached.
+    std::set<int> seen{where[0]};
+    std::deque<int> queue{where[0]};
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      std::vector<int> nbrs = nodes[u].children;
+      if (nodes[u].parent >= 0) nbrs.push_back(nodes[u].parent);
+      for (int v : nbrs) {
+        if (member.count(v) && !seen.count(v)) {
+          seen.insert(v);
+          queue.push_back(v);
+        }
+      }
+    }
+    if (seen.size() != member.size()) return false;
+  }
+  return true;
+}
+
+TreeDecomposition Binarize(const TreeDecomposition& td) {
+  TreeDecomposition out;
+  // Recursively copy, chaining children beyond the second through duplicate
+  // bags.
+  std::function<int(int, int)> copy = [&](int src, int parent) -> int {
+    int id = static_cast<int>(out.nodes.size());
+    out.nodes.push_back({td.nodes[src].bag, {}, parent});
+    const auto& kids = td.nodes[src].children;
+    int attach = id;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      if (out.nodes[attach].children.size() == 2 ||
+          (out.nodes[attach].children.size() == 1 && i + 1 < kids.size())) {
+        // Insert a duplicate bag to continue the chain.
+        int dup = static_cast<int>(out.nodes.size());
+        out.nodes.push_back({td.nodes[src].bag, {}, attach});
+        out.nodes[attach].children.push_back(dup);
+        attach = dup;
+      }
+      int child = copy(kids[i], attach);
+      out.nodes[attach].children.push_back(child);
+    }
+    return id;
+  };
+  if (!td.nodes.empty()) copy(0, -1);
+  return out;
+}
+
+TreeDecomposition ExtendDecomposition(const TreeDecomposition& td, int r) {
+  // adjacency of bags (tree edges) and element -> bags map.
+  size_t n = td.nodes.size();
+  std::map<ElemId, std::vector<int>> occ;
+  for (size_t i = 0; i < n; ++i) {
+    for (ElemId e : td.nodes[i].bag) occ[e].push_back(static_cast<int>(i));
+  }
+  TreeDecomposition out;
+  out.nodes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.nodes[i].children = td.nodes[i].children;
+    out.nodes[i].parent = td.nodes[i].parent;
+    std::set<ElemId> ext(td.nodes[i].bag.begin(), td.nodes[i].bag.end());
+    for (int step = 0; step < r; ++step) {
+      std::set<ElemId> next = ext;
+      for (ElemId e : ext) {
+        for (int b : occ[e]) {
+          next.insert(td.nodes[b].bag.begin(), td.nodes[b].bag.end());
+        }
+      }
+      ext.swap(next);
+    }
+    out.nodes[i].bag.assign(ext.begin(), ext.end());
+  }
+  return out;
+}
+
+}  // namespace mondet

@@ -1,0 +1,51 @@
+#ifndef MONDET_TREE_DECOMPOSITION_H_
+#define MONDET_TREE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// A rooted tree decomposition TD = (τ, λ) of an instance (Sec. 3). Bags
+/// are tuples of distinct elements; node 0 is the root. Following the
+/// paper's convention, the *width* of a decomposition is the maximum bag
+/// size k (not k-1).
+struct TreeDecomposition {
+  struct Node {
+    std::vector<ElemId> bag;
+    std::vector<int> children;
+    int parent = -1;
+  };
+
+  std::vector<Node> nodes;
+
+  int width() const;
+
+  /// l(TD): the maximum, over elements, of the number of bags containing
+  /// the element.
+  int MaxBagsPerElement() const;
+
+  /// Checks the two tree-decomposition conditions against `inst`:
+  /// every fact's elements lie in one bag, and each element's bags form a
+  /// connected subtree. Also checks bag elements are distinct.
+  bool Validate(const Instance& inst) const;
+
+  /// Maximum node outdegree.
+  int MaxOutdegree() const;
+};
+
+/// Rewrites the decomposition so every node has outdegree <= 2 by chaining
+/// copies of over-full nodes (the paper notes this is always possible
+/// without increasing the width).
+TreeDecomposition Binarize(const TreeDecomposition& td);
+
+/// The r-extension of a decomposition (proof of Lemma 3): each bag b is
+/// replaced by ext(b, r), where ext(b, 0) = b and ext(b, n) adds every
+/// element sharing a bag with ext(b, n-1). The result decomposes any
+/// instance whose facts connect elements within distance r of a bag.
+TreeDecomposition ExtendDecomposition(const TreeDecomposition& td, int r);
+
+}  // namespace mondet
+
+#endif  // MONDET_TREE_DECOMPOSITION_H_

@@ -1,0 +1,430 @@
+#include "views/inverse_rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "base/check.h"
+#include "datalog/eval.h"
+
+namespace mondet {
+
+namespace {
+
+/// Annotation of one logic-program variable: either a plain element or a
+/// skolem term f_{view,exvar}(x1..xn) whose arguments are the view's head
+/// variables.
+struct VarAnn {
+  bool plain = true;
+  PredId view = kNoPred;
+  VarId exvar = 0;
+
+  bool operator==(const VarAnn& o) const {
+    return plain == o.plain && (plain || (view == o.view && exvar == o.exvar));
+  }
+  bool operator<(const VarAnn& o) const {
+    if (plain != o.plain) return plain;
+    if (plain) return false;
+    if (view != o.view) return view < o.view;
+    return exvar < o.exvar;
+  }
+};
+
+/// Key of an annotated base predicate: one inverse rule, i.e. one body atom
+/// of one view definition. This keeps the producing view unique, which the
+/// frontier-guarding step relies on.
+struct BaseKey {
+  PredId base = kNoPred;
+  PredId view = kNoPred;
+  size_t atom_idx = 0;
+
+  bool operator<(const BaseKey& o) const {
+    if (base != o.base) return base < o.base;
+    if (view != o.view) return view < o.view;
+    return atom_idx < o.atom_idx;
+  }
+};
+
+/// Key of an annotated IDB predicate of the query.
+struct IdbKey {
+  PredId idb = kNoPred;
+  std::vector<VarAnn> anns;
+
+  bool operator<(const IdbKey& o) const {
+    if (idb != o.idb) return idb < o.idb;
+    return anns < o.anns;
+  }
+};
+
+int SlotWidth(const Vocabulary& vocab, const VarAnn& a) {
+  return a.plain ? 1 : vocab.arity(a.view);
+}
+
+std::string AnnName(const Vocabulary& vocab, const VarAnn& a) {
+  if (a.plain) return "p";
+  return "f[" + vocab.name(a.view) + "." + std::to_string(a.exvar) + "]";
+}
+
+/// Metadata of the view CQ needed to build annotations.
+struct ViewCqInfo {
+  CQ cq;
+  std::vector<VarAnn> var_ann;  // per CQ variable: Plain(free) or Sk(ex)
+  // For each free position i: the CQ variable there.
+  std::vector<VarId> free_at;
+};
+
+}  // namespace
+
+DatalogQuery InverseRulesRewriting(const DatalogQuery& query,
+                                   const ViewSet& views,
+                                   const InverseRulesOptions& options) {
+  const VocabularyPtr& vocab = query.program.vocab();
+  MONDET_CHECK(views.vocab().get() == vocab.get());
+  const Program& qprog = query.program;
+
+  // --- Collect view CQ metadata. -----------------------------------------
+  std::map<PredId, ViewCqInfo> view_info;
+  for (const View& v : views.views()) {
+    MONDET_CHECK(v.IsCq());
+    ViewCqInfo info{v.AsCq(), {}, {}};
+    info.var_ann.resize(info.cq.num_vars());
+    for (size_t var = 0; var < info.cq.num_vars(); ++var) {
+      info.var_ann[var] =
+          VarAnn{false, v.pred, static_cast<VarId>(var)};  // skolem default
+    }
+    for (VarId fv : info.cq.free_vars()) {
+      info.var_ann[fv] = VarAnn{true, kNoPred, 0};
+      info.free_at.push_back(fv);
+    }
+    view_info.emplace(v.pred, std::move(info));
+  }
+
+  Program out(vocab);
+
+  // --- Annotated predicate interning. -------------------------------------
+  // Annotated base predicate R@(view,atom): its positional annotations are
+  // fixed by the view body atom. Annotated IDB predicate P@[anns].
+  std::map<BaseKey, PredId> base_pred;
+  std::map<BaseKey, std::vector<VarAnn>> base_anns;
+  std::map<IdbKey, PredId> idb_pred;
+
+  auto intern_width = [&](const std::string& name,
+                          const std::vector<VarAnn>& anns) {
+    int width = 0;
+    for (const VarAnn& a : anns) width += SlotWidth(*vocab, a);
+    return vocab->AddPredicate(name, width);
+  };
+
+  // --- Step 1: inverse rules. ---------------------------------------------
+  // For view V(x) ← B1,..,Bm: rule Bj@(V,j)(slots) ← V(x).
+  std::map<PredId, std::vector<BaseKey>> base_versions;  // base → annotated
+  for (const View& v : views.views()) {
+    const ViewCqInfo& info = view_info.at(v.pred);
+    int view_arity = static_cast<int>(info.free_at.size());
+    for (size_t j = 0; j < info.cq.atoms().size(); ++j) {
+      const QAtom& atom = info.cq.atoms()[j];
+      BaseKey key{atom.pred, v.pred, j};
+      std::vector<VarAnn> anns;
+      for (VarId z : atom.args) anns.push_back(info.var_ann[z]);
+      std::ostringstream name;
+      name << vocab->name(atom.pred) << "@" << vocab->name(v.pred) << "#"
+           << j;
+      PredId ap = intern_width(name.str(), anns);
+      base_pred[key] = ap;
+      base_anns[key] = anns;
+      base_versions[atom.pred].push_back(key);
+
+      // Build the rule: variables are the view head positions x0..x(n-1).
+      Rule rule;
+      for (int i = 0; i < view_arity; ++i) {
+        rule.var_names.push_back("x" + std::to_string(i));
+      }
+      std::vector<VarId> head_slots;
+      for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+        VarId z = atom.args[pos];
+        if (info.var_ann[z].plain) {
+          // z is a free variable of the view: use the first head position
+          // holding it.
+          int found = -1;
+          for (int i = 0; i < view_arity; ++i) {
+            if (info.free_at[i] == z) {
+              found = i;
+              break;
+            }
+          }
+          MONDET_CHECK(found >= 0);
+          head_slots.push_back(static_cast<VarId>(found));
+        } else {
+          // Skolem slot: all head positions, in order.
+          for (int i = 0; i < view_arity; ++i) {
+            head_slots.push_back(static_cast<VarId>(i));
+          }
+        }
+      }
+      rule.head = QAtom(ap, head_slots);
+      std::vector<VarId> view_args;
+      for (int i = 0; i < view_arity; ++i) {
+        view_args.push_back(static_cast<VarId>(i));
+      }
+      rule.body.push_back(QAtom(v.pred, view_args));
+      out.AddRule(std::move(rule));
+    }
+  }
+
+  // --- Step 2: saturate the query rules over annotations. -----------------
+  // Known IDB annotations per query IDB predicate.
+  std::map<PredId, std::set<std::vector<VarAnn>>> idb_versions;
+  std::set<std::string> emitted;  // dedup of emitted rules
+
+  auto idb_pred_for = [&](PredId p, const std::vector<VarAnn>& anns) {
+    IdbKey key{p, anns};
+    auto it = idb_pred.find(key);
+    if (it != idb_pred.end()) return it->second;
+    std::ostringstream name;
+    name << vocab->name(p) << "@[";
+    for (size_t i = 0; i < anns.size(); ++i) {
+      if (i) name << ",";
+      name << AnnName(*vocab, anns[i]);
+    }
+    name << "]";
+    PredId ap = intern_width(name.str(), anns);
+    idb_pred.emplace(key, ap);
+    return ap;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& qrule : qprog.rules()) {
+      // Per-body-atom choices: each is either a BaseKey (for EDB atoms) or
+      // an IDB annotation vector.
+      size_t m = qrule.body.size();
+      std::vector<int> choice(m, -1);
+      // Flatten the available options per atom.
+      std::vector<std::vector<std::vector<VarAnn>>> options_anns(m);
+      std::vector<std::vector<const BaseKey*>> options_base(m);
+      bool feasible = true;
+      for (size_t i = 0; i < m; ++i) {
+        const QAtom& a = qrule.body[i];
+        if (qprog.IsIdb(a.pred)) {
+          for (const auto& anns : idb_versions[a.pred]) {
+            options_anns[i].push_back(anns);
+            options_base[i].push_back(nullptr);
+          }
+        } else {
+          for (const BaseKey& key : base_versions[a.pred]) {
+            options_anns[i].push_back(base_anns.at(key));
+            options_base[i].push_back(&key);
+          }
+        }
+        if (options_anns[i].empty()) feasible = false;
+      }
+      if (!feasible) continue;
+
+      // Backtrack over choices, unifying variable annotations.
+      std::map<VarId, VarAnn> var_ann;
+      std::function<void(size_t)> descend = [&](size_t i) {
+        if (i == m) {
+          // Head annotation.
+          std::vector<VarAnn> head_anns;
+          for (VarId v : qrule.head.args) head_anns.push_back(var_ann.at(v));
+          if (idb_versions[qrule.head.pred].insert(head_anns).second) {
+            changed = true;
+          }
+          // Emit the annotated rule.
+          Rule nr;
+          std::map<VarId, std::vector<VarId>> expansion;
+          auto expand = [&](VarId v) -> const std::vector<VarId>& {
+            auto it = expansion.find(v);
+            if (it != expansion.end()) return it->second;
+            const VarAnn& a = var_ann.at(v);
+            std::vector<VarId> slots;
+            int w = SlotWidth(*vocab, a);
+            for (int s = 0; s < w; ++s) {
+              slots.push_back(static_cast<VarId>(nr.var_names.size()));
+              nr.var_names.push_back(qrule.var_names[v] + "#" +
+                                     std::to_string(s));
+            }
+            return expansion.emplace(v, std::move(slots)).first->second;
+          };
+          // Pre-expand head and body variables.
+          std::vector<VarId> head_slots;
+          for (VarId v : qrule.head.args) {
+            const auto& e = expand(v);
+            head_slots.insert(head_slots.end(), e.begin(), e.end());
+          }
+          struct BodyAtom {
+            PredId pred = kNoPred;
+            std::vector<VarId> slots;
+            const BaseKey* base = nullptr;
+            // Per slot: the view-CQ variable it denotes (base atoms only).
+            std::vector<VarId> labels;
+          };
+          std::vector<BodyAtom> batoms;
+          for (size_t bi = 0; bi < m; ++bi) {
+            const QAtom& a = qrule.body[bi];
+            BodyAtom ba;
+            for (VarId v : a.args) {
+              const auto& e = expand(v);
+              ba.slots.insert(ba.slots.end(), e.begin(), e.end());
+            }
+            ba.base = options_base[bi][choice[bi]];
+            if (ba.base != nullptr) {
+              const BaseKey& key = *ba.base;
+              ba.pred = base_pred.at(key);
+              const ViewCqInfo& info = view_info.at(key.view);
+              const QAtom& vatom = info.cq.atoms()[key.atom_idx];
+              int va = static_cast<int>(info.free_at.size());
+              for (VarId z : vatom.args) {
+                if (info.var_ann[z].plain) {
+                  ba.labels.push_back(z);
+                } else {
+                  for (int vi = 0; vi < va; ++vi) {
+                    ba.labels.push_back(info.free_at[vi]);
+                  }
+                }
+              }
+            } else {
+              ba.pred = idb_pred_for(a.pred, options_anns[bi][choice[bi]]);
+            }
+            batoms.push_back(std::move(ba));
+          }
+          // Slot-level unification: within one annotated base atom, two
+          // slots denoting the same view variable (a plain slot and the
+          // matching skolem component) are equal on every derivable fact;
+          // unify them so frontier-guarding and minimality hold.
+          std::vector<VarId> dsu(nr.var_names.size());
+          for (size_t v = 0; v < dsu.size(); ++v) dsu[v] = static_cast<VarId>(v);
+          std::function<VarId(VarId)> find = [&](VarId x) {
+            while (dsu[x] != x) {
+              dsu[x] = dsu[dsu[x]];
+              x = dsu[x];
+            }
+            return x;
+          };
+          for (const BodyAtom& ba : batoms) {
+            if (ba.base == nullptr) continue;
+            std::map<VarId, VarId> first;  // view var -> slot var
+            for (size_t si = 0; si < ba.slots.size(); ++si) {
+              VarId label = ba.labels[si];
+              auto it = first.find(label);
+              if (it == first.end()) {
+                first.emplace(label, ba.slots[si]);
+              } else {
+                dsu[find(ba.slots[si])] = find(it->second);
+              }
+            }
+          }
+          for (VarId& v : head_slots) v = find(v);
+          nr.head = QAtom(idb_pred_for(qrule.head.pred, head_anns),
+                          head_slots);
+          const BaseKey* guard_key = nullptr;
+          for (size_t bi = 0; bi < m; ++bi) {
+            BodyAtom& ba = batoms[bi];
+            for (VarId& v : ba.slots) v = find(v);
+            if (ba.base != nullptr && options.frontier_guard &&
+                guard_key == nullptr && !qrule.head.args.empty()) {
+              const QAtom& a = qrule.body[bi];
+              bool covers = true;
+              for (VarId hv : qrule.head.args) {
+                bool in = false;
+                for (VarId av : a.args) in = in || av == hv;
+                covers = covers && in;
+              }
+              if (covers) {
+                guard_key = ba.base;
+                // Conjoin the view guard atom, reading the view-head
+                // variables off the unified slot labels.
+                const ViewCqInfo& info = view_info.at(guard_key->view);
+                int va = static_cast<int>(info.free_at.size());
+                std::vector<VarId> vargs(va, kNoElem);
+                for (size_t si = 0; si < ba.slots.size(); ++si) {
+                  for (int vi = 0; vi < va; ++vi) {
+                    if (info.free_at[vi] == ba.labels[si] &&
+                        vargs[vi] == kNoElem) {
+                      vargs[vi] = ba.slots[si];
+                    }
+                  }
+                }
+                for (int vi = 0; vi < va; ++vi) {
+                  if (vargs[vi] == kNoElem) {
+                    vargs[vi] = static_cast<VarId>(nr.var_names.size());
+                    nr.var_names.push_back("g" + std::to_string(vi));
+                  }
+                }
+                nr.body.push_back(QAtom(guard_key->view, vargs));
+              }
+            }
+            nr.body.push_back(QAtom(ba.pred, ba.slots));
+          }
+          // Dedup.
+          std::ostringstream key;
+          key << nr.head.pred;
+          for (VarId v : nr.head.args) key << "," << v;
+          for (const QAtom& a : nr.body) {
+            key << "|" << a.pred;
+            for (VarId v : a.args) key << "," << v;
+          }
+          if (emitted.insert(key.str()).second) {
+            out.AddRule(std::move(nr));
+            changed = true;
+          }
+          return;
+        }
+        const QAtom& a = qrule.body[i];
+        for (size_t c = 0; c < options_anns[i].size(); ++c) {
+          // Unify.
+          std::vector<VarId> newly;
+          bool ok = true;
+          for (size_t pos = 0; pos < a.args.size() && ok; ++pos) {
+            VarId v = a.args[pos];
+            const VarAnn& want = options_anns[i][c][pos];
+            auto it = var_ann.find(v);
+            if (it == var_ann.end()) {
+              var_ann.emplace(v, want);
+              newly.push_back(v);
+            } else if (!(it->second == want)) {
+              ok = false;
+            }
+          }
+          if (ok) {
+            choice[i] = static_cast<int>(c);
+            descend(i + 1);
+          }
+          for (VarId v : newly) var_ann.erase(v);
+        }
+      };
+      descend(0);
+    }
+  }
+
+  // --- Goal: the all-plain annotation of the original goal. ---------------
+  std::vector<VarAnn> plain(vocab->arity(query.goal), VarAnn{true, kNoPred, 0});
+  PredId out_goal = idb_pred_for(query.goal, plain);
+  if (out.RulesFor(out_goal).empty()) {
+    // Ensure the goal is an IDB of the output even when underivable:
+    // add an unsatisfiable rule Goal ← Goal (keeps consumers simple).
+    Rule r;
+    int ar = vocab->arity(out_goal);
+    std::vector<VarId> args;
+    for (int i = 0; i < ar; ++i) {
+      args.push_back(static_cast<VarId>(r.var_names.size()));
+      r.var_names.push_back("z" + std::to_string(i));
+    }
+    r.head = QAtom(out_goal, args);
+    r.body.push_back(QAtom(out_goal, args));
+    out.AddRule(std::move(r));
+  }
+  return DatalogQuery(std::move(out), out_goal);
+}
+
+std::set<std::vector<ElemId>> CertainAnswers(const DatalogQuery& query,
+                                             const ViewSet& views,
+                                             const Instance& j) {
+  DatalogQuery rewriting = InverseRulesRewriting(query, views);
+  return EvaluateDatalog(rewriting, j);
+}
+
+}  // namespace mondet

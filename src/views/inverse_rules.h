@@ -1,0 +1,43 @@
+#ifndef MONDET_VIEWS_INVERSE_RULES_H_
+#define MONDET_VIEWS_INVERSE_RULES_H_
+
+#include <optional>
+
+#include "datalog/program.h"
+#include "views/view_set.h"
+
+namespace mondet {
+
+/// Options for the inverse-rules construction.
+struct InverseRulesOptions {
+  /// Conjoin the generating view atom to every rule so that the output is
+  /// frontier-guarded whenever the input query is (paper appendix,
+  /// "Rewritability results inherited from prior work").
+  bool frontier_guard = false;
+};
+
+/// The inverse-rules algorithm of Duschka–Genesereth–Levy [14], with full
+/// defunctionalization of skolem terms into annotated predicates.
+///
+/// Given a Datalog query `query` over the base schema and a set of CQ
+/// views, produces a Datalog query over the *view schema* that computes,
+/// on any view-schema instance J, the certain answers of `query` w.r.t.
+/// the views (appendix Thm 10). When `query` is monotonically determined
+/// by the views, the result is a Datalog rewriting; it is always a
+/// separator candidate and a PTime separator for CQ views.
+///
+/// Every view must be a CQ view (View::IsCq()).
+DatalogQuery InverseRulesRewriting(const DatalogQuery& query,
+                                   const ViewSet& views,
+                                   const InverseRulesOptions& options = {});
+
+/// Certain answers of `query` w.r.t. `views` on the view-schema instance
+/// `j`: the intersection of Q(I) over all I with V(I) ⊇ J, computed via
+/// the inverse-rules program.
+std::set<std::vector<ElemId>> CertainAnswers(const DatalogQuery& query,
+                                             const ViewSet& views,
+                                             const Instance& j);
+
+}  // namespace mondet
+
+#endif  // MONDET_VIEWS_INVERSE_RULES_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "automata/nta.h"
+#include "automata/ops.h"
+
+namespace mondet {
+namespace {
+
+/// Test fixture over a tiny alphabet: unary label "a" at position 0 or
+/// label "b" at position 0, chained by the identity edge {0->0}.
+class ChainAutomataTest : public ::testing::Test {
+ protected:
+  static constexpr PredId kA = 0;
+  static constexpr PredId kB = 1;
+
+  NodeLabel LabelA() { return {AtomLabel{kA, {0}}}; }
+  NodeLabel LabelB() { return {AtomLabel{kB, {0}}}; }
+  EdgeLabel Id() { return EdgeLabel{{{0, 0}}}; }
+
+  /// Unary chain code with the given labels, root first.
+  TreeCode Chain(const std::vector<NodeLabel>& labels) {
+    TreeCode code;
+    code.width = 1;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      CodeNode node;
+      node.atoms = labels[i];
+      node.parent = static_cast<int>(i) - 1;
+      if (i + 1 < labels.size()) {
+        node.children.push_back(static_cast<int>(i) + 1);
+        node.edge_labels.push_back(Id());
+      }
+      code.nodes.push_back(node);
+    }
+    return code;
+  }
+
+  /// Accepts chains whose labels are all "a".
+  Nta AllA() {
+    Nta nta(1);
+    State q = nta.AddState();
+    nta.AddFinal(q);
+    nta.AddLeaf(LabelA(), q);
+    nta.AddUnary(LabelA(), Id(), q, q);
+    return nta;
+  }
+
+  /// Accepts chains containing at least one "b".
+  Nta SomeB() {
+    Nta nta(1);
+    State no = nta.AddState();
+    State yes = nta.AddState();
+    nta.AddFinal(yes);
+    nta.AddLeaf(LabelA(), no);
+    nta.AddLeaf(LabelB(), yes);
+    nta.AddUnary(LabelA(), Id(), no, no);
+    nta.AddUnary(LabelB(), Id(), no, yes);
+    nta.AddUnary(LabelA(), Id(), yes, yes);
+    nta.AddUnary(LabelB(), Id(), yes, yes);
+    return nta;
+  }
+};
+
+TEST_F(ChainAutomataTest, RunAndAccept) {
+  Nta all_a = AllA();
+  EXPECT_TRUE(all_a.Accepts(Chain({LabelA(), LabelA()})));
+  EXPECT_FALSE(all_a.Accepts(Chain({LabelA(), LabelB()})));
+  Nta some_b = SomeB();
+  EXPECT_TRUE(some_b.Accepts(Chain({LabelA(), LabelB(), LabelA()})));
+  EXPECT_FALSE(some_b.Accepts(Chain({LabelA(), LabelA()})));
+}
+
+TEST_F(ChainAutomataTest, ProductIsIntersection) {
+  Nta product = Product(AllA(), SomeB());
+  // "all a" and "some b" is unsatisfiable.
+  EXPECT_TRUE(IsEmpty(product));
+}
+
+TEST_F(ChainAutomataTest, UnionIsUnion) {
+  Nta u = UnionNta(AllA(), SomeB());
+  EXPECT_TRUE(u.Accepts(Chain({LabelA()})));
+  EXPECT_TRUE(u.Accepts(Chain({LabelB()})));
+  EXPECT_TRUE(u.Accepts(Chain({LabelA(), LabelB()})));
+}
+
+TEST_F(ChainAutomataTest, EmptinessWitness) {
+  Nta some_b = SomeB();
+  auto witness = EmptinessWitness(some_b);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(some_b.Accepts(*witness));
+  Nta empty = Product(AllA(), SomeB());
+  EXPECT_FALSE(EmptinessWitness(empty).has_value());
+}
+
+TEST_F(ChainAutomataTest, ProjectionDropsPredicates) {
+  // Projecting away "b" maps b-labels to the empty label (Prop. 5).
+  Nta some_b = SomeB();
+  Nta projected = ProjectLabels(some_b, {kA});
+  // The b-label became {}, so a chain with an empty-label node is accepted.
+  TreeCode code = Chain({LabelA(), NodeLabel{}, LabelA()});
+  EXPECT_TRUE(projected.Accepts(code));
+}
+
+TEST_F(ChainAutomataTest, DeterminizePreservesLanguage) {
+  Nta some_b = SomeB();
+  SymbolUniverse universe = SymbolsOf(some_b);
+  Nta det = Determinize(some_b, universe);
+  for (const auto& labels :
+       std::vector<std::vector<int>>{{0}, {1}, {0, 0}, {0, 1}, {1, 0, 0}}) {
+    std::vector<NodeLabel> chain;
+    for (int l : labels) chain.push_back(l == 0 ? LabelA() : LabelB());
+    TreeCode code = Chain(chain);
+    EXPECT_EQ(det.Accepts(code), some_b.Accepts(code));
+  }
+}
+
+TEST_F(ChainAutomataTest, ComplementFlipsAcceptance) {
+  Nta some_b = SomeB();
+  SymbolUniverse universe = SymbolsOf(some_b);
+  universe.Merge(SymbolsOf(AllA()));
+  Nta complement = Complement(some_b, universe);
+  EXPECT_FALSE(complement.Accepts(Chain({LabelA(), LabelB()})));
+  EXPECT_TRUE(complement.Accepts(Chain({LabelA(), LabelA()})));
+  // some_b ∩ ¬some_b is empty.
+  EXPECT_TRUE(IsEmpty(Product(some_b, complement)));
+  // all_a ⊆ ¬some_b.
+  EXPECT_FALSE(IsEmpty(Product(AllA(), complement)));
+}
+
+TEST_F(ChainAutomataTest, TrimKeepsLanguage) {
+  Nta some_b = SomeB();
+  // Add junk states.
+  State junk = some_b.AddState();
+  some_b.AddUnary(LabelA(), Id(), junk, junk);
+  Nta trimmed = Trim(some_b);
+  EXPECT_LT(trimmed.num_states(), some_b.num_states());
+  EXPECT_TRUE(trimmed.Accepts(Chain({LabelB()})));
+  EXPECT_FALSE(trimmed.Accepts(Chain({LabelA()})));
+}
+
+TEST(BinaryAutomata, BinaryTransitionsWork) {
+  // Accepts full binary trees where every leaf is labelled "a" and inner
+  // nodes are unlabelled.
+  NodeLabel leaf_label{AtomLabel{0, {0}}};
+  EdgeLabel id{{{0, 0}}};
+  Nta nta(1);
+  State q = nta.AddState();
+  nta.AddFinal(q);
+  nta.AddLeaf(leaf_label, q);
+  nta.AddBinary(NodeLabel{}, id, id, q, q, q);
+
+  TreeCode code;
+  code.width = 1;
+  code.nodes.resize(3);
+  code.nodes[0].children = {1, 2};
+  code.nodes[0].edge_labels = {id, id};
+  code.nodes[1].parent = 0;
+  code.nodes[1].atoms = leaf_label;
+  code.nodes[2].parent = 0;
+  code.nodes[2].atoms = leaf_label;
+  EXPECT_TRUE(nta.Accepts(code));
+  code.nodes[2].atoms.clear();
+  EXPECT_FALSE(nta.Accepts(code));
+}
+
+}  // namespace
+}  // namespace mondet

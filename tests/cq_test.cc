@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "cq/containment.h"
+#include "cq/cq.h"
+#include "cq/ucq.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace mondet {
+namespace {
+
+CQ MustParseCq(const std::string& text, const VocabularyPtr& vocab) {
+  std::string error;
+  auto cq = ParseCq(text, vocab, &error);
+  EXPECT_TRUE(cq.has_value()) << error;
+  return *cq;
+}
+
+TEST(Cq, CanonicalDatabase) {
+  auto vocab = MakeVocabulary();
+  CQ cq = MustParseCq("Q(x) :- R(x,y), R(y,x).", vocab);
+  Instance canon = cq.CanonicalDb();
+  EXPECT_EQ(canon.num_elements(), 2u);
+  EXPECT_EQ(canon.num_facts(), 2u);
+}
+
+TEST(Cq, EvaluatePath) {
+  auto vocab = MakeVocabulary();
+  CQ cq = MustParseCq("Q(x,z) :- R(x,y), R(y,z).", vocab);
+  PredId r = *vocab->FindPredicate("R");
+  Instance path = MakePath(vocab, r, 3);  // 0->1->2->3
+  auto out = cq.Evaluate(path);
+  EXPECT_EQ(out.size(), 2u);  // (0,2), (1,3)
+  EXPECT_TRUE(out.count({0, 2}));
+  EXPECT_TRUE(out.count({1, 3}));
+  EXPECT_TRUE(cq.HoldsOn(path, {0, 2}));
+  EXPECT_FALSE(cq.HoldsOn(path, {0, 3}));
+}
+
+TEST(Cq, BooleanEvaluation) {
+  auto vocab = MakeVocabulary();
+  CQ cq = MustParseCq("Q() :- R(x,x).", vocab);
+  PredId r = *vocab->FindPredicate("R");
+  Instance path = MakePath(vocab, r, 2);
+  EXPECT_FALSE(cq.HoldsOn(path));
+  Instance loop = MakeCycle(vocab, r, 1);
+  EXPECT_TRUE(cq.HoldsOn(loop));
+}
+
+TEST(Cq, RadiusAndConnectivity) {
+  auto vocab = MakeVocabulary();
+  CQ path2 = MustParseCq("Q() :- R(x,y), R(y,z).", vocab);
+  EXPECT_EQ(path2.Radius(), 1);
+  EXPECT_TRUE(path2.IsConnected());
+  CQ disconnected = MustParseCq("Q() :- R(x,y), R(u,v).", vocab);
+  EXPECT_FALSE(disconnected.IsConnected());
+  EXPECT_EQ(disconnected.Radius(), -1);
+}
+
+TEST(CqContainment, PathsContainLongerPaths) {
+  auto vocab = MakeVocabulary();
+  CQ p2 = MustParseCq("Q(x) :- R(x,y), R(y,z).", vocab);
+  CQ p1 = MustParseCq("Q(x) :- R(x,y).", vocab);
+  // Longer path is contained in shorter one.
+  EXPECT_TRUE(CqContained(p2, p1));
+  EXPECT_FALSE(CqContained(p1, p2));
+}
+
+TEST(CqContainment, FreeVariablesMatter) {
+  auto vocab = MakeVocabulary();
+  CQ qx = MustParseCq("Q(x) :- R(x,y).", vocab);
+  CQ qy = MustParseCq("Q(y) :- R(x,y).", vocab);
+  EXPECT_FALSE(CqContained(qx, qy));
+  EXPECT_FALSE(CqContained(qy, qx));
+}
+
+TEST(CqContainment, EquivalenceUpToRedundantAtoms) {
+  auto vocab = MakeVocabulary();
+  CQ q1 = MustParseCq("Q(x) :- R(x,y).", vocab);
+  CQ q2 = MustParseCq("Q(x) :- R(x,y), R(x,z).", vocab);
+  EXPECT_TRUE(CqEquivalent(q1, q2));
+}
+
+TEST(CqContainment, TrivialBooleanQuery) {
+  auto vocab = MakeVocabulary();
+  vocab->AddPredicate("R", 2);
+  CQ trivial(vocab);  // empty body, Boolean
+  CQ q = MustParseCq("Q() :- R(x,y).", vocab);
+  EXPECT_TRUE(CqContained(q, trivial));
+  EXPECT_FALSE(CqContained(trivial, q));
+}
+
+TEST(CqCore, FoldsRedundantAtoms) {
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q(x) :- R(x,y), R(x,z), R(x,w).", vocab);
+  CQ core = CqCore(q);
+  EXPECT_EQ(core.atoms().size(), 1u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST(CqCore, KeepsNonRedundantStructure) {
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q() :- R(x,y), R(y,z).", vocab);
+  CQ core = CqCore(q);
+  EXPECT_EQ(core.atoms().size(), 2u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST(CqCore, CollapsesHomEquivalentCycle) {
+  auto vocab = MakeVocabulary();
+  // A 2-cycle with a pendant path folds into the 2-cycle... the pendant
+  // can be retracted into the cycle.
+  CQ q = MustParseCq("Q() :- R(x,y), R(y,x), R(y,z), R(z,w).", vocab);
+  CQ core = CqCore(q);
+  EXPECT_EQ(core.atoms().size(), 2u);
+  EXPECT_TRUE(CqEquivalent(q, core));
+}
+
+TEST(Ucq, EvaluateUnion) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto ucq = ParseUcq("Q(x) :- R(x,y).\nQ(x) :- S(x).", vocab, &error);
+  ASSERT_TRUE(ucq.has_value()) << error;
+  PredId r = *vocab->FindPredicate("R");
+  PredId s = *vocab->FindPredicate("S");
+  Instance inst(vocab);
+  ElemId a = inst.AddElement();
+  ElemId b = inst.AddElement();
+  ElemId c = inst.AddElement();
+  inst.AddFact(r, {a, b});
+  inst.AddFact(s, {c});
+  auto out = ucq->Evaluate(inst);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_TRUE(out.count({a}));
+  EXPECT_TRUE(out.count({c}));
+}
+
+TEST(UcqContainment, SagivYannakakis) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto u1 = ParseUcq("Q() :- R(x,y), R(y,z).", vocab, &error);
+  auto u2 = ParseUcq("Q() :- R(x,y).\nQ() :- S(x).", vocab, &error);
+  ASSERT_TRUE(u1 && u2);
+  EXPECT_TRUE(UcqContained(*u1, *u2));
+  EXPECT_FALSE(UcqContained(*u2, *u1));
+}
+
+TEST(UcqContainment, DisjunctsCoveredIndividually) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto u1 = ParseUcq("Q() :- R(x,x).\nQ() :- S(x).", vocab, &error);
+  auto u2 = ParseUcq("Q() :- R(x,y).\nQ() :- S(z).", vocab, &error);
+  ASSERT_TRUE(u1 && u2);
+  EXPECT_TRUE(UcqContained(*u1, *u2));
+  EXPECT_TRUE(UcqEquivalent(*u1, *u1));
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/backward.h"
+#include "core/forward.h"
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+#include "datalog/normalize.h"
+#include "datalog/parser.h"
+#include "reductions/thm6_stratified.h"
+#include "tests/test_util.h"
+
+namespace mondet {
+namespace {
+
+DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
+                            const VocabularyPtr& vocab) {
+  std::string error;
+  auto q = ParseQuery(text, goal, vocab, &error);
+  EXPECT_TRUE(q.has_value()) << error;
+  return *q;
+}
+
+// ---------- Frontier-one (MDL) backward mapping -------------------------
+
+TEST(MdlBackward, ReachQueryRoundTripsAsMdl) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    Goal() :- P(x), M(x).
+  )",
+                                  "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  std::vector<PredId> schema{*vocab->FindPredicate("R"),
+                             *vocab->FindPredicate("U"),
+                             *vocab->FindPredicate("M")};
+  DatalogQuery back = BackwardMappingMdl(fwd.automaton, schema, vocab);
+  EXPECT_TRUE(IsMonadic(back.program)) << back.program.DebugString();
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    Instance inst = RandomInstance(vocab, schema, 4, 8, 1700 + seed);
+    EXPECT_EQ(DatalogHoldsOn(q, inst), DatalogHoldsOn(back, inst))
+        << "seed " << seed;
+  }
+}
+
+TEST(MdlBackward, NormalizedQueryRoundTrips) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    A(x) :- U(x).
+    A(x) :- R(x,y), A(y), B(y).
+    B(x) :- M(x).
+    Goal() :- A(x), S(x).
+  )",
+                                  "Goal", vocab);
+  DatalogQuery normalized = NormalizeMdl(q);
+  ForwardResult fwd = ApproximationAutomaton(normalized);
+  std::vector<PredId> schema{
+      *vocab->FindPredicate("R"), *vocab->FindPredicate("U"),
+      *vocab->FindPredicate("M"), *vocab->FindPredicate("S")};
+  DatalogQuery back = BackwardMappingMdl(fwd.automaton, schema, vocab);
+  EXPECT_TRUE(IsMonadic(back.program));
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    Instance inst = RandomInstance(vocab, schema, 4, 8, 1800 + seed);
+    EXPECT_EQ(DatalogHoldsOn(q, inst), DatalogHoldsOn(back, inst))
+        << "seed " << seed;
+  }
+}
+
+// ---------- Bounded Datalog containment ---------------------------------
+
+TEST(BoundedContainment, ExactOnNonRecursive) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q1 = MustParseQuery("G1() :- R(x,y), R(y,z).", "G1", vocab);
+  DatalogQuery q2 = MustParseQuery("G2() :- R(x,y).", "G2", vocab);
+  BoundedContainment fwd = CheckDatalogContainmentBounded(q1, q2, 3);
+  EXPECT_FALSE(fwd.refuted);
+  EXPECT_TRUE(fwd.exhaustive);  // proves Q1 ⊑ Q2
+  BoundedContainment bwd = CheckDatalogContainmentBounded(q2, q1, 3);
+  EXPECT_TRUE(bwd.refuted);
+  ASSERT_TRUE(bwd.witness.has_value());
+  EXPECT_TRUE(DatalogHoldsOn(q2, *bwd.witness));
+  EXPECT_FALSE(DatalogHoldsOn(q1, *bwd.witness));
+}
+
+TEST(BoundedContainment, RecursiveRefutation) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery reach = MustParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    G1() :- P(x).
+  )",
+                                      "G1", vocab);
+  DatalogQuery edge_to_u =
+      MustParseQuery("G2() :- R(x,y), U(y).", "G2", vocab);
+  // reach ⋢ edge_to_u: the depth-1 expansion U(x) has no edge.
+  BoundedContainment result =
+      CheckDatalogContainmentBounded(reach, edge_to_u, 4);
+  EXPECT_TRUE(result.refuted);
+  // edge_to_u ⊑ reach: exhaustively provable (left side non-recursive).
+  BoundedContainment other =
+      CheckDatalogContainmentBounded(edge_to_u, reach, 3);
+  EXPECT_FALSE(other.refuted);
+  EXPECT_TRUE(other.exhaustive);
+}
+
+TEST(BoundedContainment, NonBooleanTuples) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q1 = MustParseQuery("G1(x,z) :- R(x,y), R(y,z).", "G1", vocab);
+  DatalogQuery q2 = MustParseQuery("G2(x,z) :- R(x,y), R(y,z).", "G2", vocab);
+  DatalogQuery flipped =
+      MustParseQuery("G3(z,x) :- R(x,y), R(y,z).", "G3", vocab);
+  EXPECT_FALSE(CheckDatalogContainmentBounded(q1, q2, 3).refuted);
+  EXPECT_TRUE(CheckDatalogContainmentBounded(q1, flipped, 3).refuted);
+}
+
+// ---------- Non-Boolean monotonic determinacy ----------------------------
+
+TEST(NonBooleanMonDet, DeterminedPairQuery) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseQuery("Q(x,z) :- R(x,y), R(y,z).", "Q", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error));
+  MonDetResult result = CheckMonotonicDeterminacy(*q, views);
+  EXPECT_EQ(result.verdict, Verdict::kDetermined);
+}
+
+TEST(NonBooleanMonDet, FrontierLostRefuted) {
+  // The answer variable is invisible in the view: the frontier tuple
+  // cannot be certain.
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseQuery("Q(x) :- R(x,y).", "Q", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq("V(y) :- R(x,y).", vocab, &error));
+  MonDetResult result = CheckMonotonicDeterminacy(*q, views);
+  EXPECT_EQ(result.verdict, Verdict::kNotDetermined);
+}
+
+// ---------- Stratified rewriting (appendix) ------------------------------
+
+class StratifiedTest : public ::testing::Test {
+ protected:
+  StratifiedTest() : gadget_(BuildThm6(UnsolvableTilingProblem())) {}
+  Thm6Gadget gadget_;
+
+  bool Agrees(const Instance& inst) {
+    bool direct = DatalogHoldsOn(gadget_.query, inst);
+    bool stratified =
+        StratifiedRewritingHolds(gadget_, gadget_.views.Image(inst));
+    return direct == stratified;
+  }
+};
+
+TEST_F(StratifiedTest, AgreesOnAxes) {
+  for (int n = 1; n <= 3; ++n) {
+    EXPECT_TRUE(Agrees(gadget_.MakeAxes(n, n))) << n;
+    EXPECT_TRUE(Agrees(gadget_.MakeAxes(n, 1))) << n;
+  }
+}
+
+TEST_F(StratifiedTest, AgreesOnGridTests) {
+  // Grid tests over the unsolvable problem's single tile.
+  for (int n = 1; n <= 3; ++n) {
+    std::vector<int> tiles(static_cast<size_t>(n) * n, 0);
+    EXPECT_TRUE(Agrees(gadget_.MakeGridTest(n, n, tiles))) << n;
+  }
+}
+
+TEST_F(StratifiedTest, AgreesOnRandomInstances) {
+  std::vector<PredId> preds{gadget_.xsucc, gadget_.ysucc, gadget_.cpred,
+                            gadget_.dpred, gadget_.xend,  gadget_.yend,
+                            gadget_.xproj, gadget_.yproj};
+  preds.insert(preds.end(), gadget_.tile_preds.begin(),
+               gadget_.tile_preds.end());
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    Instance inst = RandomInstance(gadget_.vocab, preds, 4, 8, 1900 + seed);
+    EXPECT_TRUE(Agrees(inst)) << "seed " << seed << "\n"
+                              << inst.DebugString();
+  }
+}
+
+TEST_F(StratifiedTest, SolvableProblemStillAgreesOnImages) {
+  // For the parity problem of Thm 8 (no solutions), the appendix claims
+  // the stratified rewriting is exact — exercised on mixed instances.
+  Thm6Gadget parity = BuildThm6(SolvableTilingProblem());
+  // NOTE: with a solvable problem the query is NOT determined, so the
+  // stratified formula need not be a rewriting; we only check it stays
+  // sound on instances where Q holds via the helper/verify disjuncts.
+  Instance axes = parity.MakeAxes(2, 2);
+  EXPECT_TRUE(DatalogHoldsOn(parity.query, axes));
+  EXPECT_TRUE(StratifiedRewritingHolds(parity, parity.views.Image(axes)));
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "base/homomorphism.h"
+#include "core/backward.h"
+#include "core/forward.h"
+#include "datalog/approximation.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace mondet {
+namespace {
+
+DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
+                            const VocabularyPtr& vocab) {
+  std::string error;
+  auto q = ParseQuery(text, goal, vocab, &error);
+  EXPECT_TRUE(q.has_value()) << error;
+  return *q;
+}
+
+constexpr char kReach[] = R"(
+  P(x) :- U(x).
+  P(x) :- R(x,y), P(y).
+  Goal() :- P(x), M(x).
+)";
+
+TEST(LimitIdbAtoms, FoldsWideRules) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    A(x) :- U(x).
+    B(x) :- M(x).
+    C(x) :- S(x).
+    Goal() :- A(x), B(x), C(x), R(x,y).
+  )",
+                                  "Goal", vocab);
+  DatalogQuery limited = LimitIdbAtomsPerRule(q, 2);
+  for (const Rule& rule : limited.program.rules()) {
+    int idb_atoms = 0;
+    for (const QAtom& a : rule.body) {
+      if (limited.program.IsIdb(a.pred)) ++idb_atoms;
+    }
+    EXPECT_LE(idb_atoms, 2);
+  }
+  // Behaviour preserved.
+  PredId u = *vocab->FindPredicate("U");
+  PredId m = *vocab->FindPredicate("M");
+  PredId s = *vocab->FindPredicate("S");
+  PredId r = *vocab->FindPredicate("R");
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    Instance inst = RandomInstance(vocab, {u, m, s, r}, 3, 7, 60 + seed);
+    EXPECT_EQ(DatalogHoldsOn(q, inst), DatalogHoldsOn(limited, inst))
+        << "seed " << seed;
+  }
+}
+
+TEST(Forward, AcceptedCodesDecodeToExpansions) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(kReach, "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  // Collect expansions up to depth 5.
+  std::vector<Instance> expansions;
+  EnumerateExpansions(q, 5, 100, [&](const Expansion& e) {
+    expansions.push_back(e.inst);
+    return true;
+  });
+  ASSERT_FALSE(expansions.empty());
+  // Emptiness witness decodes to some expansion (up to hom equivalence).
+  auto witness = EmptinessWitness(fwd.automaton);
+  ASSERT_TRUE(witness.has_value());
+  Instance decoded = witness->Decode(vocab);
+  bool matches_some = false;
+  for (const Instance& e : expansions) {
+    matches_some = matches_some || HomEquivalent(decoded, e);
+  }
+  EXPECT_TRUE(matches_some) << decoded.DebugString();
+}
+
+TEST(Forward, WitnessSatisfiesQuery) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(kReach, "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  auto witness = EmptinessWitness(fwd.automaton);
+  ASSERT_TRUE(witness.has_value());
+  Instance decoded = witness->Decode(vocab);
+  EXPECT_TRUE(DatalogHoldsOn(q, decoded));
+}
+
+TEST(Forward, BinaryRuleAutomaton) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    A(x) :- U(x).
+    A(x) :- R(x,y), A(y), A(x2), S(x,x2).
+    Goal() :- A(x), M(x).
+  )",
+                                  "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  EXPECT_FALSE(IsEmpty(fwd.automaton));
+  auto witness = EmptinessWitness(fwd.automaton);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(DatalogHoldsOn(q, witness->Decode(vocab)));
+}
+
+TEST(Backward, RoundTripReachability) {
+  // Backward mapping of the approximation automaton of a query, composed
+  // over the *base* schema, recovers the query: Q_A holds exactly on
+  // instances some approximation maps into (by Prop. 7 degenerate case
+  // with identity views).
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(kReach, "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  std::vector<PredId> schema{*vocab->FindPredicate("R"),
+                             *vocab->FindPredicate("U"),
+                             *vocab->FindPredicate("M")};
+  DatalogQuery back = BackwardMapping(fwd.automaton, schema, vocab);
+  PredId r = schema[0];
+  PredId u = schema[1];
+  PredId m = schema[2];
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, u, m}, 4, 8, 70 + seed);
+    EXPECT_EQ(DatalogHoldsOn(q, inst), DatalogHoldsOn(back, inst))
+        << "seed " << seed << "\n"
+        << inst.DebugString();
+  }
+}
+
+TEST(Backward, ChainExample) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(kReach, "Goal", vocab);
+  ForwardResult fwd = ApproximationAutomaton(q);
+  std::vector<PredId> schema{*vocab->FindPredicate("R"),
+                             *vocab->FindPredicate("U"),
+                             *vocab->FindPredicate("M")};
+  DatalogQuery back = BackwardMapping(fwd.automaton, schema, vocab);
+  PredId r = schema[0];
+  Instance inst = MakePath(vocab, r, 3);
+  inst.AddFact(schema[1], {3});  // U at the end
+  inst.AddFact(schema[2], {0});  // M at the start
+  EXPECT_TRUE(DatalogHoldsOn(q, inst));
+  EXPECT_TRUE(DatalogHoldsOn(back, inst));
+  Instance no_mark = MakePath(vocab, r, 3);
+  EXPECT_FALSE(DatalogHoldsOn(back, no_mark));
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+#include "views/inverse_rules.h"
+
+namespace mondet {
+namespace {
+
+DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
+                            const VocabularyPtr& vocab) {
+  std::string error;
+  auto q = ParseQuery(text, goal, vocab, &error);
+  EXPECT_TRUE(q.has_value()) << error;
+  return *q;
+}
+
+/// Example 1 of the paper: ternary T, binary B, unary U1/U2; query Q and
+/// views V0..V2 with the Datalog rewriting obtained via V0.
+struct Example1 {
+  VocabularyPtr vocab = MakeVocabulary();
+  DatalogQuery query;
+  ViewSet views;
+
+  Example1()
+      : query(MustParse()),
+        views(vocab) {
+    std::string error;
+    CQ v0 = *ParseCq("V0(x,w) :- T(x,y,z), B(z,w), B(y,w).", vocab, &error);
+    CQ v1 = *ParseCq("V1(x) :- U1(x).", vocab, &error);
+    CQ v2 = *ParseCq("V2(x) :- U2(x).", vocab, &error);
+    views.AddCqView("V0", v0);
+    views.AddCqView("V1", v1);
+    views.AddCqView("V2", v2);
+  }
+
+  DatalogQuery MustParse() {
+    std::string error;
+    auto q = ParseQuery(R"(
+      Q() :- U1(x), W1(x).
+      W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
+      W1(x) :- U2(x).
+    )",
+                        "Q", vocab, &error);
+    EXPECT_TRUE(q.has_value()) << error;
+    return *q;
+  }
+
+  /// A chain of n "diamond" steps: x0 -T/B/B-> x1 -...-> xn with U1(x0)
+  /// and U2(xn). Q holds on it.
+  Instance Chain(int n) {
+    Instance inst(vocab);
+    PredId t = *vocab->FindPredicate("T");
+    PredId b = *vocab->FindPredicate("B");
+    PredId u1 = *vocab->FindPredicate("U1");
+    PredId u2 = *vocab->FindPredicate("U2");
+    ElemId prev = inst.AddElement("x0");
+    inst.AddFact(u1, {prev});
+    for (int i = 1; i <= n; ++i) {
+      ElemId y = inst.AddElement();
+      ElemId z = inst.AddElement();
+      ElemId next = inst.AddElement("x" + std::to_string(i));
+      inst.AddFact(t, {prev, y, z});
+      inst.AddFact(b, {z, next});
+      inst.AddFact(b, {y, next});
+      prev = next;
+    }
+    inst.AddFact(u2, {prev});
+    return inst;
+  }
+};
+
+TEST(InverseRules, Example1RewritingAgreesOnChains) {
+  Example1 ex;
+  DatalogQuery rewriting = InverseRulesRewriting(ex.query, ex.views);
+  for (int n = 0; n <= 4; ++n) {
+    Instance chain = ex.Chain(n);
+    Instance image = ex.views.Image(chain);
+    EXPECT_TRUE(DatalogHoldsOn(ex.query, chain)) << n;
+    EXPECT_TRUE(DatalogHoldsOn(rewriting, image)) << n;
+  }
+}
+
+TEST(InverseRules, Example1RewritingRejectsBrokenChains) {
+  Example1 ex;
+  DatalogQuery rewriting = InverseRulesRewriting(ex.query, ex.views);
+  // Remove U2 marker: query false, rewriting false on the image.
+  Instance chain = ex.Chain(3);
+  Instance broken(ex.vocab);
+  broken.EnsureElements(chain.num_elements());
+  PredId u2 = *ex.vocab->FindPredicate("U2");
+  for (const Fact& f : chain.facts()) {
+    if (f.pred != u2) broken.AddFact(f);
+  }
+  EXPECT_FALSE(DatalogHoldsOn(ex.query, broken));
+  EXPECT_FALSE(DatalogHoldsOn(rewriting, ex.views.Image(broken)));
+}
+
+TEST(InverseRules, Example1RandomAgreement) {
+  Example1 ex;
+  DatalogQuery rewriting = InverseRulesRewriting(ex.query, ex.views);
+  PredId t = *ex.vocab->FindPredicate("T");
+  PredId b = *ex.vocab->FindPredicate("B");
+  PredId u1 = *ex.vocab->FindPredicate("U1");
+  PredId u2 = *ex.vocab->FindPredicate("U2");
+  int positives = 0;
+  for (unsigned seed = 0; seed < 40; ++seed) {
+    Instance inst =
+        RandomInstance(ex.vocab, {t, b, u1, u2}, 4, 10, 500 + seed);
+    bool q = DatalogHoldsOn(ex.query, inst);
+    bool r = DatalogHoldsOn(rewriting, ex.views.Image(inst));
+    EXPECT_EQ(q, r) << "seed " << seed << "\n" << inst.DebugString();
+    positives += q ? 1 : 0;
+  }
+  EXPECT_GT(positives, 0);  // the sweep exercises both outcomes
+}
+
+TEST(InverseRules, CertainAnswersAreSound) {
+  // Certain answers on V(I) never exceed Q(I).
+  Example1 ex;
+  Instance chain = ex.Chain(2);
+  Instance image = ex.views.Image(chain);
+  auto certain = CertainAnswers(ex.query, ex.views, image);
+  EXPECT_EQ(certain.size(), 1u);  // Boolean query: certainly true
+}
+
+TEST(InverseRules, CertainAnswersOnAmbiguousImage) {
+  // An image fact that does not pin down the base facts: certain answers
+  // must be empty when some preimage falsifies the query.
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery("Q() :- R(x,y), R(y,x).", "Q", vocab);
+  ViewSet views(vocab);
+  std::string error;
+  views.AddCqView("V", *ParseCq("V(x) :- R(x,y).", vocab, &error));
+  Instance j(vocab);
+  ElemId a = j.AddElement();
+  j.AddFact(views.views()[0].pred, {a});
+  auto certain = CertainAnswers(q, views, j);
+  EXPECT_TRUE(certain.empty());
+}
+
+TEST(InverseRules, FrontierGuardedOutput) {
+  // With the guard option, a frontier-guarded query over CQ views gets a
+  // frontier-guarded rewriting (paper appendix).
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    Conn(x,y) :- S(x,y,z).
+    Conn(x,y) :- S(x,y,z), Conn(x,z), Conn(z,y).
+    Goal() :- Conn(x,x).
+  )",
+                                  "Goal", vocab);
+  EXPECT_TRUE(IsFrontierGuarded(q.program));
+  ViewSet views(vocab);
+  std::string error;
+  views.AddCqView("V",
+                  *ParseCq("V(x,y,z) :- S(x,y,u), S(u,y,z).", vocab, &error));
+  InverseRulesOptions options;
+  options.frontier_guard = true;
+  DatalogQuery rewriting = InverseRulesRewriting(q, views, options);
+  EXPECT_TRUE(IsFrontierGuarded(rewriting.program))
+      << rewriting.program.DebugString();
+}
+
+TEST(InverseRules, RecursiveViewViaSaturationAgreesOnAtomicViews) {
+  // With atomic views over every EDB, the rewriting is a faithful copy:
+  // certain answers equal real answers for every instance.
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    Goal() :- P(x).
+  )",
+                                  "Goal", vocab);
+  ViewSet views(vocab);
+  views.AddAtomicView("VR", *vocab->FindPredicate("R"));
+  views.AddAtomicView("VU", *vocab->FindPredicate("U"));
+  DatalogQuery rewriting = InverseRulesRewriting(q, views);
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, u}, 4, 7, 900 + seed);
+    EXPECT_EQ(DatalogHoldsOn(q, inst),
+              DatalogHoldsOn(rewriting, views.Image(inst)))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mondet

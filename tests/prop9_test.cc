@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/mondet_check.h"
+#include "datalog/parser.h"
+#include "reductions/prop9.h"
+
+namespace mondet {
+namespace {
+
+DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
+                            const VocabularyPtr& vocab) {
+  std::string error;
+  auto q = ParseQuery(text, goal, vocab, &error);
+  EXPECT_TRUE(q.has_value()) << error;
+  return *q;
+}
+
+TEST(Lemma8, ContainedQueriesGiveDeterminacy) {
+  // Q1 = ∃xyz 2-path ⊑ Q2 = ∃xy edge: the reduction must yield a
+  // monotonically determined query (bounded check finds no failure).
+  auto vocab = MakeVocabulary();
+  DatalogQuery q1 = MustParseQuery("G1() :- R(x,y), R(y,z).", "G1", vocab);
+  DatalogQuery q2 = MustParseQuery("G2() :- R(x,y).", "G2", vocab);
+  Prop9Reduction reduction = ContainmentToMonDet(q1, q2);
+  MonDetResult result =
+      CheckMonotonicDeterminacy(reduction.query, reduction.views);
+  EXPECT_NE(result.verdict, Verdict::kNotDetermined);
+}
+
+TEST(Lemma8, NonContainmentRefuted) {
+  // Q1 = ∃xy edge NOT ⊑ Q2 = ∃x loop: the reduction is not determined
+  // and the canonical tests find the counterexample.
+  auto vocab = MakeVocabulary();
+  DatalogQuery q1 = MustParseQuery("G1() :- R(x,y).", "G1", vocab);
+  DatalogQuery q2 = MustParseQuery("G2() :- R(x,x).", "G2", vocab);
+  Prop9Reduction reduction = ContainmentToMonDet(q1, q2);
+  MonDetResult result =
+      CheckMonotonicDeterminacy(reduction.query, reduction.views);
+  EXPECT_EQ(result.verdict, Verdict::kNotDetermined);
+}
+
+TEST(Lemma8, RecursiveContainment) {
+  // Reachability-to-U contained in "some U": determined; and the
+  // converse direction is refuted.
+  auto vocab = MakeVocabulary();
+  DatalogQuery reach = MustParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    G1() :- P(x).
+  )",
+                                      "G1", vocab);
+  DatalogQuery some_u = MustParseQuery("G2() :- U(x).", "G2", vocab);
+  Prop9Reduction forward = ContainmentToMonDet(reach, some_u);
+  MonDetResult fwd = CheckMonotonicDeterminacy(forward.query, forward.views);
+  EXPECT_NE(fwd.verdict, Verdict::kNotDetermined);
+
+  auto vocab2 = MakeVocabulary();
+  DatalogQuery some_u2 = MustParseQuery("G2() :- U(x).", "G2", vocab2);
+  DatalogQuery edge_to_u = MustParseQuery("G1() :- R(x,y), U(y).", "G1",
+                                          vocab2);
+  // "some U" not contained in "edge into U".
+  Prop9Reduction backward = ContainmentToMonDet(some_u2, edge_to_u);
+  MonDetResult bwd =
+      CheckMonotonicDeterminacy(backward.query, backward.views);
+  EXPECT_EQ(bwd.verdict, Verdict::kNotDetermined);
+}
+
+TEST(Lemma7, EquivalentViewGivesDeterminacy) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery("G() :- R(x,y).", "G", vocab);
+  DatalogQuery same = MustParseQuery("V() :- R(a,b).", "V", vocab);
+  Lemma7Instance instance = EquivalenceToMonDet(q, same);
+  MonDetResult result =
+      CheckMonotonicDeterminacy(instance.query, instance.views);
+  EXPECT_EQ(result.verdict, Verdict::kDetermined);
+}
+
+TEST(Lemma7, InequivalentViewRefuted) {
+  auto vocab = MakeVocabulary();
+  DatalogQuery q = MustParseQuery("G() :- R(x,x).", "G", vocab);
+  DatalogQuery weaker = MustParseQuery("V() :- R(a,b).", "V", vocab);
+  Lemma7Instance instance = EquivalenceToMonDet(q, weaker);
+  MonDetResult result =
+      CheckMonotonicDeterminacy(instance.query, instance.views);
+  EXPECT_EQ(result.verdict, Verdict::kNotDetermined);
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,290 @@
+// Property-based suites: parameterized sweeps checking cross-module
+// invariants (evaluator agreement, soundness of certain answers, game /
+// homomorphism consistency, code round-trips) on randomized inputs.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "base/homomorphism.h"
+#include "core/cq_automaton.h"
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "games/pebble.h"
+#include "tests/test_util.h"
+#include "tree/code.h"
+#include "tree/decompose.h"
+#include "views/inverse_rules.h"
+
+namespace mondet {
+namespace {
+
+// ---------- Semi-naive FPEval vs. a naive reference evaluator ------------
+
+class SeminaiveVsNaive : public ::testing::TestWithParam<unsigned> {};
+
+/// Naive evaluation: fire every rule against the full instance until no
+/// new facts appear. Slow but obviously correct.
+Instance NaiveFpEval(const Program& program, const Instance& inst) {
+  Instance result = inst;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Fact> pending;
+    for (const Rule& rule : program.rules()) {
+      if (rule.body.empty()) {
+        pending.push_back(Fact(rule.head.pred, {}));
+        continue;
+      }
+      Instance pattern(result.vocab());
+      pattern.EnsureElements(rule.num_vars());
+      for (const QAtom& a : rule.body) {
+        pattern.AddFact(a.pred,
+                        std::vector<ElemId>(a.args.begin(), a.args.end()));
+      }
+      HomSearch search(pattern, result);
+      search.ForEach({}, [&](const std::vector<ElemId>& map) {
+        std::vector<ElemId> args;
+        for (VarId v : rule.head.args) args.push_back(map[v]);
+        pending.push_back(Fact(rule.head.pred, std::move(args)));
+        return true;
+      });
+    }
+    for (Fact& f : pending) {
+      if (result.AddFact(f)) changed = true;
+    }
+  }
+  return result;
+}
+
+TEST_P(SeminaiveVsNaive, SameFixpoint) {
+  unsigned seed = GetParam();
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    T(x,y) :- R(x,y), P(y).
+    T(x,z) :- T(x,y), T(y,z).
+    Goal() :- T(x,x).
+  )",
+                      "Goal", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  Instance inst = RandomInstance(vocab, {r, u}, 5, 9, 2100 + seed);
+  Instance fast = FpEval(q->program, inst);
+  Instance slow = NaiveFpEval(q->program, inst);
+  EXPECT_EQ(fast.num_facts(), slow.num_facts()) << "seed " << seed;
+  for (const Fact& f : slow.facts()) {
+    EXPECT_TRUE(fast.HasFact(f)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeminaiveVsNaive, ::testing::Range(0u, 12u));
+
+// ---------- CQ DP evaluator agrees with direct evaluation ----------------
+
+class CqDpAgreement
+    : public ::testing::TestWithParam<std::tuple<std::string, unsigned>> {};
+
+TEST_P(CqDpAgreement, MatchesHomomorphismSearch) {
+  const auto& [query_text, seed] = GetParam();
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto cq = ParseCq(query_text, vocab, &error);
+  ASSERT_TRUE(cq) << error;
+  PredId r = *vocab->FindPredicate("R");
+  std::vector<PredId> preds{r};
+  if (auto u = vocab->FindPredicate("U")) preds.push_back(*u);
+  Instance inst = RandomInstance(vocab, preds, 5, 8, 2200 + seed);
+  TreeDecomposition td = Binarize(DecomposeMinFill(inst));
+  TreeCode code = EncodeInstance(inst, td, td.width());
+  CqMatchAutomaton dp(*cq, td.width());
+  std::vector<uint32_t> states(code.nodes.size());
+  std::function<void(int)> visit = [&](int n) {
+    const CodeNode& node = code.nodes[n];
+    for (int c : node.children) visit(c);
+    NodeLabel label(node.atoms.begin(), node.atoms.end());
+    if (node.children.empty()) {
+      states[n] = dp.Leaf(label);
+    } else if (node.children.size() == 1) {
+      states[n] = dp.Unary(states[node.children[0]], label,
+                           node.edge_labels[0]);
+    } else {
+      states[n] = dp.Binary(states[node.children[0]], states[node.children[1]],
+                            label, node.edge_labels[0], node.edge_labels[1]);
+    }
+  };
+  visit(0);
+  EXPECT_EQ(dp.Accepting(states[0]), cq->HoldsOn(inst))
+      << query_text << " seed " << seed << "\n"
+      << inst.DebugString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QueriesBySeed, CqDpAgreement,
+    ::testing::Combine(
+        ::testing::Values("Q() :- R(x,y), R(y,z).", "Q() :- R(x,x).",
+                          "Q() :- R(x,y), R(y,x).",
+                          "Q() :- R(x,y), R(y,z), R(z,x).",
+                          "Q() :- R(x,y), U(y), R(y,z)."),
+        ::testing::Range(0u, 8u)));
+
+// ---------- Certain answers are sound (and exact on view images) ---------
+
+class CertainAnswerSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CertainAnswerSoundness, LowerBoundsTruth) {
+  unsigned seed = GetParam();
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    Goal() :- P(x).
+  )",
+                      "Goal", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  ViewSet views(vocab);
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  views.AddCqView("VRU", *ParseCq("VRU(x,y) :- R(x,y), U(y).", vocab, &error));
+  views.AddCqView("VR", *ParseCq("VR(x) :- R(x,y).", vocab, &error));
+  Instance inst = RandomInstance(vocab, {r, u}, 4, 7, 2300 + seed);
+  Instance image = views.Image(inst);
+  auto certain = CertainAnswers(*q, views, image);
+  // Soundness: certainty implies truth.
+  if (!certain.empty()) {
+    EXPECT_TRUE(DatalogHoldsOn(*q, inst)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CertainAnswerSoundness,
+                         ::testing::Range(0u, 15u));
+
+// ---------- Pebble game is sandwiched by homomorphisms -------------------
+
+class GameSandwich
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(GameSandwich, HomImpliesWinImpliesNoRefutation) {
+  const auto& [k, seed] = GetParam();
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId u = vocab->AddPredicate("U", 1);
+  Instance a = RandomInstance(vocab, {r, u}, 4, 6, 2400 + seed);
+  Instance b = RandomInstance(vocab, {r, u}, 4, 7, 2500 + seed);
+  bool hom = HasHomomorphism(a, b);
+  bool game = DuplicatorWins(a, b, k);
+  // Fact 1 direction: a homomorphism gives a Duplicator strategy.
+  if (hom) {
+    EXPECT_TRUE(game) << "k=" << k << " seed " << seed;
+  }
+  // Monotonicity in k.
+  if (k > 2) {
+    bool weaker = DuplicatorWins(a, b, k - 1);
+    EXPECT_LE(game, weaker) << "k=" << k << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KBySeed, GameSandwich,
+                         ::testing::Combine(::testing::Values(2, 3),
+                                            ::testing::Range(0u, 8u)));
+
+// ---------- Codes decode to hom-equivalent instances ---------------------
+
+class CodeRoundTrip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CodeRoundTrip, DecodePreservesStructure) {
+  unsigned seed = GetParam();
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId t = vocab->AddPredicate("T", 3);
+  PredId u = vocab->AddPredicate("U", 1);
+  Instance inst = RandomInstance(vocab, {r, t, u}, 6, 10, 2600 + seed);
+  TreeDecomposition td = Binarize(DecomposeMinFill(inst));
+  ASSERT_TRUE(td.Validate(inst)) << "seed " << seed;
+  TreeCode code = EncodeInstance(inst, td, td.width() + (seed % 3));
+  ASSERT_TRUE(code.Validate()) << "seed " << seed;
+  Instance decoded = code.Decode(vocab);
+  EXPECT_EQ(decoded.num_facts(), inst.num_facts()) << "seed " << seed;
+  EXPECT_TRUE(HomEquivalent(decoded, inst)) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodeRoundTrip, ::testing::Range(0u, 15u));
+
+// ---------- Thm 5 agrees with exact canonical tests ----------------------
+
+struct MonDetCase {
+  const char* query;
+  const char* view;
+};
+
+class Thm5VsCanonical : public ::testing::TestWithParam<MonDetCase> {};
+
+TEST_P(Thm5VsCanonical, VerdictsAgree) {
+  const MonDetCase& c = GetParam();
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseCq(c.query, vocab, &error);
+  ASSERT_TRUE(q) << error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq(c.view, vocab, &error));
+  Thm5Result thm5 = CheckCqOverDatalogViews(*q, views);
+  MonDetResult canonical =
+      CheckMonotonicDeterminacy(CqAsDatalog(*q, "G"), views);
+  ASSERT_NE(canonical.verdict, Verdict::kUnknownBounded) << c.query;
+  EXPECT_EQ(thm5.determined, canonical.verdict == Verdict::kDetermined)
+      << c.query << " over " << c.view;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, Thm5VsCanonical,
+    ::testing::Values(
+        MonDetCase{"Q() :- R(x,y), R(y,z).", "V(x,z) :- R(x,y), R(y,z)."},
+        MonDetCase{"Q() :- R(x,y).", "V(x,z) :- R(x,y), R(y,z)."},
+        MonDetCase{"Q() :- R(x,y), R(y,x).", "V(x,y) :- R(x,y)."},
+        MonDetCase{"Q() :- R(x,x).", "V(x) :- R(x,x)."},
+        MonDetCase{"Q() :- R(x,y), R(x,z).", "V(x) :- R(x,y)."},
+        MonDetCase{"Q() :- R(x,y), R(y,z), R(z,w).",
+                   "V(x,w) :- R(x,y), R(y,z), R(z,w)."}));
+
+// ---------- Inverse-rules rewriting is exact over lossless views ---------
+
+class LosslessViewFamilies : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LosslessViewFamilies, RewritingMatchesQuery) {
+  unsigned seed = GetParam();
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseQuery(R"(
+    E(x) :- S(x).
+    E(y) :- R(x,y), O(x).
+    O(y) :- R(x,y), E(x).
+    Goal() :- O(x), U(x).
+  )",
+                      "Goal", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  ViewSet views(vocab);
+  views.AddAtomicView("VR", *vocab->FindPredicate("R"));
+  views.AddAtomicView("VS", *vocab->FindPredicate("S"));
+  views.AddAtomicView("VU", *vocab->FindPredicate("U"));
+  DatalogQuery rewriting = InverseRulesRewriting(*q, views);
+  std::vector<PredId> preds{*vocab->FindPredicate("R"),
+                            *vocab->FindPredicate("S"),
+                            *vocab->FindPredicate("U")};
+  Instance inst = RandomInstance(vocab, preds, 4, 8, 2700 + seed);
+  EXPECT_EQ(DatalogHoldsOn(*q, inst),
+            DatalogHoldsOn(rewriting, views.Image(inst)))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LosslessViewFamilies,
+                         ::testing::Range(0u, 15u));
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/mondet_check.h"
+#include "core/rewriting.h"
+#include "cq/containment.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+
+namespace mondet {
+namespace {
+
+CQ MustParseCq(const std::string& text, const VocabularyPtr& vocab) {
+  std::string error;
+  auto cq = ParseCq(text, vocab, &error);
+  EXPECT_TRUE(cq.has_value()) << error;
+  return *cq;
+}
+
+TEST(Prop8, CqRewritingOverCqViews) {
+  // Determined case: the simple forward-backward rewriting is exact.
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q() :- R(x,y), R(y,z).", vocab);
+  ViewSet views(vocab);
+  views.AddCqView("V", MustParseCq("V(x,z) :- R(x,y), R(y,z).", vocab));
+  auto rewriting = SimpleCqRewriting(q, views);
+  ASSERT_TRUE(rewriting.has_value());
+  PredId r = *vocab->FindPredicate("R");
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    Instance inst = RandomInstance(vocab, {r}, 4, 6, 120 + seed);
+    EXPECT_EQ(q.HoldsOn(inst), rewriting->HoldsOn(views.Image(inst)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Prop8, CqRewritingOverDatalogViews) {
+  // Prop. 8 holds for arbitrary Datalog views: Q = ∃x U(x) with a
+  // recursive view and a U-view.
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q() :- U(x).", vocab);
+  std::string error;
+  auto def = ParseQuery(
+      "Reach(x) :- R(x,y), U(y).\nReach(x) :- R(x,y), Reach(y).", "Reach",
+      vocab, &error);
+  ASSERT_TRUE(def) << error;
+  ViewSet views(vocab);
+  views.AddView("VReach", *def);
+  views.AddCqView("VU", MustParseCq("VU(x) :- U(x).", vocab));
+  auto rewriting = SimpleCqRewriting(q, views);
+  ASSERT_TRUE(rewriting.has_value());
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, u}, 4, 6, 220 + seed);
+    EXPECT_EQ(q.HoldsOn(inst), rewriting->HoldsOn(views.Image(inst)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Prop8, RewritingSizePolynomial) {
+  // |V(Q)| is bounded by the number of view matches on Canondb(Q).
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q() :- R(x,y), R(y,z), R(z,w).", vocab);
+  ViewSet views(vocab);
+  views.AddCqView("V", MustParseCq("V(x,y) :- R(x,y).", vocab));
+  auto rewriting = SimpleCqRewriting(q, views);
+  ASSERT_TRUE(rewriting.has_value());
+  EXPECT_EQ(rewriting->atoms().size(), 3u);
+}
+
+TEST(Prop8, UcqRewritingPerDisjunct) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto ucq = ParseUcq("Q() :- R(x,y), R(y,z).\nQ() :- S(x).", vocab, &error);
+  ASSERT_TRUE(ucq) << error;
+  ViewSet views(vocab);
+  views.AddCqView("V", MustParseCq("V(x,z) :- R(x,y), R(y,z).", vocab));
+  views.AddAtomicView("VS", *vocab->FindPredicate("S"));
+  auto rewriting = SimpleUcqRewriting(*ucq, views);
+  ASSERT_TRUE(rewriting.has_value());
+  EXPECT_EQ(rewriting->disjuncts().size(), 2u);
+  PredId r = *vocab->FindPredicate("R");
+  PredId s = *vocab->FindPredicate("S");
+  for (unsigned seed = 0; seed < 20; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, s}, 4, 5, 320 + seed);
+    EXPECT_EQ(ucq->HoldsOn(inst), rewriting->HoldsOn(views.Image(inst)))
+        << "seed " << seed;
+  }
+}
+
+TEST(Prop8, NonBooleanRewritingKeepsFreeVars) {
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q(x,z) :- R(x,y), R(y,z).", vocab);
+  ViewSet views(vocab);
+  views.AddCqView("V", MustParseCq("V(x,z) :- R(x,y), R(y,z).", vocab));
+  auto rewriting = SimpleCqRewriting(q, views);
+  ASSERT_TRUE(rewriting.has_value());
+  EXPECT_EQ(rewriting->arity(), 2);
+  PredId r = *vocab->FindPredicate("R");
+  Instance path = MakePath(vocab, r, 4);
+  EXPECT_EQ(q.Evaluate(path), rewriting->Evaluate(views.Image(path)));
+}
+
+TEST(Prop8, UnsafeRewritingReported) {
+  // A free variable invisible to the views: no safe CQ rewriting.
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q(x) :- R(x,y), S(y).", vocab);
+  ViewSet views(vocab);
+  views.AddAtomicView("VS", *vocab->FindPredicate("S"));
+  auto rewriting = SimpleCqRewriting(q, views);
+  EXPECT_FALSE(rewriting.has_value());
+}
+
+TEST(ComposeWithViews, EquivalentToImageEvaluation) {
+  auto vocab = MakeVocabulary();
+  CQ q = MustParseCq("Q() :- R(x,y), R(y,z).", vocab);
+  ViewSet views(vocab);
+  views.AddCqView("V", MustParseCq("V(x,z) :- R(x,y), R(y,z).", vocab));
+  auto rewriting = SimpleCqRewriting(q, views);
+  ASSERT_TRUE(rewriting.has_value());
+  DatalogQuery rw = CqAsDatalog(*rewriting, "RW");
+  DatalogQuery composed = ComposeWithViews(rw, views);
+  PredId r = *vocab->FindPredicate("R");
+  for (unsigned seed = 0; seed < 15; ++seed) {
+    Instance inst = RandomInstance(vocab, {r}, 4, 6, 420 + seed);
+    EXPECT_EQ(DatalogHoldsOn(rw, views.Image(inst)),
+              DatalogHoldsOn(composed, inst))
+        << "seed " << seed;
+    EXPECT_TRUE(RewritingAgreesOn(CqAsDatalog(q, "QD"), rw, views, inst));
+  }
+}
+
+}  // namespace
+}  // namespace mondet

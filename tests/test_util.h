@@ -1,0 +1,56 @@
+#ifndef MONDET_TESTS_TEST_UTIL_H_
+#define MONDET_TESTS_TEST_UTIL_H_
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/symbol_table.h"
+
+namespace mondet {
+
+/// Builds a directed R-path a0 → a1 → ... → an over a binary predicate.
+inline Instance MakePath(const VocabularyPtr& vocab, PredId edge, int n) {
+  Instance inst(vocab);
+  std::vector<ElemId> nodes;
+  for (int i = 0; i <= n; ++i) nodes.push_back(inst.AddElement());
+  for (int i = 0; i < n; ++i) inst.AddFact(edge, {nodes[i], nodes[i + 1]});
+  return inst;
+}
+
+/// Builds a directed cycle of length n.
+inline Instance MakeCycle(const VocabularyPtr& vocab, PredId edge, int n) {
+  Instance inst(vocab);
+  std::vector<ElemId> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(inst.AddElement());
+  for (int i = 0; i < n; ++i) {
+    inst.AddFact(edge, {nodes[i], nodes[(i + 1) % n]});
+  }
+  return inst;
+}
+
+/// Random instance over the given predicates with `elems` elements and
+/// roughly `facts` facts (deduplicated).
+inline Instance RandomInstance(const VocabularyPtr& vocab,
+                               const std::vector<PredId>& preds, int elems,
+                               int facts, unsigned seed) {
+  std::mt19937 rng(seed);
+  Instance inst(vocab);
+  for (int i = 0; i < elems; ++i) inst.AddElement();
+  std::uniform_int_distribution<int> elem_dist(0, elems - 1);
+  std::uniform_int_distribution<size_t> pred_dist(0, preds.size() - 1);
+  for (int i = 0; i < facts; ++i) {
+    PredId p = preds[pred_dist(rng)];
+    std::vector<ElemId> args;
+    for (int j = 0; j < vocab->arity(p); ++j) {
+      args.push_back(static_cast<ElemId>(elem_dist(rng)));
+    }
+    inst.AddFact(p, args);
+  }
+  return inst;
+}
+
+}  // namespace mondet
+
+#endif  // MONDET_TESTS_TEST_UTIL_H_

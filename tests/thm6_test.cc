@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+#include "reductions/thm6.h"
+
+namespace mondet {
+namespace {
+
+TEST(Thm6, QueryIsMonadic) {
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  EXPECT_TRUE(IsMonadic(gadget.query.program));
+}
+
+TEST(Thm6, ViewsAreUcqs) {
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  for (const View& v : gadget.views.views()) {
+    EXPECT_TRUE(IsNonRecursive(v.definition.program));
+  }
+}
+
+TEST(Thm6, QueryHoldsOnAxes) {
+  // The axes instance is an expansion of Qstart: Q is true on it.
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  for (int n = 1; n <= 3; ++n) {
+    Instance axes = gadget.MakeAxes(n, n);
+    EXPECT_TRUE(DatalogHoldsOn(gadget.query, axes)) << n;
+  }
+}
+
+TEST(Thm6, AxesImageHasGridOfSFacts) {
+  Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
+  Instance axes = gadget.MakeAxes(2, 3);
+  Instance image = gadget.views.Image(axes);
+  PredId s = kNoPred;
+  for (const View& v : gadget.views.views()) {
+    if (gadget.vocab->name(v.pred) == "S") s = v.pred;
+  }
+  ASSERT_NE(s, kNoPred);
+  // S = C × D: 2 * 3 facts (Figure 2(b)).
+  EXPECT_EQ(image.FactsWith(s).size(), 6u);
+}
+
+TEST(Thm6, GridTestFalsifiesQueryIffTilingValid) {
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  auto solution = tp.Solve(2, 2);
+  ASSERT_TRUE(solution.has_value());
+  Instance good = gadget.MakeGridTest(2, 2, *solution);
+  // A valid tiling: no Qverify disjunct fires, Qstart/Qhelper can't (no
+  // C/D facts): the test FAILS the query — monotonic determinacy broken.
+  EXPECT_FALSE(DatalogHoldsOn(gadget.query, good));
+
+  // An invalid tiling (break the initial-tile constraint) re-fires Q.
+  std::vector<int> bad = *solution;
+  bad[0] = tp.initial.empty() ? 0 : (bad[0] + 1) % tp.num_tiles;
+  if (!tp.IsInitial(bad[0])) {
+    Instance broken = gadget.MakeGridTest(2, 2, bad);
+    EXPECT_TRUE(DatalogHoldsOn(gadget.query, broken));
+  }
+}
+
+TEST(Thm6, Prop10SolvableTilingRefutesMonDet) {
+  // TP has a solution ⇒ Q_TP is NOT monotonically determined by V_TP;
+  // the canonical-test enumerator finds the grid counterexample.
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  MonDetOptions options;
+  options.query_depth = 5;  // axes up to 2x2 grids
+  options.view_depth = 3;
+  options.max_query_expansions = 60;
+  options.max_tests_per_expansion = 5000;
+  MonDetResult result =
+      CheckMonotonicDeterminacy(gadget.query, gadget.views, options);
+  EXPECT_EQ(result.verdict, Verdict::kNotDetermined);
+  ASSERT_TRUE(result.failure.has_value());
+  // The failing D' does not satisfy Q (it is a correctly tiled grid).
+  EXPECT_FALSE(DatalogHoldsOn(gadget.query, result.failure->dprime));
+}
+
+TEST(Thm6, Prop10UnsolvableTilingPassesBoundedTests) {
+  TilingProblem tp = UnsolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  MonDetOptions options;
+  options.query_depth = 5;
+  options.view_depth = 3;
+  options.max_query_expansions = 60;
+  options.max_tests_per_expansion = 5000;
+  MonDetResult result =
+      CheckMonotonicDeterminacy(gadget.query, gadget.views, options);
+  // No failing test exists at all (Prop. 10); the bounded enumerator can
+  // only certify "no counterexample up to the bounds".
+  EXPECT_NE(result.verdict, Verdict::kNotDetermined);
+  EXPECT_GT(result.tests_run, 0u);
+}
+
+}  // namespace
+}  // namespace mondet

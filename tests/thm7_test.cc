@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "base/homomorphism.h"
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/fragment.h"
+#include "games/unravel.h"
+#include "reductions/thm7.h"
+#include "views/inverse_rules.h"
+
+namespace mondet {
+namespace {
+
+TEST(Thm7, QueryShape) {
+  Thm7Gadget gadget = BuildThm7();
+  EXPECT_TRUE(IsMonadic(gadget.query.program));
+  EXPECT_TRUE(gadget.views.AllCq());
+}
+
+TEST(Thm7, QueryHoldsOnDiamondChains) {
+  Thm7Gadget gadget = BuildThm7();
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_TRUE(DatalogHoldsOn(gadget.query, gadget.DiamondChain(n))) << n;
+    EXPECT_FALSE(
+        DatalogHoldsOn(gadget.query, gadget.DiamondChain(n, false)))
+        << n;
+  }
+}
+
+TEST(Thm7, ViewImageShape) {
+  // Figure 3(b): the image of a k-diamond chain is S, R^{k-1}, T.
+  Thm7Gadget gadget = BuildThm7();
+  Instance chain = gadget.DiamondChain(3);
+  Instance image = gadget.views.Image(chain);
+  EXPECT_EQ(image.FactsWith(gadget.s_view).size(), 1u);
+  EXPECT_EQ(image.FactsWith(gadget.r_view).size(), 2u);
+  EXPECT_EQ(image.FactsWith(gadget.t_view).size(), 1u);
+}
+
+TEST(Thm7, DatalogRewritingViaInverseRulesIsExact) {
+  // The paper: Q IS Datalog-rewritable over these views. The inverse-rules
+  // rewriting agrees with Q on diamond chains and their breakages.
+  Thm7Gadget gadget = BuildThm7();
+  DatalogQuery rewriting =
+      InverseRulesRewriting(gadget.query, gadget.views);
+  for (int n = 1; n <= 4; ++n) {
+    Instance chain = gadget.DiamondChain(n);
+    EXPECT_TRUE(DatalogHoldsOn(rewriting, gadget.views.Image(chain))) << n;
+    Instance unmarked = gadget.DiamondChain(n, false);
+    EXPECT_FALSE(DatalogHoldsOn(rewriting, gadget.views.Image(unmarked)))
+        << n;
+  }
+}
+
+TEST(Thm7, MonotonicallyDeterminedUpToBounds) {
+  Thm7Gadget gadget = BuildThm7();
+  MonDetOptions options;
+  options.query_depth = 4;
+  options.view_depth = 2;
+  options.max_query_expansions = 40;
+  MonDetResult result =
+      CheckMonotonicDeterminacy(gadget.query, gadget.views, options);
+  EXPECT_NE(result.verdict, Verdict::kNotDetermined);
+  EXPECT_GT(result.tests_run, 0u);
+}
+
+TEST(Thm7, RRowNeedsLongChains) {
+  // The Figure 4 pattern of n R-rectangles maps into the image of an
+  // m-diamond chain iff m >= n + 1.
+  Thm7Gadget gadget = BuildThm7();
+  Instance row3 = gadget.RRowPattern(3);
+  Instance image4 = gadget.views.Image(gadget.DiamondChain(4));  // R^3
+  Instance image3 = gadget.views.Image(gadget.DiamondChain(3));  // R^2
+  EXPECT_TRUE(HasHomomorphism(row3, image4));
+  EXPECT_FALSE(HasHomomorphism(row3, image3));
+}
+
+TEST(Thm7, UnravelledImageBreaksLongRows) {
+  // The proof of Thm 7: in a (1,k)-unravelling of the view image, the
+  // long R-row pattern has no homomorphic image, while short rows do.
+  Thm7Gadget gadget = BuildThm7();
+  Instance image = gadget.views.Image(gadget.DiamondChain(4));
+  UnravelOptions options;
+  options.k = 4;  // R is 4-ary: bags must fit one R-fact
+  options.depth = 2;
+  options.one_overlap = true;
+  options.max_nodes = 100000;
+  Unravelling unravelled = BoundedUnravelling(image, options);
+  ASSERT_FALSE(unravelled.truncated);
+  // Single R-facts still map in...
+  EXPECT_TRUE(HasHomomorphism(gadget.RRowPattern(1), unravelled.inst));
+  // ...but two chained R-rectangles share two elements, which no pair of
+  // (1,k)-bags can reproduce.
+  EXPECT_FALSE(HasHomomorphism(gadget.RRowPattern(2), unravelled.inst));
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "base/homomorphism.h"
+#include "datalog/eval.h"
+#include "games/pebble.h"
+#include "reductions/lemma6.h"
+#include "reductions/thm6.h"
+#include "reductions/thm8.h"
+
+namespace mondet {
+namespace {
+
+/// The Thm 8 setting: Q_TP* and V_TP* for the parity tiling problem TP*.
+/// Since TP* has no solution, Q_TP* IS monotonically determined by V_TP*;
+/// the theorem shows it still has no Datalog rewriting, via instances
+/// I_ℓ (the axes) whose images are k-indistinguishable from tileable
+/// unravellings.
+class Thm8Test : public ::testing::Test {
+ protected:
+  Thm8Test() : tp_(MakeParityTilingProblem()), gadget_(BuildThm6(tp_)) {}
+
+  TilingProblem tp_;
+  Thm6Gadget gadget_;
+};
+
+TEST_F(Thm8Test, ParityProblemHasNoSolution) {
+  EXPECT_FALSE(tp_.HasSolutionUpTo(3, 3));
+}
+
+TEST_F(Thm8Test, QueryTrueOnAxes) {
+  // I_ℓ = the axes expansion: Q_TP*(I_ℓ) = True.
+  Instance axes = gadget_.MakeAxes(3, 3);
+  EXPECT_TRUE(DatalogHoldsOn(gadget_.query, axes));
+}
+
+TEST_F(Thm8Test, ValidGridTestWouldFalsifyQuery) {
+  // Key soundness check behind monotonic determinacy of Q_TP*: grid
+  // tests with *invalid* tilings keep the query true. Try every 2x2
+  // assignment over a few tiles: all violate TP* somewhere, so Q holds.
+  int checked = 0;
+  for (int t0 = 0; t0 < 4; ++t0) {
+    for (int t1 = 0; t1 < 4; ++t1) {
+      Instance test =
+          gadget_.MakeGridTest(2, 2, {t0, t1, (t0 + t1) % 4, t1});
+      EXPECT_TRUE(DatalogHoldsOn(gadget_.query, test))
+          << t0 << "," << t1;
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 16);
+}
+
+TEST_F(Thm8Test, GridMapsIntoTilingStructureApproximately) {
+  // Lemma 6 via Fact 1: the grid wins the 2-pebble game against I_TP*
+  // even though no homomorphism (no tiling) exists — this is what makes
+  // the view images k-indistinguishable and defeats every Datalog
+  // rewriting (Fact 2).
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  Instance target = TilingProblemAsInstance(tp_, vocab, schema);
+  Instance grid = GridInstance(3, 3, vocab, schema);
+  EXPECT_FALSE(HasHomomorphism(grid, target));
+  EXPECT_TRUE(DuplicatorWins(grid, target, 2));
+}
+
+TEST_F(Thm8Test, WlIsTileableForSmallK) {
+  // The W_ℓ construction of the proof: the grid of S-facts of an
+  // unravelled image. We verify its essence — a k-unravelling of the
+  // grid CAN be tiled (maps into I_TP*) although the grid cannot.
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  Instance grid = GridInstance(3, 3, vocab, schema);
+  Instance target = TilingProblemAsInstance(tp_, vocab, schema);
+  // Fact 4(2): grid →k I_TP* iff U → I_TP* for the k-unravelling U.
+  // We check the game directly (equivalent and cheaper).
+  EXPECT_TRUE(DuplicatorWins(grid, target, 2));
+}
+
+TEST_F(Thm8Test, FullPipelineProducesTheSeparatingPair) {
+  // The proof's pipeline on a bounded unravelling: Q(I_ℓ) = True,
+  // Q(I'_ℓ) = False, and U_ℓ ⊆ V(I'_ℓ) — so the view images cannot be
+  // separated by any Datalog program of matching pebble width (Fact 2).
+  auto pipeline = BuildThm8Pipeline(gadget_, /*ell=*/3, /*k=*/2,
+                                    /*depth=*/2);
+  ASSERT_TRUE(pipeline.has_value());
+  ASSERT_TRUE(pipeline->tiled);  // Lemma 6: W_ℓ is TP*-tileable
+
+  // Q true on the axes.
+  EXPECT_TRUE(DatalogHoldsOn(gadget_.query, pipeline->axes));
+  // Q false on the chased instance: the tiling is valid, so no Qverify
+  // rule fires, and there are no C/D facts for Qstart/Qhelper.
+  EXPECT_FALSE(DatalogHoldsOn(gadget_.query, pipeline->iprime));
+
+  // U_ℓ is contained in V(I'_ℓ) fact-by-fact (same element ids).
+  Instance iprime_image = gadget_.views.Image(pipeline->iprime);
+  for (const Fact& f : pipeline->unravelling.inst.facts()) {
+    EXPECT_TRUE(iprime_image.HasFact(f))
+        << FactToString(pipeline->unravelling.inst, f);
+  }
+}
+
+TEST_F(Thm8Test, PipelineWStructureIsGridLike) {
+  auto pipeline = BuildThm8Pipeline(gadget_, 3, 2, 2);
+  ASSERT_TRUE(pipeline.has_value());
+  // W_ℓ has one element per S-fact of the unravelling and maps
+  // homomorphically onto... at least it must be non-trivial and have the
+  // initial/final markers somewhere.
+  EXPECT_GT(pipeline->w_structure.num_elements(), 0u);
+  EXPECT_GT(pipeline->w_structure.num_facts(), 0u);
+}
+
+TEST_F(Thm8Test, PipelineWithSolvableTilingAlsoRuns) {
+  // The pipeline itself is generic in the tiling problem.
+  Thm6Gadget solvable = BuildThm6(SolvableTilingProblem());
+  auto pipeline = BuildThm8Pipeline(solvable, 3, 2, 2);
+  ASSERT_TRUE(pipeline.has_value());
+  EXPECT_TRUE(pipeline->tiled);
+  EXPECT_FALSE(DatalogHoldsOn(solvable.query, pipeline->iprime));
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "base/homomorphism.h"
+#include "games/pebble.h"
+#include "reductions/lemma6.h"
+#include "reductions/tiling.h"
+
+namespace mondet {
+namespace {
+
+TEST(Tiling, SolvableProblemSolves) {
+  TilingProblem tp = SolvableTilingProblem();
+  auto solution = tp.Solve(3, 3);
+  ASSERT_TRUE(solution.has_value());
+  // Verify constraints by hand.
+  auto at = [&](int i, int j) { return (*solution)[(j - 1) * 3 + (i - 1)]; };
+  EXPECT_TRUE(tp.IsInitial(at(1, 1)));
+  EXPECT_TRUE(tp.IsFinal(at(3, 3)));
+  for (int j = 1; j <= 3; ++j) {
+    for (int i = 1; i < 3; ++i) {
+      EXPECT_TRUE(tp.HcAllows(at(i, j), at(i + 1, j)));
+    }
+  }
+  for (int j = 1; j < 3; ++j) {
+    for (int i = 1; i <= 3; ++i) {
+      EXPECT_TRUE(tp.VcAllows(at(i, j), at(i, j + 1)));
+    }
+  }
+}
+
+TEST(Tiling, UnsolvableProblemFails) {
+  TilingProblem tp = UnsolvableTilingProblem();
+  EXPECT_FALSE(tp.HasSolutionUpTo(3, 3));
+}
+
+TEST(Tiling, GridInstanceShape) {
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  Instance grid = GridInstance(3, 2, vocab, schema);
+  EXPECT_EQ(grid.num_elements(), 6u);
+  // H edges: 2 per row * 2 rows; V edges: 3 per column-step * 1.
+  EXPECT_EQ(grid.FactsWith(schema.h).size(), 4u);
+  EXPECT_EQ(grid.FactsWith(schema.v).size(), 3u);
+  EXPECT_EQ(grid.FactsWith(schema.i).size(), 1u);
+  EXPECT_EQ(grid.FactsWith(schema.f).size(), 1u);
+}
+
+TEST(Tiling, TilabilityMatchesHomomorphism) {
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  TilingProblem solvable = SolvableTilingProblem();
+  Instance grid = GridInstance(3, 3, vocab, schema);
+  EXPECT_TRUE(CanBeTiled(grid, solvable, schema));
+  EXPECT_EQ(CanBeTiled(grid, solvable, schema),
+            solvable.Solve(3, 3).has_value());
+  TilingProblem unsolvable = UnsolvableTilingProblem();
+  EXPECT_FALSE(CanBeTiled(grid, unsolvable, schema));
+}
+
+TEST(Lemma6, ParityProblemShape) {
+  TilingProblem tp = MakeParityTilingProblem();
+  // 4 corners with 2 tiles, 4 edge-midpoints with 4, center with 8.
+  EXPECT_EQ(tp.num_tiles, 32);
+  EXPECT_FALSE(tp.initial.empty());
+  EXPECT_FALSE(tp.final_tiles.empty());
+  for (int t : tp.initial) {
+    EXPECT_EQ(ParityTileAbstractPoint(t), std::make_pair(1, 1));
+  }
+  for (int t : tp.final_tiles) {
+    EXPECT_EQ(ParityTileAbstractPoint(t), std::make_pair(3, 3));
+  }
+}
+
+TEST(Lemma6, NoGridCanBeTiled) {
+  TilingProblem tp = MakeParityTilingProblem();
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  for (int n = 1; n <= 4; ++n) {
+    for (int m = 1; m <= 4; ++m) {
+      Instance grid = GridInstance(n, m, vocab, schema);
+      EXPECT_FALSE(CanBeTiled(grid, tp, schema)) << n << "x" << m;
+    }
+  }
+}
+
+TEST(Lemma6, GridsAreKApproximatelyTileable) {
+  // I^grid_{n,m} →k I_TP* for 2 <= k < min{n,m}: the Duplicator wins the
+  // existential k-pebble game.
+  TilingProblem tp = MakeParityTilingProblem();
+  auto vocab = MakeVocabulary();
+  DeltaSchema schema = DeltaSchema::Create(vocab);
+  Instance target = TilingProblemAsInstance(tp, vocab, schema);
+  Instance grid = GridInstance(3, 3, vocab, schema);
+  EXPECT_TRUE(DuplicatorWins(grid, target, 2));
+  // And of course there is no homomorphism (no tiling).
+  EXPECT_FALSE(HasHomomorphism(grid, target));
+}
+
+}  // namespace
+}  // namespace mondet

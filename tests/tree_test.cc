@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/homomorphism.h"
+#include "cq/cq.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+#include "tree/code.h"
+#include "tree/decompose.h"
+#include "tree/decomposition.h"
+#include "views/view_set.h"
+
+namespace mondet {
+namespace {
+
+TEST(Decompose, PathHasWidthTwo) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance path = MakePath(vocab, r, 6);
+  TreeDecomposition td = DecomposeMinFill(path);
+  EXPECT_TRUE(td.Validate(path));
+  EXPECT_EQ(td.width(), 2);
+}
+
+TEST(Decompose, CycleHasWidthThree) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance cycle = MakeCycle(vocab, r, 6);
+  TreeDecomposition td = DecomposeMinFill(cycle);
+  EXPECT_TRUE(td.Validate(cycle));
+  EXPECT_EQ(td.width(), 3);
+  EXPECT_EQ(ExactTreewidth(cycle, 10), 3);
+}
+
+TEST(Decompose, TernaryFactsCovered) {
+  auto vocab = MakeVocabulary();
+  PredId t = vocab->AddPredicate("T", 3);
+  Instance inst(vocab);
+  ElemId a = inst.AddElement();
+  ElemId b = inst.AddElement();
+  ElemId c = inst.AddElement();
+  ElemId d = inst.AddElement();
+  inst.AddFact(t, {a, b, c});
+  inst.AddFact(t, {b, c, d});
+  TreeDecomposition td = DecomposeMinFill(inst);
+  EXPECT_TRUE(td.Validate(inst));
+  EXPECT_EQ(td.width(), 3);
+}
+
+TEST(Decompose, RandomInstancesValidate) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId t = vocab->AddPredicate("T", 3);
+  for (unsigned seed = 0; seed < 15; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, t}, 6, 9, seed);
+    TreeDecomposition td = DecomposeMinFill(inst);
+    EXPECT_TRUE(td.Validate(inst)) << "seed " << seed;
+    // Heuristic width upper-bounds the exact treewidth.
+    EXPECT_GE(td.width(), ExactTreewidth(inst, td.width())) << "seed " << seed;
+  }
+}
+
+TEST(Decomposition, BinarizePreservesValidityAndWidth) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  // A star: one center with many leaves forces high outdegree.
+  Instance star(vocab);
+  ElemId center = star.AddElement();
+  for (int i = 0; i < 6; ++i) {
+    ElemId leaf = star.AddElement();
+    star.AddFact(r, {center, leaf});
+  }
+  TreeDecomposition td = DecomposeMinFill(star);
+  TreeDecomposition bin = Binarize(td);
+  EXPECT_LE(bin.MaxOutdegree(), 2);
+  EXPECT_TRUE(bin.Validate(star));
+  EXPECT_EQ(bin.width(), td.width());
+}
+
+TEST(Decomposition, GridTreewidth) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  // 3x3 grid graph: treewidth 3 + 1 = 4 bags at most (max bag size = 4).
+  Instance grid(vocab);
+  std::vector<std::vector<ElemId>> g(3, std::vector<ElemId>(3));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) g[i][j] = grid.AddElement();
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (i + 1 < 3) grid.AddFact(r, {g[i][j], g[i + 1][j]});
+      if (j + 1 < 3) grid.AddFact(r, {g[i][j], g[i][j + 1]});
+    }
+  }
+  EXPECT_EQ(ExactTreewidth(grid, 9), 4);
+}
+
+TEST(Code, EncodeDecodeRoundTrip) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId u = vocab->AddPredicate("U", 1);
+  Instance inst = MakePath(vocab, r, 5);
+  inst.AddFact(u, {3});
+  TreeDecomposition td = Binarize(DecomposeMinFill(inst));
+  TreeCode code = EncodeInstance(inst, td, td.width());
+  EXPECT_TRUE(code.Validate());
+  Instance decoded = code.Decode(vocab);
+  // Decoding is isomorphic to the original: hom-equivalent with equal
+  // fact and active-element counts.
+  EXPECT_EQ(decoded.num_facts(), inst.num_facts());
+  EXPECT_EQ(decoded.ActiveDomain().size(), inst.ActiveDomain().size());
+  EXPECT_TRUE(HomEquivalent(decoded, inst));
+}
+
+TEST(Code, RoundTripOnRandomInstances) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId t = vocab->AddPredicate("T", 3);
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    Instance inst = RandomInstance(vocab, {r, t}, 5, 8, 40 + seed);
+    TreeDecomposition td = Binarize(DecomposeMinFill(inst));
+    TreeCode code = EncodeInstance(inst, td, td.width());
+    ASSERT_TRUE(code.Validate()) << "seed " << seed;
+    Instance decoded = code.Decode(vocab);
+    EXPECT_EQ(decoded.num_facts(), inst.num_facts()) << "seed " << seed;
+    EXPECT_TRUE(HomEquivalent(decoded, inst)) << "seed " << seed;
+  }
+}
+
+TEST(Code, WiderCodePadsPositions) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance path = MakePath(vocab, r, 3);
+  TreeDecomposition td = Binarize(DecomposeMinFill(path));
+  TreeCode code = EncodeInstance(path, td, td.width() + 3);
+  EXPECT_TRUE(code.Validate());
+  Instance decoded = code.Decode(vocab);
+  EXPECT_TRUE(HomEquivalent(decoded, path));
+}
+
+TEST(ExtendDecomposition, Lemma3BoundHolds) {
+  // Lemma 3: applying connected CQ views of radius r to an instance with
+  // a width-k, l<=2 decomposition gives treewidth <= k(k^{r+1}-1)/(k-1).
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance path = MakePath(vocab, r, 8);
+  TreeDecomposition td = Binarize(DecomposeMinFill(path));
+  int k = td.width();
+  ASSERT_LE(td.MaxBagsPerElement(), 3);  // paths give small treespan
+
+  ViewSet views(vocab);
+  std::string error;
+  CQ def = *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error);
+  int radius = def.Radius();
+  views.AddCqView("V", def);
+  Instance image = views.Image(path);
+
+  TreeDecomposition extended = ExtendDecomposition(td, radius);
+  EXPECT_TRUE(extended.Validate(image));
+  double bound = k * (std::pow(k, radius + 1) - 1) / (k - 1);
+  EXPECT_LE(extended.width(), bound);
+}
+
+}  // namespace
+}  // namespace mondet

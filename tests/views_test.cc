@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "tests/test_util.h"
+#include "views/view_set.h"
+
+namespace mondet {
+namespace {
+
+TEST(ViewSet, CqViewImage) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  CQ def = *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error);
+  ViewSet views(vocab);
+  PredId v = views.AddCqView("V2", def);
+  PredId r = *vocab->FindPredicate("R");
+  Instance path = MakePath(vocab, r, 3);
+  Instance image = views.Image(path);
+  EXPECT_EQ(image.num_facts(), 2u);
+  EXPECT_TRUE(image.HasFact(v, {0, 2}));
+  EXPECT_TRUE(image.HasFact(v, {1, 3}));
+  // Image keeps the same element ids.
+  EXPECT_EQ(image.num_elements(), path.num_elements());
+}
+
+TEST(ViewSet, AtomicView) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  ViewSet views(vocab);
+  PredId vr = views.AddAtomicView("VR", r);
+  Instance path = MakePath(vocab, r, 2);
+  Instance image = views.Image(path);
+  EXPECT_EQ(image.num_facts(), 2u);
+  EXPECT_TRUE(image.HasFact(vr, {0, 1}));
+  EXPECT_TRUE(views.AllCq());
+}
+
+TEST(ViewSet, RecursiveDatalogView) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto def = ParseQuery(R"(
+    Reach(x) :- U(x).
+    Reach(x) :- R(x,y), Reach(y).
+  )",
+                        "Reach", vocab, &error);
+  ASSERT_TRUE(def) << error;
+  ViewSet views(vocab);
+  PredId v = views.AddView("VReach", *def);
+  EXPECT_FALSE(views.AllCq());
+  EXPECT_TRUE(views.AllFrontierGuarded());  // monadic ⇒ frontier-guarded
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  Instance inst = MakePath(vocab, r, 3);
+  inst.AddFact(u, {3});
+  Instance image = views.Image(inst);
+  EXPECT_EQ(image.FactsWith(v).size(), 4u);
+}
+
+TEST(ViewSet, IdbsRenamedApartAcrossViews) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto def1 = ParseQuery("P(x) :- U(x).\nP(x) :- R(x,y), P(y).", "P", vocab,
+                         &error);
+  ASSERT_TRUE(def1) << error;
+  ViewSet views(vocab);
+  views.AddView("V1", *def1);
+  // Re-adding a structurally identical view must not clash on IDB names.
+  views.AddView("V2", *def1);
+  EXPECT_EQ(views.views().size(), 2u);
+  PredId r = *vocab->FindPredicate("R");
+  PredId u = *vocab->FindPredicate("U");
+  Instance inst = MakePath(vocab, r, 2);
+  inst.AddFact(u, {2});
+  Instance image = views.Image(inst);
+  EXPECT_EQ(image.FactsWith(views.views()[0].pred).size(), 3u);
+  EXPECT_EQ(image.FactsWith(views.views()[1].pred).size(), 3u);
+}
+
+TEST(ViewSet, ViewIsCqDetection) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  CQ def = *ParseCq("V(x) :- R(x,y).", vocab, &error);
+  ViewSet views(vocab);
+  views.AddCqView("V1", def);
+  EXPECT_TRUE(views.views()[0].IsCq());
+  CQ round_trip = views.views()[0].AsCq();
+  EXPECT_EQ(round_trip.atoms().size(), 1u);
+  EXPECT_EQ(round_trip.arity(), 1);
+}
+
+TEST(ViewSet, MaxCqRadius) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ViewSet views(vocab);
+  views.AddCqView("V1", *ParseCq("V(x) :- R(x,y).", vocab, &error));
+  views.AddCqView("V2",
+                  *ParseCq("W(x) :- R(x,y), R(y,z), R(z,w).", vocab, &error));
+  EXPECT_EQ(views.MaxCqRadius(), 2);
+}
+
+TEST(ViewSet, MonotoneUnderSubinstances) {
+  // V(I1) ⊆ V(I2) whenever I1 ⊆ I2 (views are monotone queries).
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error));
+  PredId r = *vocab->FindPredicate("R");
+  for (unsigned seed = 0; seed < 8; ++seed) {
+    Instance big = RandomInstance(vocab, {r}, 5, 10, seed);
+    Instance small(vocab);
+    small.EnsureElements(big.num_elements());
+    for (size_t i = 0; i < big.num_facts(); i += 2) {
+      small.AddFact(big.facts()[i]);
+    }
+    Instance img_small = views.Image(small);
+    Instance img_big = views.Image(big);
+    for (const Fact& f : img_small.facts()) {
+      EXPECT_TRUE(img_big.HasFact(f)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SplitDisconnectedViews, ConnectedViewsKept) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error));
+  ViewSet split = SplitDisconnectedCqViews(views);
+  ASSERT_EQ(split.views().size(), 1u);
+  EXPECT_TRUE(split.views()[0].AsCq().IsConnected());
+}
+
+TEST(SplitDisconnectedViews, ProductViewSplits) {
+  // The appendix example: V(x,y) = C(x) ∧ D(y) becomes V#0(x) and V#1(y),
+  // each guarded by the other component's existential closure.
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ViewSet views(vocab);
+  views.AddCqView("V", *ParseCq("V(x,y) :- C(x), D(y).", vocab, &error));
+  ViewSet split = SplitDisconnectedCqViews(views);
+  ASSERT_EQ(split.views().size(), 2u);
+  EXPECT_EQ(split.views()[0].definition.arity(), 1);
+  EXPECT_EQ(split.views()[1].definition.arity(), 1);
+
+  // Mutual determination: the original image is the product of the split
+  // images, and each split image is a projection of the original.
+  PredId c = *vocab->FindPredicate("C");
+  PredId d = *vocab->FindPredicate("D");
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    Instance inst = RandomInstance(vocab, {c, d}, 4, 5, 3000 + seed);
+    Instance full = views.Image(inst);
+    Instance parts = split.Image(inst);
+    PredId v = views.views()[0].pred;
+    PredId v0 = split.views()[0].pred;
+    PredId v1 = split.views()[1].pred;
+    // V = V#0 × V#1.
+    size_t expected =
+        parts.FactsWith(v0).size() * parts.FactsWith(v1).size();
+    EXPECT_EQ(full.FactsWith(v).size(), expected) << "seed " << seed;
+    // Projections agree.
+    for (uint32_t fi : full.FactsWith(v)) {
+      const Fact& f = full.facts()[fi];
+      EXPECT_TRUE(parts.HasFact(v0, {f.args[0]})) << "seed " << seed;
+      EXPECT_TRUE(parts.HasFact(v1, {f.args[1]})) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SplitDisconnectedViews, MixedComponentsWithSharedFreeVars) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ViewSet views(vocab);
+  views.AddCqView(
+      "V", *ParseCq("V(x,y,u) :- R(x,y), S(u), T(w).", vocab, &error));
+  ViewSet split = SplitDisconnectedCqViews(views);
+  // Three components: {x,y}, {u}, {w} — but only two carry free vars;
+  // the third becomes a Boolean (0-ary) view.
+  ASSERT_EQ(split.views().size(), 3u);
+  int zero_ary = 0;
+  for (const View& v : split.views()) {
+    if (v.definition.arity() == 0) ++zero_ary;
+  }
+  EXPECT_EQ(zero_ary, 1);
+}
+
+TEST(RenamePredicate, RenamesHeadAndBody) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  ParseResult result =
+      ParseProgram("P(x) :- U(x).\nP(x) :- R(x,y), P(y).", vocab);
+  ASSERT_TRUE(result.ok());
+  PredId p = *vocab->FindPredicate("P");
+  PredId q = vocab->AddPredicate("Q", 1);
+  Program renamed = RenamePredicate(*result.program, p, q);
+  EXPECT_TRUE(renamed.IsIdb(q));
+  EXPECT_FALSE(renamed.IsIdb(p));
+  for (const Rule& rule : renamed.rules()) {
+    EXPECT_EQ(rule.head.pred, q);
+    for (const QAtom& a : rule.body) EXPECT_NE(a.pred, p);
+  }
+}
+
+}  // namespace
+}  // namespace mondet
