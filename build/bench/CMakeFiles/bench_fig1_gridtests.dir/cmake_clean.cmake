@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gridtests.dir/bench_fig1_gridtests.cc.o"
+  "CMakeFiles/bench_fig1_gridtests.dir/bench_fig1_gridtests.cc.o.d"
+  "bench_fig1_gridtests"
+  "bench_fig1_gridtests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gridtests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_startimage.dir/bench_fig2_startimage.cc.o"
+  "CMakeFiles/bench_fig2_startimage.dir/bench_fig2_startimage.cc.o.d"
+  "bench_fig2_startimage"
+  "bench_fig2_startimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_startimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_diamonds.dir/bench_fig3_diamonds.cc.o"
+  "CMakeFiles/bench_fig3_diamonds.dir/bench_fig3_diamonds.cc.o.d"
+  "bench_fig3_diamonds"
+  "bench_fig3_diamonds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_diamonds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

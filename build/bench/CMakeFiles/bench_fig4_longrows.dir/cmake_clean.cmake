@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_longrows.dir/bench_fig4_longrows.cc.o"
+  "CMakeFiles/bench_fig4_longrows.dir/bench_fig4_longrows.cc.o.d"
+  "bench_fig4_longrows"
+  "bench_fig4_longrows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_longrows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_decision.dir/automata_decision.cpp.o"
+  "CMakeFiles/automata_decision.dir/automata_decision.cpp.o.d"
+  "automata_decision"
+  "automata_decision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

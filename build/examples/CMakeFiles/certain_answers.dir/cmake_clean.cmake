@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certain_answers.dir/certain_answers.cpp.o"
+  "CMakeFiles/certain_answers.dir/certain_answers.cpp.o.d"
+  "certain_answers"
+  "certain_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certain_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example1_pipeline.dir/example1_pipeline.cpp.o"
+  "CMakeFiles/example1_pipeline.dir/example1_pipeline.cpp.o.d"
+  "example1_pipeline"
+  "example1_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mondet_cli.dir/mondet_cli.cpp.o"
+  "CMakeFiles/mondet_cli.dir/mondet_cli.cpp.o.d"
+  "mondet_cli"
+  "mondet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mondet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

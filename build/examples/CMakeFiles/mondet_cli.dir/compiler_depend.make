@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mondet_cli.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pebble_games.dir/pebble_games.cpp.o"
+  "CMakeFiles/pebble_games.dir/pebble_games.cpp.o.d"
+  "pebble_games"
+  "pebble_games.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pebble_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

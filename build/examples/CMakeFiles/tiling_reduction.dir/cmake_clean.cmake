@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiling_reduction.dir/tiling_reduction.cpp.o"
+  "CMakeFiles/tiling_reduction.dir/tiling_reduction.cpp.o.d"
+  "tiling_reduction"
+  "tiling_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiling_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

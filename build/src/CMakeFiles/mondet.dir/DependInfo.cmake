@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/nta.cc" "src/CMakeFiles/mondet.dir/automata/nta.cc.o" "gcc" "src/CMakeFiles/mondet.dir/automata/nta.cc.o.d"
+  "/root/repo/src/automata/ops.cc" "src/CMakeFiles/mondet.dir/automata/ops.cc.o" "gcc" "src/CMakeFiles/mondet.dir/automata/ops.cc.o.d"
+  "/root/repo/src/base/gaifman.cc" "src/CMakeFiles/mondet.dir/base/gaifman.cc.o" "gcc" "src/CMakeFiles/mondet.dir/base/gaifman.cc.o.d"
+  "/root/repo/src/base/homomorphism.cc" "src/CMakeFiles/mondet.dir/base/homomorphism.cc.o" "gcc" "src/CMakeFiles/mondet.dir/base/homomorphism.cc.o.d"
+  "/root/repo/src/base/instance.cc" "src/CMakeFiles/mondet.dir/base/instance.cc.o" "gcc" "src/CMakeFiles/mondet.dir/base/instance.cc.o.d"
+  "/root/repo/src/base/symbol_table.cc" "src/CMakeFiles/mondet.dir/base/symbol_table.cc.o" "gcc" "src/CMakeFiles/mondet.dir/base/symbol_table.cc.o.d"
+  "/root/repo/src/core/backward.cc" "src/CMakeFiles/mondet.dir/core/backward.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/backward.cc.o.d"
+  "/root/repo/src/core/cq_automaton.cc" "src/CMakeFiles/mondet.dir/core/cq_automaton.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/cq_automaton.cc.o.d"
+  "/root/repo/src/core/forward.cc" "src/CMakeFiles/mondet.dir/core/forward.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/forward.cc.o.d"
+  "/root/repo/src/core/mondet_check.cc" "src/CMakeFiles/mondet.dir/core/mondet_check.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/mondet_check.cc.o.d"
+  "/root/repo/src/core/rewriting.cc" "src/CMakeFiles/mondet.dir/core/rewriting.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/rewriting.cc.o.d"
+  "/root/repo/src/core/separator.cc" "src/CMakeFiles/mondet.dir/core/separator.cc.o" "gcc" "src/CMakeFiles/mondet.dir/core/separator.cc.o.d"
+  "/root/repo/src/cq/containment.cc" "src/CMakeFiles/mondet.dir/cq/containment.cc.o" "gcc" "src/CMakeFiles/mondet.dir/cq/containment.cc.o.d"
+  "/root/repo/src/cq/cq.cc" "src/CMakeFiles/mondet.dir/cq/cq.cc.o" "gcc" "src/CMakeFiles/mondet.dir/cq/cq.cc.o.d"
+  "/root/repo/src/cq/ucq.cc" "src/CMakeFiles/mondet.dir/cq/ucq.cc.o" "gcc" "src/CMakeFiles/mondet.dir/cq/ucq.cc.o.d"
+  "/root/repo/src/datalog/approximation.cc" "src/CMakeFiles/mondet.dir/datalog/approximation.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/approximation.cc.o.d"
+  "/root/repo/src/datalog/eval.cc" "src/CMakeFiles/mondet.dir/datalog/eval.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/eval.cc.o.d"
+  "/root/repo/src/datalog/fragment.cc" "src/CMakeFiles/mondet.dir/datalog/fragment.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/fragment.cc.o.d"
+  "/root/repo/src/datalog/normalize.cc" "src/CMakeFiles/mondet.dir/datalog/normalize.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/normalize.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/CMakeFiles/mondet.dir/datalog/parser.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/CMakeFiles/mondet.dir/datalog/program.cc.o" "gcc" "src/CMakeFiles/mondet.dir/datalog/program.cc.o.d"
+  "/root/repo/src/games/pebble.cc" "src/CMakeFiles/mondet.dir/games/pebble.cc.o" "gcc" "src/CMakeFiles/mondet.dir/games/pebble.cc.o.d"
+  "/root/repo/src/games/unravel.cc" "src/CMakeFiles/mondet.dir/games/unravel.cc.o" "gcc" "src/CMakeFiles/mondet.dir/games/unravel.cc.o.d"
+  "/root/repo/src/reductions/lemma6.cc" "src/CMakeFiles/mondet.dir/reductions/lemma6.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/lemma6.cc.o.d"
+  "/root/repo/src/reductions/prop9.cc" "src/CMakeFiles/mondet.dir/reductions/prop9.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/prop9.cc.o.d"
+  "/root/repo/src/reductions/thm6.cc" "src/CMakeFiles/mondet.dir/reductions/thm6.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/thm6.cc.o.d"
+  "/root/repo/src/reductions/thm6_stratified.cc" "src/CMakeFiles/mondet.dir/reductions/thm6_stratified.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/thm6_stratified.cc.o.d"
+  "/root/repo/src/reductions/thm7.cc" "src/CMakeFiles/mondet.dir/reductions/thm7.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/thm7.cc.o.d"
+  "/root/repo/src/reductions/thm8.cc" "src/CMakeFiles/mondet.dir/reductions/thm8.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/thm8.cc.o.d"
+  "/root/repo/src/reductions/thm9.cc" "src/CMakeFiles/mondet.dir/reductions/thm9.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/thm9.cc.o.d"
+  "/root/repo/src/reductions/tiling.cc" "src/CMakeFiles/mondet.dir/reductions/tiling.cc.o" "gcc" "src/CMakeFiles/mondet.dir/reductions/tiling.cc.o.d"
+  "/root/repo/src/tree/code.cc" "src/CMakeFiles/mondet.dir/tree/code.cc.o" "gcc" "src/CMakeFiles/mondet.dir/tree/code.cc.o.d"
+  "/root/repo/src/tree/decompose.cc" "src/CMakeFiles/mondet.dir/tree/decompose.cc.o" "gcc" "src/CMakeFiles/mondet.dir/tree/decompose.cc.o.d"
+  "/root/repo/src/tree/decomposition.cc" "src/CMakeFiles/mondet.dir/tree/decomposition.cc.o" "gcc" "src/CMakeFiles/mondet.dir/tree/decomposition.cc.o.d"
+  "/root/repo/src/views/inverse_rules.cc" "src/CMakeFiles/mondet.dir/views/inverse_rules.cc.o" "gcc" "src/CMakeFiles/mondet.dir/views/inverse_rules.cc.o.d"
+  "/root/repo/src/views/view_set.cc" "src/CMakeFiles/mondet.dir/views/view_set.cc.o" "gcc" "src/CMakeFiles/mondet.dir/views/view_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mondet.
+# This may be replaced when dependencies are built.

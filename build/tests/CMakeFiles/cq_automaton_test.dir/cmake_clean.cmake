@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cq_automaton_test.dir/cq_automaton_test.cc.o"
+  "CMakeFiles/cq_automaton_test.dir/cq_automaton_test.cc.o.d"
+  "cq_automaton_test"
+  "cq_automaton_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cq_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mondet_check_test.dir/mondet_check_test.cc.o"
+  "CMakeFiles/mondet_check_test.dir/mondet_check_test.cc.o.d"
+  "mondet_check_test"
+  "mondet_check_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mondet_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

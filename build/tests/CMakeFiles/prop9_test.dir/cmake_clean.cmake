@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop9_test.dir/prop9_test.cc.o"
+  "CMakeFiles/prop9_test.dir/prop9_test.cc.o.d"
+  "prop9_test"
+  "prop9_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/separator_test.dir/separator_test.cc.o"
+  "CMakeFiles/separator_test.dir/separator_test.cc.o.d"
+  "separator_test"
+  "separator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/separator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

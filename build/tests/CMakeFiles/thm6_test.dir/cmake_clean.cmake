@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm6_test.dir/thm6_test.cc.o"
+  "CMakeFiles/thm6_test.dir/thm6_test.cc.o.d"
+  "thm6_test"
+  "thm6_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm7_test.dir/thm7_test.cc.o"
+  "CMakeFiles/thm7_test.dir/thm7_test.cc.o.d"
+  "thm7_test"
+  "thm7_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm7_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

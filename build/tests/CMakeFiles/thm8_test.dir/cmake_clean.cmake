@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm8_test.dir/thm8_test.cc.o"
+  "CMakeFiles/thm8_test.dir/thm8_test.cc.o.d"
+  "thm8_test"
+  "thm8_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm8_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

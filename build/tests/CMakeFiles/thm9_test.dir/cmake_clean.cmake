@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thm9_test.dir/thm9_test.cc.o"
+  "CMakeFiles/thm9_test.dir/thm9_test.cc.o.d"
+  "thm9_test"
+  "thm9_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thm9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
