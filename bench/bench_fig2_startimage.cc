@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 #include "reductions/thm6.h"
 
 namespace mondet {
@@ -37,10 +38,14 @@ void BM_Fig2_ImageScaling(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Thm6Gadget gadget = BuildThm6(SolvableTilingProblem());
   Instance axes = gadget.MakeAxes(n, n);
+  EvalStats stats;
   for (auto _ : state) {
-    Instance image = gadget.views.Image(axes);
+    stats = EvalStats{};
+    Instance image = gadget.views.Image(axes, &stats);
     benchmark::DoNotOptimize(image);
   }
+  state.counters["eval_iters"] = static_cast<double>(stats.iterations);
+  state.counters["join_probes"] = static_cast<double>(stats.join_probes);
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_Fig2_ImageScaling)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Complexity();

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 #include "reductions/thm7.h"
 #include "views/inverse_rules.h"
 
@@ -15,8 +16,10 @@ void BM_Fig3_ImageShape(benchmark::State& state) {
   int n = static_cast<int>(state.range(0));
   Thm7Gadget gadget = BuildThm7();
   size_t s = 0, r = 0, t = 0;
+  EvalStats stats;
   for (auto _ : state) {
-    Instance image = gadget.views.Image(gadget.DiamondChain(n));
+    stats = EvalStats{};
+    Instance image = gadget.views.Image(gadget.DiamondChain(n), &stats);
     s = image.FactsWith(gadget.s_view).size();
     r = image.FactsWith(gadget.r_view).size();
     t = image.FactsWith(gadget.t_view).size();
@@ -24,6 +27,8 @@ void BM_Fig3_ImageShape(benchmark::State& state) {
   state.counters["S"] = static_cast<double>(s);
   state.counters["R"] = static_cast<double>(r);
   state.counters["T"] = static_cast<double>(t);
+  state.counters["eval_iters"] = static_cast<double>(stats.iterations);
+  state.counters["join_probes"] = static_cast<double>(stats.join_probes);
   bool shape = s == 1 && t == 1 && r == static_cast<size_t>(n) - 1;
   state.SetLabel(shape ? "image = S, R^(n-1), T (Figure 3(b))"
                        : "UNEXPECTED image shape");

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the fast test suite in the default build, plus the
+# differential evaluator oracle under ASan/UBSan at 1 and 4 threads.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+# Fast suite (tier1-labelled tests) in the default build.
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$JOBS"
+ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
+
+# Differential oracle under ASan/UBSan, single- and multi-threaded.
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
+cmake --build build-asan -j "$JOBS" --target eval_differential_test
+MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
+MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
+
+echo "tier1: OK"

@@ -6,26 +6,23 @@
 
 namespace mondet {
 
-HomSearch::HomSearch(const Instance& pattern, const Instance& target)
-    : pattern_(pattern), target_(target) {
-  MONDET_CHECK(pattern.vocab().get() == target.vocab().get());
-  // Greedy atom ordering: repeatedly pick the unprocessed pattern fact
-  // sharing the most elements with already-processed facts (ties: fewer
-  // target facts of that predicate). Keeps the search tree narrow.
-  size_t n = pattern_.num_facts();
+std::vector<uint32_t> GreedyAtomOrder(
+    const std::vector<std::vector<ElemId>>& atom_vars, size_t num_vars,
+    const std::function<size_t(size_t)>& rel_size, std::vector<bool> bound) {
+  size_t n = atom_vars.size();
+  bound.resize(num_vars, false);
   std::vector<bool> used(n, false);
-  std::vector<bool> bound(pattern_.num_elements(), false);
-  atom_order_.reserve(n);
+  std::vector<uint32_t> order;
+  order.reserve(n);
   for (size_t step = 0; step < n; ++step) {
     int best = -1;
     int best_bound = -1;
     size_t best_rel = 0;
     for (size_t i = 0; i < n; ++i) {
       if (used[i]) continue;
-      const Fact& f = pattern_.facts()[i];
       int nb = 0;
-      for (ElemId a : f.args) nb += bound[a] ? 1 : 0;
-      size_t rel = target_.FactsWith(f.pred).size();
+      for (ElemId a : atom_vars[i]) nb += bound[a] ? 1 : 0;
+      size_t rel = rel_size(i);
       if (nb > best_bound || (nb == best_bound && rel < best_rel)) {
         best = static_cast<int>(i);
         best_bound = nb;
@@ -33,9 +30,27 @@ HomSearch::HomSearch(const Instance& pattern, const Instance& target)
       }
     }
     used[best] = true;
-    atom_order_.push_back(static_cast<uint32_t>(best));
-    for (ElemId a : pattern_.facts()[best].args) bound[a] = true;
+    order.push_back(static_cast<uint32_t>(best));
+    for (ElemId a : atom_vars[best]) bound[a] = true;
   }
+  return order;
+}
+
+HomSearch::HomSearch(const Instance& pattern, const Instance& target)
+    : pattern_(pattern), target_(target) {
+  MONDET_CHECK(pattern.vocab().get() == target.vocab().get());
+  // Greedy atom ordering: repeatedly pick the unprocessed pattern fact
+  // sharing the most elements with already-processed facts (ties: fewer
+  // target facts of that predicate). Keeps the search tree narrow.
+  std::vector<std::vector<ElemId>> atom_vars;
+  atom_vars.reserve(pattern_.num_facts());
+  for (const Fact& f : pattern_.facts()) atom_vars.push_back(f.args);
+  atom_order_ = GreedyAtomOrder(atom_vars, pattern_.num_elements(),
+                                [this](size_t i) {
+                                  return target_
+                                      .FactsWith(pattern_.facts()[i].pred)
+                                      .size();
+                                });
 }
 
 bool HomSearch::Search(size_t depth, std::vector<ElemId>& map,

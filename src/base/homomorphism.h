@@ -10,6 +10,17 @@
 
 namespace mondet {
 
+/// Greedy join ordering shared by HomSearch and the Datalog rule planner
+/// (datalog/eval_plan): repeatedly picks the unprocessed atom binding the
+/// most already-bound variables, breaking ties toward the smaller relation
+/// estimate. `atom_vars[i]` lists the variables of atom i, `rel_size(i)`
+/// estimates how many target facts atom i ranges over, and `bound`
+/// (resized to `num_vars`) marks variables bound before the join starts.
+std::vector<uint32_t> GreedyAtomOrder(
+    const std::vector<std::vector<ElemId>>& atom_vars, size_t num_vars,
+    const std::function<size_t(size_t)>& rel_size,
+    std::vector<bool> bound = {});
+
 /// Backtracking homomorphism search between instances.
 ///
 /// A homomorphism h from pattern P to target T maps every element of P to an

@@ -37,6 +37,14 @@ bool Instance::AddFact(PredId pred, const std::vector<ElemId>& args) {
   if (by_pred_.size() <= pred) by_pred_.resize(vocab_->size());
   by_pred_[pred].push_back(idx);
   for (ElemId a : args) degree_[a]++;
+  // Keep the position index current once it has been materialized, so a
+  // fixpoint loop probing the index between insertions never rescans.
+  if (pos_index_live_ && pos_indexed_upto_ == idx) {
+    for (int pos = 0; pos < static_cast<int>(args.size()); ++pos) {
+      pos_index_[PackKey(pred, pos, args[pos])].push_back(idx);
+    }
+    pos_indexed_upto_ = idx + 1;
+  }
   return true;
 }
 
@@ -51,6 +59,7 @@ const std::vector<uint32_t>& Instance::FactsWith(PredId pred) const {
 }
 
 void Instance::IndexUpTo(size_t n) const {
+  pos_index_live_ = true;
   for (size_t i = pos_indexed_upto_; i < n; ++i) {
     const Fact& f = facts_[i];
     for (int pos = 0; pos < static_cast<int>(f.args.size()); ++pos) {
@@ -63,10 +72,14 @@ void Instance::IndexUpTo(size_t n) const {
 
 const std::vector<uint32_t>& Instance::FactsWith(PredId pred, int pos,
                                                  ElemId val) const {
-  IndexUpTo(facts_.size());
+  if (pos_indexed_upto_ < facts_.size()) IndexUpTo(facts_.size());
   auto it = pos_index_.find(PackKey(pred, pos, val));
   if (it == pos_index_.end()) return kEmptyIndex;
   return it->second;
+}
+
+void Instance::PrepareIndexes() const {
+  if (pos_indexed_upto_ < facts_.size()) IndexUpTo(facts_.size());
 }
 
 std::vector<ElemId> Instance::ActiveDomain() const {

@@ -73,9 +73,17 @@ class Instance {
   const std::vector<uint32_t>& FactsWith(PredId pred) const;
 
   /// Indices of the facts with predicate `pred` whose argument at `pos`
-  /// equals `val`. Backed by a lazily-built index.
+  /// equals `val`. Backed by a lazily-built index that is maintained
+  /// incrementally: facts added after the index is first queried are
+  /// visible to later queries.
   const std::vector<uint32_t>& FactsWith(PredId pred, int pos,
                                          ElemId val) const;
+
+  /// Forces the (pred, pos, val) index to cover every current fact. After
+  /// this call, FactsWith(pred, pos, val) performs no writes until the
+  /// next AddFact, so concurrent readers of a non-mutating instance are
+  /// safe (the parallel evaluator calls this before fanning out).
+  void PrepareIndexes() const;
 
   /// The active domain: elements occurring in some fact.
   std::vector<ElemId> ActiveDomain() const;
@@ -105,9 +113,11 @@ class Instance {
   std::vector<Fact> facts_;
   std::unordered_set<Fact, FactHash> fact_set_;
   std::vector<std::vector<uint32_t>> by_pred_;
-  // Lazily built: key packs (pred, pos, val).
+  // Built lazily on the first positional query, then maintained
+  // incrementally by AddFact. Key packs (pred, pos, val).
   mutable std::unordered_map<uint64_t, std::vector<uint32_t>> pos_index_;
   mutable size_t pos_indexed_upto_ = 0;
+  mutable bool pos_index_live_ = false;
   std::vector<uint32_t> degree_;
 
   void IndexUpTo(size_t n) const;

@@ -7,6 +7,7 @@
 #include "core/cq_automaton.h"
 #include "core/forward.h"
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 #include "datalog/fragment.h"
 
 namespace mondet {
@@ -70,6 +71,9 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
   const VocabularyPtr& vocab = query.program.vocab();
   MonDetResult result;
 
+  // The query program is evaluated on every candidate D'; compile it once.
+  CompiledProgram compiled_query(query.program);
+
   // Pre-enumerate view definition expansions.
   std::map<PredId, std::vector<Expansion>> view_exps;
   bool views_exhaustive = true;
@@ -120,7 +124,8 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
             // The test succeeds if D' |= Q(c) for Qi's frontier tuple c
             // (the paper states the Boolean case; the tuple version is the
             // natural non-Boolean extension).
-            if (!DatalogHoldsOn(query, *dprime, qi.frontier)) {
+            if (!compiled_query.Eval(*dprime).HasFact(query.goal,
+                                                      qi.frontier)) {
               result.failure.emplace(qi, std::move(*dprime));
               return false;  // counterexample found
             }

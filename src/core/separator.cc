@@ -7,6 +7,7 @@
 #include "base/homomorphism.h"
 #include "datalog/approximation.h"
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 
 namespace mondet {
 
@@ -79,6 +80,8 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
                            const Instance& j, int view_depth,
                            size_t max_choices) {
   const VocabularyPtr& vocab = query.program.vocab();
+  // The query program runs on every chase witness; compile it once.
+  CompiledProgram compiled_query(query.program);
   // Pre-enumerate expansions of each view definition.
   std::map<PredId, std::vector<Expansion>> view_exps;
   for (const View& v : views.views()) {
@@ -121,7 +124,7 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
           dprime.AddFact(f.pred, args);
         }
       }
-      if (!DatalogHoldsOn(query, dprime)) {
+      if (compiled_query.Eval(dprime).FactsWith(query.goal).empty()) {
         all_hold = false;
         return false;
       }

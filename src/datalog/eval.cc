@@ -1,110 +1,16 @@
 #include "datalog/eval.h"
 
-#include <unordered_map>
-
-#include "base/check.h"
-#include "base/homomorphism.h"
+#include "datalog/eval_plan.h"
 
 namespace mondet {
 
-namespace {
-
-/// The body of a rule as a pattern instance (element per variable), with
-/// one body atom optionally removed (the "delta" atom of semi-naive
-/// evaluation, whose bindings are seeded from newly-derived facts).
-Instance BodyPattern(const VocabularyPtr& vocab, const Rule& rule,
-                     int skip_atom) {
-  Instance pattern(vocab);
-  pattern.EnsureElements(rule.num_vars());
-  for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
-    if (i == skip_atom) continue;
-    const QAtom& a = rule.body[i];
-    pattern.AddFact(a.pred, std::vector<ElemId>(a.args.begin(), a.args.end()));
-  }
-  return pattern;
+Instance FpEval(const Program& program, const Instance& inst) {
+  return CompiledProgram(program).Eval(inst);
 }
 
-}  // namespace
-
-Instance FpEval(const Program& program, const Instance& inst) {
-  Instance result = inst;  // copy
-
-  // Facts derived in the previous round, per predicate. Derivations are
-  // buffered in `pending` while a search is in flight (mutating `result`
-  // mid-search would invalidate the search's candidate indexes).
-  std::vector<Fact> delta;
-  std::vector<Fact> pending;
-
-  auto flush_pending = [&]() {
-    for (Fact& f : pending) {
-      if (result.AddFact(f)) delta.push_back(std::move(f));
-    }
-    pending.clear();
-  };
-
-  // Round 0: rules fire against the input facts (including any IDB facts
-  // the input may already contain, as in the paper's Prop. 4 usage).
-  for (const Rule& rule : program.rules()) {
-    if (rule.body.empty()) {
-      pending.push_back(Fact(rule.head.pred, {}));
-      continue;
-    }
-    Instance pattern = BodyPattern(result.vocab(), rule, /*skip_atom=*/-1);
-    HomSearch search(pattern, result);
-    search.ForEach({}, [&](const std::vector<ElemId>& map) {
-      std::vector<ElemId> head_args;
-      head_args.reserve(rule.head.args.size());
-      for (VarId v : rule.head.args) head_args.push_back(map[v]);
-      pending.push_back(Fact(rule.head.pred, std::move(head_args)));
-      return true;
-    });
-    flush_pending();
-  }
-  flush_pending();
-
-  // Subsequent rounds: each new derivation must use at least one fact from
-  // the previous round's delta in some IDB body atom. The delta is indexed
-  // by predicate so rules whose IDB atoms saw no new facts are skipped.
-  while (!delta.empty()) {
-    std::vector<Fact> prev = std::move(delta);
-    delta.clear();
-    std::unordered_map<PredId, std::vector<const Fact*>> prev_by_pred;
-    for (const Fact& f : prev) prev_by_pred[f.pred].push_back(&f);
-    for (const Rule& rule : program.rules()) {
-      for (int j = 0; j < static_cast<int>(rule.body.size()); ++j) {
-        const QAtom& delta_atom = rule.body[j];
-        if (!program.IsIdb(delta_atom.pred)) continue;
-        auto it = prev_by_pred.find(delta_atom.pred);
-        if (it == prev_by_pred.end()) continue;
-        Instance pattern = BodyPattern(result.vocab(), rule, j);
-        HomSearch search(pattern, result);
-        for (const Fact* fp : it->second) {
-          const Fact& f = *fp;
-          // Seed the bindings of the delta atom from the new fact.
-          HomSearch::Fixed fixed;
-          bool consistent = true;
-          for (size_t pos = 0; pos < delta_atom.args.size() && consistent;
-               ++pos) {
-            VarId v = delta_atom.args[pos];
-            for (const auto& [pv, pe] : fixed) {
-              if (pv == v && pe != f.args[pos]) consistent = false;
-            }
-            if (consistent) fixed.emplace_back(v, f.args[pos]);
-          }
-          if (!consistent) continue;
-          search.ForEach(fixed, [&](const std::vector<ElemId>& map) {
-            std::vector<ElemId> head_args;
-            head_args.reserve(rule.head.args.size());
-            for (VarId v : rule.head.args) head_args.push_back(map[v]);
-            pending.push_back(Fact(rule.head.pred, std::move(head_args)));
-            return true;
-          });
-        }
-        flush_pending();
-      }
-    }
-  }
-  return result;
+Instance FpEval(const Program& program, const Instance& inst,
+                EvalStats* stats, const EvalOptions& options) {
+  return CompiledProgram(program).Eval(inst, stats, options);
 }
 
 std::set<std::vector<ElemId>> EvaluateDatalog(const DatalogQuery& query,

@@ -1,0 +1,344 @@
+#include "datalog/eval_plan.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/homomorphism.h"
+
+namespace mondet {
+
+void EvalStats::Accumulate(const EvalStats& other) {
+  iterations += other.iterations;
+  facts_derived += other.facts_derived;
+  join_probes += other.join_probes;
+  wall_seconds += other.wall_seconds;
+  strata.insert(strata.end(), other.strata.begin(), other.strata.end());
+}
+
+std::string EvalStats::Summary() const {
+  std::ostringstream os;
+  os << "iters=" << iterations << " derived=" << facts_derived
+     << " probes=" << join_probes << " strata=" << strata.size()
+     << " wall_ms=" << wall_seconds * 1000.0;
+  return os.str();
+}
+
+int ResolveEvalThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("MONDET_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Iterative Tarjan SCC. Components receive ids in pop order, so every
+/// component a node depends on (reaches) has a smaller id than the node's
+/// own component; evaluating strata in ascending id order therefore
+/// saturates dependencies first.
+std::vector<int> SccIds(size_t n, const std::vector<std::vector<int>>& adj,
+                        int* num_sccs) {
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_comp = 0;
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    std::vector<Frame> frames{{static_cast<int>(root), 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.node].size()) {
+        int next = adj[f.node][f.edge++];
+        if (index[next] < 0) {
+          index[next] = low[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          low[f.node] = std::min(low[f.node], index[next]);
+        }
+      } else {
+        int node = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] = std::min(low[frames.back().node],
+                                             low[node]);
+        }
+        if (low[node] == index[node]) {
+          int member;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            comp[member] = next_comp;
+          } while (member != node);
+          ++next_comp;
+        }
+      }
+    }
+  }
+  *num_sccs = next_comp;
+  return comp;
+}
+
+}  // namespace
+
+CompiledProgram::CompiledProgram(const Program& program) : program_(program) {
+  // Dense node ids for the IDB predicates, sorted for determinism.
+  std::vector<PredId> idbs(program_.Idbs().begin(), program_.Idbs().end());
+  std::sort(idbs.begin(), idbs.end());
+  std::unordered_map<PredId, int> node_of;
+  for (size_t i = 0; i < idbs.size(); ++i) {
+    node_of[idbs[i]] = static_cast<int>(i);
+  }
+  // Edge P -> Q when Q occurs in the body of a rule with head P.
+  std::vector<std::vector<int>> adj(idbs.size());
+  for (const Rule& rule : program_.rules()) {
+    int from = node_of.at(rule.head.pred);
+    for (const QAtom& a : rule.body) {
+      auto it = node_of.find(a.pred);
+      if (it != node_of.end()) adj[from].push_back(it->second);
+    }
+  }
+  int num_sccs = 0;
+  std::vector<int> scc = SccIds(idbs.size(), adj, &num_sccs);
+  strata_.resize(num_sccs);
+  for (size_t i = 0; i < idbs.size(); ++i) {
+    strata_[scc[i]].preds.insert(idbs[i]);
+  }
+
+  for (const Rule& rule : program_.rules()) {
+    RulePlan plan;
+    plan.head = rule.head;
+    plan.body = rule.body;
+    plan.num_vars = rule.num_vars();
+    int stratum = scc[node_of.at(rule.head.pred)];
+    const auto& stratum_preds = strata_[stratum].preds;
+    std::vector<std::vector<ElemId>> atom_vars;
+    atom_vars.reserve(rule.body.size());
+    for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
+      const QAtom& a = rule.body[i];
+      if (stratum_preds.count(a.pred)) plan.recursive_atoms.push_back(i);
+      atom_vars.push_back(std::vector<ElemId>(a.args.begin(), a.args.end()));
+    }
+    // Join ordering for one delta seat (-1 = the initial full join): the
+    // delta atom's variables start bound, the rest follow the shared
+    // greedy heuristic. With no instance at hand, the relation-size
+    // estimate just prefers EDB atoms, which stay fixed while the IDB
+    // relations grow toward the fixpoint.
+    auto order_excluding = [&](int skip) {
+      std::vector<std::vector<ElemId>> sub;
+      std::vector<uint32_t> back;
+      std::vector<bool> bound(plan.num_vars, false);
+      if (skip >= 0) {
+        for (VarId v : rule.body[skip].args) bound[v] = true;
+      }
+      for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
+        if (i == skip) continue;
+        sub.push_back(atom_vars[i]);
+        back.push_back(static_cast<uint32_t>(i));
+      }
+      std::vector<uint32_t> sub_order = GreedyAtomOrder(
+          sub, plan.num_vars,
+          [&](size_t i) {
+            return program_.IsIdb(rule.body[back[i]].pred) ? size_t{2}
+                                                           : size_t{1};
+          },
+          std::move(bound));
+      std::vector<uint32_t> order;
+      order.reserve(sub_order.size());
+      for (uint32_t s : sub_order) order.push_back(back[s]);
+      return order;
+    };
+    plan.orders.push_back(order_excluding(-1));
+    for (int i : plan.recursive_atoms) plan.orders.push_back(order_excluding(i));
+    strata_[stratum].plans.push_back(static_cast<uint32_t>(plans_.size()));
+    plans_.push_back(std::move(plan));
+  }
+}
+
+void CompiledProgram::Join(const RulePlan& plan,
+                           const std::vector<uint32_t>& order, size_t depth,
+                           std::vector<ElemId>& map, const Instance& target,
+                           size_t* probes, std::vector<Fact>* out) const {
+  if (depth == order.size()) {
+    std::vector<ElemId> head_args;
+    head_args.reserve(plan.head.args.size());
+    for (VarId v : plan.head.args) head_args.push_back(map[v]);
+    // Facts already in the target are filtered here; duplicates derived
+    // within the same round are deduplicated at the merge barrier.
+    if (!target.HasFact(plan.head.pred, head_args)) {
+      out->push_back(Fact(plan.head.pred, std::move(head_args)));
+    }
+    return;
+  }
+  const QAtom& atom = plan.body[order[depth]];
+  // Probe the tightest index available for the bound positions.
+  const std::vector<uint32_t>* candidates = &target.FactsWith(atom.pred);
+  int anchor = -1;
+  for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
+    ElemId img = map[atom.args[pos]];
+    if (img == kNoElem) continue;
+    const auto& idx = target.FactsWith(atom.pred, pos, img);
+    if (anchor < 0 || idx.size() < candidates->size()) {
+      candidates = &idx;
+      anchor = pos;
+    }
+  }
+  *probes += candidates->size();
+  std::vector<VarId> bound_here;
+  for (uint32_t fi : *candidates) {
+    const Fact& tf = target.facts()[fi];
+    bound_here.clear();
+    bool ok = true;
+    for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+      VarId v = atom.args[pos];
+      if (map[v] == kNoElem) {
+        map[v] = tf.args[pos];
+        bound_here.push_back(v);
+      } else if (map[v] != tf.args[pos]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Join(plan, order, depth + 1, map, target, probes, out);
+    for (VarId v : bound_here) map[v] = kNoElem;
+  }
+}
+
+void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
+                              size_t* probes, std::vector<Fact>* out) const {
+  const RulePlan& plan = plans_[item.plan];
+  std::vector<ElemId> map(plan.num_vars, kNoElem);
+  if (item.rec < 0) {
+    Join(plan, plan.orders[0], 0, map, target, probes, out);
+    return;
+  }
+  const QAtom& delta_atom = plan.body[plan.recursive_atoms[item.rec]];
+  const std::vector<uint32_t>& order = plan.orders[1 + item.rec];
+  std::vector<VarId> bound_here;
+  for (const Fact& f : *item.delta) {
+    bound_here.clear();
+    bool ok = true;
+    for (size_t pos = 0; pos < delta_atom.args.size(); ++pos) {
+      VarId v = delta_atom.args[pos];
+      if (map[v] == kNoElem) {
+        map[v] = f.args[pos];
+        bound_here.push_back(v);
+      } else if (map[v] != f.args[pos]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) Join(plan, order, 0, map, target, probes, out);
+    for (VarId v : bound_here) map[v] = kNoElem;
+  }
+}
+
+Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
+                               const EvalOptions& options) const {
+  auto t_start = std::chrono::steady_clock::now();
+  Instance result = input;
+  const int nthreads = ResolveEvalThreads(options.num_threads);
+  EvalStats run;
+
+  // Runs one round of work items, merges their derivations into `result`
+  // in item order — this makes the fact insertion order independent of
+  // the thread count — and returns the newly added facts (the delta).
+  auto run_round = [&](const std::vector<WorkItem>& items,
+                       StratumStats* ss) {
+    std::vector<std::vector<Fact>> derived(items.size());
+    std::vector<size_t> probes(items.size(), 0);
+    int workers = std::min<int>(nthreads, static_cast<int>(items.size()));
+    if (workers > 1) {
+      // Freeze the indexes so the fan-out only ever reads `result`.
+      result.PrepareIndexes();
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (int t = 0; t < workers; ++t) {
+        pool.emplace_back([&, t] {
+          for (size_t i = t; i < items.size(); i += workers) {
+            RunItem(items[i], result, &probes[i], &derived[i]);
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+    } else {
+      for (size_t i = 0; i < items.size(); ++i) {
+        RunItem(items[i], result, &probes[i], &derived[i]);
+      }
+    }
+    std::vector<Fact> added;
+    for (size_t i = 0; i < items.size(); ++i) {
+      ss->join_probes += probes[i];
+      for (Fact& f : derived[i]) {
+        if (result.AddFact(f)) added.push_back(std::move(f));
+      }
+    }
+    ss->facts_derived += added.size();
+    return added;
+  };
+
+  for (const Stratum& stratum : strata_) {
+    StratumStats ss;
+    auto t0 = std::chrono::steady_clock::now();
+    // Initial round: every rule of the stratum joins the full current
+    // result (lower strata are saturated; input IDB facts participate,
+    // as in the paper's Prop. 4 usage).
+    std::vector<WorkItem> round0;
+    round0.reserve(stratum.plans.size());
+    for (uint32_t pi : stratum.plans) round0.push_back({pi, -1, nullptr});
+    ss.iterations = 1;
+    std::vector<Fact> delta = run_round(round0, &ss);
+    // Delta rounds: each new derivation must use a previous-round fact in
+    // some recursive body atom.
+    while (!delta.empty()) {
+      std::unordered_map<PredId, std::vector<Fact>> by_pred;
+      for (Fact& f : delta) by_pred[f.pred].push_back(std::move(f));
+      std::vector<WorkItem> items;
+      for (uint32_t pi : stratum.plans) {
+        const RulePlan& plan = plans_[pi];
+        for (int r = 0; r < static_cast<int>(plan.recursive_atoms.size());
+             ++r) {
+          auto it = by_pred.find(plan.body[plan.recursive_atoms[r]].pred);
+          if (it == by_pred.end()) continue;
+          items.push_back({pi, r, &it->second});
+        }
+      }
+      if (items.empty()) break;
+      ++ss.iterations;
+      delta = run_round(items, &ss);
+    }
+    ss.wall_seconds = SecondsSince(t0);
+    run.iterations += ss.iterations;
+    run.facts_derived += ss.facts_derived;
+    run.join_probes += ss.join_probes;
+    run.strata.push_back(ss);
+  }
+  run.wall_seconds = SecondsSince(t_start);
+  if (stats) stats->Accumulate(run);
+  return result;
+}
+
+}  // namespace mondet

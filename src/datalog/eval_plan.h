@@ -1,0 +1,112 @@
+#ifndef MONDET_DATALOG_EVAL_PLAN_H_
+#define MONDET_DATALOG_EVAL_PLAN_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/instance.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// Evaluation knobs for CompiledProgram::Eval / FpEval.
+struct EvalOptions {
+  /// Worker threads for the per-iteration rule fan-out. 0 = use the
+  /// MONDET_THREADS environment variable, falling back to
+  /// std::thread::hardware_concurrency(). The derived fact set and its
+  /// insertion order are identical for every thread count (see
+  /// docs/EVALUATION.md for the determinism argument).
+  int num_threads = 0;
+};
+
+/// Counters for one stratum of a fixpoint run.
+struct StratumStats {
+  size_t iterations = 0;     // semi-naive rounds, incl. the initial one
+  size_t facts_derived = 0;  // new facts this stratum added
+  size_t join_probes = 0;    // candidate facts scanned by index joins
+  double wall_seconds = 0;
+};
+
+/// Counters for a fixpoint run. Eval *accumulates* into a caller-provided
+/// EvalStats, so one struct can aggregate several runs (as the bench
+/// harnesses do); `strata` gets one entry appended per stratum evaluated.
+struct EvalStats {
+  size_t iterations = 0;
+  size_t facts_derived = 0;
+  size_t join_probes = 0;
+  double wall_seconds = 0;
+  std::vector<StratumStats> strata;
+
+  /// Adds the scalar totals and appends the strata of `other`.
+  void Accumulate(const EvalStats& other);
+
+  /// One-line rendering for bench labels / logs.
+  std::string Summary() const;
+};
+
+/// Resolves the worker-thread count: `requested` if positive, else the
+/// MONDET_THREADS environment variable, else hardware_concurrency().
+int ResolveEvalThreads(int requested);
+
+/// A Datalog program compiled for repeated semi-naive evaluation.
+///
+/// Compilation groups the rules into strata — the SCCs of the IDB
+/// dependency graph, in topological order — and precomputes per-rule join
+/// orderings: one for the initial full join and one per recursive body
+/// atom (the semi-naive "delta" seat), each ordered
+/// most-constrained-atom-first by the shared GreedyAtomOrder heuristic.
+/// Construct once and Eval many times; the per-rule plans and strata are
+/// reused across calls.
+class CompiledProgram {
+ public:
+  explicit CompiledProgram(const Program& program);
+
+  /// FPEval(Π, I) (Sec. 2): all facts of `input` plus every derivable IDB
+  /// fact, over the same elements. Deterministic for any thread count.
+  /// When `stats` is non-null the run's counters are accumulated into it.
+  Instance Eval(const Instance& input, EvalStats* stats = nullptr,
+                const EvalOptions& options = {}) const;
+
+  size_t num_strata() const { return strata_.size(); }
+  const Program& program() const { return program_; }
+
+ private:
+  struct RulePlan {
+    QAtom head;
+    std::vector<QAtom> body;
+    size_t num_vars = 0;
+    std::vector<int> recursive_atoms;  // body indices over same-SCC preds
+    // orders[0]: every body atom (initial round); orders[1 + i]: every
+    // atom except recursive_atoms[i], whose variables start bound from a
+    // delta fact.
+    std::vector<std::vector<uint32_t>> orders;
+  };
+  struct Stratum {
+    std::vector<uint32_t> plans;       // indices into plans_, program order
+    std::unordered_set<PredId> preds;  // the SCC's predicates
+  };
+  /// One unit of the per-iteration fan-out: fire plan `plan` either as a
+  /// full join (rec < 0) or seeding recursive atom `rec` from each fact
+  /// of `delta`.
+  struct WorkItem {
+    uint32_t plan = 0;
+    int rec = -1;
+    const std::vector<Fact>* delta = nullptr;
+  };
+
+  void RunItem(const WorkItem& item, const Instance& target, size_t* probes,
+               std::vector<Fact>* out) const;
+  void Join(const RulePlan& plan, const std::vector<uint32_t>& order,
+            size_t depth, std::vector<ElemId>& map, const Instance& target,
+            size_t* probes, std::vector<Fact>* out) const;
+
+  Program program_;
+  std::vector<RulePlan> plans_;
+  std::vector<Stratum> strata_;
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_DATALOG_EVAL_PLAN_H_

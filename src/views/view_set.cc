@@ -5,6 +5,7 @@
 #include "base/check.h"
 #include "base/gaifman.h"
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 #include "datalog/fragment.h"
 
 namespace mondet {
@@ -47,6 +48,7 @@ PredId ViewSet::AddView(const std::string& name, const DatalogQuery& def) {
     renamed = RenamePredicate(renamed, p, fresh);
   }
   views_.push_back(View{view_pred, DatalogQuery(std::move(renamed), view_pred)});
+  compiled_.reset();
   return view_pred;
 }
 
@@ -78,8 +80,19 @@ std::unordered_set<PredId> ViewSet::ViewPreds() const {
 }
 
 Instance ViewSet::Image(const Instance& inst) const {
-  Instance fixpoint = FpEval(CombinedProgram(), inst);
+  return Image(inst, nullptr);
+}
+
+Instance ViewSet::Image(const Instance& inst, EvalStats* stats) const {
+  Instance fixpoint = Compiled().Eval(inst, stats);
   return fixpoint.RestrictTo(ViewPreds());
+}
+
+const CompiledProgram& ViewSet::Compiled() const {
+  if (!compiled_) {
+    compiled_ = std::make_shared<const CompiledProgram>(CombinedProgram());
+  }
+  return *compiled_;
 }
 
 Program ViewSet::CombinedProgram() const {

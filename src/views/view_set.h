@@ -1,6 +1,7 @@
 #ifndef MONDET_VIEWS_VIEW_SET_H_
 #define MONDET_VIEWS_VIEW_SET_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_set>
@@ -10,6 +11,9 @@
 #include "datalog/program.h"
 
 namespace mondet {
+
+class CompiledProgram;
+struct EvalStats;
 
 /// One view (V, Q_V): a view predicate together with its Datalog definition
 /// over the base schema. The definition's goal predicate is the view
@@ -51,11 +55,17 @@ class ViewSet {
   std::unordered_set<PredId> ViewPreds() const;
 
   /// The view image V(I): an instance over the same elements whose facts
-  /// are exactly the view-predicate outputs.
+  /// are exactly the view-predicate outputs. Evaluated with the cached
+  /// compiled view program; pass `stats` to collect evaluation counters.
   Instance Image(const Instance& inst) const;
+  Instance Image(const Instance& inst, EvalStats* stats) const;
 
   /// Π_V: the union of all view definition rules (goal = view predicate).
   Program CombinedProgram() const;
+
+  /// The combined view program compiled for repeated evaluation. Cached;
+  /// rebuilt lazily after view insertions.
+  const CompiledProgram& Compiled() const;
 
   /// Classification helpers for picking decision procedures.
   bool AllCq() const;
@@ -68,6 +78,8 @@ class ViewSet {
  private:
   VocabularyPtr vocab_;
   std::vector<View> views_;
+  // Shared so ViewSet stays copyable; the compiled program is immutable.
+  mutable std::shared_ptr<const CompiledProgram> compiled_;
 };
 
 /// Rewrites `program` replacing every occurrence (head and body) of

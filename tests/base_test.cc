@@ -63,6 +63,47 @@ TEST(Instance, PositionIndex) {
   EXPECT_EQ(inst.FactsWith(r, 0, 0).size(), 2u);
 }
 
+TEST(Instance, IncrementalIndexMaintenance) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId s = vocab->AddPredicate("S", 1);
+  Instance inst(vocab);
+  ElemId a = inst.AddElement();
+  ElemId b = inst.AddElement();
+  inst.AddFact(r, {a, b});
+  // First positional query materializes the index; from here on it is
+  // maintained incrementally by AddFact.
+  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 1u);
+  // Facts added after the index went live must be visible, including on
+  // predicates never queried before.
+  inst.AddFact(r, {b, a});
+  inst.AddFact(s, {b});
+  EXPECT_EQ(inst.FactsWith(r, 0, b).size(), 1u);
+  EXPECT_EQ(inst.FactsWith(r, 1, a).size(), 1u);
+  EXPECT_EQ(inst.FactsWith(s, 0, b).size(), 1u);
+  // Interleave more adds and queries; duplicates must not re-index.
+  inst.AddFact(r, {a, b});  // duplicate, rejected
+  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 1u);
+  ElemId c = inst.AddElement();
+  inst.AddFact(r, {a, c});
+  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 2u);
+  EXPECT_EQ(inst.FactsWith(r, 1, c).size(), 1u);
+}
+
+TEST(Instance, PrepareIndexesCoversAllFacts) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance inst = MakePath(vocab, r, 5);
+  // PrepareIndexes on a never-queried instance makes subsequent
+  // positional lookups read-only (used by the parallel evaluator before
+  // fanning out worker threads).
+  inst.PrepareIndexes();
+  EXPECT_EQ(inst.FactsWith(r, 0, 0).size(), 1u);
+  inst.AddFact(r, {2, 0});
+  inst.PrepareIndexes();
+  EXPECT_EQ(inst.FactsWith(r, 1, 0).size(), 1u);
+}
+
 TEST(Instance, RestrictTo) {
   auto vocab = MakeVocabulary();
   PredId r = vocab->AddPredicate("R", 2);

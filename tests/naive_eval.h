@@ -1,0 +1,49 @@
+#ifndef MONDET_TESTS_NAIVE_EVAL_H_
+#define MONDET_TESTS_NAIVE_EVAL_H_
+
+#include <vector>
+
+#include "base/homomorphism.h"
+#include "base/instance.h"
+#include "datalog/program.h"
+
+namespace mondet {
+
+/// Naive reference evaluation: fire every rule against the full instance
+/// until no new facts appear. Slow but obviously correct — the oracle the
+/// differential tests compare the semi-naive evaluator against.
+inline Instance NaiveFpEval(const Program& program, const Instance& inst) {
+  Instance result = inst;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Fact> pending;
+    for (const Rule& rule : program.rules()) {
+      if (rule.body.empty()) {
+        pending.push_back(Fact(rule.head.pred, {}));
+        continue;
+      }
+      Instance pattern(result.vocab());
+      pattern.EnsureElements(rule.num_vars());
+      for (const QAtom& a : rule.body) {
+        pattern.AddFact(a.pred,
+                        std::vector<ElemId>(a.args.begin(), a.args.end()));
+      }
+      HomSearch search(pattern, result);
+      search.ForEach({}, [&](const std::vector<ElemId>& map) {
+        std::vector<ElemId> args;
+        for (VarId v : rule.head.args) args.push_back(map[v]);
+        pending.push_back(Fact(rule.head.pred, std::move(args)));
+        return true;
+      });
+    }
+    for (Fact& f : pending) {
+      if (result.AddFact(f)) changed = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace mondet
+
+#endif  // MONDET_TESTS_NAIVE_EVAL_H_

@@ -14,6 +14,7 @@
 #include "datalog/eval.h"
 #include "datalog/parser.h"
 #include "games/pebble.h"
+#include "tests/naive_eval.h"
 #include "tests/test_util.h"
 #include "tree/code.h"
 #include "tree/decompose.h"
@@ -24,41 +25,10 @@ namespace {
 
 // ---------- Semi-naive FPEval vs. a naive reference evaluator ------------
 
-class SeminaiveVsNaive : public ::testing::TestWithParam<unsigned> {};
+// NaiveFpEval lives in tests/naive_eval.h (shared with the differential
+// oracle in eval_differential_test.cc).
 
-/// Naive evaluation: fire every rule against the full instance until no
-/// new facts appear. Slow but obviously correct.
-Instance NaiveFpEval(const Program& program, const Instance& inst) {
-  Instance result = inst;
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    std::vector<Fact> pending;
-    for (const Rule& rule : program.rules()) {
-      if (rule.body.empty()) {
-        pending.push_back(Fact(rule.head.pred, {}));
-        continue;
-      }
-      Instance pattern(result.vocab());
-      pattern.EnsureElements(rule.num_vars());
-      for (const QAtom& a : rule.body) {
-        pattern.AddFact(a.pred,
-                        std::vector<ElemId>(a.args.begin(), a.args.end()));
-      }
-      HomSearch search(pattern, result);
-      search.ForEach({}, [&](const std::vector<ElemId>& map) {
-        std::vector<ElemId> args;
-        for (VarId v : rule.head.args) args.push_back(map[v]);
-        pending.push_back(Fact(rule.head.pred, std::move(args)));
-        return true;
-      });
-    }
-    for (Fact& f : pending) {
-      if (result.AddFact(f)) changed = true;
-    }
-  }
-  return result;
-}
+class SeminaiveVsNaive : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SeminaiveVsNaive, SameFixpoint) {
   unsigned seed = GetParam();
