@@ -46,6 +46,10 @@ void RunCase(const char* name, const TilingProblem& tp) {
           "monotonic determinacy.\n",
           result.tests_run);
       break;
+    case Verdict::kInvalidInput:
+      std::printf("   invalid input:\n%s",
+                  FormatDiagnostics(result.diagnostics).c_str());
+      break;
   }
 }
 

@@ -11,6 +11,21 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build -j "$JOBS"
 ctest --test-dir build -L tier1 --output-on-failure -j "$JOBS"
 
+# Static analysis gate: every example program must lint without errors
+# (mondet_lint_examples runs the same command as a tier1 ctest; repeated
+# here so the gate still fires when examples/programs/ gains files after
+# the build directory was configured).
+./build/tools/mondet-lint examples/programs/*.dl > /dev/null
+
+# clang-tidy over the analysis subsystem, when the binary exists (the
+# minimal CI image ships only gcc).
+if command -v clang-tidy > /dev/null 2>&1; then
+  cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > /dev/null
+  clang-tidy -p build --quiet src/analysis/*.cc
+else
+  echo "tier1: clang-tidy not found, skipping lint pass"
+fi
+
 # Differential oracle under ASan/UBSan, single- and multi-threaded.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
 cmake --build build-asan -j "$JOBS" --target eval_differential_test

@@ -1,0 +1,526 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/scc.h"
+#include "datalog/eval_plan.h"
+
+namespace mondet {
+
+namespace {
+
+SourceLoc RuleLoc(const Program& program, int rule_index) {
+  SourceLoc loc;
+  loc.rule = rule_index;
+  if (rule_index >= 0 &&
+      rule_index < static_cast<int>(program.rules().size())) {
+    const Rule& r = program.rules()[rule_index];
+    loc.line = r.line;
+    loc.col = r.col;
+  }
+  return loc;
+}
+
+std::string AtomSignature(const Vocabulary& vocab, const QAtom& a) {
+  return vocab.name(a.pred) + "/" + std::to_string(vocab.arity(a.pred));
+}
+
+/// Dense node ids for the IDB predicates (sorted for determinism) and the
+/// dependency edges P -> Q for Q in the body of a rule with head P. The
+/// same graph CompiledProgram stratifies with.
+struct IdbGraph {
+  std::vector<PredId> idbs;
+  std::unordered_map<PredId, int> node_of;
+  std::vector<std::vector<int>> adj;
+};
+
+IdbGraph BuildIdbGraph(const Program& program) {
+  IdbGraph g;
+  g.idbs.assign(program.Idbs().begin(), program.Idbs().end());
+  std::sort(g.idbs.begin(), g.idbs.end());
+  for (size_t i = 0; i < g.idbs.size(); ++i) {
+    g.node_of[g.idbs[i]] = static_cast<int>(i);
+  }
+  g.adj.resize(g.idbs.size());
+  for (const Rule& rule : program.rules()) {
+    int from = g.node_of.at(rule.head.pred);
+    for (const QAtom& a : rule.body) {
+      auto it = g.node_of.find(a.pred);
+      if (it != g.node_of.end()) g.adj[from].push_back(it->second);
+    }
+  }
+  return g;
+}
+
+/// For each IDB node, whether its SCC contains a cycle (size > 1, or a
+/// self-loop edge).
+std::vector<bool> CyclicNodes(const IdbGraph& g, const std::vector<int>& scc,
+                              int num_sccs) {
+  std::vector<int> scc_size(num_sccs, 0);
+  for (int c : scc) ++scc_size[c];
+  std::vector<bool> scc_cyclic(num_sccs, false);
+  for (size_t u = 0; u < g.adj.size(); ++u) {
+    for (int v : g.adj[u]) {
+      if (scc[u] == scc[v] &&
+          (scc_size[scc[u]] > 1 || static_cast<int>(u) == v)) {
+        scc_cyclic[scc[u]] = true;
+      }
+    }
+  }
+  std::vector<bool> out(g.adj.size());
+  for (size_t u = 0; u < g.adj.size(); ++u) out[u] = scc_cyclic[scc[u]];
+  return out;
+}
+
+}  // namespace
+
+const char* FragmentName(Fragment f) {
+  switch (f) {
+    case Fragment::kNonRecursive:
+      return "non-recursive";
+    case Fragment::kMonadic:
+      return "monadic";
+    case Fragment::kFrontierGuarded:
+      return "frontier-guarded";
+  }
+  return "unknown";
+}
+
+RecursionReport AnalyzeRecursion(const Program& program) {
+  RecursionReport report;
+  IdbGraph g = BuildIdbGraph(program);
+  int num_sccs = 0;
+  std::vector<int> scc = SccIds(g.idbs.size(), g.adj, &num_sccs);
+  report.num_strata = static_cast<size_t>(num_sccs);
+  std::vector<bool> cyclic = CyclicNodes(g, scc, num_sccs);
+  for (size_t i = 0; i < g.idbs.size(); ++i) {
+    if (cyclic[i]) report.cyclic_idbs.push_back(g.idbs[i]);
+  }
+  report.recursive = !report.cyclic_idbs.empty();
+  for (const Rule& rule : program.rules()) {
+    int head_node = g.node_of.at(rule.head.pred);
+    if (!cyclic[head_node]) continue;
+    int same_scc_atoms = 0;
+    for (const QAtom& a : rule.body) {
+      auto it = g.node_of.find(a.pred);
+      if (it != g.node_of.end() && scc[it->second] == scc[head_node]) {
+        ++same_scc_atoms;
+      }
+    }
+    if (same_scc_atoms > 1) report.linear = false;
+  }
+  return report;
+}
+
+std::vector<Diagnostic> FragmentViolations(const Program& program,
+                                           Fragment fragment,
+                                           Severity severity) {
+  std::vector<Diagnostic> out;
+  const Vocabulary& vocab = *program.vocab();
+  std::string check = std::string("fragment-") + FragmentName(fragment);
+  switch (fragment) {
+    case Fragment::kMonadic: {
+      std::vector<PredId> idbs(program.Idbs().begin(), program.Idbs().end());
+      std::sort(idbs.begin(), idbs.end());
+      for (PredId p : idbs) {
+        if (vocab.arity(p) <= 1) continue;
+        std::vector<size_t> rules = program.RulesFor(p);
+        SourceLoc loc =
+            RuleLoc(program, rules.empty() ? -1 : static_cast<int>(rules[0]));
+        loc.atoms = {SourceLoc::kHead};
+        std::ostringstream os;
+        os << "IDB predicate " << vocab.name(p) << " has arity "
+           << vocab.arity(p)
+           << " > 1; monadic Datalog requires unary intensional predicates"
+           << " (defined by rule";
+        for (size_t i = 0; i < rules.size(); ++i) {
+          os << (i ? "," : "") << " " << rules[i];
+        }
+        os << ")";
+        out.push_back(MakeDiagnostic(severity, check, os.str(), loc));
+      }
+      break;
+    }
+    case Fragment::kFrontierGuarded: {
+      // Paper convention: every monadic program counts as frontier-guarded.
+      if (InFragment(program, Fragment::kMonadic)) break;
+      for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+        const Rule& rule = program.rules()[ri];
+        if (rule.head.args.empty()) continue;  // vacuously guarded
+        bool guarded = false;
+        std::vector<int> edb_atoms;
+        for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+          const QAtom& a = rule.body[ai];
+          if (program.IsIdb(a.pred)) continue;  // guard must be extensional
+          edb_atoms.push_back(static_cast<int>(ai));
+          bool covers = true;
+          for (VarId v : rule.head.args) {
+            if (std::find(a.args.begin(), a.args.end(), v) == a.args.end()) {
+              covers = false;
+              break;
+            }
+          }
+          if (covers) {
+            guarded = true;
+            break;
+          }
+        }
+        if (guarded) continue;
+        SourceLoc loc = RuleLoc(program, static_cast<int>(ri));
+        loc.atoms = edb_atoms;
+        std::unordered_set<VarId> seen;
+        for (VarId v : rule.head.args) {
+          if (seen.insert(v).second) loc.vars.push_back(rule.var_names[v]);
+        }
+        std::ostringstream os;
+        os << "head variables of rule " << ri << " {";
+        for (size_t i = 0; i < loc.vars.size(); ++i) {
+          os << (i ? "," : "") << loc.vars[i];
+        }
+        os << "} are not covered by any single EDB body atom";
+        if (edb_atoms.empty()) {
+          os << " (the body has no EDB atoms)";
+        } else {
+          os << "; candidate guards:";
+          for (int ai : edb_atoms) {
+            os << " " << AtomSignature(vocab, rule.body[ai]) << "[atom " << ai
+               << "]";
+          }
+        }
+        out.push_back(MakeDiagnostic(severity, check, os.str(), loc));
+      }
+      break;
+    }
+    case Fragment::kNonRecursive: {
+      IdbGraph g = BuildIdbGraph(program);
+      int num_sccs = 0;
+      std::vector<int> scc = SccIds(g.idbs.size(), g.adj, &num_sccs);
+      std::vector<bool> cyclic = CyclicNodes(g, scc, num_sccs);
+      for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+        const Rule& rule = program.rules()[ri];
+        int head_node = g.node_of.at(rule.head.pred);
+        if (!cyclic[head_node]) continue;
+        std::vector<int> rec_atoms;
+        for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+          auto it = g.node_of.find(rule.body[ai].pred);
+          if (it != g.node_of.end() && scc[it->second] == scc[head_node]) {
+            rec_atoms.push_back(static_cast<int>(ai));
+          }
+        }
+        if (rec_atoms.empty()) continue;  // head cyclic via other rules
+        SourceLoc loc = RuleLoc(program, static_cast<int>(ri));
+        loc.atoms = rec_atoms;
+        std::ostringstream os;
+        os << "rule " << ri << " recurses: " << vocab.name(rule.head.pred)
+           << " depends cyclically on";
+        for (int ai : rec_atoms) {
+          os << " " << AtomSignature(vocab, rule.body[ai]) << "[atom " << ai
+             << "]";
+        }
+        out.push_back(MakeDiagnostic(severity, check, os.str(), loc));
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+bool InFragment(const Program& program, Fragment fragment) {
+  return FragmentViolations(program, fragment).empty();
+}
+
+void CheckRuleSafety(const Rule& rule, int rule_index,
+                     std::vector<Diagnostic>* out) {
+  std::unordered_set<VarId> reported;
+  for (VarId v : rule.head.args) {
+    if (reported.count(v)) continue;
+    bool found = false;
+    for (const QAtom& a : rule.body) {
+      if (std::find(a.args.begin(), a.args.end(), v) != a.args.end()) {
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+    reported.insert(v);
+    SourceLoc loc;
+    loc.rule = rule_index;
+    loc.line = rule.line;
+    loc.col = rule.col;
+    loc.atoms = {SourceLoc::kHead};
+    loc.vars = {rule.var_names[v]};
+    out->push_back(MakeDiagnostic(
+        Severity::kError, "safety",
+        "head variable '" + rule.var_names[v] +
+            "' does not occur in the rule body (range restriction, Sec. 2)",
+        loc));
+  }
+}
+
+void CheckRuleArity(const Rule& rule, int rule_index, const Vocabulary& vocab,
+                    std::vector<Diagnostic>* out) {
+  auto check_atom = [&](const QAtom& a, int atom_index) {
+    SourceLoc loc;
+    loc.rule = rule_index;
+    loc.line = rule.line;
+    loc.col = rule.col;
+    loc.atoms = {atom_index};
+    if (a.pred == kNoPred || a.pred >= vocab.size()) {
+      out->push_back(MakeDiagnostic(Severity::kError, "arity",
+                                    "atom uses a predicate id outside the "
+                                    "vocabulary",
+                                    loc));
+      return;
+    }
+    if (vocab.arity(a.pred) != static_cast<int>(a.args.size())) {
+      std::ostringstream os;
+      os << "atom " << AtomSignature(vocab, a) << " used with "
+         << a.args.size() << " argument(s)";
+      out->push_back(
+          MakeDiagnostic(Severity::kError, "arity", os.str(), loc));
+    }
+  };
+  check_atom(rule.head, SourceLoc::kHead);
+  for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+    check_atom(rule.body[ai], static_cast<int>(ai));
+  }
+}
+
+namespace {
+
+void SafetyCheck(const ProgramAnalyzer::Input& in,
+                 std::vector<Diagnostic>* out) {
+  for (size_t ri = 0; ri < in.program.rules().size(); ++ri) {
+    CheckRuleSafety(in.program.rules()[ri], static_cast<int>(ri), out);
+  }
+}
+
+void ArityCheck(const ProgramAnalyzer::Input& in,
+                std::vector<Diagnostic>* out) {
+  for (size_t ri = 0; ri < in.program.rules().size(); ++ri) {
+    CheckRuleArity(in.program.rules()[ri], static_cast<int>(ri),
+                   *in.program.vocab(), out);
+  }
+}
+
+void ReachabilityCheck(const ProgramAnalyzer::Input& in,
+                       std::vector<Diagnostic>* out) {
+  if (!in.options.goal) return;
+  const Program& program = in.program;
+  PredId goal = *in.options.goal;
+  if (!program.IsIdb(goal)) {
+    SourceLoc loc;
+    out->push_back(MakeDiagnostic(
+        Severity::kError, "goal",
+        "goal predicate " + program.vocab()->name(goal) +
+            " is not the head of any rule",
+        loc));
+    return;
+  }
+  IdbGraph g = BuildIdbGraph(program);
+  std::vector<bool> reached(g.idbs.size(), false);
+  std::queue<int> frontier;
+  reached[g.node_of.at(goal)] = true;
+  frontier.push(g.node_of.at(goal));
+  while (!frontier.empty()) {
+    int u = frontier.front();
+    frontier.pop();
+    for (int v : g.adj[u]) {
+      if (!reached[v]) {
+        reached[v] = true;
+        frontier.push(v);
+      }
+    }
+  }
+  for (size_t i = 0; i < g.idbs.size(); ++i) {
+    if (reached[i]) continue;
+    PredId p = g.idbs[i];
+    std::vector<size_t> rules = program.RulesFor(p);
+    SourceLoc loc =
+        RuleLoc(program, rules.empty() ? -1 : static_cast<int>(rules[0]));
+    out->push_back(MakeDiagnostic(
+        Severity::kWarning, "unused-predicate",
+        "IDB predicate " + program.vocab()->name(p) +
+            " is not reachable from the goal " +
+            program.vocab()->name(goal) + " (dead code)",
+        loc));
+    for (size_t ri : rules) {
+      SourceLoc rloc = RuleLoc(program, static_cast<int>(ri));
+      out->push_back(MakeDiagnostic(
+          Severity::kWarning, "unreachable-rule",
+          "rule " + std::to_string(ri) + " defines unreachable predicate " +
+              program.vocab()->name(p),
+          rloc));
+    }
+  }
+}
+
+void SingletonVariableCheck(const ProgramAnalyzer::Input& in,
+                            std::vector<Diagnostic>* out) {
+  for (size_t ri = 0; ri < in.program.rules().size(); ++ri) {
+    const Rule& rule = in.program.rules()[ri];
+    // A singleton in a single-atom body is a plain projection; only
+    // multi-atom bodies make a lone variable look like a mistyped join.
+    if (rule.body.size() < 2) continue;
+    std::vector<int> count(rule.num_vars(), 0);
+    std::vector<int> first_atom(rule.num_vars(), SourceLoc::kHead);
+    for (VarId v : rule.head.args) ++count[v];
+    for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+      for (VarId v : rule.body[ai].args) {
+        if (count[v] == 0) first_atom[v] = static_cast<int>(ai);
+        ++count[v];
+      }
+    }
+    for (size_t v = 0; v < rule.num_vars(); ++v) {
+      if (count[v] != 1) continue;
+      const std::string& name = rule.var_names[v];
+      if (!name.empty() && name[0] == '_') continue;  // deliberate
+      SourceLoc loc = RuleLoc(in.program, static_cast<int>(ri));
+      loc.atoms = {first_atom[v]};
+      loc.vars = {name};
+      out->push_back(MakeDiagnostic(
+          Severity::kWarning, "singleton-variable",
+          "variable '" + name + "' occurs only once in rule " +
+              std::to_string(ri) +
+              " (possible typo; prefix with '_' if deliberate)",
+          loc));
+    }
+  }
+}
+
+void RecursionStructureCheck(const ProgramAnalyzer::Input& in,
+                             std::vector<Diagnostic>* out) {
+  RecursionReport report = AnalyzeRecursion(in.program);
+  std::ostringstream os;
+  os << report.num_strata << " strat" << (report.num_strata == 1 ? "um" : "a");
+  if (report.recursive) {
+    os << "; recursive IDBs:";
+    for (PredId p : report.cyclic_idbs) {
+      os << " " << in.program.vocab()->name(p);
+    }
+    os << "; recursion is " << (report.linear ? "linear" : "non-linear");
+  } else {
+    os << "; no recursion (the query is equivalent to a UCQ)";
+  }
+  out->push_back(
+      MakeDiagnostic(Severity::kNote, "recursion-structure", os.str()));
+}
+
+void FragmentCheck(Fragment fragment, const ProgramAnalyzer::Input& in,
+                   std::vector<Diagnostic>* out) {
+  bool required =
+      std::find(in.options.required_fragments.begin(),
+                in.options.required_fragments.end(),
+                fragment) != in.options.required_fragments.end();
+  if (!required && !in.options.fragment_notes) return;
+  Severity severity = required ? Severity::kError : Severity::kNote;
+  std::vector<Diagnostic> violations =
+      FragmentViolations(in.program, fragment, severity);
+  out->insert(out->end(), violations.begin(), violations.end());
+}
+
+void PlanLintCheck(const ProgramAnalyzer::Input& in,
+                   std::vector<Diagnostic>* out) {
+  if (!in.options.plan_lints) return;
+  const Program& program = in.program;
+  CompiledProgram compiled(program);
+  for (const CompiledProgram::JoinOrderDesc& desc : compiled.DescribePlans()) {
+    const Rule& rule = program.rules()[desc.rule];
+    std::vector<bool> bound(rule.num_vars(), false);
+    bool anything_bound = false;
+    if (desc.delta_atom >= 0) {
+      for (VarId v : rule.body[desc.delta_atom].args) bound[v] = true;
+      anything_bound = true;
+    }
+    for (size_t k = 0; k < desc.order.size(); ++k) {
+      const QAtom& atom = rule.body[desc.order[k]];
+      bool shares = false;
+      for (VarId v : atom.args) {
+        if (bound[v]) shares = true;
+      }
+      // The first atom of a full join is the scan; every later atom (and
+      // every atom after a delta seed) should share a bound variable, or
+      // the join degenerates to a cross product.
+      if (anything_bound && !shares && !atom.args.empty()) {
+        SourceLoc loc = RuleLoc(program, static_cast<int>(desc.rule));
+        loc.atoms = {static_cast<int>(desc.order[k])};
+        std::ostringstream os;
+        os << "join step " << k << " of rule " << desc.rule
+           << (desc.delta_atom >= 0
+                   ? " (delta seat " + std::to_string(desc.delta_atom) + ")"
+                   : "")
+           << " joins " << AtomSignature(*program.vocab(), atom)
+           << " with zero bound positions (cross product)";
+        out->push_back(MakeDiagnostic(Severity::kWarning,
+                                      "plan-cross-product", os.str(), loc));
+      }
+      for (VarId v : atom.args) bound[v] = true;
+      if (!atom.args.empty()) anything_bound = true;
+    }
+  }
+}
+
+}  // namespace
+
+ProgramAnalyzer::ProgramAnalyzer() {
+  AddCheck("safety", SafetyCheck);
+  AddCheck("arity", ArityCheck);
+  AddCheck("reachability", ReachabilityCheck);
+  AddCheck("singleton-variable", SingletonVariableCheck);
+  AddCheck("recursion-structure", RecursionStructureCheck);
+  AddCheck("fragment-non-recursive", [](const Input& in, auto* out) {
+    FragmentCheck(Fragment::kNonRecursive, in, out);
+  });
+  AddCheck("fragment-monadic", [](const Input& in, auto* out) {
+    FragmentCheck(Fragment::kMonadic, in, out);
+  });
+  AddCheck("fragment-frontier-guarded", [](const Input& in, auto* out) {
+    FragmentCheck(Fragment::kFrontierGuarded, in, out);
+  });
+  AddCheck("plan-lints", PlanLintCheck);
+}
+
+void ProgramAnalyzer::AddCheck(std::string id, CheckFn fn) {
+  checks_.push_back({std::move(id), std::move(fn)});
+}
+
+bool ProgramAnalyzer::DisableCheck(const std::string& id) {
+  size_t before = checks_.size();
+  checks_.erase(std::remove_if(checks_.begin(), checks_.end(),
+                               [&](const Check& c) { return c.id == id; }),
+                checks_.end());
+  return checks_.size() != before;
+}
+
+std::vector<std::string> ProgramAnalyzer::CheckIds() const {
+  std::vector<std::string> out;
+  out.reserve(checks_.size());
+  for (const Check& c : checks_) out.push_back(c.id);
+  return out;
+}
+
+AnalysisResult ProgramAnalyzer::Analyze(const Program& program,
+                                        const AnalysisOptions& options) const {
+  AnalysisResult result;
+  Input in{program, options};
+  for (const Check& c : checks_) c.fn(in, &result.diagnostics);
+  result.fragments.non_recursive =
+      InFragment(program, Fragment::kNonRecursive);
+  result.fragments.monadic = InFragment(program, Fragment::kMonadic);
+  result.fragments.frontier_guarded =
+      InFragment(program, Fragment::kFrontierGuarded);
+  result.recursion = AnalyzeRecursion(program);
+  return result;
+}
+
+AnalysisResult AnalyzeProgram(const Program& program,
+                              const AnalysisOptions& options) {
+  static const ProgramAnalyzer analyzer;
+  return analyzer.Analyze(program, options);
+}
+
+}  // namespace mondet

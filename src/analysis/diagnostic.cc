@@ -1,0 +1,142 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace mondet {
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Diagnostic MakeDiagnostic(Severity severity, std::string check,
+                          std::string message, SourceLoc loc) {
+  Diagnostic d;
+  d.severity = severity;
+  d.check = std::move(check);
+  d.message = std::move(message);
+  d.loc = std::move(loc);
+  return d;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics, Severity s) {
+  size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string FormatDiagnostic(const Diagnostic& d) {
+  std::ostringstream os;
+  os << SeverityName(d.severity) << "[" << d.check << "]";
+  if (d.loc.line > 0) os << " line " << d.loc.line << ":" << d.loc.col;
+  if (d.loc.rule >= 0) {
+    os << " rule " << d.loc.rule;
+    if (!d.loc.atoms.empty()) {
+      os << " (";
+      for (size_t i = 0; i < d.loc.atoms.size(); ++i) {
+        if (i) os << ", ";
+        if (d.loc.atoms[i] == SourceLoc::kHead) {
+          os << "head";
+        } else {
+          os << "atom " << d.loc.atoms[i];
+        }
+      }
+      os << ")";
+    }
+  }
+  if (!d.loc.vars.empty()) {
+    os << " {";
+    for (size_t i = 0; i < d.loc.vars.size(); ++i) {
+      if (i) os << ", ";
+      os << d.loc.vars[i];
+    }
+    os << "}";
+  }
+  os << ": " << d.message;
+  return os.str();
+}
+
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += FormatDiagnostic(d);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    if (i) os << ",";
+    os << "{\"severity\":" << JsonQuote(SeverityName(d.severity))
+       << ",\"check\":" << JsonQuote(d.check)
+       << ",\"message\":" << JsonQuote(d.message)
+       << ",\"rule\":" << d.loc.rule << ",\"atoms\":[";
+    for (size_t j = 0; j < d.loc.atoms.size(); ++j) {
+      if (j) os << ",";
+      os << d.loc.atoms[j];
+    }
+    os << "],\"vars\":[";
+    for (size_t j = 0; j < d.loc.vars.size(); ++j) {
+      if (j) os << ",";
+      os << JsonQuote(d.loc.vars[j]);
+    }
+    os << "],\"line\":" << d.loc.line << ",\"col\":" << d.loc.col << "}";
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mondet

@@ -1,0 +1,62 @@
+#ifndef MONDET_ANALYSIS_DIAGNOSTIC_H_
+#define MONDET_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+namespace mondet {
+
+/// How bad a finding is. Errors make inputs unusable for the procedure
+/// that reported them; warnings are likely mistakes; notes are reports.
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+/// Where a diagnostic points inside a program: the rule, the body atoms
+/// involved, the variables involved, and (when the program came from
+/// ParseProgram) the 1-based source position of the rule.
+struct SourceLoc {
+  /// `atoms` entry denoting the head atom rather than a body index.
+  static constexpr int kHead = -1;
+
+  int rule = -1;                  // index into Program::rules(); -1 = program
+  std::vector<int> atoms;        // body atom indices (kHead = head atom)
+  std::vector<std::string> vars;  // names of the variables involved
+  int line = 0;                   // 1-based; 0 = unknown
+  int col = 0;
+};
+
+/// One finding of the static analyzer (or a parse/validation failure):
+/// a stable check id, a severity, a human-readable message and a location.
+/// Check ids are documented in docs/ANALYSIS.md.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string check;    // stable id, e.g. "safety", "fragment-frontier-guarded"
+  std::string message;
+  SourceLoc loc;
+};
+
+/// Builds a diagnostic in one expression.
+Diagnostic MakeDiagnostic(Severity severity, std::string check,
+                          std::string message, SourceLoc loc = {});
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics);
+size_t CountSeverity(const std::vector<Diagnostic>& diagnostics, Severity s);
+
+/// "error[safety] line 3: rule 2 (head, atom 1) [x, y]: message".
+std::string FormatDiagnostic(const Diagnostic& d);
+
+/// One FormatDiagnostic line per entry, '\n'-terminated; "" when empty.
+std::string FormatDiagnostics(const std::vector<Diagnostic>& diagnostics);
+
+/// The diagnostics as a JSON array (stable field order, suitable for
+/// golden tests): [{"severity":...,"check":...,"message":...,"rule":N,
+/// "atoms":[...],"vars":[...],"line":N,"col":N}, ...].
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics);
+
+/// Escapes a string for embedding in JSON output (quotes included).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace mondet
+
+#endif  // MONDET_ANALYSIS_DIAGNOSTIC_H_

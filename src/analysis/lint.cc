@@ -1,0 +1,143 @@
+#include "analysis/lint.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "datalog/parser.h"
+
+namespace mondet {
+
+namespace {
+
+/// Extracts the name from the first "# goal: Name" comment line, if any.
+std::string GoalFromComments(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash == std::string::npos) continue;
+    size_t pos = line.find("goal:", hash);
+    if (pos == std::string::npos) continue;
+    pos += 5;
+    while (pos < line.size() && std::isspace(static_cast<unsigned char>(
+                                    line[pos]))) {
+      ++pos;
+    }
+    size_t end = pos;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) ||
+            line[end] == '_' || line[end] == '\'')) {
+      ++end;
+    }
+    if (end > pos) return line.substr(pos, end - pos);
+  }
+  return "";
+}
+
+const char* YesNo(bool b) { return b ? "yes" : "no"; }
+
+std::string RenderText(const LintResult& result, const Program* program,
+                       const VocabularyPtr& vocab) {
+  std::ostringstream os;
+  if (program) {
+    os << "program: " << result.num_rules << " rules, "
+       << program->Idbs().size() << " IDB(s), " << program->Edbs().size()
+       << " EDB(s)\n";
+    const FragmentClassification& f = result.analysis.fragments;
+    os << "fragments: non-recursive=" << YesNo(f.non_recursive)
+       << " monadic=" << YesNo(f.monadic)
+       << " frontier-guarded=" << YesNo(f.frontier_guarded) << "\n";
+  }
+  os << FormatDiagnostics(result.diagnostics);
+  os << "summary: " << CountSeverity(result.diagnostics, Severity::kError)
+     << " error(s), " << CountSeverity(result.diagnostics, Severity::kWarning)
+     << " warning(s), " << CountSeverity(result.diagnostics, Severity::kNote)
+     << " note(s)\n";
+  (void)vocab;
+  return os.str();
+}
+
+std::string RenderJson(const LintResult& result, const Program* program) {
+  std::ostringstream os;
+  os << "{\"ok\":" << (result.exit_code == 0 ? "true" : "false")
+     << ",\"parsed\":" << (result.parsed ? "true" : "false")
+     << ",\"rules\":" << result.num_rules << ",\"errors\":"
+     << CountSeverity(result.diagnostics, Severity::kError)
+     << ",\"warnings\":"
+     << CountSeverity(result.diagnostics, Severity::kWarning)
+     << ",\"notes\":" << CountSeverity(result.diagnostics, Severity::kNote);
+  if (program) {
+    const FragmentClassification& f = result.analysis.fragments;
+    const RecursionReport& r = result.analysis.recursion;
+    os << ",\"fragments\":{\"non_recursive\":"
+       << (f.non_recursive ? "true" : "false")
+       << ",\"monadic\":" << (f.monadic ? "true" : "false")
+       << ",\"frontier_guarded\":" << (f.frontier_guarded ? "true" : "false")
+       << "}";
+    os << ",\"recursion\":{\"strata\":" << r.num_strata
+       << ",\"recursive\":" << (r.recursive ? "true" : "false")
+       << ",\"linear\":" << (r.linear ? "true" : "false")
+       << ",\"cyclic_idbs\":[";
+    for (size_t i = 0; i < r.cyclic_idbs.size(); ++i) {
+      if (i) os << ",";
+      os << JsonQuote(program->vocab()->name(r.cyclic_idbs[i]));
+    }
+    os << "]}";
+  }
+  os << ",\"diagnostics\":" << DiagnosticsToJson(result.diagnostics) << "}";
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<Fragment> ParseFragmentName(const std::string& name) {
+  if (name == "non-recursive") return Fragment::kNonRecursive;
+  if (name == "monadic") return Fragment::kMonadic;
+  if (name == "frontier-guarded") return Fragment::kFrontierGuarded;
+  return std::nullopt;
+}
+
+LintResult LintProgramText(const std::string& text,
+                           const LintOptions& options) {
+  LintResult result;
+  VocabularyPtr vocab = MakeVocabulary();
+  ParseResult parsed = ParseProgram(text, vocab);
+  if (!parsed.ok()) {
+    result.diagnostics = parsed.diagnostics;
+    result.exit_code = 1;
+    result.text = RenderText(result, nullptr, vocab);
+    result.json = RenderJson(result, nullptr);
+    return result;
+  }
+  result.parsed = true;
+  const Program& program = *parsed.program;
+  result.num_rules = program.rules().size();
+
+  AnalysisOptions analysis_options;
+  analysis_options.required_fragments = options.required_fragments;
+  std::string goal_name =
+      options.goal.empty() ? GoalFromComments(text) : options.goal;
+  if (!goal_name.empty()) {
+    auto goal = vocab->FindPredicate(goal_name);
+    if (goal) {
+      analysis_options.goal = *goal;
+    } else {
+      result.diagnostics.push_back(MakeDiagnostic(
+          Severity::kError, "goal",
+          "goal predicate " + goal_name + " does not occur in the program"));
+    }
+  }
+  result.analysis = AnalyzeProgram(program, analysis_options);
+  result.diagnostics.insert(result.diagnostics.end(),
+                            result.analysis.diagnostics.begin(),
+                            result.analysis.diagnostics.end());
+  bool failed = HasErrors(result.diagnostics) ||
+                (options.werror &&
+                 CountSeverity(result.diagnostics, Severity::kWarning) > 0);
+  result.exit_code = failed ? 1 : 0;
+  result.text = RenderText(result, &program, vocab);
+  result.json = RenderJson(result, &program);
+  return result;
+}
+
+}  // namespace mondet

@@ -1,0 +1,49 @@
+#ifndef MONDET_ANALYSIS_LINT_H_
+#define MONDET_ANALYSIS_LINT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace mondet {
+
+/// Options of the mondet-lint driver (tools/mondet_lint.cc). The driver is
+/// a library function so the CLI stays a thin wrapper and the exact CLI
+/// output is covered by golden tests.
+struct LintOptions {
+  /// Goal predicate name; enables the reachability checks. When empty the
+  /// program text is scanned for a "# goal: Name" comment line.
+  std::string goal;
+  /// Fragments the program must lie in; violations become errors.
+  std::vector<Fragment> required_fragments;
+  /// Treat warnings as errors for the exit code.
+  bool werror = false;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  AnalysisResult analysis;  // empty when parsing failed
+  size_t num_rules = 0;
+  bool parsed = false;
+  /// 0 = clean (warnings/notes allowed unless werror), 1 = errors.
+  int exit_code = 0;
+  /// Human-readable report, '\n'-terminated.
+  std::string text;
+  /// Machine-readable report: one JSON object (stable field order).
+  std::string json;
+};
+
+/// Parses and analyzes one program. Never aborts: parse failures become
+/// "parse" diagnostics in the result.
+LintResult LintProgramText(const std::string& text,
+                           const LintOptions& options = {});
+
+/// Parses a --require-fragment value ("non-recursive", "monadic",
+/// "frontier-guarded"); nullopt for anything else.
+std::optional<Fragment> ParseFragmentName(const std::string& name);
+
+}  // namespace mondet
+
+#endif  // MONDET_ANALYSIS_LINT_H_

@@ -1,0 +1,60 @@
+#include "base/scc.h"
+
+#include <algorithm>
+
+namespace mondet {
+
+std::vector<int> SccIds(size_t n, const std::vector<std::vector<int>>& adj,
+                        int* num_sccs) {
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int next_comp = 0;
+  struct Frame {
+    int node;
+    size_t edge;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    std::vector<Frame> frames{{static_cast<int>(root), 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(static_cast<int>(root));
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge < adj[f.node].size()) {
+        int next = adj[f.node][f.edge++];
+        if (index[next] < 0) {
+          index[next] = low[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          low[f.node] = std::min(low[f.node], index[next]);
+        }
+      } else {
+        int node = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().node] =
+              std::min(low[frames.back().node], low[node]);
+        }
+        if (low[node] == index[node]) {
+          int member;
+          do {
+            member = stack.back();
+            stack.pop_back();
+            on_stack[member] = false;
+            comp[member] = next_comp;
+          } while (member != node);
+          ++next_comp;
+        }
+      }
+    }
+  }
+  *num_sccs = next_comp;
+  return comp;
+}
+
+}  // namespace mondet

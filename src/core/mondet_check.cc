@@ -71,6 +71,43 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
   const VocabularyPtr& vocab = query.program.vocab();
   MonDetResult result;
 
+  // Validate the inputs through the analyzer: user-reachable precondition
+  // failures return kInvalidInput with witnesses instead of aborting or
+  // silently computing garbage.
+  if (query.program.vocab().get() != views.vocab().get()) {
+    result.diagnostics.push_back(MakeDiagnostic(
+        Severity::kError, "view-vocabulary",
+        "query and views are defined over different vocabularies"));
+  } else {
+    if (!query.program.IsIdb(query.goal)) {
+      result.diagnostics.push_back(MakeDiagnostic(
+          Severity::kError, "goal",
+          "goal predicate " + vocab->name(query.goal) +
+              " is not the head of any rule"));
+    }
+    if (options.require_query_fragment) {
+      std::vector<Diagnostic> witnesses = FragmentViolations(
+          query.program, *options.require_query_fragment);
+      result.diagnostics.insert(result.diagnostics.end(), witnesses.begin(),
+                                witnesses.end());
+    }
+    if (options.require_view_fragment) {
+      for (const View& v : views.views()) {
+        std::vector<Diagnostic> witnesses = FragmentViolations(
+            v.definition.program, *options.require_view_fragment);
+        for (Diagnostic& d : witnesses) {
+          d.message = "view " + vocab->name(v.pred) + ": " + d.message;
+        }
+        result.diagnostics.insert(result.diagnostics.end(), witnesses.begin(),
+                                  witnesses.end());
+      }
+    }
+  }
+  if (HasErrors(result.diagnostics)) {
+    result.verdict = Verdict::kInvalidInput;
+    return result;
+  }
+
   // The query program is evaluated on every candidate D'; compile it once.
   CompiledProgram compiled_query(query.program);
 

@@ -2,7 +2,9 @@
 #define MONDET_CORE_MONDET_CHECK_H_
 
 #include <optional>
+#include <vector>
 
+#include "analysis/analyzer.h"
 #include "datalog/approximation.h"
 #include "datalog/program.h"
 #include "tree/code.h"
@@ -21,6 +23,10 @@ enum class Verdict {
   /// exhaustive (recursive query/views or caps hit): no counterexample up
   /// to the bounds.
   kUnknownBounded,
+  /// The inputs fail a precondition (non-Boolean query, vocabulary
+  /// mismatch, required fragment violated): see MonDetResult::diagnostics
+  /// for the witnesses. No tests were run.
+  kInvalidInput,
 };
 
 /// A failing canonical test (Qi, D'): the approximation satisfies Q, its
@@ -42,6 +48,12 @@ struct MonDetOptions {
   size_t max_query_expansions = 500;
   /// Cap on the number of D' instances per approximation.
   size_t max_tests_per_expansion = 2000;
+  /// Table 2 preconditions: when set, the query/views must lie in the
+  /// given fragment or the check returns kInvalidInput with the analyzer's
+  /// witnesses instead of running (e.g. kFrontierGuarded for the Thm 4
+  /// rows).
+  std::optional<Fragment> require_query_fragment;
+  std::optional<Fragment> require_view_fragment;
 };
 
 struct MonDetResult {
@@ -49,6 +61,8 @@ struct MonDetResult {
   std::optional<FailingTest> failure;
   size_t tests_run = 0;
   size_t expansions_tried = 0;
+  /// Precondition violations when verdict == kInvalidInput.
+  std::vector<Diagnostic> diagnostics;
 };
 
 /// The canonical-test procedure of Lemma 5: enumerates tests (Qi, D') and

@@ -44,13 +44,38 @@ DatalogQuery ComposeWithViews(const DatalogQuery& rewriting,
   return DatalogQuery(std::move(program), rewriting.goal);
 }
 
-bool RewritingAgreesOn(const DatalogQuery& query,
-                       const DatalogQuery& rewriting, const ViewSet& views,
-                       const Instance& inst) {
-  MONDET_CHECK(query.arity() == 0 && rewriting.arity() == 0);
+std::optional<bool> TryRewritingAgreesOn(const DatalogQuery& query,
+                                         const DatalogQuery& rewriting,
+                                         const ViewSet& views,
+                                         const Instance& inst,
+                                         std::vector<Diagnostic>* diags) {
+  bool ok = true;
+  auto require_boolean = [&](const DatalogQuery& q, const char* what) {
+    if (q.arity() == 0) return;
+    ok = false;
+    if (diags) {
+      diags->push_back(MakeDiagnostic(
+          Severity::kError, "query-not-boolean",
+          std::string(what) + " goal " + q.program.vocab()->name(q.goal) +
+              " has arity " + std::to_string(q.arity()) +
+              "; instance-sweep verification needs Boolean queries"));
+    }
+  };
+  require_boolean(query, "query");
+  require_boolean(rewriting, "rewriting");
+  if (!ok) return std::nullopt;
   bool q = DatalogHoldsOn(query, inst);
   bool r = DatalogHoldsOn(rewriting, views.Image(inst));
   return q == r;
+}
+
+bool RewritingAgreesOn(const DatalogQuery& query,
+                       const DatalogQuery& rewriting, const ViewSet& views,
+                       const Instance& inst) {
+  std::optional<bool> agreed =
+      TryRewritingAgreesOn(query, rewriting, views, inst, nullptr);
+  MONDET_CHECK(agreed.has_value());
+  return *agreed;
 }
 
 }  // namespace mondet

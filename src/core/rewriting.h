@@ -2,7 +2,9 @@
 #define MONDET_CORE_REWRITING_H_
 
 #include <optional>
+#include <vector>
 
+#include "analysis/diagnostic.h"
 #include "cq/ucq.h"
 #include "datalog/program.h"
 #include "views/view_set.h"
@@ -29,6 +31,15 @@ DatalogQuery ComposeWithViews(const DatalogQuery& rewriting,
 /// Checks Q(I) == R(V(I)) on one instance (Boolean queries).
 bool RewritingAgreesOn(const DatalogQuery& query, const DatalogQuery& rewriting,
                        const ViewSet& views, const Instance& inst);
+
+/// As RewritingAgreesOn, but non-Boolean inputs yield nullopt with a
+/// "query-not-boolean" diagnostic appended to `diags` (may be null)
+/// instead of aborting.
+std::optional<bool> TryRewritingAgreesOn(const DatalogQuery& query,
+                                         const DatalogQuery& rewriting,
+                                         const ViewSet& views,
+                                         const Instance& inst,
+                                         std::vector<Diagnostic>* diags);
 
 }  // namespace mondet
 

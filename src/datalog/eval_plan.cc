@@ -9,6 +9,7 @@
 
 #include "base/check.h"
 #include "base/homomorphism.h"
+#include "base/scc.h"
 
 namespace mondet {
 
@@ -43,63 +44,6 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
-}
-
-/// Iterative Tarjan SCC. Components receive ids in pop order, so every
-/// component a node depends on (reaches) has a smaller id than the node's
-/// own component; evaluating strata in ascending id order therefore
-/// saturates dependencies first.
-std::vector<int> SccIds(size_t n, const std::vector<std::vector<int>>& adj,
-                        int* num_sccs) {
-  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
-  std::vector<bool> on_stack(n, false);
-  std::vector<int> stack;
-  int next_index = 0;
-  int next_comp = 0;
-  struct Frame {
-    int node;
-    size_t edge;
-  };
-  for (size_t root = 0; root < n; ++root) {
-    if (index[root] >= 0) continue;
-    std::vector<Frame> frames{{static_cast<int>(root), 0}};
-    index[root] = low[root] = next_index++;
-    stack.push_back(static_cast<int>(root));
-    on_stack[root] = true;
-    while (!frames.empty()) {
-      Frame& f = frames.back();
-      if (f.edge < adj[f.node].size()) {
-        int next = adj[f.node][f.edge++];
-        if (index[next] < 0) {
-          index[next] = low[next] = next_index++;
-          stack.push_back(next);
-          on_stack[next] = true;
-          frames.push_back({next, 0});
-        } else if (on_stack[next]) {
-          low[f.node] = std::min(low[f.node], index[next]);
-        }
-      } else {
-        int node = f.node;
-        frames.pop_back();
-        if (!frames.empty()) {
-          low[frames.back().node] = std::min(low[frames.back().node],
-                                             low[node]);
-        }
-        if (low[node] == index[node]) {
-          int member;
-          do {
-            member = stack.back();
-            stack.pop_back();
-            on_stack[member] = false;
-            comp[member] = next_comp;
-          } while (member != node);
-          ++next_comp;
-        }
-      }
-    }
-  }
-  *num_sccs = next_comp;
-  return comp;
 }
 
 }  // namespace
@@ -176,6 +120,21 @@ CompiledProgram::CompiledProgram(const Program& program) : program_(program) {
     strata_[stratum].plans.push_back(static_cast<uint32_t>(plans_.size()));
     plans_.push_back(std::move(plan));
   }
+}
+
+std::vector<CompiledProgram::JoinOrderDesc> CompiledProgram::DescribePlans()
+    const {
+  // plans_ is built by iterating program_.rules() in order, so plan index
+  // == rule index.
+  std::vector<JoinOrderDesc> out;
+  for (size_t pi = 0; pi < plans_.size(); ++pi) {
+    const RulePlan& plan = plans_[pi];
+    out.push_back({pi, -1, plan.orders[0]});
+    for (size_t r = 0; r < plan.recursive_atoms.size(); ++r) {
+      out.push_back({pi, plan.recursive_atoms[r], plan.orders[1 + r]});
+    }
+  }
+  return out;
 }
 
 void CompiledProgram::Join(const RulePlan& plan,

@@ -72,6 +72,19 @@ class CompiledProgram {
   size_t num_strata() const { return strata_.size(); }
   const Program& program() const { return program_; }
 
+  /// Description of one precomputed join order, for plan-level lints
+  /// (analysis/) and debugging: the body-atom visit order of rule
+  /// `rule` when seeded from `delta_atom` (-1 = the initial full join,
+  /// otherwise a body-atom index whose variables start bound).
+  struct JoinOrderDesc {
+    size_t rule = 0;
+    int delta_atom = -1;
+    std::vector<uint32_t> order;  // body atom indices, join order
+  };
+
+  /// All join orders of the compiled plans, one entry per (rule, seat).
+  std::vector<JoinOrderDesc> DescribePlans() const;
+
  private:
   struct RulePlan {
     QAtom head;

@@ -1,8 +1,6 @@
 #include "datalog/fragment.h"
 
-#include <algorithm>
-#include <functional>
-
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "cq/ucq.h"
 #include "datalog/approximation.h"
@@ -11,58 +9,15 @@
 namespace mondet {
 
 bool IsMonadic(const Program& program) {
-  for (PredId p : program.Idbs()) {
-    if (program.vocab()->arity(p) > 1) return false;
-  }
-  return true;
+  return InFragment(program, Fragment::kMonadic);
 }
 
 bool IsFrontierGuarded(const Program& program) {
-  if (IsMonadic(program)) return true;  // paper's convention
-  for (const Rule& rule : program.rules()) {
-    if (rule.head.args.empty()) continue;  // vacuously guarded
-    bool guarded = false;
-    for (const QAtom& a : rule.body) {
-      if (program.IsIdb(a.pred)) continue;  // guard must be extensional
-      bool covers = true;
-      for (VarId v : rule.head.args) {
-        if (std::find(a.args.begin(), a.args.end(), v) == a.args.end()) {
-          covers = false;
-          break;
-        }
-      }
-      if (covers) {
-        guarded = true;
-        break;
-      }
-    }
-    if (!guarded) return false;
-  }
-  return true;
+  return InFragment(program, Fragment::kFrontierGuarded);
 }
 
 bool IsNonRecursive(const Program& program) {
-  // DFS for a cycle in the IDB dependency graph.
-  std::unordered_map<PredId, int> state;  // 0 unseen, 1 on stack, 2 done
-  bool cyclic = false;
-  std::function<void(PredId)> visit = [&](PredId p) {
-    state[p] = 1;
-    for (size_t ri : program.RulesFor(p)) {
-      for (const QAtom& a : program.rules()[ri].body) {
-        if (!program.IsIdb(a.pred)) continue;
-        int s = state.count(a.pred) ? state[a.pred] : 0;
-        if (s == 1) cyclic = true;
-        if (s == 0) visit(a.pred);
-        if (cyclic) return;
-      }
-    }
-    state[p] = 2;
-  };
-  for (PredId p : program.Idbs()) {
-    if ((state.count(p) ? state[p] : 0) == 0) visit(p);
-    if (cyclic) return false;
-  }
-  return true;
+  return InFragment(program, Fragment::kNonRecursive);
 }
 
 BoundedContainment CheckDatalogContainmentBounded(const DatalogQuery& q1,
@@ -87,8 +42,17 @@ BoundedContainment CheckDatalogContainmentBounded(const DatalogQuery& q1,
   return result;
 }
 
-UCQ UnfoldToUcq(const DatalogQuery& query, size_t max_disjuncts) {
-  MONDET_CHECK(IsNonRecursive(query.program));
+std::optional<UCQ> TryUnfoldToUcq(const DatalogQuery& query,
+                                  size_t max_disjuncts,
+                                  std::vector<Diagnostic>* diags) {
+  std::vector<Diagnostic> recursion =
+      FragmentViolations(query.program, Fragment::kNonRecursive);
+  if (!recursion.empty()) {
+    if (diags) {
+      diags->insert(diags->end(), recursion.begin(), recursion.end());
+    }
+    return std::nullopt;
+  }
   // A non-recursive derivation tree never repeats a predicate on a path,
   // so depth <= |IDBs| + 1 covers every expansion.
   int depth = static_cast<int>(query.program.Idbs().size()) + 1;
@@ -98,8 +62,29 @@ UCQ UnfoldToUcq(const DatalogQuery& query, size_t max_disjuncts) {
         out.AddDisjunct(ExpansionToCq(e));
         return true;
       });
-  MONDET_CHECK(exhaustive);
+  if (!exhaustive) {
+    if (diags) {
+      diags->push_back(MakeDiagnostic(
+          Severity::kError, "unfold-overflow",
+          "unfolding of " + query.program.vocab()->name(query.goal) +
+              " exceeds the cap of " + std::to_string(max_disjuncts) +
+              " disjuncts (got " + std::to_string(out.disjuncts().size()) +
+              " before stopping); raise max_disjuncts or rewrite the "
+              "program"));
+    }
+    return std::nullopt;
+  }
   return out;
+}
+
+UCQ UnfoldToUcq(const DatalogQuery& query, size_t max_disjuncts) {
+  std::vector<Diagnostic> diags;
+  std::optional<UCQ> out = TryUnfoldToUcq(query, max_disjuncts, &diags);
+  if (!out) {
+    std::fprintf(stderr, "%s", FormatDiagnostics(diags).c_str());
+    MONDET_CHECK(out.has_value());
+  }
+  return *std::move(out);
 }
 
 }  // namespace mondet

@@ -1,10 +1,18 @@
 #ifndef MONDET_DATALOG_FRAGMENT_H_
 #define MONDET_DATALOG_FRAGMENT_H_
 
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.h"
 #include "cq/ucq.h"
 #include "datalog/program.h"
 
 namespace mondet {
+
+// The boolean fragment gates are thin wrappers over the static analyzer
+// (analysis/analyzer.h): a negative answer always has concrete witnesses —
+// the offending rule and atoms — available via FragmentViolations.
 
 /// True if all intensional predicates have arity <= 1 (Monadic Datalog;
 /// arity-0 goal predicates of Boolean queries are permitted).
@@ -19,9 +27,17 @@ bool IsFrontierGuarded(const Program& program);
 /// IDB dependency graph is acyclic), so the query is equivalent to a UCQ.
 bool IsNonRecursive(const Program& program);
 
-/// Unfolds a non-recursive Datalog query into an equivalent UCQ. The
-/// program must satisfy IsNonRecursive. `max_disjuncts` caps the output
-/// size (MONDET_CHECK fails if exceeded).
+/// Unfolds a non-recursive Datalog query into an equivalent UCQ.
+/// Returns nullopt — with diagnostics appended to `diags` when provided —
+/// when the program is recursive or the unfolding exceeds `max_disjuncts`
+/// (check ids "fragment-non-recursive" and "unfold-overflow").
+std::optional<UCQ> TryUnfoldToUcq(const DatalogQuery& query,
+                                  size_t max_disjuncts = 100000,
+                                  std::vector<Diagnostic>* diags = nullptr);
+
+/// As TryUnfoldToUcq, but the program must satisfy IsNonRecursive and fit
+/// in `max_disjuncts` (MONDET_CHECK fails otherwise). Prefer the Try
+/// variant on user-reachable paths.
 UCQ UnfoldToUcq(const DatalogQuery& query, size_t max_disjuncts = 100000);
 
 /// Bounded Datalog-containment check Q1 ⊑ Q2 (same arity): evaluates Q2

@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "analysis/analyzer.h"
 #include "base/check.h"
 #include "datalog/fragment.h"
 
@@ -53,6 +54,19 @@ bool IsNormalizedMdl(const DatalogQuery& query) {
     if (!RuleIsNormalized(query.program, rule)) return false;
   }
   return true;
+}
+
+std::optional<DatalogQuery> TryNormalizeMdl(const DatalogQuery& query,
+                                            std::vector<Diagnostic>* diags) {
+  std::vector<Diagnostic> violations =
+      FragmentViolations(query.program, Fragment::kMonadic);
+  if (!violations.empty()) {
+    if (diags) {
+      diags->insert(diags->end(), violations.begin(), violations.end());
+    }
+    return std::nullopt;
+  }
+  return NormalizeMdl(query);
 }
 
 DatalogQuery NormalizeMdl(const DatalogQuery& query) {

@@ -1,6 +1,10 @@
 #ifndef MONDET_DATALOG_NORMALIZE_H_
 #define MONDET_DATALOG_NORMALIZE_H_
 
+#include <optional>
+#include <vector>
+
+#include "analysis/diagnostic.h"
 #include "datalog/program.h"
 
 namespace mondet {
@@ -21,6 +25,12 @@ bool IsNormalizedMdl(const DatalogQuery& query);
 /// The query must be monadic. New predicates are added to the shared
 /// vocabulary with names "N[A&B&...]".
 DatalogQuery NormalizeMdl(const DatalogQuery& query);
+
+/// As NormalizeMdl, but validates the Prop. 2 precondition through the
+/// analyzer instead of aborting: a non-monadic query yields nullopt with
+/// the fragment witnesses (check "fragment-monadic") appended to `diags`.
+std::optional<DatalogQuery> TryNormalizeMdl(const DatalogQuery& query,
+                                            std::vector<Diagnostic>* diags);
 
 }  // namespace mondet
 

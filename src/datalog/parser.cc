@@ -4,9 +4,25 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "analysis/analyzer.h"
+
 namespace mondet {
 
 namespace {
+
+/// 1-based line/column of byte offset `pos` in `text`.
+void LineColAt(const std::string& text, size_t pos, int* line, int* col) {
+  *line = 1;
+  *col = 1;
+  for (size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++*line;
+      *col = 1;
+    } else {
+      ++*col;
+    }
+  }
+}
 
 /// Minimal recursive-descent tokenizer/parser for the rule syntax.
 class Parser {
@@ -14,13 +30,13 @@ class Parser {
   Parser(const std::string& text, VocabularyPtr vocab)
       : text_(text), vocab_(std::move(vocab)) {}
 
-  std::optional<std::vector<Rule>> Parse(std::string* error) {
+  std::optional<std::vector<Rule>> Parse(std::vector<Diagnostic>* diags) {
     std::vector<Rule> rules;
     SkipWs();
     while (pos_ < text_.size()) {
-      auto rule = ParseRule();
+      auto rule = ParseRule(static_cast<int>(rules.size()));
       if (!rule) {
-        *error = error_;
+        diags->insert(diags->end(), diags_.begin(), diags_.end());
         return std::nullopt;
       }
       rules.push_back(std::move(*rule));
@@ -77,10 +93,10 @@ class Parser {
     return text_.substr(start, pos_ - start);
   }
 
-  bool Fail(const std::string& msg) {
-    std::ostringstream os;
-    os << msg << " at offset " << pos_;
-    error_ = os.str();
+  bool Fail(const std::string& msg, const std::string& check = "parse") {
+    SourceLoc loc;
+    LineColAt(text_, pos_, &loc.line, &loc.col);
+    diags_.push_back(MakeDiagnostic(Severity::kError, check, msg, loc));
     return false;
   }
 
@@ -114,7 +130,10 @@ class Parser {
     auto existing = vocab_->FindPredicate(*name);
     if (existing && vocab_->arity(*existing) !=
                         static_cast<int>(arg_names->size())) {
-      Fail("arity mismatch for predicate " + *name);
+      Fail("arity mismatch for predicate " + *name + ": declared with " +
+               std::to_string(vocab_->arity(*existing)) + ", used with " +
+               std::to_string(arg_names->size()),
+           "arity");
       return std::nullopt;
     }
     PredId pred =
@@ -124,12 +143,14 @@ class Parser {
     return QAtom(pred, args);
   }
 
-  std::optional<Rule> ParseRule() {
+  std::optional<Rule> ParseRule(int rule_index) {
+    SkipWs();
+    int line = 0, col = 0;
+    LineColAt(text_, pos_, &line, &col);
     RuleBuilder builder(vocab_);
     std::vector<std::string> arg_names;
     auto head = ParseAtom(&builder, &arg_names);
     if (!head) return std::nullopt;
-    Rule rule;
     std::vector<std::string> head_vars = arg_names;
     if (Eat('.')) {
       // Fact-style rule with empty body (only legal for 0-ary heads).
@@ -138,7 +159,10 @@ class Parser {
         return std::nullopt;
       }
       builder.Head(head->pred, {});
-      return builder.Build();
+      Rule fact = builder.Build();
+      fact.line = line;
+      fact.col = col;
+      return fact;
     }
     if (!EatArrow()) {
       Fail("expected ':-'");
@@ -158,27 +182,21 @@ class Parser {
     }
     builder.Head(head->pred, head_vars);
     for (const auto& [pred, vars] : body) builder.Atom(pred, vars);
-    // Safety check mirrors Program::AddRule but reports instead of dying.
+    // Safety check mirrors Program::AddRule but reports (with source
+    // positions, via the analyzer) instead of dying.
     Rule built = builder.Build();
-    for (VarId v : built.head.args) {
-      bool found = false;
-      for (const QAtom& a : built.body) {
-        for (VarId bv : a.args) {
-          if (bv == v) found = true;
-        }
-      }
-      if (!found) {
-        Fail("unsafe rule: head variable missing from body");
-        return std::nullopt;
-      }
-    }
+    built.line = line;
+    built.col = col;
+    size_t before = diags_.size();
+    CheckRuleSafety(built, rule_index, &diags_);
+    if (diags_.size() != before) return std::nullopt;
     return built;
   }
 
   const std::string& text_;
   VocabularyPtr vocab_;
   size_t pos_ = 0;
-  std::string error_;
+  std::vector<Diagnostic> diags_;
 };
 
 }  // namespace
@@ -187,8 +205,13 @@ ParseResult ParseProgram(const std::string& text,
                          const VocabularyPtr& vocab) {
   ParseResult result;
   Parser parser(text, vocab);
-  auto rules = parser.Parse(&result.error);
-  if (!rules) return result;
+  auto rules = parser.Parse(&result.diagnostics);
+  if (!rules) {
+    result.error = result.diagnostics.empty()
+                       ? "parse error"
+                       : FormatDiagnostic(result.diagnostics.front());
+    return result;
+  }
   Program program(vocab);
   for (Rule& r : *rules) program.AddRule(std::move(r));
   result.program = std::move(program);

@@ -3,16 +3,22 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "analysis/diagnostic.h"
 #include "cq/ucq.h"
 #include "datalog/program.h"
 
 namespace mondet {
 
 /// Result of parsing; `error` is non-empty iff parsing failed.
+/// `diagnostics` carries every failure (syntax, arity, safety) with
+/// 1-based source positions; `error` is the first one, formatted, kept
+/// for callers that only need a string.
 struct ParseResult {
   std::optional<Program> program;
   std::string error;
+  std::vector<Diagnostic> diagnostics;
 
   bool ok() const { return error.empty(); }
 };
@@ -26,7 +32,9 @@ struct ParseResult {
 /// Predicates are introduced implicitly with the arity of their first
 /// occurrence (later occurrences must match). All argument identifiers are
 /// variables (the paper uses no constants). A 0-ary head may be written
-/// "Goal" or "Goal()". Predicates are interned into `vocab`.
+/// "Goal" or "Goal()". Predicates are interned into `vocab`. Each parsed
+/// rule records its 1-based source line/col (Rule::line, Rule::col) so
+/// analyzer diagnostics point back at the input text.
 ParseResult ParseProgram(const std::string& text, const VocabularyPtr& vocab);
 
 /// Parses a program and wraps it as a query with the given goal predicate.

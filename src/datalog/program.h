@@ -17,6 +17,10 @@ struct Rule {
   QAtom head;
   std::vector<QAtom> body;
   std::vector<std::string> var_names;
+  /// 1-based source position of the rule when it came from ParseProgram
+  /// (0 = built programmatically). Diagnostics point here.
+  int line = 0;
+  int col = 0;
 
   size_t num_vars() const { return var_names.size(); }
 };

@@ -52,6 +52,42 @@ PredId ViewSet::AddView(const std::string& name, const DatalogQuery& def) {
   return view_pred;
 }
 
+std::optional<PredId> ViewSet::TryAddView(const std::string& name,
+                                          const DatalogQuery& def,
+                                          std::vector<Diagnostic>* diags,
+                                          std::optional<Fragment> required) {
+  std::vector<Diagnostic> local;
+  if (def.program.vocab().get() != vocab_.get()) {
+    local.push_back(MakeDiagnostic(
+        Severity::kError, "view-vocabulary",
+        "view " + name +
+            " is defined over a different vocabulary than the view set"));
+  } else {
+    if (!def.program.IsIdb(def.goal)) {
+      local.push_back(MakeDiagnostic(
+          Severity::kError, "goal",
+          "view " + name + ": goal predicate " + vocab_->name(def.goal) +
+              " is not the head of any definition rule"));
+    }
+    for (size_t ri = 0; ri < def.program.rules().size(); ++ri) {
+      const Rule& rule = def.program.rules()[ri];
+      CheckRuleSafety(rule, static_cast<int>(ri), &local);
+      CheckRuleArity(rule, static_cast<int>(ri), *vocab_, &local);
+    }
+    if (required) {
+      std::vector<Diagnostic> witnesses =
+          FragmentViolations(def.program, *required);
+      for (Diagnostic& d : witnesses) {
+        d.message = "view " + name + ": " + d.message;
+      }
+      local.insert(local.end(), witnesses.begin(), witnesses.end());
+    }
+  }
+  if (diags) diags->insert(diags->end(), local.begin(), local.end());
+  if (HasErrors(local)) return std::nullopt;
+  return AddView(name, def);
+}
+
 PredId ViewSet::AddCqView(const std::string& name, const CQ& def) {
   return AddView(name, CqAsDatalog(def, name + ".goal"));
 }

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/analyzer.h"
 #include "cq/cq.h"
 #include "datalog/program.h"
 
@@ -41,6 +42,16 @@ class ViewSet {
   /// The definition's IDB predicates (including the goal) are renamed to
   /// fresh "name.P" predicates so different views never share IDBs.
   PredId AddView(const std::string& name, const DatalogQuery& def);
+
+  /// Validating variant of AddView for user-reachable paths: runs the
+  /// definition through the static analyzer (vocabulary, goal, arity,
+  /// safety) and, when `required` is set, checks membership in the
+  /// fragment. On any error nothing is added and nullopt is returned,
+  /// with the witnesses appended to `diags` (may be null).
+  std::optional<PredId> TryAddView(
+      const std::string& name, const DatalogQuery& def,
+      std::vector<Diagnostic>* diags,
+      std::optional<Fragment> required = std::nullopt);
 
   /// Adds a CQ-defined view.
   PredId AddCqView(const std::string& name, const CQ& def);

@@ -1,0 +1,96 @@
+// mondet-lint: static analysis for Datalog programs.
+//
+// Reads one or more program files (the ParseProgram syntax; an optional
+// "# goal: Name" comment names the goal predicate) and reports
+// diagnostics: safety/arity errors, unreachable rules, singleton
+// variables, recursion structure, fragment classification with witnesses
+// (which rule/atoms keep the program out of monadic / frontier-guarded /
+// non-recursive Datalog) and join-plan lints. See docs/ANALYSIS.md.
+//
+// Usage: mondet-lint [options] <file>...
+//   --json                       emit one JSON object per file
+//   --goal NAME                  goal predicate (overrides "# goal:")
+//   --require-fragment FRAGMENT  non-recursive | monadic | frontier-guarded
+//                                (repeatable; violations become errors)
+//   --werror                     warnings fail the run
+//
+// Exit codes: 0 clean, 1 diagnostics failed a file, 2 usage/IO error —
+// usable as a CI gate (scripts/tier1.sh runs it over examples/programs/).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+using namespace mondet;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--goal NAME] [--werror]\n"
+               "       [--require-fragment non-recursive|monadic|"
+               "frontier-guarded]... <file>...\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  bool json = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "--goal") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.goal = argv[i];
+    } else if (arg == "--require-fragment") {
+      if (++i >= argc) return Usage(argv[0]);
+      auto fragment = ParseFragmentName(argv[i]);
+      if (!fragment) {
+        std::fprintf(stderr, "unknown fragment: %s\n", argv[i]);
+        return Usage(argv[0]);
+      }
+      options.required_fragments.push_back(*fragment);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage(argv[0]);
+
+  int exit_code = 0;
+  for (const std::string& path : files) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    LintResult result = LintProgramText(buffer.str(), options);
+    if (json) {
+      std::printf("%s\n", result.json.c_str());
+    } else {
+      if (files.size() > 1) std::printf("== %s ==\n", path.c_str());
+      std::printf("%s", result.text.c_str());
+    }
+    if (result.exit_code > exit_code) exit_code = result.exit_code;
+  }
+  return exit_code;
+}
