@@ -26,10 +26,11 @@ namespace {
 void BM_T1_CqOverDatalog_CqRewriting(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   CQ q = *ParseCq("Q() :- U(x).", vocab, &error);
   auto def = ParseQuery(
       "Reach(x) :- R(x,y), U(y).\nReach(x) :- R(x,y), Reach(y).", "Reach",
-      vocab, &error);
+      vocab, &diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   views.AddCqView("VU", *ParseCq("VU(x) :- U(x).", vocab, &error));
@@ -78,12 +79,13 @@ BENCHMARK(BM_T1_UcqOverDatalog_UcqRewriting);
 void BM_T1_FgdlOverCq_FgdlRewriting(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     Conn(x,y) :- S(x,y,z).
     Conn(x,y) :- S(x,y,z), Conn(x,z), Conn(z,y).
     Goal() :- Conn(x,x).
   )",
-                      "Goal", vocab, &error);
+                      "Goal", vocab, &diags);
   ViewSet views(vocab);
   views.AddCqView("V",
                   *ParseCq("V(x,y,z) :- S(x,y,u), S(u,y,z).", vocab, &error));
@@ -153,12 +155,13 @@ BENCHMARK(BM_T1_MdlOverCq_NotMdl);
 void BM_T1_DatalogOverFgdl_DatalogRewriting(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     Q() :- U1(x), W1(x).
     W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
     W1(x) :- U2(x).
   )",
-                      "Q", vocab, &error);
+                      "Q", vocab, &diags);
   ViewSet views(vocab);
   views.AddCqView("V0", *ParseCq("V0(x,w) :- T(x,y,z), B(z,w), B(y,w).",
                                  vocab, &error));
@@ -229,12 +232,13 @@ BENCHMARK(BM_T1_MdlOverUcq_FullPipeline);
 void BM_T1_MdlOverMixed_DatalogRewriting(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y), M(y).
     Goal() :- P(x), S(x).
   )",
-                      "Goal", vocab, &error);
+                      "Goal", vocab, &diags);
   ViewSet views(vocab);
   views.AddAtomicView("VR", *vocab->FindPredicate("R"));  // CQ views
   views.AddCqView("VU", *ParseCq("VU(x) :- U(x).", vocab, &error));

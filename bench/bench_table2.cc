@@ -98,9 +98,10 @@ void BM_T2_CqDatalog_Thm5(benchmark::State& state) {
     q.SetFreeVars({});
   }
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(
       "Reach(x) :- R(x,y), U(y).\nReach(x) :- R(x,y), Reach(y).", "Reach",
-      vocab, &error);
+      vocab, &diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   views.AddAtomicView("VR", r);
@@ -124,12 +125,13 @@ BENCHMARK(BM_T2_CqDatalog_Thm5)->Arg(1)->Arg(2)->Arg(3);
 void BM_T2_FgdlFgdl_BoundedTests(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     Conn(x,y) :- S(x,y,z).
     Conn(x,y) :- S(x,y,z), Conn(x,z), Conn(z,y).
     Goal() :- Conn(x,x).
   )",
-                      "Goal", vocab, &error);
+                      "Goal", vocab, &diags);
   ViewSet views(vocab);
   views.AddAtomicView("VS", *vocab->FindPredicate("S"));
   size_t tests = 0;
@@ -152,14 +154,15 @@ BENCHMARK(BM_T2_FgdlFgdl_BoundedTests)->Arg(2)->Arg(3);
 void BM_T2_MdlMdlCq_BoundedTests(benchmark::State& state) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                      "Goal", vocab, &error);
+                      "Goal", vocab, &diags);
   auto vdef = ParseQuery(
-      "VP(x) :- U(x).\nVP(x) :- R(x,y), VP(y).", "VP", vocab, &error);
+      "VP(x) :- U(x).\nVP(x) :- R(x,y), VP(y).", "VP", vocab, &diags);
   ViewSet views(vocab);
   views.AddView("VReach", *vdef);  // MDL view
   views.AddAtomicView("VR", *vocab->FindPredicate("R"));  // CQ view
@@ -209,13 +212,14 @@ void BM_T2_DatalogAtomic_Lemma8(benchmark::State& state) {
   bool contained = state.range(0) == 1;
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   DatalogQuery q1 = contained
                         ? *ParseQuery("G1() :- R(x,y), R(y,z).", "G1", vocab,
-                                      &error)
-                        : *ParseQuery("G1() :- R(x,y).", "G1", vocab, &error);
+                                      &diags)
+                        : *ParseQuery("G1() :- R(x,y).", "G1", vocab, &diags);
   DatalogQuery q2 = contained
-                        ? *ParseQuery("G2() :- R(x,y).", "G2", vocab, &error)
-                        : *ParseQuery("G2() :- R(x,x).", "G2", vocab, &error);
+                        ? *ParseQuery("G2() :- R(x,y).", "G2", vocab, &diags)
+                        : *ParseQuery("G2() :- R(x,x).", "G2", vocab, &diags);
   Verdict verdict = Verdict::kUnknownBounded;
   for (auto _ : state) {
     Prop9Reduction reduction = ContainmentToMonDet(q1, q2);

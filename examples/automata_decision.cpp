@@ -20,12 +20,13 @@ int main() {
   // --- Forward mapping: approximation automaton of a reachability query.
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto query = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x), M(x).
   )",
-                          "Goal", vocab, &error);
+                          "Goal", vocab, &diags);
   if (!query) return 1;
   ForwardResult fwd = ApproximationAutomaton(*query);
   std::printf("approximation automaton: %zu states, %zu transitions, "
@@ -58,7 +59,7 @@ int main() {
   auto vocab2 = MakeVocabulary();
   CQ q2 = *ParseCq("Q() :- R(x,y), R(y,z).", vocab2, &error);
   auto def = ParseQuery(
-      "W(x) :- R(x,y).\nW(x) :- R(x,y), W(y).", "W", vocab2, &error);
+      "W(x) :- R(x,y).\nW(x) :- R(x,y), W(y).", "W", vocab2, &diags);
   ViewSet views(vocab2);
   views.AddView("VW", *def);
   Thm5Result result = CheckCqOverDatalogViews(q2, views);

@@ -15,9 +15,10 @@ using namespace mondet;
 int main() {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
 
   // Query: elements with an R-path of length two.
-  auto query = ParseQuery("Q(x) :- R(x,y), R(y,z).", "Q", vocab, &error);
+  auto query = ParseQuery("Q(x) :- R(x,y), R(y,z).", "Q", vocab, &diags);
   if (!query) return 1;
 
   // Single view: V2 = pairs at R-distance two. (Q is monotonically
@@ -47,7 +48,7 @@ int main() {
   // Contrast with a projection view that loses the join: nothing is
   // certain anymore.
   auto vocab2 = MakeVocabulary();
-  auto query2 = ParseQuery("Q(x) :- R(x,y), R(y,z).", "Q", vocab2, &error);
+  auto query2 = ParseQuery("Q(x) :- R(x,y), R(y,z).", "Q", vocab2, &diags);
   ViewSet views2(vocab2);
   views2.AddCqView("V1", *ParseCq("V1(x) :- R(x,y).", vocab2, &error));
   Instance j2(vocab2);

@@ -40,12 +40,13 @@ Instance MakeChain(const VocabularyPtr& vocab, int diamonds) {
 int main() {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto query = ParseQuery(R"(
     Q() :- U1(x), W1(x).
     W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
     W1(x) :- U2(x).
   )",
-                          "Q", vocab, &error);
+                          "Q", vocab, &diags);
   if (!query) return 1;
 
   // --- View family 1: V0, V1, V2 (CQ views). -----------------------------
@@ -80,7 +81,7 @@ int main() {
     GoalV4(y,z) :- T(x,y,z), B(z,w), B(y,w), T(w,q,r), GoalV4(q,r).
     GoalV4(y,z) :- B(y,w), B(z,w), U2(w).
   )",
-                           "GoalV4", vocab, &error);
+                           "GoalV4", vocab, &diags);
   if (!v4_def) return 1;
   PredId v4 = views2.AddView("V4", *v4_def);
 

@@ -1,7 +1,11 @@
 // A command-line driver: reads a task file describing a query, views and
-// (optionally) an instance, then reports fragment classification, the
-// monotonic-determinacy verdict, a rewriting when one is constructible,
-// and evaluation results.
+// (optionally) an instance, then reports static analysis findings,
+// fragment classification, the monotonic-determinacy verdict, a rewriting
+// when one is constructible, and evaluation results.
+//
+// Bad inputs produce diagnostics with source positions and a nonzero exit
+// code — never a MONDET_CHECK abort. Every section is parsed even after a
+// failure so one run reports everything wrong with the task file.
 //
 // Task file format (sections in any order, one `.query`, any number of
 // `.view`s, optional `.instance`):
@@ -25,8 +29,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/analyzer.h"
+#include "base/stats.h"
 #include "core/mondet_check.h"
 #include "datalog/eval.h"
+#include "datalog/eval_plan.h"
 #include "datalog/fragment.h"
 #include "datalog/parser.h"
 #include "views/inverse_rules.h"
@@ -74,6 +81,16 @@ std::vector<Section> SplitSections(const std::string& text) {
   return sections;
 }
 
+/// Prints the diagnostics of one section under a heading; returns true
+/// when any of them is an error.
+bool Report(const std::string& where, const std::vector<Diagnostic>& diags) {
+  if (!diags.empty()) {
+    std::fprintf(stderr, "%s:\n%s", where.c_str(),
+                 FormatDiagnostics(diags).c_str());
+  }
+  return HasErrors(diags);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,59 +112,85 @@ int main(int argc, char** argv) {
   std::optional<DatalogQuery> query;
   ViewSet views(vocab);
   std::optional<Instance> instance;
-  std::string error;
+  bool failed = false;
 
   for (const Section& s : SplitSections(text)) {
+    std::vector<Diagnostic> diags;
     if (s.kind == "query") {
-      query = ParseQuery(s.body, s.arg, vocab, &error);
-      if (!query) {
-        std::fprintf(stderr, "query parse error: %s\n", error.c_str());
-        return 1;
-      }
+      query = ParseQuery(s.body, s.arg, vocab, &diags);
+      failed |= Report(".query " + s.arg, diags);
     } else if (s.kind == "view") {
       ParseResult result = ParseProgram(s.body, vocab);
       if (!result.ok()) {
-        std::fprintf(stderr, "view parse error: %s\n", result.error.c_str());
-        return 1;
+        failed |= Report(".view " + s.arg, result.diagnostics);
+        continue;
       }
       auto goal = vocab->FindPredicate(s.arg);
-      if (!goal || !result.program->IsIdb(*goal)) {
-        std::fprintf(stderr, "view %s has no rules\n", s.arg.c_str());
-        return 1;
+      if (!goal) {
+        diags.push_back(MakeDiagnostic(
+            Severity::kError, "goal",
+            "view " + s.arg + ": predicate " + s.arg +
+                " does not occur in the definition"));
+        failed |= Report(".view " + s.arg, diags);
+        continue;
       }
-      views.AddView(s.arg, DatalogQuery(std::move(*result.program), *goal));
+      views.TryAddView(s.arg, DatalogQuery(std::move(*result.program), *goal),
+                       &diags);
+      failed |= Report(".view " + s.arg, diags);
     } else if (s.kind == "instance") {
-      instance = ParseInstance(s.body, vocab, &error);
-      if (!instance) {
-        std::fprintf(stderr, "instance parse error: %s\n", error.c_str());
-        return 1;
-      }
+      instance = ParseInstance(s.body, vocab, &diags);
+      failed |= Report(".instance", diags);
     } else {
       std::fprintf(stderr, "unknown section .%s\n", s.kind.c_str());
-      return 1;
+      failed = true;
     }
   }
   if (!query) {
-    std::fprintf(stderr, "task has no .query section\n");
+    if (!failed) std::fprintf(stderr, "task has no .query section\n");
     return 1;
   }
+  if (failed) return 1;
+
+  // --- Static analysis. ----------------------------------------------------
+  // One compiled program serves the analyzer's plan lints, the plan
+  // report and evaluation below, so what the lints judge is exactly what
+  // runs. Binding instance statistics makes the plan report (and any
+  // cross-product lint) carry estimated row counts.
+  CompiledProgram compiled(query->program);
+  if (instance) compiled.BindStats(Stats::Collect(*instance));
+  AnalysisOptions aopts;
+  aopts.goal = query->goal;
+  aopts.fragment_notes = false;
+  aopts.compiled = &compiled;
+  AnalysisResult analysis = AnalyzeProgram(query->program, aopts);
+  std::vector<Diagnostic> findings;
+  for (const Diagnostic& d : analysis.diagnostics) {
+    if (d.severity != Severity::kNote) findings.push_back(d);
+  }
+  if (Report("analysis", findings)) return 1;
 
   // --- Fragment report. ----------------------------------------------------
   std::printf("query: goal %s, %zu rules; monadic=%s frontier-guarded=%s "
               "recursive=%s\n",
               vocab->name(query->goal).c_str(),
               query->program.rules().size(),
-              IsMonadic(query->program) ? "yes" : "no",
-              IsFrontierGuarded(query->program) ? "yes" : "no",
-              IsNonRecursive(query->program) ? "no" : "yes");
+              analysis.fragments.monadic ? "yes" : "no",
+              analysis.fragments.frontier_guarded ? "yes" : "no",
+              analysis.fragments.non_recursive ? "no" : "yes");
   std::printf("views: %zu (all CQ: %s)\n", views.views().size(),
               views.AllCq() ? "yes" : "no");
+
+  // --- Join plans. ---------------------------------------------------------
+  std::printf("join plans%s:\n%s",
+              instance ? " (est rows from instance stats)" : "",
+              compiled.DescribePlansText().c_str());
 
   // --- Monotonic determinacy. ----------------------------------------------
   MonDetResult verdict = CheckMonotonicDeterminacy(*query, views);
   const char* verdict_name =
       verdict.verdict == Verdict::kDetermined       ? "DETERMINED (exact)"
       : verdict.verdict == Verdict::kNotDetermined  ? "NOT DETERMINED"
+      : verdict.verdict == Verdict::kInvalidInput   ? "INVALID INPUT"
                                                     : "no counterexample "
                                                       "within bounds";
   std::printf("monotonic determinacy: %s (%zu canonical tests)\n",
@@ -158,20 +201,28 @@ int main(int argc, char** argv) {
   }
 
   // --- Rewriting (CQ views only). -------------------------------------------
+  std::optional<DatalogQuery> rewriting;
   if (views.AllCq() && verdict.verdict != Verdict::kNotDetermined) {
-    DatalogQuery rewriting = InverseRulesRewriting(*query, views);
+    rewriting = InverseRulesRewriting(*query, views);
     std::printf("inverse-rules rewriting over the view schema (%zu rules):\n%s",
-                rewriting.program.rules().size(),
-                rewriting.program.DebugString().c_str());
-    if (instance) {
+                rewriting->program.rules().size(),
+                rewriting->program.DebugString().c_str());
+  }
+
+  // --- Evaluation, with the same compiled program the lints judged. ---------
+  if (instance) {
+    EvalStats estats;
+    Instance fixpoint = compiled.Eval(*instance, &estats);
+    bool holds = !fixpoint.FactsWith(query->goal).empty();
+    std::printf("eval: %s\n", estats.Summary().c_str());
+    if (rewriting) {
       Instance image = views.Image(*instance);
       std::printf("on the instance: Q = %s, rewriting(V(I)) = %s\n",
-                  DatalogHoldsOn(*query, *instance) ? "true" : "false",
-                  DatalogHoldsOn(rewriting, image) ? "true" : "false");
+                  holds ? "true" : "false",
+                  DatalogHoldsOn(*rewriting, image) ? "true" : "false");
+    } else {
+      std::printf("on the instance: Q = %s\n", holds ? "true" : "false");
     }
-  } else if (instance) {
-    std::printf("on the instance: Q = %s\n",
-                DatalogHoldsOn(*query, *instance) ? "true" : "false");
   }
   return 0;
 }

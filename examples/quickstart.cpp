@@ -18,12 +18,13 @@ int main() {
   // A recursive query: is some element connected to a U-marked element
   // through R-edges?
   std::string error;
+  std::vector<Diagnostic> diags;
   auto query = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                          "Goal", vocab, &error);
+                          "Goal", vocab, &diags);
   if (!query) {
     std::printf("parse error: %s\n", error.c_str());
     return 1;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Asserts that a command fails *gracefully*: exit code 1 (a report, not a
+# crash/abort, which would exit 134 or similar) and at least one formatted
+# diagnostic ("error[...]") on stderr.
+#
+# Usage: check_cli_failure.sh <binary> <args...>
+set -u
+
+out="$("$@" 2>&1)"
+status=$?
+
+if [ "$status" -ne 1 ]; then
+  echo "expected exit code 1 (diagnostic report), got $status" >&2
+  echo "--- output ---" >&2
+  echo "$out" >&2
+  exit 1
+fi
+case "$out" in
+  *"error["*) ;;
+  *)
+    echo "expected at least one 'error[...]' diagnostic in the output" >&2
+    echo "--- output ---" >&2
+    echo "$out" >&2
+    exit 1
+    ;;
+esac
+exit 0

@@ -26,10 +26,14 @@ else
   echo "tier1: clang-tidy not found, skipping lint pass"
 fi
 
-# Differential oracle under ASan/UBSan, single- and multi-threaded.
+# Differential oracles under ASan/UBSan, single- and multi-threaded.
+# plan_differential_test exercises the statistics-driven planner (live
+# re-planning, seat observation buffers) against the naive reference.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
+./build-asan/tests/plan_differential_test
+./build-asan/tests/stats_test
 
 echo "tier1: OK"

@@ -1,6 +1,7 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <sstream>
 #include <unordered_map>
@@ -427,8 +428,16 @@ void PlanLintCheck(const ProgramAnalyzer::Input& in,
                    std::vector<Diagnostic>* out) {
   if (!in.options.plan_lints) return;
   const Program& program = in.program;
-  CompiledProgram compiled(program);
-  for (const CompiledProgram::JoinOrderDesc& desc : compiled.DescribePlans()) {
+  // Reuse the caller's compiled program when provided (mondet_cli passes
+  // the one it is about to evaluate, so lint and run judge identical
+  // plans); otherwise compile a throwaway one.
+  std::optional<CompiledProgram> local;
+  const CompiledProgram* compiled = in.options.compiled;
+  if (compiled == nullptr) {
+    local.emplace(program);
+    compiled = &*local;
+  }
+  for (const CompiledProgram::JoinOrderDesc& desc : compiled->DescribePlans()) {
     const Rule& rule = program.rules()[desc.rule];
     std::vector<bool> bound(rule.num_vars(), false);
     bool anything_bound = false;
@@ -455,6 +464,9 @@ void PlanLintCheck(const ProgramAnalyzer::Input& in,
                    : "")
            << " joins " << AtomSignature(*program.vocab(), atom)
            << " with zero bound positions (cross product)";
+        if (!desc.est_rows.empty()) {
+          os << "; est ~" << desc.est_rows[k] << " intermediate rows";
+        }
         out->push_back(MakeDiagnostic(Severity::kWarning,
                                       "plan-cross-product", os.str(), loc));
       }

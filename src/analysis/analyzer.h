@@ -11,6 +11,8 @@
 
 namespace mondet {
 
+class CompiledProgram;
+
 /// Syntactic fragments the paper's results are conditioned on: every cell
 /// of Table 1 (rewritability) and Table 2 (decidability of monotonic
 /// determinacy) assumes the query/views lie in one of these. The analyzer
@@ -60,6 +62,12 @@ struct AnalysisOptions {
   std::optional<PredId> goal;
   /// Compile the program and lint its join plans ("plan-cross-product").
   bool plan_lints = true;
+  /// Reuse this compiled program for the plan lints instead of compiling
+  /// a fresh one; it must have been compiled from the analyzed program.
+  /// When it carries bound statistics (CompiledProgram::BindStats) the
+  /// cross-product lint reports the estimated row blowup, so the lint is
+  /// judged against real numbers. Not owned; may be null.
+  const CompiledProgram* compiled = nullptr;
   /// Classify the program against all fragments and emit kNote witnesses
   /// for the fragments it falls outside of.
   bool fragment_notes = true;

@@ -36,6 +36,56 @@ std::vector<uint32_t> GreedyAtomOrder(
   return order;
 }
 
+std::vector<uint32_t> SelectivityAtomOrder(
+    const std::vector<std::vector<ElemId>>& atom_vars, size_t num_vars,
+    const std::function<double(size_t, const std::vector<bool>&)>& est_matches,
+    std::vector<bool> bound, std::vector<double>* est_rows) {
+  size_t n = atom_vars.size();
+  bound.resize(num_vars, false);
+  bool anything_bound =
+      std::find(bound.begin(), bound.end(), true) != bound.end();
+  std::vector<bool> used(n, false);
+  std::vector<uint32_t> order;
+  order.reserve(n);
+  if (est_rows) {
+    est_rows->clear();
+    est_rows->reserve(n);
+  }
+  double rows = 1.0;
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    bool best_shares = false;
+    double best_est = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) continue;
+      bool shares = atom_vars[i].empty();  // nullary atoms are filters
+      for (ElemId a : atom_vars[i]) {
+        if (bound[a]) {
+          shares = true;
+          break;
+        }
+      }
+      // Before anything is bound every pick is a scan; "shares" only
+      // separates candidates once a prefix exists.
+      if (!anything_bound) shares = true;
+      double est = est_matches(i, bound);
+      if (best < 0 || (shares && !best_shares) ||
+          (shares == best_shares && est < best_est)) {
+        best = static_cast<int>(i);
+        best_shares = shares;
+        best_est = est;
+      }
+    }
+    used[best] = true;
+    order.push_back(static_cast<uint32_t>(best));
+    rows *= best_est;
+    if (est_rows) est_rows->push_back(rows);
+    for (ElemId a : atom_vars[best]) bound[a] = true;
+    if (!atom_vars[best].empty()) anything_bound = true;
+  }
+  return order;
+}
+
 HomSearch::HomSearch(const Instance& pattern, const Instance& target)
     : pattern_(pattern), target_(target) {
   MONDET_CHECK(pattern.vocab().get() == target.vocab().get());

@@ -21,6 +21,23 @@ std::vector<uint32_t> GreedyAtomOrder(
     const std::function<size_t(size_t)>& rel_size,
     std::vector<bool> bound = {});
 
+/// Selectivity-scored join ordering, the statistics-driven sibling of
+/// GreedyAtomOrder (used by CompiledProgram when instance statistics are
+/// available). At each step it picks, lexicographically:
+///   1. an atom sharing at least one already-bound variable (so rules with
+///      a connected join graph never plan a cross product; nullary atoms
+///      count as sharing — they are pure filters),
+///   2. the smallest estimated match count `est_matches(i, bound)`, where
+///      `bound` flags the variables bound before this step,
+///   3. the lowest atom index (deterministic ties).
+/// If `est_rows` is non-null it receives, per step, the estimated number
+/// of intermediate rows after joining that atom (the running product of
+/// match estimates), aligned with the returned order.
+std::vector<uint32_t> SelectivityAtomOrder(
+    const std::vector<std::vector<ElemId>>& atom_vars, size_t num_vars,
+    const std::function<double(size_t, const std::vector<bool>&)>& est_matches,
+    std::vector<bool> bound = {}, std::vector<double>* est_rows = nullptr);
+
 /// Backtracking homomorphism search between instances.
 ///
 /// A homomorphism h from pattern P to target T maps every element of P to an

@@ -1,0 +1,70 @@
+#include "base/stats.h"
+
+#include <algorithm>
+
+namespace mondet {
+
+Stats Stats::Collect(const Instance& inst) {
+  Stats s;
+  const size_t n = inst.vocab()->size();
+  s.by_pred_.resize(n);
+  for (PredId p = 0; p < n; ++p) s.CountPred(inst, p);
+  return s;
+}
+
+void Stats::Refresh(const Instance& inst, const std::vector<PredId>& preds) {
+  for (PredId p : preds) CountPred(inst, p);
+}
+
+void Stats::CountPred(const Instance& inst, PredId p) {
+  if (p >= by_pred_.size()) by_pred_.resize(p + 1);
+  PredicateStats& ps = by_pred_[p];
+  const std::vector<uint32_t>& rows = inst.FactsWith(p);
+  const int arity = inst.vocab()->arity(p);
+  ps.cardinality = rows.size();
+  ps.distinct.assign(arity, 0);
+  if (rows.empty()) return;
+  // Sort + unique beats a hash set by a wide margin on the short columns
+  // this sees (a fixpoint run recounts predicates every stratum).
+  std::vector<ElemId> vals;
+  vals.reserve(rows.size());
+  for (int pos = 0; pos < arity; ++pos) {
+    vals.clear();
+    for (uint32_t fi : rows) vals.push_back(inst.facts()[fi].args[pos]);
+    std::sort(vals.begin(), vals.end());
+    ps.distinct[pos] = static_cast<size_t>(
+        std::unique(vals.begin(), vals.end()) - vals.begin());
+  }
+}
+
+double Stats::EstimateMatches(PredId p,
+                              const std::vector<bool>& bound_pos) const {
+  if (p >= by_pred_.size()) return 0.0;
+  const PredicateStats& ps = by_pred_[p];
+  if (ps.cardinality == 0) return 0.0;
+  double est = static_cast<double>(ps.cardinality);
+  const size_t n = std::min(bound_pos.size(), ps.distinct.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (bound_pos[i]) {
+      est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
+    }
+  }
+  return est;
+}
+
+double Stats::EstimateMatches(PredId p, const std::vector<ElemId>& args,
+                              const std::vector<bool>& bound_var) const {
+  if (p >= by_pred_.size()) return 0.0;
+  const PredicateStats& ps = by_pred_[p];
+  if (ps.cardinality == 0) return 0.0;
+  double est = static_cast<double>(ps.cardinality);
+  const size_t n = std::min(args.size(), ps.distinct.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (args[i] < bound_var.size() && bound_var[args[i]]) {
+      est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
+    }
+  }
+  return est;
+}
+
+}  // namespace mondet

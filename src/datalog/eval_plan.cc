@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <thread>
@@ -17,6 +18,7 @@ void EvalStats::Accumulate(const EvalStats& other) {
   iterations += other.iterations;
   facts_derived += other.facts_derived;
   join_probes += other.join_probes;
+  replans += other.replans;
   wall_seconds += other.wall_seconds;
   strata.insert(strata.end(), other.strata.begin(), other.strata.end());
 }
@@ -24,8 +26,8 @@ void EvalStats::Accumulate(const EvalStats& other) {
 std::string EvalStats::Summary() const {
   std::ostringstream os;
   os << "iters=" << iterations << " derived=" << facts_derived
-     << " probes=" << join_probes << " strata=" << strata.size()
-     << " wall_ms=" << wall_seconds * 1000.0;
+     << " probes=" << join_probes << " replans=" << replans
+     << " strata=" << strata.size() << " wall_ms=" << wall_seconds * 1000.0;
   return os.str();
 }
 
@@ -44,6 +46,12 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+std::string FormatEst(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
 }
 
 }  // namespace
@@ -79,46 +87,77 @@ CompiledProgram::CompiledProgram(const Program& program) : program_(program) {
     plan.num_vars = rule.num_vars();
     int stratum = scc[node_of.at(rule.head.pred)];
     const auto& stratum_preds = strata_[stratum].preds;
-    std::vector<std::vector<ElemId>> atom_vars;
-    atom_vars.reserve(rule.body.size());
     for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
-      const QAtom& a = rule.body[i];
-      if (stratum_preds.count(a.pred)) plan.recursive_atoms.push_back(i);
-      atom_vars.push_back(std::vector<ElemId>(a.args.begin(), a.args.end()));
+      if (stratum_preds.count(rule.body[i].pred)) {
+        plan.recursive_atoms.push_back(i);
+      }
     }
-    // Join ordering for one delta seat (-1 = the initial full join): the
-    // delta atom's variables start bound, the rest follow the shared
-    // greedy heuristic. With no instance at hand, the relation-size
-    // estimate just prefers EDB atoms, which stay fixed while the IDB
-    // relations grow toward the fixpoint.
-    auto order_excluding = [&](int skip) {
-      std::vector<std::vector<ElemId>> sub;
-      std::vector<uint32_t> back;
-      std::vector<bool> bound(plan.num_vars, false);
+    // Fixed planning inputs per delta seat (seat 0 = the initial full
+    // join), so re-planning during a run rebuilds none of this.
+    plan.seats.resize(1 + plan.recursive_atoms.size());
+    for (size_t s = 0; s < plan.seats.size(); ++s) {
+      SeatShape& shape = plan.seats[s];
+      const int skip = s == 0 ? -1 : plan.recursive_atoms[s - 1];
+      shape.bound0.assign(plan.num_vars, false);
       if (skip >= 0) {
-        for (VarId v : rule.body[skip].args) bound[v] = true;
+        for (VarId v : rule.body[skip].args) shape.bound0[v] = true;
       }
       for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
         if (i == skip) continue;
-        sub.push_back(atom_vars[i]);
-        back.push_back(static_cast<uint32_t>(i));
+        const QAtom& a = rule.body[i];
+        shape.sub.push_back(std::vector<ElemId>(a.args.begin(), a.args.end()));
+        shape.back.push_back(static_cast<uint32_t>(i));
       }
-      std::vector<uint32_t> sub_order = GreedyAtomOrder(
-          sub, plan.num_vars,
-          [&](size_t i) {
-            return program_.IsIdb(rule.body[back[i]].pred) ? size_t{2}
-                                                           : size_t{1};
-          },
-          std::move(bound));
-      std::vector<uint32_t> order;
-      order.reserve(sub_order.size());
-      for (uint32_t s : sub_order) order.push_back(back[s]);
-      return order;
-    };
-    plan.orders.push_back(order_excluding(-1));
-    for (int i : plan.recursive_atoms) plan.orders.push_back(order_excluding(i));
+    }
+    // Compile-time join orders, one per seat. With no instance at hand,
+    // the relation-size estimate just prefers EDB atoms, which stay fixed
+    // while the IDB relations grow toward the fixpoint; BindStats /
+    // EvalOptions::stats_planner replace these with selectivity-scored
+    // orders.
+    for (size_t s = 0; s < plan.seats.size(); ++s) {
+      plan.orders.push_back(PlanOrder(plan, s, nullptr, nullptr));
+      plan.est_rows.emplace_back();
+    }
     strata_[stratum].plans.push_back(static_cast<uint32_t>(plans_.size()));
     plans_.push_back(std::move(plan));
+  }
+}
+
+std::vector<uint32_t> CompiledProgram::PlanOrder(
+    const RulePlan& plan, size_t seat, const Stats* stats,
+    std::vector<double>* est_rows) const {
+  const SeatShape& shape = plan.seats[seat];
+  std::vector<uint32_t> sub_order;
+  if (stats != nullptr) {
+    sub_order = SelectivityAtomOrder(
+        shape.sub, plan.num_vars,
+        [&](size_t i, const std::vector<bool>& b) {
+          return stats->EstimateMatches(plan.body[shape.back[i]].pred,
+                                        shape.sub[i], b);
+        },
+        shape.bound0, est_rows);
+  } else {
+    sub_order = GreedyAtomOrder(
+        shape.sub, plan.num_vars,
+        [&](size_t i) {
+          return program_.IsIdb(plan.body[shape.back[i]].pred) ? size_t{2}
+                                                               : size_t{1};
+        },
+        shape.bound0);
+    if (est_rows) est_rows->clear();
+  }
+  std::vector<uint32_t> order;
+  order.reserve(sub_order.size());
+  for (uint32_t s : sub_order) order.push_back(shape.back[s]);
+  return order;
+}
+
+void CompiledProgram::BindStats(Stats stats) {
+  bound_stats_ = std::move(stats);
+  for (RulePlan& plan : plans_) {
+    for (size_t s = 0; s < plan.seats.size(); ++s) {
+      plan.orders[s] = PlanOrder(plan, s, &*bound_stats_, &plan.est_rows[s]);
+    }
   }
 }
 
@@ -129,18 +168,41 @@ std::vector<CompiledProgram::JoinOrderDesc> CompiledProgram::DescribePlans()
   std::vector<JoinOrderDesc> out;
   for (size_t pi = 0; pi < plans_.size(); ++pi) {
     const RulePlan& plan = plans_[pi];
-    out.push_back({pi, -1, plan.orders[0]});
+    out.push_back({pi, -1, plan.orders[0], plan.est_rows[0]});
     for (size_t r = 0; r < plan.recursive_atoms.size(); ++r) {
-      out.push_back({pi, plan.recursive_atoms[r], plan.orders[1 + r]});
+      out.push_back({pi, plan.recursive_atoms[r], plan.orders[1 + r],
+                     plan.est_rows[1 + r]});
     }
   }
   return out;
 }
 
+std::string CompiledProgram::DescribePlansText() const {
+  const Vocabulary& vocab = *program_.vocab();
+  std::ostringstream os;
+  for (const JoinOrderDesc& d : DescribePlans()) {
+    const RulePlan& plan = plans_[d.rule];
+    os << "rule " << d.rule << " (" << vocab.name(plan.head.pred) << ") ";
+    if (d.delta_atom < 0) {
+      os << "full:";
+    } else {
+      os << "delta[" << d.delta_atom << ":"
+         << vocab.name(plan.body[d.delta_atom].pred) << "]:";
+    }
+    for (size_t k = 0; k < d.order.size(); ++k) {
+      os << " " << vocab.name(plan.body[d.order[k]].pred);
+      if (!d.est_rows.empty()) os << "(~" << FormatEst(d.est_rows[k]) << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 void CompiledProgram::Join(const RulePlan& plan,
                            const std::vector<uint32_t>& order, size_t depth,
                            std::vector<ElemId>& map, const Instance& target,
-                           size_t* probes, std::vector<Fact>* out) const {
+                           size_t* probes, std::vector<size_t>* step_rows,
+                           std::vector<Fact>* out) const {
   if (depth == order.size()) {
     std::vector<ElemId> head_args;
     head_args.reserve(plan.head.args.size());
@@ -181,7 +243,10 @@ void CompiledProgram::Join(const RulePlan& plan,
         break;
       }
     }
-    if (ok) Join(plan, order, depth + 1, map, target, probes, out);
+    if (ok) {
+      if (step_rows) ++(*step_rows)[depth];
+      Join(plan, order, depth + 1, map, target, probes, step_rows, out);
+    }
     for (VarId v : bound_here) map[v] = kNoElem;
   }
 }
@@ -189,13 +254,13 @@ void CompiledProgram::Join(const RulePlan& plan,
 void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
                               size_t* probes, std::vector<Fact>* out) const {
   const RulePlan& plan = plans_[item.plan];
+  const std::vector<uint32_t>& order = *item.order;
   std::vector<ElemId> map(plan.num_vars, kNoElem);
   if (item.rec < 0) {
-    Join(plan, plan.orders[0], 0, map, target, probes, out);
+    Join(plan, order, 0, map, target, probes, item.step_rows, out);
     return;
   }
   const QAtom& delta_atom = plan.body[plan.recursive_atoms[item.rec]];
-  const std::vector<uint32_t>& order = plan.orders[1 + item.rec];
   std::vector<VarId> bound_here;
   for (const Fact& f : *item.delta) {
     bound_here.clear();
@@ -210,7 +275,7 @@ void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
         break;
       }
     }
-    if (ok) Join(plan, order, 0, map, target, probes, out);
+    if (ok) Join(plan, order, 0, map, target, probes, item.step_rows, out);
     for (VarId v : bound_here) map[v] = kNoElem;
   }
 }
@@ -221,6 +286,22 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
   Instance result = input;
   const int nthreads = ResolveEvalThreads(options.num_threads);
   EvalStats run;
+
+  // Which statistics drive planning this run. With the stats planner on
+  // (the default) and no caller-supplied snapshot, collect live stats
+  // from the evolving result and re-plan as relations grow; a snapshot
+  // plans every stratum once (stale-tolerant); with the planner off —
+  // or on an input too small for planning to pay for itself — the
+  // compile-time orders run as-is.
+  const bool use_stats =
+      options.stats_planner &&
+      (options.stats != nullptr ||
+       input.num_facts() >= options.stats_min_facts);
+  const bool live_stats = use_stats && options.stats == nullptr;
+  Stats live;
+  if (live_stats) live = Stats::Collect(result);
+  const Stats* planning =
+      use_stats ? (options.stats ? options.stats : &live) : nullptr;
 
   // Runs one round of work items, merges their derivations into `result`
   // in item order — this makes the fact insertion order independent of
@@ -259,41 +340,146 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     return added;
   };
 
+  // Preds of the previous stratum, whose live counts are stale on entry
+  // to the next one.
+  std::vector<PredId> prev_preds;
+
   for (const Stratum& stratum : strata_) {
     StratumStats ss;
     auto t0 = std::chrono::steady_clock::now();
+    std::vector<PredId> stratum_preds(stratum.preds.begin(),
+                                      stratum.preds.end());
+    std::sort(stratum_preds.begin(), stratum_preds.end());
+    if (live_stats && !prev_preds.empty()) live.Refresh(result, prev_preds);
+
+    // The join orders this stratum runs with: per (plan-in-stratum, seat),
+    // seat 0 = the initial full join, seat 1 + i = recursive atom i.
+    // Planned from `planning` when set, else the compile-time orders.
+    // `actual` accumulates measured per-step rows (plan_stats only) and
+    // resets on re-plan so it always matches the order it was measured
+    // under.
+    struct SeatPlan {
+      std::vector<uint32_t> order;
+      std::vector<double> est;
+      std::vector<size_t> actual;
+    };
+    std::vector<std::vector<SeatPlan>> seats(stratum.plans.size());
+    auto plan_seats = [&](bool initial) {
+      for (size_t k = 0; k < stratum.plans.size(); ++k) {
+        const RulePlan& plan = plans_[stratum.plans[k]];
+        auto& sp = seats[k];
+        if (initial) sp.resize(1 + plan.recursive_atoms.size());
+        // After round 0 the full join (seat 0) never runs again, so
+        // re-planning skips it.
+        for (size_t s = initial ? 0 : 1; s < sp.size(); ++s) {
+          if (planning) {
+            sp[s].order = PlanOrder(plan, s, planning, &sp[s].est);
+          } else {
+            sp[s].order = plan.orders[s];
+            sp[s].est = plan.est_rows[s];
+          }
+          if (options.plan_stats) sp[s].actual.assign(sp[s].order.size(), 0);
+        }
+      }
+    };
+    plan_seats(true);
+
+    // Cardinalities the current orders were planned under; a stratum
+    // relation doubling (or appearing) since then triggers a re-plan.
+    std::vector<std::pair<PredId, size_t>> planned_card;
+    if (live_stats) {
+      planned_card.reserve(stratum_preds.size());
+      for (PredId p : stratum_preds) {
+        planned_card.emplace_back(p, result.FactsWith(p).size());
+      }
+    }
+
     // Initial round: every rule of the stratum joins the full current
     // result (lower strata are saturated; input IDB facts participate,
     // as in the paper's Prop. 4 usage).
     std::vector<WorkItem> round0;
     round0.reserve(stratum.plans.size());
-    for (uint32_t pi : stratum.plans) round0.push_back({pi, -1, nullptr});
+    for (size_t k = 0; k < stratum.plans.size(); ++k) {
+      WorkItem w;
+      w.plan = stratum.plans[k];
+      w.order = &seats[k][0].order;
+      if (options.plan_stats) w.step_rows = &seats[k][0].actual;
+      round0.push_back(w);
+    }
     ss.iterations = 1;
     std::vector<Fact> delta = run_round(round0, &ss);
     // Delta rounds: each new derivation must use a previous-round fact in
     // some recursive body atom.
     while (!delta.empty()) {
+      if (live_stats) {
+        // A stratum relation appearing or doubling since the last plan
+        // invalidates its estimates — but below kReplanMinFacts the joins
+        // it feeds are cheaper than the re-plan itself, so let it grow.
+        constexpr size_t kReplanMinFacts = 16;
+        bool replan = false;
+        for (const auto& [p, card] : planned_card) {
+          size_t cur = result.FactsWith(p).size();
+          if (cur != card && cur >= kReplanMinFacts &&
+              (card == 0 || cur >= 2 * card)) {
+            replan = true;
+            break;
+          }
+        }
+        if (replan) {
+          live.Refresh(result, stratum_preds);
+          plan_seats(false);
+          for (auto& [p, card] : planned_card) {
+            card = result.FactsWith(p).size();
+          }
+          ++ss.replans;
+        }
+      }
       std::unordered_map<PredId, std::vector<Fact>> by_pred;
       for (Fact& f : delta) by_pred[f.pred].push_back(std::move(f));
       std::vector<WorkItem> items;
-      for (uint32_t pi : stratum.plans) {
+      for (size_t k = 0; k < stratum.plans.size(); ++k) {
+        const uint32_t pi = stratum.plans[k];
         const RulePlan& plan = plans_[pi];
         for (int r = 0; r < static_cast<int>(plan.recursive_atoms.size());
              ++r) {
           auto it = by_pred.find(plan.body[plan.recursive_atoms[r]].pred);
           if (it == by_pred.end()) continue;
-          items.push_back({pi, r, &it->second});
+          WorkItem w;
+          w.plan = pi;
+          w.rec = r;
+          w.delta = &it->second;
+          w.order = &seats[k][1 + r].order;
+          if (options.plan_stats) w.step_rows = &seats[k][1 + r].actual;
+          items.push_back(w);
         }
       }
       if (items.empty()) break;
       ++ss.iterations;
       delta = run_round(items, &ss);
     }
+    if (options.plan_stats) {
+      for (size_t k = 0; k < stratum.plans.size(); ++k) {
+        const uint32_t pi = stratum.plans[k];
+        const RulePlan& plan = plans_[pi];
+        for (size_t s = 0; s < seats[k].size(); ++s) {
+          JoinSeatStats j;
+          j.rule = pi;
+          j.delta_atom =
+              s == 0 ? -1 : plan.recursive_atoms[s - 1];
+          j.order = std::move(seats[k][s].order);
+          j.est_rows = std::move(seats[k][s].est);
+          j.actual_rows = std::move(seats[k][s].actual);
+          ss.seats.push_back(std::move(j));
+        }
+      }
+    }
     ss.wall_seconds = SecondsSince(t0);
     run.iterations += ss.iterations;
     run.facts_derived += ss.facts_derived;
     run.join_probes += ss.join_probes;
-    run.strata.push_back(ss);
+    run.replans += ss.replans;
+    run.strata.push_back(std::move(ss));
+    prev_preds = std::move(stratum_preds);
   }
   run.wall_seconds = SecondsSince(t_start);
   if (stats) stats->Accumulate(run);

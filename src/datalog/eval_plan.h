@@ -2,11 +2,13 @@
 #define MONDET_DATALOG_EVAL_PLAN_H_
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
 #include "base/instance.h"
+#include "base/stats.h"
 #include "datalog/program.h"
 
 namespace mondet {
@@ -19,6 +21,40 @@ struct EvalOptions {
   /// insertion order are identical for every thread count (see
   /// docs/EVALUATION.md for the determinism argument).
   int num_threads = 0;
+  /// Statistics-driven join planning (the default): score join orders by
+  /// estimated selectivity from per-predicate statistics — `stats` when
+  /// set, otherwise statistics collected live from the evolving result,
+  /// re-planned per stratum as the relations grow (docs/EVALUATION.md
+  /// documents the cost model). When false, Eval runs the compile-time
+  /// orders: EDB-first greedy, or the orders fixed by BindStats.
+  bool stats_planner = true;
+  /// Plan from this (possibly stale) snapshot instead of collecting live
+  /// statistics; suppresses in-run re-planning. Stale stats can only
+  /// produce slower orders, never wrong results. Ignored when
+  /// stats_planner is false. Not owned; must outlive the Eval call.
+  const Stats* stats = nullptr;
+  /// The planner's own cost gate: below this many input facts, live
+  /// statistics collection cannot pay for itself (one Refresh + re-plan
+  /// costs more than joining the whole instance), so Eval runs the
+  /// compile-time orders. Set to 0 to force live planning on any input
+  /// (the differential tests do); a caller-supplied `stats` snapshot
+  /// bypasses the gate.
+  size_t stats_min_facts = 64;
+  /// Record the join order each (rule, delta seat) actually ran with,
+  /// plus estimated vs. measured intermediate sizes, into
+  /// StratumStats::seats. Small per-match cost; off by default.
+  bool plan_stats = false;
+};
+
+/// The join order one (rule, delta-seat) pair ran with, with the planner's
+/// estimated and the measured intermediate row counts per join step.
+/// Collected only under EvalOptions::plan_stats.
+struct JoinSeatStats {
+  size_t rule = 0;
+  int delta_atom = -1;               // -1 = the initial full join
+  std::vector<uint32_t> order;       // body atom indices, join order
+  std::vector<double> est_rows;      // planner estimate after each step
+  std::vector<size_t> actual_rows;   // measured rows after each step
 };
 
 /// Counters for one stratum of a fixpoint run.
@@ -26,7 +62,9 @@ struct StratumStats {
   size_t iterations = 0;     // semi-naive rounds, incl. the initial one
   size_t facts_derived = 0;  // new facts this stratum added
   size_t join_probes = 0;    // candidate facts scanned by index joins
+  size_t replans = 0;        // mid-stratum join-order recomputations
   double wall_seconds = 0;
+  std::vector<JoinSeatStats> seats;  // only with EvalOptions::plan_stats
 };
 
 /// Counters for a fixpoint run. Eval *accumulates* into a caller-provided
@@ -36,6 +74,7 @@ struct EvalStats {
   size_t iterations = 0;
   size_t facts_derived = 0;
   size_t join_probes = 0;
+  size_t replans = 0;
   double wall_seconds = 0;
   std::vector<StratumStats> strata;
 
@@ -55,16 +94,33 @@ int ResolveEvalThreads(int requested);
 /// Compilation groups the rules into strata — the SCCs of the IDB
 /// dependency graph, in topological order — and precomputes per-rule join
 /// orderings: one for the initial full join and one per recursive body
-/// atom (the semi-naive "delta" seat), each ordered
-/// most-constrained-atom-first by the shared GreedyAtomOrder heuristic.
+/// atom (the semi-naive "delta" seat). Without statistics the compile-time
+/// orders come from the shared GreedyAtomOrder heuristic (EDB atoms
+/// first); BindStats re-plans them under the selectivity cost model, and
+/// Eval by default plans from live statistics anyway (EvalOptions).
 /// Construct once and Eval many times; the per-rule plans and strata are
-/// reused across calls.
+/// reused across calls — and the same object serves the analyzer's plan
+/// lints (AnalysisOptions::compiled) and evaluation, so lint and run judge
+/// identical plans.
 class CompiledProgram {
  public:
   explicit CompiledProgram(const Program& program);
 
+  /// Re-plans the stored compile-time join orders under the selectivity
+  /// cost model of `stats` and remembers the snapshot: DescribePlans then
+  /// reports estimated intermediate sizes (so plan lints judge the plans
+  /// against real numbers), and Eval with stats_planner=false runs these
+  /// stats-driven orders verbatim.
+  void BindStats(Stats stats);
+
+  /// The snapshot from BindStats, or nullptr.
+  const Stats* bound_stats() const {
+    return bound_stats_ ? &*bound_stats_ : nullptr;
+  }
+
   /// FPEval(Π, I) (Sec. 2): all facts of `input` plus every derivable IDB
-  /// fact, over the same elements. Deterministic for any thread count.
+  /// fact, over the same elements. Deterministic for any thread count and
+  /// any statistics (plans affect order of exploration, not the result).
   /// When `stats` is non-null the run's counters are accumulated into it.
   Instance Eval(const Instance& input, EvalStats* stats = nullptr,
                 const EvalOptions& options = {}) const;
@@ -80,21 +136,42 @@ class CompiledProgram {
     size_t rule = 0;
     int delta_atom = -1;
     std::vector<uint32_t> order;  // body atom indices, join order
+    // Estimated intermediate rows after each step; empty unless stats
+    // are bound (BindStats).
+    std::vector<double> est_rows;
   };
 
   /// All join orders of the compiled plans, one entry per (rule, seat).
   std::vector<JoinOrderDesc> DescribePlans() const;
 
+  /// Human-readable rendering of DescribePlans, one line per (rule,
+  /// seat), stable enough to pin in golden tests:
+  ///   rule 0 (Head) full: R S(~4) T(~2.5)
+  ///   rule 0 (Head) delta[1:S]: T R
+  /// The (~n) estimates appear only when stats are bound.
+  std::string DescribePlansText() const;
+
  private:
+  /// The fixed inputs of planning one (rule, delta-seat) pair, precomputed
+  /// at compile time so per-stratum re-planning allocates next to nothing:
+  /// the body atoms to order (the delta atom excluded), their variables,
+  /// and the variables the delta fact pre-binds.
+  struct SeatShape {
+    std::vector<std::vector<ElemId>> sub;  // args of each atom to order
+    std::vector<uint32_t> back;            // sub index -> body atom index
+    std::vector<bool> bound0;              // vars pre-bound by the seat
+  };
   struct RulePlan {
     QAtom head;
     std::vector<QAtom> body;
     size_t num_vars = 0;
     std::vector<int> recursive_atoms;  // body indices over same-SCC preds
-    // orders[0]: every body atom (initial round); orders[1 + i]: every
-    // atom except recursive_atoms[i], whose variables start bound from a
-    // delta fact.
+    // seats[0]: the initial full join; seats[1 + i]: recursive_atoms[i]
+    // as the delta seat. orders/est_rows align with seats; est_rows
+    // entries are empty unless stats are bound.
+    std::vector<SeatShape> seats;
     std::vector<std::vector<uint32_t>> orders;
+    std::vector<std::vector<double>> est_rows;
   };
   struct Stratum {
     std::vector<uint32_t> plans;       // indices into plans_, program order
@@ -102,22 +179,34 @@ class CompiledProgram {
   };
   /// One unit of the per-iteration fan-out: fire plan `plan` either as a
   /// full join (rec < 0) or seeding recursive atom `rec` from each fact
-  /// of `delta`.
+  /// of `delta`, visiting the remaining atoms in `*order`.
   struct WorkItem {
     uint32_t plan = 0;
     int rec = -1;
     const std::vector<Fact>* delta = nullptr;
+    const std::vector<uint32_t>* order = nullptr;
+    std::vector<size_t>* step_rows = nullptr;  // per-depth match counters
   };
+
+  /// Computes the join order for seat `seat` of `plan` (0 = full join,
+  /// 1 + i = recursive atom i): selectivity-scored when `stats` is set,
+  /// EDB-first greedy otherwise. `est_rows`, if non-null, receives the
+  /// per-step estimates (cleared when no stats).
+  std::vector<uint32_t> PlanOrder(const RulePlan& plan, size_t seat,
+                                  const Stats* stats,
+                                  std::vector<double>* est_rows) const;
 
   void RunItem(const WorkItem& item, const Instance& target, size_t* probes,
                std::vector<Fact>* out) const;
   void Join(const RulePlan& plan, const std::vector<uint32_t>& order,
             size_t depth, std::vector<ElemId>& map, const Instance& target,
-            size_t* probes, std::vector<Fact>* out) const;
+            size_t* probes, std::vector<size_t>* step_rows,
+            std::vector<Fact>* out) const;
 
   Program program_;
   std::vector<RulePlan> plans_;
   std::vector<Stratum> strata_;
+  std::optional<Stats> bound_stats_;
 };
 
 }  // namespace mondet

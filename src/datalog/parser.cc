@@ -221,15 +221,42 @@ ParseResult ParseProgram(const std::string& text,
 std::optional<DatalogQuery> ParseQuery(const std::string& text,
                                        const std::string& goal_name,
                                        const VocabularyPtr& vocab,
-                                       std::string* error) {
+                                       std::vector<Diagnostic>* diagnostics) {
   ParseResult result = ParseProgram(text, vocab);
   if (!result.ok()) {
-    if (error) *error = result.error;
+    if (diagnostics) {
+      diagnostics->insert(diagnostics->end(), result.diagnostics.begin(),
+                          result.diagnostics.end());
+    }
     return std::nullopt;
   }
   auto goal = vocab->FindPredicate(goal_name);
   if (!goal || !result.program->IsIdb(*goal)) {
-    if (error) *error = "goal predicate " + goal_name + " has no rules";
+    if (diagnostics) {
+      // Point at the first occurrence of the goal predicate in some rule
+      // body (the usual mistake: the goal only ever appears extensionally)
+      // so the failure carries a source position when one exists.
+      SourceLoc loc;
+      if (goal) {
+        const auto& rules = result.program->rules();
+        for (int ri = 0; ri < static_cast<int>(rules.size()) && loc.rule < 0;
+             ++ri) {
+          const Rule& r = rules[ri];
+          for (int ai = 0; ai < static_cast<int>(r.body.size()); ++ai) {
+            if (r.body[ai].pred == *goal) {
+              loc.rule = ri;
+              loc.atoms = {ai};
+              loc.line = r.line;
+              loc.col = r.col;
+              break;
+            }
+          }
+        }
+      }
+      diagnostics->push_back(MakeDiagnostic(
+          Severity::kError, "goal",
+          "goal predicate " + goal_name + " has no rules", loc));
+    }
     return std::nullopt;
   }
   return DatalogQuery(std::move(*result.program), *goal);
@@ -282,7 +309,7 @@ std::optional<CQ> ParseCq(const std::string& text, const VocabularyPtr& vocab,
 
 std::optional<Instance> ParseInstance(const std::string& text,
                                       const VocabularyPtr& vocab,
-                                      std::string* error) {
+                                      std::vector<Diagnostic>* diagnostics) {
   // Reuse the rule parser: each fact is a bodiless "rule head". The rule
   // grammar requires a body, so parse fact statements manually with the
   // same token shapes.
@@ -319,39 +346,44 @@ std::optional<Instance> ParseInstance(const std::string& text,
     }
     return false;
   };
-  auto fail = [&](const std::string& msg) {
-    if (error) *error = msg + " at offset " + std::to_string(pos);
+  auto fail = [&](const std::string& check, const std::string& msg) {
+    if (diagnostics) {
+      SourceLoc loc;
+      LineColAt(text, pos, &loc.line, &loc.col);
+      diagnostics->push_back(
+          MakeDiagnostic(Severity::kError, check, msg, loc));
+    }
     return std::optional<Instance>();
   };
   skip_ws();
   while (pos < text.size()) {
     auto pred_name = ident();
-    if (!pred_name) return fail("expected predicate name");
+    if (!pred_name) return fail("parse", "expected predicate name");
     std::vector<ElemId> args;
     if (eat('(')) {
       if (!eat(')')) {
         while (true) {
           auto elem_name = ident();
-          if (!elem_name) return fail("expected element name");
+          if (!elem_name) return fail("parse", "expected element name");
           auto it = elems.find(*elem_name);
           if (it == elems.end()) {
             it = elems.emplace(*elem_name, inst.AddElement(*elem_name)).first;
           }
           args.push_back(it->second);
           if (eat(')')) break;
-          if (!eat(',')) return fail("expected ',' or ')'");
+          if (!eat(',')) return fail("parse", "expected ',' or ')'");
         }
       }
     }
     auto existing = vocab->FindPredicate(*pred_name);
     if (existing &&
         vocab->arity(*existing) != static_cast<int>(args.size())) {
-      return fail("arity mismatch for predicate " + *pred_name);
+      return fail("arity", "arity mismatch for predicate " + *pred_name);
     }
     PredId pred =
         vocab->AddPredicate(*pred_name, static_cast<int>(args.size()));
     inst.AddFact(pred, args);
-    if (!eat('.')) return fail("expected '.'");
+    if (!eat('.')) return fail("parse", "expected '.'");
     skip_ws();
   }
   return inst;

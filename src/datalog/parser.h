@@ -38,11 +38,14 @@ struct ParseResult {
 ParseResult ParseProgram(const std::string& text, const VocabularyPtr& vocab);
 
 /// Parses a program and wraps it as a query with the given goal predicate.
-/// Fails if the goal is not the head of any rule.
-std::optional<DatalogQuery> ParseQuery(const std::string& text,
-                                       const std::string& goal_name,
-                                       const VocabularyPtr& vocab,
-                                       std::string* error = nullptr);
+/// Fails if the goal is not the head of any rule. On failure the parse
+/// diagnostics (or a "goal" diagnostic for goal-resolution failures,
+/// pointing at the first body occurrence of the goal predicate when there
+/// is one) are appended to `diagnostics` when non-null.
+std::optional<DatalogQuery> ParseQuery(
+    const std::string& text, const std::string& goal_name,
+    const VocabularyPtr& vocab,
+    std::vector<Diagnostic>* diagnostics = nullptr);
 
 /// Parses the rules as a UCQ: all rules must share the same head predicate
 /// and none may use IDB predicates in bodies.
@@ -60,9 +63,12 @@ std::optional<CQ> ParseCq(const std::string& text, const VocabularyPtr& vocab,
 ///   R(a,b). R(b,c). U(c).
 ///
 /// Predicates are interned into `vocab` with the arity of first use.
-std::optional<Instance> ParseInstance(const std::string& text,
-                                      const VocabularyPtr& vocab,
-                                      std::string* error = nullptr);
+/// On failure a diagnostic (check "parse" or "arity") carrying the
+/// 1-based line/col of the offending token is appended to `diagnostics`
+/// when non-null.
+std::optional<Instance> ParseInstance(
+    const std::string& text, const VocabularyPtr& vocab,
+    std::vector<Diagnostic>* diagnostics = nullptr);
 
 }  // namespace mondet
 

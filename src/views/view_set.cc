@@ -63,6 +63,25 @@ std::optional<PredId> ViewSet::TryAddView(const std::string& name,
         "view " + name +
             " is defined over a different vocabulary than the view set"));
   } else {
+    // The view name becomes a predicate of `def.arity()`; a clash with an
+    // existing predicate of another arity would MONDET_CHECK-abort inside
+    // AddPredicate, so report it here instead.
+    auto existing = vocab_->FindPredicate(name);
+    if (existing && vocab_->arity(*existing) != def.arity()) {
+      local.push_back(MakeDiagnostic(
+          Severity::kError, "view-arity",
+          "view " + name + " has arity " + std::to_string(def.arity()) +
+              " but predicate " + name + " already exists with arity " +
+              std::to_string(vocab_->arity(*existing))));
+    }
+    for (const View& v : views_) {
+      if (vocab_->name(v.pred) == name) {
+        local.push_back(MakeDiagnostic(
+            Severity::kError, "view-duplicate",
+            "view " + name + " is already defined in this view set"));
+        break;
+      }
+    }
     if (!def.program.IsIdb(def.goal)) {
       local.push_back(MakeDiagnostic(
           Severity::kError, "goal",

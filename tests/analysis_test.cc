@@ -21,8 +21,9 @@ namespace {
 DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
                             const VocabularyPtr& vocab) {
   std::string error;
-  auto q = ParseQuery(text, goal, vocab, &error);
-  EXPECT_TRUE(q.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(text, goal, vocab, &diags);
+  EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
   return *q;
 }
 

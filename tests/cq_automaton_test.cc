@@ -116,14 +116,15 @@ TEST(CqAutomatonProperty, RandomInstancesAgree) {
 TEST(Containment, DatalogInCq) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   // Reach-query whose every expansion ends with U: contained in ∃x U(x).
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   UCQ has_u(vocab);
   has_u.AddDisjunct(*ParseCq("C() :- U(x).", vocab, &error));
   ContainmentResult result = DatalogContainedInUcq(*q, has_u);
@@ -144,13 +145,14 @@ TEST(Containment, DatalogInCq) {
 TEST(Containment, DatalogInUcqMultiDisjunct) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   // Every expansion either is a bare U or contains an R-edge.
   UCQ cover(vocab);
   cover.AddDisjunct(*ParseCq("C() :- R(x,y).", vocab, &error));

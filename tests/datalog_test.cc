@@ -13,8 +13,9 @@ namespace {
 DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
                             const VocabularyPtr& vocab) {
   std::string error;
-  auto q = ParseQuery(text, goal, vocab, &error);
-  EXPECT_TRUE(q.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(text, goal, vocab, &diags);
+  EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
   return *q;
 }
 
@@ -47,8 +48,9 @@ TEST(Parser, ParsesComments) {
 TEST(Parser, ParsesGroundInstance) {
   auto vocab = MakeVocabulary();
   std::string error;
-  auto inst = ParseInstance("R(a,b). R(b,c). U(c). # done", vocab, &error);
-  ASSERT_TRUE(inst.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto inst = ParseInstance("R(a,b). R(b,c). U(c). # done", vocab, &diags);
+  ASSERT_TRUE(inst.has_value()) << FormatDiagnostics(diags);
   EXPECT_EQ(inst->num_facts(), 3u);
   EXPECT_EQ(inst->num_elements(), 3u);
   PredId r = *vocab->FindPredicate("R");
@@ -58,28 +60,82 @@ TEST(Parser, ParsesGroundInstance) {
 TEST(Parser, InstanceSharesElementsByName) {
   auto vocab = MakeVocabulary();
   std::string error;
-  auto inst = ParseInstance("R(a,a). U(a).", vocab, &error);
-  ASSERT_TRUE(inst.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto inst = ParseInstance("R(a,a). U(a).", vocab, &diags);
+  ASSERT_TRUE(inst.has_value()) << FormatDiagnostics(diags);
   EXPECT_EQ(inst->num_elements(), 1u);
 }
 
 TEST(Parser, InstanceRejectsArityMismatch) {
   auto vocab = MakeVocabulary();
-  std::string error;
-  auto inst = ParseInstance("R(a,b). R(a).", vocab, &error);
+  std::vector<Diagnostic> diags;
+  auto inst = ParseInstance("R(a,b). R(a).", vocab, &diags);
   EXPECT_FALSE(inst.has_value());
-  EXPECT_FALSE(error.empty());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "arity");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+}
+
+TEST(Parser, InstanceDiagnosticsCarryPositions) {
+  auto vocab = MakeVocabulary();
+  std::vector<Diagnostic> diags;
+  auto inst = ParseInstance("R(a,b).\nR(c).", vocab, &diags);
+  EXPECT_FALSE(inst.has_value());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "arity");
+  EXPECT_EQ(diags[0].loc.line, 2);
+
+  std::vector<Diagnostic> syntax;
+  auto bad = ParseInstance("R(a,b).\nR(b c).", vocab, &syntax);
+  EXPECT_FALSE(bad.has_value());
+  ASSERT_EQ(syntax.size(), 1u);
+  EXPECT_EQ(syntax[0].check, "parse");
+  EXPECT_EQ(syntax[0].loc.line, 2);
+  EXPECT_GT(syntax[0].loc.col, 1);
+}
+
+TEST(Parser, QueryGoalResolutionFailureCarriesPosition) {
+  auto vocab = MakeVocabulary();
+  std::vector<Diagnostic> diags;
+  // "R" resolves to a predicate, but an extensional one: the diagnostic
+  // points at its first body occurrence (rule 1, atom 0, line 3).
+  auto q = ParseQuery("P(x) :- U(x).\n\nP(y) :- R(x,y), P(x).", "R", vocab,
+                      &diags);
+  EXPECT_FALSE(q.has_value());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].check, "goal");
+  EXPECT_EQ(diags[0].loc.rule, 1);
+  ASSERT_EQ(diags[0].loc.atoms.size(), 1u);
+  EXPECT_EQ(diags[0].loc.atoms[0], 0);
+  EXPECT_EQ(diags[0].loc.line, 3);
+
+  // A goal name that never occurs anywhere still fails with the "goal"
+  // check, just without a position.
+  std::vector<Diagnostic> unknown;
+  auto q2 = ParseQuery("P(x) :- U(x).", "Nope", vocab, &unknown);
+  EXPECT_FALSE(q2.has_value());
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].check, "goal");
+  EXPECT_EQ(unknown[0].loc.line, 0);
+
+  // Parse-level failures flow through ParseQuery's diagnostics too.
+  std::vector<Diagnostic> parse_fail;
+  auto q3 = ParseQuery("P(x) :- U(x)", "P", vocab, &parse_fail);
+  EXPECT_FALSE(q3.has_value());
+  ASSERT_FALSE(parse_fail.empty());
+  EXPECT_TRUE(HasErrors(parse_fail));
 }
 
 TEST(Parser, InstanceRoundTripsThroughEvaluation) {
   auto vocab = MakeVocabulary();
   std::string error;
-  auto q = ParseQuery(kReach, "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
-  auto inst = ParseInstance("R(a,b). R(b,c). U(c).", vocab, &error);
-  ASSERT_TRUE(inst) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(kReach, "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
+  auto inst = ParseInstance("R(a,b). R(b,c). U(c).", vocab, &diags);
+  ASSERT_TRUE(inst) << FormatDiagnostics(diags);
   EXPECT_TRUE(DatalogHoldsOn(*q, *inst));
-  auto no_u = ParseInstance("R(a,b). R(b,c).", vocab, &error);
+  auto no_u = ParseInstance("R(a,b). R(b,c).", vocab, &diags);
   EXPECT_FALSE(DatalogHoldsOn(*q, *no_u));
 }
 

@@ -16,8 +16,9 @@ namespace {
 DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
                             const VocabularyPtr& vocab) {
   std::string error;
-  auto q = ParseQuery(text, goal, vocab, &error);
-  EXPECT_TRUE(q.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(text, goal, vocab, &diags);
+  EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
   return *q;
 }
 
@@ -119,8 +120,9 @@ TEST(BoundedContainment, NonBooleanTuples) {
 TEST(NonBooleanMonDet, DeterminedPairQuery) {
   auto vocab = MakeVocabulary();
   std::string error;
-  auto q = ParseQuery("Q(x,z) :- R(x,y), R(y,z).", "Q", vocab, &error);
-  ASSERT_TRUE(q) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery("Q(x,z) :- R(x,y), R(y,z).", "Q", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddCqView("V", *ParseCq("V(x,z) :- R(x,y), R(y,z).", vocab, &error));
   MonDetResult result = CheckMonotonicDeterminacy(*q, views);
@@ -132,8 +134,9 @@ TEST(NonBooleanMonDet, FrontierLostRefuted) {
   // cannot be certain.
   auto vocab = MakeVocabulary();
   std::string error;
-  auto q = ParseQuery("Q(x) :- R(x,y).", "Q", vocab, &error);
-  ASSERT_TRUE(q) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery("Q(x) :- R(x,y).", "Q", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddCqView("V", *ParseCq("V(y) :- R(x,y).", vocab, &error));
   MonDetResult result = CheckMonotonicDeterminacy(*q, views);

@@ -26,13 +26,14 @@ namespace {
 TEST(Integration, Example1EndToEnd) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto query = ParseQuery(R"(
     Q() :- U1(x), W1(x).
     W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
     W1(x) :- U2(x).
   )",
-                          "Q", vocab, &error);
-  ASSERT_TRUE(query) << error;
+                          "Q", vocab, &diags);
+  ASSERT_TRUE(query) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddCqView("V0",
                   *ParseCq("V0(x,w) :- T(x,y,z), B(z,w), B(y,w).", vocab,
@@ -51,8 +52,8 @@ TEST(Integration, Example1EndToEnd) {
     W1R(x) :- V0(x,w), W1R(w).
     W1R(x) :- V2(x).
   )",
-                         "QR", vocab, &error);
-  ASSERT_TRUE(hand) << error;
+                         "QR", vocab, &diags);
+  ASSERT_TRUE(hand) << FormatDiagnostics(diags);
   DatalogQuery machine = InverseRulesRewriting(*query, views);
   PredId t = *vocab->FindPredicate("T");
   PredId b = *vocab->FindPredicate("B");
@@ -72,13 +73,14 @@ TEST(Integration, Example1SecondViewFamily) {
   // rewriting ∃yz V3(y,z) ∧ V4(y,z).
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto query = ParseQuery(R"(
     Q() :- U1(x), W1(x).
     W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
     W1(x) :- U2(x).
   )",
-                          "Q", vocab, &error);
-  ASSERT_TRUE(query) << error;
+                          "Q", vocab, &diags);
+  ASSERT_TRUE(query) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddCqView(
       "V3", *ParseCq("V3(y,z) :- U1(x), T(x,y,z).", vocab, &error));
@@ -86,8 +88,8 @@ TEST(Integration, Example1SecondViewFamily) {
     GoalV4(y,z) :- T(x,y,z), B(z,w), B(y,w), T(w,q,r), GoalV4(q,r).
     GoalV4(y,z) :- B(y,w), B(z,w), U2(w).
   )",
-                       "GoalV4", vocab, &error);
-  ASSERT_TRUE(v4) << error;
+                       "GoalV4", vocab, &diags);
+  ASSERT_TRUE(v4) << FormatDiagnostics(diags);
   PredId v4_pred = views.AddView("V4", *v4);
   PredId v3_pred = views.views()[0].pred;
 
@@ -139,13 +141,14 @@ TEST(Integration, NormalizedQueryKeepsMonDetVerdicts) {
   // Normalization (Prop. 2) must not change determinacy verdicts.
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x), M(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddAtomicView("VR", *vocab->FindPredicate("R"));
   views.AddCqView("VU", *ParseCq("VU(x) :- U(x).", vocab, &error));
@@ -161,13 +164,14 @@ TEST(Integration, BackwardOfForwardEquivalentToQuery) {
   // on arbitrary instances (Prop. 3 + Prop. 7 in the degenerate case).
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y), M(y).
     Goal() :- P(x), S(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ForwardResult fwd = ApproximationAutomaton(*q);
   std::vector<PredId> schema{
       *vocab->FindPredicate("R"), *vocab->FindPredicate("U"),
@@ -208,8 +212,9 @@ TEST(Integration, ApproximationCodesRoundTripThroughDecoder) {
   for (const auto& [text, goal] : cases) {
     auto vocab = MakeVocabulary();
     std::string error;
-    auto q = ParseQuery(text, goal, vocab, &error);
-    ASSERT_TRUE(q) << error;
+    std::vector<Diagnostic> diags;
+    auto q = ParseQuery(text, goal, vocab, &diags);
+    ASSERT_TRUE(q) << FormatDiagnostics(diags);
     ForwardResult fwd = ApproximationAutomaton(*q);
     auto witness = EmptinessWitness(fwd.automaton);
     ASSERT_TRUE(witness.has_value()) << text;

@@ -12,8 +12,9 @@ namespace {
 DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
                             const VocabularyPtr& vocab) {
   std::string error;
-  auto q = ParseQuery(text, goal, vocab, &error);
-  EXPECT_TRUE(q.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(text, goal, vocab, &diags);
+  EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
   return *q;
 }
 
@@ -38,13 +39,14 @@ struct Example1 {
 
   DatalogQuery MustParse() {
     std::string error;
+    std::vector<Diagnostic> diags;
     auto q = ParseQuery(R"(
       Q() :- U1(x), W1(x).
       W1(x) :- T(x,y,z), B(z,w), B(y,w), W1(w).
       W1(x) :- U2(x).
     )",
-                        "Q", vocab, &error);
-    EXPECT_TRUE(q.has_value()) << error;
+                        "Q", vocab, &diags);
+    EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
     return *q;
   }
 

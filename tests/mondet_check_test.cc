@@ -18,8 +18,9 @@ CQ MustParseCq(const std::string& text, const VocabularyPtr& vocab) {
 DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
                             const VocabularyPtr& vocab) {
   std::string error;
-  auto q = ParseQuery(text, goal, vocab, &error);
-  EXPECT_TRUE(q.has_value()) << error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(text, goal, vocab, &diags);
+  EXPECT_TRUE(q.has_value()) << FormatDiagnostics(diags);
   return *q;
 }
 
@@ -131,12 +132,13 @@ TEST(Thm5, CqOverReachabilityViewDeterminedDespiteRecursion) {
   auto vocab = MakeVocabulary();
   CQ q = MustParseCq("Q() :- R(x,y), U(y).", vocab);
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(R"(
     Reach(x) :- R(x,y), U(y).
     Reach(x) :- R(x,y), Reach(y).
   )",
-                        "Reach", vocab, &error);
-  ASSERT_TRUE(def) << error;
+                        "Reach", vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   Thm5Result result = CheckCqOverDatalogViews(q, views);
@@ -149,12 +151,13 @@ TEST(Thm5, CqTwoHopOverHasEdgeViewNotDetermined) {
   auto vocab = MakeVocabulary();
   CQ q = MustParseCq("Q() :- R(x,y), R(y,z).", vocab);
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(R"(
     W(x) :- R(x,y).
     W(x) :- R(x,y), W(y).
   )",
-                        "W", vocab, &error);
-  ASSERT_TRUE(def) << error;
+                        "W", vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("VW", *def);
   Thm5Result result = CheckCqOverDatalogViews(q, views);
@@ -174,12 +177,13 @@ TEST(Thm5, CqOverRecursiveViewDetermined) {
   auto vocab = MakeVocabulary();
   CQ q = MustParseCq("Q() :- U(x).", vocab);
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(R"(
     Reach(x) :- R(x,y), U(y).
     Reach(x) :- R(x,y), Reach(y).
   )",
-                        "Reach", vocab, &error);
-  ASSERT_TRUE(def) << error;
+                        "Reach", vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   views.AddCqView("VU", MustParseCq("VU(x) :- U(x).", vocab));
@@ -202,10 +206,11 @@ TEST(Thm5, ManyViewAtomsFoldCorrectly) {
   q.AddAtom(u, {vars[2]});
   q.SetFreeVars({});
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(
       "Reach(x) :- R(x,y), U(y).\nReach(x) :- R(x,y), Reach(y).", "Reach",
-      vocab, &error);
-  ASSERT_TRUE(def) << error;
+      vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   views.AddAtomicView("VR", r);

@@ -1,0 +1,126 @@
+// Golden regression tests for CompiledProgram::DescribePlansText on the
+// paper's two running examples: the Fig. 4 row-family query (the Thm 7
+// inverse-rules rewriting) and the Fig. 1 grid/tiling query (Thm 6).
+// Each is pinned twice: the compile-time (static) orders, and the orders
+// after binding statistics collected from a concrete instance. A diff
+// here means the planner changed its mind — update the goldens only after
+// confirming the new orders are intentional (plan_differential_test and
+// the Fig. 4 benchmark are the semantic/perf gates).
+
+#include <gtest/gtest.h>
+
+#include "base/stats.h"
+#include "datalog/eval_plan.h"
+#include "reductions/thm6.h"
+#include "reductions/thm7.h"
+#include "views/inverse_rules.h"
+
+namespace mondet {
+namespace {
+
+constexpr char kFig4Static[] =
+    R"(rule 0 (M@S#0) full: S
+rule 1 (A@S#1) full: S
+rule 2 (C@S#2) full: S
+rule 3 (B@R#0) full: R
+rule 4 (D@R#1) full: R
+rule 5 (A@R#2) full: R
+rule 6 (C@R#3) full: R
+rule 7 (U@T#0) full: T
+rule 8 (B@T#1) full: T
+rule 9 (D@T#2) full: T
+rule 10 (W@[p]) full: A@S#1 B@T#1 C@S#2 D@T#2 U@T#0
+rule 11 (W@[f[R.2]]) full: A@R#2 C@R#3 B@T#1 D@T#2 U@T#0
+rule 12 (W@[p]) full: A@S#1 B@R#0 D@R#1 W@[f[R.2]] C@S#2
+rule 12 (W@[p]) delta[4:W@[f[R.2]]]: B@R#0 D@R#1 A@S#1 C@S#2
+rule 13 (W@[p]) full: A@S#1 B@T#1 C@S#2 D@T#2 W@[p]
+rule 13 (W@[p]) delta[4:W@[p]]: B@T#1 A@S#1 C@S#2 D@T#2
+rule 14 (W@[f[R.2]]) full: A@R#2 C@R#3 B@R#0 D@R#1 W@[f[R.2]]
+rule 14 (W@[f[R.2]]) delta[4:W@[f[R.2]]]: B@R#0 D@R#1 A@R#2 C@R#3
+rule 15 (W@[f[R.2]]) full: A@R#2 C@R#3 B@T#1 D@T#2 W@[p]
+rule 15 (W@[f[R.2]]) delta[4:W@[p]]: B@T#1 A@R#2 C@R#3 D@T#2
+rule 16 (Goal7@[]) full: W@[p] M@S#0
+)";
+
+constexpr char kFig4Stats[] =
+    R"(rule 0 (M@S#0) full: S(~1)
+rule 1 (A@S#1) full: S(~1)
+rule 2 (C@S#2) full: S(~1)
+rule 3 (B@R#0) full: R(~2)
+rule 4 (D@R#1) full: R(~2)
+rule 5 (A@R#2) full: R(~2)
+rule 6 (C@R#3) full: R(~2)
+rule 7 (U@T#0) full: T(~1)
+rule 8 (B@T#1) full: T(~1)
+rule 9 (D@T#2) full: T(~1)
+rule 10 (W@[p]) full: A@S#1(~0) B@T#1(~0) C@S#2(~0) D@T#2(~0) U@T#0(~0)
+rule 11 (W@[f[R.2]]) full: A@R#2(~0) B@T#1(~0) C@R#3(~0) D@T#2(~0) U@T#0(~0)
+rule 12 (W@[p]) full: A@S#1(~0) B@R#0(~0) C@S#2(~0) D@R#1(~0) W@[f[R.2]](~0)
+rule 12 (W@[p]) delta[4:W@[f[R.2]]]: A@S#1(~0) B@R#0(~0) C@S#2(~0) D@R#1(~0)
+rule 13 (W@[p]) full: A@S#1(~0) B@T#1(~0) C@S#2(~0) D@T#2(~0) W@[p](~0)
+rule 13 (W@[p]) delta[4:W@[p]]: B@T#1(~0) A@S#1(~0) C@S#2(~0) D@T#2(~0)
+rule 14 (W@[f[R.2]]) full: A@R#2(~0) B@R#0(~0) C@R#3(~0) D@R#1(~0) W@[f[R.2]](~0)
+rule 14 (W@[f[R.2]]) delta[4:W@[f[R.2]]]: A@R#2(~0) B@R#0(~0) C@R#3(~0) D@R#1(~0)
+rule 15 (W@[f[R.2]]) full: A@R#2(~0) B@T#1(~0) C@R#3(~0) D@T#2(~0) W@[p](~0)
+rule 15 (W@[f[R.2]]) delta[4:W@[p]]: B@T#1(~0) A@R#2(~0) C@R#3(~0) D@T#2(~0)
+rule 16 (Goal7@[]) full: W@[p](~0) M@S#0(~0)
+)";
+
+constexpr char kFig1Static[] =
+    R"(rule 0 (QTP) full: A B
+rule 1 (A) full: XSucc C A
+rule 1 (A) delta[1:A]: XSucc C
+rule 2 (A) full: XSucc C XEnd
+rule 3 (B) full: YSucc D B
+rule 3 (B) delta[1:B]: YSucc D
+rule 4 (B) full: YSucc D YEnd
+rule 5 (QTP) full: C YProj XProj
+rule 6 (QTP) full: D YProj XProj
+rule 7 (QTP) full: YProj YProj XProj XProj XSucc T0 T0
+rule 8 (QTP) full: YProj YProj XProj XProj XSucc T1 T1
+rule 9 (QTP) full: YProj XProj XProj YProj YSucc T0 T0
+rule 10 (QTP) full: YProj XProj XProj YProj YSucc T1 T1
+rule 11 (QTP) full: YSucc YProj XSucc XProj T1
+)";
+
+constexpr char kFig1Stats[] =
+    R"(rule 0 (QTP) full: A(~0) B(~0)
+rule 1 (A) full: A(~0) C(~0) XSucc(~0)
+rule 1 (A) delta[1:A]: C(~0) XSucc(~0)
+rule 2 (A) full: C(~0) XSucc(~0) XEnd(~0)
+rule 3 (B) full: B(~0) D(~0) YSucc(~0)
+rule 3 (B) delta[1:B]: D(~0) YSucc(~0)
+rule 4 (B) full: D(~0) YSucc(~0) YEnd(~0)
+rule 5 (QTP) full: C(~0) YProj(~0) XProj(~0)
+rule 6 (QTP) full: D(~0) YProj(~0) XProj(~0)
+rule 7 (QTP) full: XSucc(~2) XProj(~4) YProj(~4) T0(~4) YProj(~8) XProj(~4) T0(~4)
+rule 8 (QTP) full: XSucc(~2) XProj(~4) YProj(~4) T1(~4) YProj(~8) XProj(~4) T1(~4)
+rule 9 (QTP) full: YSucc(~2) YProj(~4) XProj(~4) T0(~4) YProj(~8) XProj(~4) T0(~4)
+rule 10 (QTP) full: YSucc(~2) YProj(~4) XProj(~4) T1(~4) YProj(~8) XProj(~4) T1(~4)
+rule 11 (QTP) full: YSucc(~2) XSucc(~2) YProj(~4) XProj(~2) T1(~2)
+)";
+
+TEST(PlanGolden, Fig4RowFamilyRewriting) {
+  Thm7Gadget g = BuildThm7();
+  DatalogQuery rewriting = InverseRulesRewriting(g.query, g.views);
+  CompiledProgram compiled(rewriting.program);
+  EXPECT_EQ(compiled.DescribePlansText(), kFig4Static);
+
+  compiled.BindStats(Stats::Collect(g.views.Image(g.DiamondChain(3))));
+  EXPECT_EQ(compiled.DescribePlansText(), kFig4Stats);
+}
+
+TEST(PlanGolden, Fig1GridQuery) {
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget g = BuildThm6(tp);
+  CompiledProgram compiled(g.query.program);
+  EXPECT_EQ(compiled.DescribePlansText(), kFig1Static);
+
+  auto solution = tp.Solve(2, 2);
+  ASSERT_TRUE(solution.has_value());
+  compiled.BindStats(Stats::Collect(g.MakeGridTest(2, 2, *solution)));
+  EXPECT_EQ(compiled.DescribePlansText(), kFig1Stats);
+}
+
+}  // namespace
+}  // namespace mondet

@@ -34,6 +34,7 @@ TEST_P(SeminaiveVsNaive, SameFixpoint) {
   unsigned seed = GetParam();
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
@@ -41,8 +42,8 @@ TEST_P(SeminaiveVsNaive, SameFixpoint) {
     T(x,z) :- T(x,y), T(y,z).
     Goal() :- T(x,x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   PredId r = *vocab->FindPredicate("R");
   PredId u = *vocab->FindPredicate("U");
   Instance inst = RandomInstance(vocab, {r, u}, 5, 9, 2100 + seed);
@@ -112,13 +113,14 @@ TEST_P(CertainAnswerSoundness, LowerBoundsTruth) {
   unsigned seed = GetParam();
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     P(x) :- U(x).
     P(x) :- R(x,y), P(y).
     Goal() :- P(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   PredId r = *vocab->FindPredicate("R");
   PredId u = *vocab->FindPredicate("U");
@@ -231,14 +233,15 @@ TEST_P(LosslessViewFamilies, RewritingMatchesQuery) {
   unsigned seed = GetParam();
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto q = ParseQuery(R"(
     E(x) :- S(x).
     E(y) :- R(x,y), O(x).
     O(y) :- R(x,y), E(x).
     Goal() :- O(x), U(x).
   )",
-                      "Goal", vocab, &error);
-  ASSERT_TRUE(q) << error;
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddAtomicView("VR", *vocab->FindPredicate("R"));
   views.AddAtomicView("VS", *vocab->FindPredicate("S"));

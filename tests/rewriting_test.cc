@@ -39,10 +39,11 @@ TEST(Prop8, CqRewritingOverDatalogViews) {
   auto vocab = MakeVocabulary();
   CQ q = MustParseCq("Q() :- U(x).", vocab);
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(
       "Reach(x) :- R(x,y), U(y).\nReach(x) :- R(x,y), Reach(y).", "Reach",
-      vocab, &error);
-  ASSERT_TRUE(def) << error;
+      vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("VReach", *def);
   views.AddCqView("VU", MustParseCq("VU(x) :- U(x).", vocab));

@@ -39,12 +39,13 @@ TEST(ViewSet, AtomicView) {
 TEST(ViewSet, RecursiveDatalogView) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def = ParseQuery(R"(
     Reach(x) :- U(x).
     Reach(x) :- R(x,y), Reach(y).
   )",
-                        "Reach", vocab, &error);
-  ASSERT_TRUE(def) << error;
+                        "Reach", vocab, &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   PredId v = views.AddView("VReach", *def);
   EXPECT_FALSE(views.AllCq());
@@ -60,9 +61,10 @@ TEST(ViewSet, RecursiveDatalogView) {
 TEST(ViewSet, IdbsRenamedApartAcrossViews) {
   auto vocab = MakeVocabulary();
   std::string error;
+  std::vector<Diagnostic> diags;
   auto def1 = ParseQuery("P(x) :- U(x).\nP(x) :- R(x,y), P(y).", "P", vocab,
-                         &error);
-  ASSERT_TRUE(def1) << error;
+                         &diags);
+  ASSERT_TRUE(def1) << FormatDiagnostics(diags);
   ViewSet views(vocab);
   views.AddView("V1", *def1);
   // Re-adding a structurally identical view must not clash on IDB names.
