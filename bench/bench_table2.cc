@@ -106,13 +106,16 @@ void BM_T2_CqDatalog_Thm5(benchmark::State& state) {
   views.AddView("VReach", *def);
   views.AddAtomicView("VR", r);
   size_t pairs = 0;
+  size_t visits = 0;
   bool determined = false;
   for (auto _ : state) {
     Thm5Result result = CheckCqOverDatalogViews(q, views);
     pairs = result.pairs_explored;
+    visits = result.transition_visits;
     determined = result.determined;
   }
   state.counters["state_pairs"] = static_cast<double>(pairs);
+  state.counters["transition_visits"] = static_cast<double>(visits);
   state.SetLabel(std::string("exact automata decision: ") +
                  (determined ? "determined" : "not determined") +
                  " (paper: 2ExpTime-complete)");
@@ -183,6 +186,44 @@ void BM_T2_MdlMdlCq_BoundedTests(benchmark::State& state) {
 }
 BENCHMARK(BM_T2_MdlMdlCq_BoundedTests)->Arg(2)->Arg(3);
 
+// --- Thread sweep over the MDL/MDL+CQ family at a depth where the test
+// block is large (≥1000 canonical tests per check). range(0) = worker
+// count, range(1) = canonical-form test cache on/off. The verdict and
+// counters are identical across all six variants (mondet_parallel_test
+// proves this bit-for-bit); only wall time and cache traffic move.
+void BM_T2_MdlMdlCq_Threads(benchmark::State& state) {
+  auto vocab = MakeVocabulary();
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    Goal() :- P(x).
+  )",
+                      "Goal", vocab, &diags);
+  auto vdef = ParseQuery(
+      "VP(x) :- U(x).\nVP(x) :- R(x,y), VP(y).", "VP", vocab, &diags);
+  ViewSet views(vocab);
+  views.AddView("VReach", *vdef);
+  views.AddAtomicView("VR", *vocab->FindPredicate("R"));
+  MonDetOptions options;
+  options.query_depth = 6;
+  options.view_depth = 6;
+  options.max_query_expansions = 100;
+  options.max_tests_per_expansion = 2000;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.test_cache = state.range(1) == 1;
+  MonDetResult result;
+  for (auto _ : state) {
+    result = CheckMonotonicDeterminacy(*q, views, options);
+  }
+  state.counters["tests"] = static_cast<double>(result.tests_run);
+  state.counters["cache_hits"] = static_cast<double>(result.cache_hits);
+  state.SetLabel(options.test_cache ? "cache on" : "cache off");
+}
+BENCHMARK(BM_T2_MdlMdlCq_Threads)
+    ->ArgNames({"threads", "cache"})
+    ->ArgsProduct({{1, 2, 4}, {0, 1}});
+
 // --- Cell: MDL / UCQ — undecidable (Thm 6). -------------------------------
 // The reduction's behaviour tracks the tiling problem exactly.
 void BM_T2_MdlUcq_Undecidable(benchmark::State& state) {
@@ -206,6 +247,36 @@ void BM_T2_MdlUcq_Undecidable(benchmark::State& state) {
                           : ": REDUCTION BROKEN"));
 }
 BENCHMARK(BM_T2_MdlUcq_Undecidable)->Arg(1)->Arg(0);
+
+// --- Thread sweep over the solvable Thm 6 gadget: the refuter has to walk
+// ~3500 canonical tests before the counterexample index, so this family
+// exposes the parallel block scan. range(0) = worker count, range(1) =
+// test cache on/off (the tiling D' instances are pairwise non-isomorphic,
+// so cache-on measures pure canonical-hash overhead here).
+void BM_T2_MdlUcq_Threads(benchmark::State& state) {
+  TilingProblem tp = SolvableTilingProblem();
+  Thm6Gadget gadget = BuildThm6(tp);
+  MonDetOptions options;
+  options.query_depth = 4;
+  options.view_depth = 3;
+  options.max_query_expansions = 40;
+  options.max_tests_per_expansion = 3000;
+  options.num_threads = static_cast<int>(state.range(0));
+  options.test_cache = state.range(1) == 1;
+  MonDetResult result;
+  for (auto _ : state) {
+    result = CheckMonotonicDeterminacy(gadget.query, gadget.views, options);
+  }
+  state.counters["tests"] = static_cast<double>(result.tests_run);
+  state.counters["cache_hits"] = static_cast<double>(result.cache_hits);
+  state.SetLabel(std::string(result.verdict == Verdict::kNotDetermined
+                                 ? "refuted"
+                                 : "NO COUNTEREXAMPLE") +
+                 (options.test_cache ? ", cache on" : ", cache off"));
+}
+BENCHMARK(BM_T2_MdlUcq_Threads)
+    ->ArgNames({"threads", "cache"})
+    ->ArgsProduct({{1, 2, 4}, {0, 1}});
 
 // --- Cell: Datalog / fixed atomic view — undecidable (Prop. 9, Lemma 8). --
 void BM_T2_DatalogAtomic_Lemma8(benchmark::State& state) {

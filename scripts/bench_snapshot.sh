@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Perf trajectory snapshot: run the tier-1 bench smoke set, then capture
+# the Table 2 families (including the MONDET_THREADS sweeps) as JSON in
+# BENCH_table2.json at the repo root, so future PRs can diff wall times
+# and counters (tests, cache_hits, transition_visits) against this one.
+#
+#   BENCH_MIN_TIME  per-benchmark min time in seconds (default 0.05; the
+#                   smoke pass always uses the tier-1 value of 0.01)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+MIN_TIME="${BENCH_MIN_TIME:-0.05}"
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
+cmake --build build -j "$JOBS" --target \
+  bench_table1 bench_table2 bench_fig1_gridtests bench_fig2_startimage \
+  bench_fig3_diamonds bench_fig4_longrows bench_fig5_lemma3
+
+# Smoke pass: every bench binary once, same flags as the tier-1 ctests.
+for b in build/bench/bench_*; do
+  [ -x "$b" ] || continue
+  echo "== smoke: $(basename "$b")"
+  "$b" --benchmark_min_time=0.01 > /dev/null
+done
+
+# Snapshot pass: Table 2 only, longer min_time, JSON committed at the root.
+./build/bench/bench_table2 \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out=BENCH_table2.json \
+  --benchmark_out_format=json
+
+echo "bench_snapshot: wrote BENCH_table2.json"

@@ -1,6 +1,7 @@
 #include "analysis/lint.h"
 
 #include <cctype>
+#include <map>
 #include <sstream>
 
 #include "datalog/parser.h"
@@ -88,7 +89,73 @@ std::string RenderJson(const LintResult& result, const Program* program) {
   return os.str();
 }
 
+const char* SarifLevel(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "none";
+}
+
 }  // namespace
+
+std::string LintRunToSarif(const std::vector<FileLint>& files) {
+  // Rule table: the distinct check ids across all files, sorted so the
+  // document is independent of diagnostic order.
+  std::map<std::string, size_t> rule_index;
+  for (const FileLint& f : files) {
+    for (const Diagnostic& d : f.result.diagnostics) {
+      rule_index.emplace(d.check, 0);
+    }
+  }
+  size_t next = 0;
+  for (auto& [check, index] : rule_index) index = next++;
+
+  std::ostringstream os;
+  os << "{\"$schema\":"
+        "\"https://json.schemastore.org/sarif-2.1.0.json\","
+        "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":"
+        "{\"name\":\"mondet-lint\","
+        "\"informationUri\":\"docs/ANALYSIS.md\",\"rules\":[";
+  bool first = true;
+  for (const auto& [check, index] : rule_index) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << JsonQuote(check) << "}";
+  }
+  os << "]}},\"artifacts\":[";
+  for (size_t i = 0; i < files.size(); ++i) {
+    if (i) os << ",";
+    os << "{\"location\":{\"uri\":" << JsonQuote(files[i].path) << "}}";
+  }
+  os << "],\"results\":[";
+  first = true;
+  for (size_t i = 0; i < files.size(); ++i) {
+    for (const Diagnostic& d : files[i].result.diagnostics) {
+      if (!first) os << ",";
+      first = false;
+      os << "{\"ruleId\":" << JsonQuote(d.check)
+         << ",\"ruleIndex\":" << rule_index.at(d.check)
+         << ",\"level\":\"" << SarifLevel(d.severity)
+         << "\",\"message\":{\"text\":" << JsonQuote(d.message)
+         << "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":"
+            "{\"uri\":"
+         << JsonQuote(files[i].path) << ",\"index\":" << i << "}";
+      if (d.loc.line > 0) {
+        os << ",\"region\":{\"startLine\":" << d.loc.line;
+        if (d.loc.col > 0) os << ",\"startColumn\":" << d.loc.col;
+        os << "}";
+      }
+      os << "}}]}";
+    }
+  }
+  os << "]}]}";
+  return os.str();
+}
 
 std::optional<Fragment> ParseFragmentName(const std::string& name) {
   if (name == "non-recursive") return Fragment::kNonRecursive;

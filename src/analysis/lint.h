@@ -44,6 +44,21 @@ LintResult LintProgramText(const std::string& text,
 /// "frontier-guarded"); nullopt for anything else.
 std::optional<Fragment> ParseFragmentName(const std::string& name);
 
+/// One linted file, for multi-file report formats.
+struct FileLint {
+  std::string path;
+  LintResult result;
+};
+
+/// Renders one SARIF 2.1.0 document with a single run covering every
+/// file of the invocation (mondet-lint --sarif): tool.driver.rules holds
+/// the distinct check ids (sorted), each diagnostic becomes a result with
+/// ruleId/ruleIndex, its severity mapped to the SARIF level, and a
+/// physicalLocation into the file's artifact (region only when the parser
+/// recorded a source line). Stable field order, suitable for golden tests
+/// and for PR annotation tooling.
+std::string LintRunToSarif(const std::vector<FileLint>& files);
+
 }  // namespace mondet
 
 #endif  // MONDET_ANALYSIS_LINT_H_

@@ -1,0 +1,237 @@
+#include "base/canonical.h"
+
+#include <algorithm>
+
+namespace mondet {
+
+namespace {
+
+uint64_t Mix(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Mix2(uint64_t a, uint64_t b) { return Mix(a ^ Mix(b)); }
+
+/// Elements that matter for generic queries: active domain plus the
+/// distinguished tuple.
+std::vector<char> RelevantElements(const Instance& inst,
+                                   const std::vector<ElemId>& tuple) {
+  std::vector<char> rel(inst.num_elements(), 0);
+  for (const Fact& f : inst.facts()) {
+    for (ElemId e : f.args) rel[e] = 1;
+  }
+  for (ElemId e : tuple) rel[e] = 1;
+  return rel;
+}
+
+/// Color refinement: start from (degree, tuple positions), then fold in
+/// the multiset of (fact signature, argument position) for a fixed number
+/// of rounds. Iso-invariant by construction — every input to a color is
+/// itself preserved under any isomorphism respecting the tuple.
+std::vector<uint64_t> RefinedColors(const Instance& inst,
+                                    const std::vector<ElemId>& tuple) {
+  size_t n = inst.num_elements();
+  std::vector<uint64_t> color(n, 0);
+  for (ElemId e = 0; e < n; ++e) {
+    color[e] = Mix2(0x1111, inst.Degree(e));
+  }
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    color[tuple[i]] = Mix2(color[tuple[i]], Mix2(0x2222, i));
+  }
+  std::vector<std::vector<uint64_t>> occ(n);
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    for (auto& v : occ) v.clear();
+    for (const Fact& f : inst.facts()) {
+      uint64_t sig = Mix2(0x3333, f.pred);
+      for (ElemId a : f.args) sig = Mix2(sig, color[a]);
+      for (size_t pos = 0; pos < f.args.size(); ++pos) {
+        occ[f.args[pos]].push_back(Mix2(sig, pos));
+      }
+    }
+    for (ElemId e = 0; e < n; ++e) {
+      std::sort(occ[e].begin(), occ[e].end());
+      uint64_t c = color[e];
+      for (uint64_t o : occ[e]) c = Mix2(c, o);
+      color[e] = c;
+    }
+  }
+  return color;
+}
+
+}  // namespace
+
+uint64_t CanonicalHash(const Instance& inst, const std::vector<ElemId>& tuple) {
+  std::vector<uint64_t> color = RefinedColors(inst, tuple);
+  std::vector<char> rel = RelevantElements(inst, tuple);
+  size_t nrel = 0;
+  for (char r : rel) nrel += r;
+
+  // Fact multiset under final colors, order-independent.
+  std::vector<uint64_t> sigs;
+  sigs.reserve(inst.num_facts());
+  for (const Fact& f : inst.facts()) {
+    uint64_t sig = Mix2(0x4444, f.pred);
+    for (ElemId a : f.args) sig = Mix2(sig, color[a]);
+    sigs.push_back(sig);
+  }
+  std::sort(sigs.begin(), sigs.end());
+
+  uint64_t h = Mix2(Mix2(0x5555, nrel), inst.num_facts());
+  for (uint64_t s : sigs) h = Mix2(h, s);
+  for (ElemId e : tuple) h = Mix2(h, color[e]);  // tuple order matters
+  return h;
+}
+
+std::optional<std::vector<ElemId>> FindIsomorphism(
+    const Instance& a, const std::vector<ElemId>& ta, const Instance& b,
+    const std::vector<ElemId>& tb, size_t max_nodes) {
+  if (ta.size() != tb.size()) return std::nullopt;
+  if (a.num_facts() != b.num_facts()) return std::nullopt;
+  std::vector<char> rel_a = RelevantElements(a, ta);
+  std::vector<char> rel_b = RelevantElements(b, tb);
+  size_t na = 0, nb = 0;
+  for (char r : rel_a) na += r;
+  for (char r : rel_b) nb += r;
+  if (na != nb) return std::nullopt;
+
+  std::vector<uint64_t> color_a = RefinedColors(a, ta);
+  std::vector<uint64_t> color_b = RefinedColors(b, tb);
+
+  // Candidate targets per color.
+  std::unordered_map<uint64_t, std::vector<ElemId>> by_color_b;
+  for (ElemId e = 0; e < b.num_elements(); ++e) {
+    if (rel_b[e]) by_color_b[color_b[e]].push_back(e);
+  }
+
+  std::vector<ElemId> map(a.num_elements(), kNoElem);
+  std::vector<char> used_b(b.num_elements(), 0);
+
+  // Assignment order: tuple elements first (forced), then the rest of a's
+  // relevant elements, rarest color class first (fail-fast).
+  std::vector<ElemId> order;
+  std::vector<char> ordered(a.num_elements(), 0);
+  for (ElemId e : ta) {
+    if (!ordered[e]) {
+      ordered[e] = 1;
+      order.push_back(e);
+    }
+  }
+  std::vector<ElemId> rest;
+  for (ElemId e = 0; e < a.num_elements(); ++e) {
+    if (rel_a[e] && !ordered[e]) rest.push_back(e);
+  }
+  std::sort(rest.begin(), rest.end(), [&](ElemId x, ElemId y) {
+    auto ix = by_color_b.find(color_a[x]);
+    auto iy = by_color_b.find(color_a[y]);
+    size_t cx = ix == by_color_b.end() ? 0 : ix->second.size();
+    size_t cy = iy == by_color_b.end() ? 0 : iy->second.size();
+    if (cx != cy) return cx < cy;
+    return x < y;
+  });
+  order.insert(order.end(), rest.begin(), rest.end());
+
+  // Forced images for the tuple prefix.
+  std::vector<ElemId> forced(a.num_elements(), kNoElem);
+  for (size_t i = 0; i < ta.size(); ++i) {
+    if (forced[ta[i]] != kNoElem && forced[ta[i]] != tb[i]) {
+      return std::nullopt;  // ta repeats where tb does not
+    }
+    forced[ta[i]] = tb[i];
+  }
+
+  // Facts anchored at the latest-assigned argument: once order[k] is
+  // mapped, every anchored fact is fully mapped and must exist in b.
+  std::vector<size_t> when(a.num_elements(), 0);
+  for (size_t k = 0; k < order.size(); ++k) when[order[k]] = k;
+  std::vector<std::vector<uint32_t>> anchored(order.size());
+  for (uint32_t fi = 0; fi < a.num_facts(); ++fi) {
+    size_t latest = 0;
+    for (ElemId e : a.facts()[fi].args) latest = std::max(latest, when[e]);
+    if (!a.facts()[fi].args.empty()) anchored[latest].push_back(fi);
+  }
+  // Nullary facts have no anchor; check them up front.
+  for (const Fact& f : a.facts()) {
+    if (f.args.empty() && !b.HasFact(f)) return std::nullopt;
+  }
+
+  size_t nodes = 0;
+  std::vector<ElemId> mapped_args;
+  std::function<bool(size_t)> extend = [&](size_t k) -> bool {
+    if (k == order.size()) return true;
+    if (++nodes > max_nodes) return false;
+    ElemId e = order[k];
+    auto it = by_color_b.find(color_a[e]);
+    if (it == by_color_b.end()) return false;
+    for (ElemId f : it->second) {
+      if (used_b[f]) continue;
+      if (forced[e] != kNoElem && forced[e] != f) continue;
+      map[e] = f;
+      used_b[f] = 1;
+      bool ok = true;
+      for (uint32_t fi : anchored[k]) {
+        const Fact& fact = a.facts()[fi];
+        mapped_args.clear();
+        for (ElemId x : fact.args) mapped_args.push_back(map[x]);
+        if (!b.HasFact(fact.pred, mapped_args)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && extend(k + 1)) return true;
+      map[e] = kNoElem;
+      used_b[f] = 0;
+      if (nodes > max_nodes) return false;
+    }
+    return false;
+  };
+  if (!extend(0)) return std::nullopt;
+  // Every a-fact maps into b's set, the map is injective, and the fact
+  // counts match — so the fact sets correspond exactly.
+  return map;
+}
+
+bool CanonicalTestCache::GetOrCompute(const Instance& inst,
+                                      const std::vector<ElemId>& tuple,
+                                      const std::function<bool()>& fn,
+                                      bool* was_hit) {
+  uint64_t h = CanonicalHash(inst, tuple);
+  Shard& shard = shards_[h % kNumShards];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(h);
+    if (it != shard.map.end()) {
+      for (const Entry& e : it->second) {
+        if (FindIsomorphism(e.inst, e.tuple, inst, tuple)) {
+          if (was_hit) *was_hit = true;
+          return e.value;
+        }
+      }
+    }
+  }
+  bool value = fn();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map[h].push_back(Entry{inst, tuple, value});
+  }
+  if (was_hit) *was_hit = false;
+  return value;
+}
+
+size_t CanonicalTestCache::size() const {
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [h, entries] : s.map) {
+      (void)h;
+      n += entries.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace mondet

@@ -1,0 +1,72 @@
+#ifndef MONDET_BASE_CANONICAL_H_
+#define MONDET_BASE_CANONICAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/instance.h"
+
+namespace mondet {
+
+/// Order-independent structural hash of an instance with a distinguished
+/// tuple: if some element bijection maps `a`'s fact set onto `b`'s and
+/// `ta` pointwise onto `tb`, then CanonicalHash(a, ta) ==
+/// CanonicalHash(b, tb). Based on Weisfeiler–Leman color refinement seeded
+/// by tuple positions; the converse does not hold (hash-equal instances
+/// still need an isomorphism check). Elements outside the active domain
+/// and the tuple are ignored — they cannot affect any generic query.
+uint64_t CanonicalHash(const Instance& inst, const std::vector<ElemId>& tuple);
+
+/// Searches for an isomorphism witnessing the equivalence above: an
+/// injective map from a's active-domain-or-tuple elements to b's, sending
+/// ta[i] to tb[i] and a's fact set exactly onto b's. Backtracking over
+/// refinement color classes, capped at `max_nodes` search nodes; returns
+/// the element map (kNoElem for uncovered elements of `a`), or nullopt
+/// when none exists or the cap is hit (callers must treat the cap as
+/// "not isomorphic", which is always safe for caching).
+std::optional<std::vector<ElemId>> FindIsomorphism(
+    const Instance& a, const std::vector<ElemId>& ta, const Instance& b,
+    const std::vector<ElemId>& tb, size_t max_nodes = 1u << 20);
+
+/// A concurrent memo of boolean test outcomes keyed by the isomorphism
+/// type of (instance, tuple). The determinacy checker uses it to run each
+/// D' instance once across all (expansion, view-choice) tests: two
+/// isomorphic D' instances give the same answer to any generic query.
+///
+/// Sharded by canonical hash; a lookup under a colliding hash verifies
+/// isomorphism against each stored entry before trusting its value.
+/// Thread-safe; `fn` runs outside the shard lock, so concurrent misses on
+/// the same type may each compute (both arrive at the same value — callers
+/// must not rely on exact hit/miss counts across thread counts).
+class CanonicalTestCache {
+ public:
+  /// Returns the cached outcome for an instance isomorphic to
+  /// (inst, tuple) if present; otherwise computes `fn()`, stores it under
+  /// this type, and returns it. `was_hit` reports which path was taken.
+  bool GetOrCompute(const Instance& inst, const std::vector<ElemId>& tuple,
+                    const std::function<bool()>& fn, bool* was_hit);
+
+  /// Number of stored canonical types (racy snapshot; for reporting).
+  size_t size() const;
+
+ private:
+  struct Entry {
+    Instance inst;
+    std::vector<ElemId> tuple;
+    bool value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, std::vector<Entry>> map;
+  };
+  static constexpr size_t kNumShards = 16;
+  Shard shards_[kNumShards];
+};
+
+}  // namespace mondet
+
+#endif  // MONDET_BASE_CANONICAL_H_

@@ -1,9 +1,14 @@
 #include "core/mondet_check.h"
 
+#include <algorithm>
+#include <atomic>
 #include <functional>
 #include <map>
+#include <unordered_map>
 
+#include "base/canonical.h"
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "core/cq_automaton.h"
 #include "core/forward.h"
 #include "datalog/eval.h"
@@ -61,6 +66,15 @@ std::optional<Instance> BuildDPrime(
     }
   }
   return dprime;
+}
+
+/// Orders facts by (pred, args): the per-expansion test enumeration walks
+/// the image facts in this order, so the test numbering is a function of
+/// the image's fact *set* — identical whether the image was evaluated
+/// directly or translated out of the isomorphism memo.
+bool FactLess(const Fact& a, const Fact& b) {
+  if (a.pred != b.pred) return a.pred < b.pred;
+  return a.args < b.args;
 }
 
 }  // namespace
@@ -126,66 +140,177 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
       IsNonRecursive(query.program) &&
       options.query_depth >=
           static_cast<int>(query.program.Idbs().size()) + 1;
-  bool all_tests_built = true;
 
-  bool stopped_early = false;
+  // Collect the query approximations up front; the search then runs one
+  // bounded block of (view-choice) tests per expansion, in expansion
+  // order, fanning each block out over the shared thread pool.
+  std::vector<Expansion> expansions;
   bool enumeration_complete = EnumerateExpansions(
       query, options.query_depth, options.max_query_expansions,
       [&](const Expansion& qi) {
-        result.expansions_tried++;
-        Instance image = views.Image(qi.inst);
-        // Per-fact expansion choices.
-        size_t nfacts = image.num_facts();
-        std::vector<const std::vector<Expansion>*> options_per_fact;
-        for (const Fact& f : image.facts()) {
-          options_per_fact.push_back(&view_exps.at(f.pred));
-          if (options_per_fact.back()->empty()) {
-            // No expansion of this view within the depth bound: cannot
-            // build any D' through this fact.
-            all_tests_built = false;
-          }
-        }
-        std::vector<const Expansion*> choice(nfacts, nullptr);
-        size_t tests_here = 0;
-        std::function<bool(size_t)> descend = [&](size_t fi) -> bool {
-          if (tests_here >= options.max_tests_per_expansion) {
-            all_tests_built = false;
-            return true;
-          }
-          if (fi == nfacts) {
-            ++tests_here;
-            ++result.tests_run;
-            auto dprime = BuildDPrime(vocab, image, choice,
-                                      qi.inst.num_elements());
-            if (!dprime) return true;  // unbuildable choice, not a test
-            // The test succeeds if D' |= Q(c) for Qi's frontier tuple c
-            // (the paper states the Boolean case; the tuple version is the
-            // natural non-Boolean extension).
-            if (!compiled_query.Eval(*dprime).HasFact(query.goal,
-                                                      qi.frontier)) {
-              result.failure.emplace(qi, std::move(*dprime));
-              return false;  // counterexample found
-            }
-            return true;
-          }
-          for (const Expansion& e : *options_per_fact[fi]) {
-            choice[fi] = &e;
-            if (!descend(fi + 1)) return false;
-          }
-          return true;
-        };
-        if (!descend(0)) {
-          stopped_early = true;
-          return false;  // stop expansion enumeration
-        }
+        expansions.push_back(qi);
         return true;
       });
 
-  if (result.failure) {
-    result.verdict = Verdict::kNotDetermined;
-    return result;
+  const int nthreads = std::max(1, ResolveEvalThreads(options.num_threads));
+  ThreadPool& pool = ThreadPool::Shared();
+  CanonicalTestCache cache;
+  // Memo for ViewSet::Image keyed by the expansion's isomorphism type:
+  // Datalog is generic, so for an isomorphism m : rep -> qi the image of
+  // qi is exactly m applied to the image of rep.
+  struct ImageMemoEntry {
+    Instance inst;
+    std::vector<ElemId> frontier;
+    std::vector<Fact> image_facts;
+  };
+  std::unordered_map<uint64_t, std::vector<ImageMemoEntry>> image_memo;
+
+  bool all_tests_built = true;
+  size_t tests_before = 0;  // Σ block sizes of completed expansions
+  constexpr size_t kNoTest = static_cast<size_t>(-1);
+
+  for (size_t ei = 0; ei < expansions.size(); ++ei) {
+    const Expansion& qi = expansions[ei];
+
+    std::vector<Fact> image_facts;
+    bool memo_hit = false;
+    uint64_t qi_hash = 0;
+    if (options.test_cache) {
+      qi_hash = CanonicalHash(qi.inst, qi.frontier);
+      auto it = image_memo.find(qi_hash);
+      if (it != image_memo.end()) {
+        for (const ImageMemoEntry& entry : it->second) {
+          auto m = FindIsomorphism(entry.inst, entry.frontier, qi.inst,
+                                   qi.frontier);
+          if (!m) continue;
+          for (const Fact& f : entry.image_facts) {
+            std::vector<ElemId> args;
+            args.reserve(f.args.size());
+            for (ElemId a : f.args) args.push_back((*m)[a]);
+            image_facts.emplace_back(f.pred, std::move(args));
+          }
+          memo_hit = true;
+          break;
+        }
+      }
+    }
+    if (!memo_hit) {
+      Instance raw = views.Image(qi.inst);
+      image_facts = raw.facts();
+      if (options.test_cache) {
+        image_memo[qi_hash].push_back(
+            ImageMemoEntry{qi.inst, qi.frontier, image_facts});
+      }
+    }
+    std::sort(image_facts.begin(), image_facts.end(), FactLess);
+    Instance image(vocab);
+    image.EnsureElements(qi.inst.num_elements());
+    for (const Fact& f : image_facts) image.AddFact(f);
+
+    // Per-fact expansion choices; block size = min(Π choices, cap), the
+    // exact number of tests a sequential lexicographic walk would count.
+    const size_t nfacts = image.num_facts();
+    std::vector<const std::vector<Expansion>*> options_per_fact;
+    options_per_fact.reserve(nfacts);
+    bool has_empty = false;
+    for (const Fact& f : image.facts()) {
+      options_per_fact.push_back(&view_exps.at(f.pred));
+      if (options_per_fact.back()->empty()) {
+        // No expansion of this view within the depth bound: cannot build
+        // any D' through this fact.
+        has_empty = true;
+      }
+    }
+    const size_t cap = options.max_tests_per_expansion;
+    size_t block = 1;
+    if (has_empty) {
+      all_tests_built = false;
+      block = 0;
+    } else {
+      for (const auto* opts : options_per_fact) {
+        size_t c = opts->size();
+        if (block > cap / c) {
+          all_tests_built = false;
+          block = cap;
+          break;
+        }
+        block *= c;
+      }
+    }
+
+    // Decodes a flat test index into per-fact choices, fact 0 most
+    // significant — flat-index order IS the sequential lexicographic
+    // order, so "lowest failing index" means "first failure a sequential
+    // run would hit".
+    auto decode = [&](size_t t, std::vector<const Expansion*>* choice) {
+      choice->assign(nfacts, nullptr);
+      for (size_t fi = nfacts; fi-- > 0;) {
+        const std::vector<Expansion>& opts = *options_per_fact[fi];
+        (*choice)[fi] = &opts[t % opts.size()];
+        t /= opts.size();
+      }
+    };
+
+    std::atomic<size_t> best{kNoTest};
+    std::vector<std::vector<const Expansion*>> scratch(nthreads);
+    std::vector<size_t> hits(nthreads, 0), misses(nthreads, 0);
+    pool.ParallelFor(block, nthreads, [&](size_t t, int w) {
+      // Only skip tests above a known failure: `best` never increases, so
+      // the minimum failing index is always evaluated.
+      if (t >= best.load(std::memory_order_acquire)) return;
+      decode(t, &scratch[w]);
+      std::optional<Instance> dprime =
+          BuildDPrime(vocab, image, scratch[w], qi.inst.num_elements());
+      if (!dprime) return;  // unbuildable choice: counted, never a failure
+      // The test succeeds if D' |= Q(c) for Qi's frontier tuple c (the
+      // paper states the Boolean case; the tuple version is the natural
+      // non-Boolean extension). Inner evaluations stay single-threaded —
+      // the parallelism budget is spent on the test fan-out.
+      auto run = [&] {
+        EvalOptions eopts;
+        eopts.num_threads = 1;
+        return compiled_query.Eval(*dprime, nullptr, eopts)
+            .HasFact(query.goal, qi.frontier);
+      };
+      bool holds;
+      if (options.test_cache) {
+        bool hit = false;
+        holds = cache.GetOrCompute(*dprime, qi.frontier, run, &hit);
+        ++(hit ? hits : misses)[w];
+      } else {
+        holds = run();
+      }
+      if (!holds) {
+        size_t cur = best.load(std::memory_order_relaxed);
+        while (t < cur && !best.compare_exchange_weak(
+                              cur, t, std::memory_order_acq_rel)) {
+        }
+      }
+    });
+    for (int w = 0; w < nthreads; ++w) {
+      result.cache_hits += hits[w];
+      result.cache_misses += misses[w];
+    }
+
+    size_t t_fail = best.load(std::memory_order_acquire);
+    if (t_fail != kNoTest) {
+      // As-if-sequential accounting: a 1-thread lexicographic walk would
+      // have stopped at exactly this test.
+      result.expansions_tried = ei + 1;
+      result.tests_run = tests_before + t_fail + 1;
+      std::vector<const Expansion*> choice;
+      decode(t_fail, &choice);
+      std::optional<Instance> dprime =
+          BuildDPrime(vocab, image, choice, qi.inst.num_elements());
+      result.failure.emplace(qi, std::move(*dprime));
+      result.verdict = Verdict::kNotDetermined;
+      return result;
+    }
+    tests_before += block;
   }
-  (void)stopped_early;
+
+  result.expansions_tried = expansions.size();
+  result.tests_run = tests_before;
   if (query_exhaustive && views_exhaustive && enumeration_complete &&
       all_tests_built) {
     result.verdict = Verdict::kDetermined;
@@ -212,50 +337,81 @@ ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
   std::map<std::pair<State, uint32_t>, int> pair_id;
   std::vector<std::pair<State, uint32_t>> pairs;
   std::vector<Deriv> derivs;
+  std::map<State, std::vector<int>> pairs_by_state;
+  std::vector<int> worklist;  // FIFO; grows as pairs are discovered
   auto intern = [&](State q, uint32_t d, Deriv deriv) {
     auto key = std::make_pair(q, d);
     auto it = pair_id.find(key);
-    if (it != pair_id.end()) return std::make_pair(it->second, false);
+    if (it != pair_id.end()) return;
     int id = static_cast<int>(pairs.size());
     pair_id.emplace(key, id);
     pairs.push_back(key);
     derivs.push_back(deriv);
-    return std::make_pair(id, true);
+    pairs_by_state[q].push_back(id);
+    worklist.push_back(id);
   };
+
+  // Transition indexes keyed by child state: popping a pair consults only
+  // the transitions it can feed, joining against the pairs already known
+  // for the sibling state — the same delta-against-saturated shape as
+  // semi-naive rule evaluation, replacing the full rescan per round.
+  std::map<State, std::vector<size_t>> unary_by_child;
+  for (size_t ti = 0; ti < nta.unary_transitions().size(); ++ti) {
+    unary_by_child[nta.unary_transitions()[ti].child].push_back(ti);
+  }
+  std::map<State, std::vector<size_t>> binary_by_child1, binary_by_child2;
+  for (size_t ti = 0; ti < nta.binary_transitions().size(); ++ti) {
+    binary_by_child1[nta.binary_transitions()[ti].child1].push_back(ti);
+    binary_by_child2[nta.binary_transitions()[ti].child2].push_back(ti);
+  }
 
   for (size_t ti = 0; ti < nta.leaf_transitions().size(); ++ti) {
     const auto& t = nta.leaf_transitions()[ti];
+    ++result.transition_visits;
     intern(t.to, dp.Leaf(t.label), Deriv{0, ti, -1, -1});
   }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    size_t n = pairs.size();
-    for (size_t ti = 0; ti < nta.unary_transitions().size(); ++ti) {
-      const auto& t = nta.unary_transitions()[ti];
-      for (size_t pi = 0; pi < n; ++pi) {
-        if (pairs[pi].first != t.child) continue;
-        uint32_t d = dp.Unary(pairs[pi].second, t.label, t.edge);
-        auto [id, fresh] =
-            intern(t.to, d, Deriv{1, ti, static_cast<int>(pi), -1});
-        (void)id;
-        if (fresh) changed = true;
+  for (size_t wi = 0; wi < worklist.size(); ++wi) {
+    const int pi = worklist[wi];
+    const State q = pairs[pi].first;
+    const uint32_t dq = pairs[pi].second;
+    if (auto it = unary_by_child.find(q); it != unary_by_child.end()) {
+      for (size_t ti : it->second) {
+        const auto& t = nta.unary_transitions()[ti];
+        ++result.transition_visits;
+        intern(t.to, dp.Unary(dq, t.label, t.edge), Deriv{1, ti, pi, -1});
       }
     }
-    for (size_t ti = 0; ti < nta.binary_transitions().size(); ++ti) {
-      const auto& t = nta.binary_transitions()[ti];
-      for (size_t p1 = 0; p1 < n; ++p1) {
-        if (pairs[p1].first != t.child1) continue;
-        for (size_t p2 = 0; p2 < n; ++p2) {
-          if (pairs[p2].first != t.child2) continue;
-          uint32_t d = dp.Binary(pairs[p1].second, pairs[p2].second, t.label,
-                                 t.edge1, t.edge2);
-          auto [id, fresh] =
-              intern(t.to, d,
-                     Deriv{2, ti, static_cast<int>(p1),
-                           static_cast<int>(p2)});
-          (void)id;
-          if (fresh) changed = true;
+    // Binary joins pair the popped state with every known sibling pair.
+    // The partner list is snapshotted by size: partners interned later
+    // re-pair with `pi` when they pop (pi is already in pairs_by_state),
+    // so every combination is applied at least once and O(1) times.
+    if (auto it = binary_by_child1.find(q); it != binary_by_child1.end()) {
+      for (size_t ti : it->second) {
+        const auto& t = nta.binary_transitions()[ti];
+        auto pit = pairs_by_state.find(t.child2);
+        if (pit == pairs_by_state.end()) continue;
+        size_t n = pit->second.size();
+        for (size_t k = 0; k < n; ++k) {
+          int p2 = pit->second[k];
+          ++result.transition_visits;
+          intern(t.to,
+                 dp.Binary(dq, pairs[p2].second, t.label, t.edge1, t.edge2),
+                 Deriv{2, ti, pi, p2});
+        }
+      }
+    }
+    if (auto it = binary_by_child2.find(q); it != binary_by_child2.end()) {
+      for (size_t ti : it->second) {
+        const auto& t = nta.binary_transitions()[ti];
+        auto pit = pairs_by_state.find(t.child1);
+        if (pit == pairs_by_state.end()) continue;
+        size_t n = pit->second.size();
+        for (size_t k = 0; k < n; ++k) {
+          int p1 = pit->second[k];
+          ++result.transition_visits;
+          intern(t.to,
+                 dp.Binary(pairs[p1].second, dq, t.label, t.edge1, t.edge2),
+                 Deriv{2, ti, p1, pi});
         }
       }
     }
@@ -338,6 +494,7 @@ Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views) {
   Thm5Result out;
   out.determined = contained.contained;
   out.pairs_explored = contained.pairs_explored;
+  out.transition_visits = contained.transition_visits;
   out.counterexample = std::move(contained.counterexample);
   return out;
 }

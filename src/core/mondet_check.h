@@ -54,6 +54,20 @@ struct MonDetOptions {
   /// rows).
   std::optional<Fragment> require_query_fragment;
   std::optional<Fragment> require_view_fragment;
+  /// Worker threads for the D'-test fan-out. 0 = the MONDET_THREADS
+  /// environment variable, falling back to hardware concurrency
+  /// (ResolveEvalThreads). The result — verdict, counterexample,
+  /// tests_run, expansions_tried — is identical for every thread count.
+  int num_threads = 0;
+  /// Canonical-form deduplication: run each D' isomorphism type once
+  /// (CanonicalTestCache) and memoize ViewSet::Image per expansion type.
+  /// On or off, the result is bit-identical; only the work differs. Off by
+  /// default: the canonical hash costs ~O(|D'| log |D'|) per test, which
+  /// only pays off when per-test evaluation dominates it (deep recursive
+  /// queries, large D'). On the Table 2 gadget families evaluation is a
+  /// few µs per test and the hash is pure overhead — see
+  /// docs/EVALUATION.md for measured crossover numbers.
+  bool test_cache = false;
 };
 
 struct MonDetResult {
@@ -61,6 +75,12 @@ struct MonDetResult {
   std::optional<FailingTest> failure;
   size_t tests_run = 0;
   size_t expansions_tried = 0;
+  /// Canonical test-cache traffic (both 0 when MonDetOptions::test_cache
+  /// is off). Unlike the counters above these are NOT deterministic
+  /// across thread counts: concurrent misses on one isomorphism type may
+  /// each compute before either stores.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
   /// Precondition violations when verdict == kInvalidInput.
   std::vector<Diagnostic> diagnostics;
 };
@@ -83,6 +103,8 @@ struct Thm5Result {
   bool determined = false;
   /// Number of (NTA state, DP state) pairs explored (2ExpTime witness).
   size_t pairs_explored = 0;
+  /// Transition applications performed by the containment fixpoint.
+  size_t transition_visits = 0;
   std::optional<TreeCode> counterexample;
 };
 Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views);
@@ -94,6 +116,12 @@ Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views);
 struct ContainmentResult {
   bool contained = false;
   size_t pairs_explored = 0;
+  /// Transition applications performed while reaching the fixpoint: one
+  /// per (transition, pair) for unary and one per (transition, pair,
+  /// partner pair) for binary transitions. The worklist fixpoint visits
+  /// each combination O(1) times; the naive re-scan visited them once per
+  /// round.
+  size_t transition_visits = 0;
   std::optional<TreeCode> counterexample;
 };
 ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "base/check.h"
-
 namespace mondet {
 
 namespace {

@@ -11,6 +11,7 @@
 #include "base/check.h"
 #include "base/homomorphism.h"
 #include "base/scc.h"
+#include "base/thread_pool.h"
 
 namespace mondet {
 
@@ -314,16 +315,11 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     if (workers > 1) {
       // Freeze the indexes so the fan-out only ever reads `result`.
       result.PrepareIndexes();
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (int t = 0; t < workers; ++t) {
-        pool.emplace_back([&, t] {
-          for (size_t i = t; i < items.size(); i += workers) {
+      ThreadPool::Shared().ParallelFor(
+          items.size(), workers, [&](size_t i, int worker) {
+            (void)worker;
             RunItem(items[i], result, &probes[i], &derived[i]);
-          }
-        });
-      }
-      for (std::thread& th : pool) th.join();
+          });
     } else {
       for (size_t i = 0; i < items.size(); ++i) {
         RunItem(items[i], result, &probes[i], &derived[i]);

@@ -60,6 +60,27 @@ std::optional<DatalogQuery> TryNormalizeMdl(const DatalogQuery& query,
                                             std::vector<Diagnostic>* diags) {
   std::vector<Diagnostic> violations =
       FragmentViolations(query.program, Fragment::kMonadic);
+  // The monadic fragment admits 0-ary IDBs (the Boolean goal), but the
+  // conjunction-set construction only groups unary IDB atoms: a nullary
+  // IDB atom in a rule body has no variable to group on. Diagnose it here
+  // instead of tripping NormalizeMdl's internal invariant.
+  const Program& prog = query.program;
+  for (size_t ri = 0; ri < prog.rules().size(); ++ri) {
+    const Rule& rule = prog.rules()[ri];
+    for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+      const QAtom& a = rule.body[ai];
+      if (!prog.IsIdb(a.pred) || !a.args.empty()) continue;
+      SourceLoc loc;
+      loc.rule = static_cast<int>(ri);
+      loc.atoms = {static_cast<int>(ai)};
+      violations.push_back(MakeDiagnostic(
+          Severity::kError, "normalize-nullary-idb",
+          "nullary IDB predicate " + prog.vocab()->name(a.pred) +
+              " occurs in a rule body; MDL normalization requires body IDB"
+              " atoms to be unary",
+          loc));
+    }
+  }
   if (!violations.empty()) {
     if (diags) {
       diags->insert(diags->end(), violations.begin(), violations.end());
@@ -82,9 +103,15 @@ DatalogQuery NormalizeMdl(const DatalogQuery& query) {
   std::sort(unary_idbs.begin(), unary_idbs.end());
 
   Program out(vocab);
-  PredId new_goal =
-      vocab->AddPredicate(vocab->name(query.goal) + "_norm",
-                          vocab->arity(query.goal));
+  // Fresh goal name: a parsed program may already use "<goal>_norm" (with
+  // any arity — AddPredicate aborts on an arity clash), so probe until the
+  // name is unused. The conjunction-set predicates below need no such
+  // probing: "N[...]" contains brackets and cannot be parsed from source.
+  std::string goal_name = vocab->name(query.goal) + "_norm";
+  for (int i = 1; vocab->FindPredicate(goal_name); ++i) {
+    goal_name = vocab->name(query.goal) + "_norm" + std::to_string(i);
+  }
+  PredId new_goal = vocab->AddPredicate(goal_name, vocab->arity(query.goal));
 
   std::map<PredSet, PredId> set_pred;
   std::vector<PredSet> worklist;
@@ -108,7 +135,8 @@ DatalogQuery NormalizeMdl(const DatalogQuery& query) {
     std::map<VarId, PredSet> per_var;
     for (const QAtom& a : body) {
       if (prog.IsIdb(a.pred)) {
-        MONDET_CHECK(a.args.size() == 1);  // monadic; 0-ary goal never in body
+        // Unary by precondition: TryNormalizeMdl rejects nullary body IDBs.
+        MONDET_CHECK(a.args.size() == 1);
         if (a.args[0] != skip_var) per_var[a.args[0]].insert(a.pred);
       } else {
         out_body->push_back(a);

@@ -472,6 +472,64 @@ TEST(Lint, CleanProgramGoldenJson) {
             "\"atoms\":[],\"vars\":[],\"line\":0,\"col\":0}]}");
 }
 
+TEST(Lint, CleanProgramGoldenSarif) {
+  LintResult result =
+      LintProgramText("# goal: Goal\nGoal() :- A(x), R(x,y), B(y).\n");
+  std::string sarif = LintRunToSarif({FileLint{"examples/clean.dl", result}});
+  EXPECT_EQ(
+      sarif,
+      "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":"
+      "{\"name\":\"mondet-lint\",\"informationUri\":\"docs/ANALYSIS.md\","
+      "\"rules\":[{\"id\":\"recursion-structure\"}]}},"
+      "\"artifacts\":[{\"location\":{\"uri\":\"examples/clean.dl\"}}],"
+      "\"results\":[{\"ruleId\":\"recursion-structure\",\"ruleIndex\":0,"
+      "\"level\":\"note\",\"message\":{\"text\":\"1 stratum; no recursion "
+      "(the query is equivalent to a UCQ)\"},\"locations\":"
+      "[{\"physicalLocation\":{\"artifactLocation\":"
+      "{\"uri\":\"examples/clean.dl\",\"index\":0}}}]}]}]}");
+}
+
+TEST(Lint, SarifRunCoversAllFilesWithRegionsAndLevels) {
+  // One run per invocation: two files, one clean and one that violates a
+  // required fragment, share the sorted rule table.
+  LintResult clean =
+      LintProgramText("# goal: Goal\nGoal() :- A(x), R(x,y), B(y).\n");
+  LintOptions options;
+  options.required_fragments = {Fragment::kFrontierGuarded};
+  LintResult bad = LintProgramText(
+      "# goal: Goal\n"
+      "SG(x,y) :- Flat(x,y).\n"
+      "SG(x,y) :- Up(x,u), SG(u,v), Down(v,y).\n"
+      "Goal() :- SG(x,y), Src(x), Dst(y).\n",
+      options);
+  std::string sarif = LintRunToSarif(
+      {FileLint{"a.dl", clean}, FileLint{"b.dl", bad}});
+  // Both artifacts, in invocation order.
+  EXPECT_NE(sarif.find("\"artifacts\":[{\"location\":{\"uri\":\"a.dl\"}},"
+                       "{\"location\":{\"uri\":\"b.dl\"}}]"),
+            std::string::npos)
+      << sarif;
+  // The violation is an error result anchored at its source line in b.dl.
+  EXPECT_NE(sarif.find("\"ruleId\":\"fragment-frontier-guarded\""),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"level\":\"error\""), std::string::npos) << sarif;
+  EXPECT_NE(
+      sarif.find("{\"uri\":\"b.dl\",\"index\":1},\"region\":"
+                 "{\"startLine\":3,\"startColumn\":1}"),
+      std::string::npos)
+      << sarif;
+  // ruleIndex values point into the sorted rule table.
+  EXPECT_NE(sarif.find("\"rules\":[{\"id\":\"fragment-frontier-guarded\"}"),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"ruleId\":\"fragment-frontier-guarded\","
+                       "\"ruleIndex\":0"),
+            std::string::npos)
+      << sarif;
+}
+
 TEST(Lint, FrontierGuardViolationGoldenTextAndJson) {
   LintOptions options;
   options.required_fragments = {Fragment::kFrontierGuarded};

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+
+#include "base/canonical.h"
 #include "base/gaifman.h"
 #include "base/homomorphism.h"
 #include "base/instance.h"
 #include "base/symbol_table.h"
+#include "base/thread_pool.h"
 #include "tests/test_util.h"
 
 namespace mondet {
@@ -264,6 +269,135 @@ TEST(HomomorphismProperty, RandomInstancesCompose) {
     // Every instance maps into itself.
     EXPECT_TRUE(HasHomomorphism(a, a));
   }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool (base/thread_pool.h): the shared work-stealing pool behind
+// the parallel counterexample search and the evaluator fan-out.
+
+TEST(ThreadPool, EveryItemRunsExactlyOnce) {
+  for (int workers : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> runs(1000);
+    for (auto& r : runs) r.store(0);
+    ThreadPool::Shared().ParallelFor(
+        runs.size(), workers,
+        [&](size_t item, int worker) {
+          EXPECT_GE(worker, 0);
+          EXPECT_LT(worker, workers);
+          runs[item].fetch_add(1);
+        });
+    for (size_t i = 0; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "item " << i << " at " << workers;
+    }
+  }
+}
+
+TEST(ThreadPool, EmptyAndSingleItem) {
+  int calls = 0;
+  ThreadPool::Shared().ParallelFor(0, 4, [&](size_t, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ThreadPool::Shared().ParallelFor(1, 4, [&](size_t item, int worker) {
+    EXPECT_EQ(item, 0u);
+    EXPECT_EQ(worker, 0);  // a 1-item loop runs inline on the caller
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A worker that itself calls ParallelFor must not deadlock waiting for
+  // pool capacity: nested loops run inline on the calling worker.
+  std::atomic<int> total{0};
+  ThreadPool::Shared().ParallelFor(8, 4, [&](size_t, int) {
+    ThreadPool::Shared().ParallelFor(16, 4,
+                                     [&](size_t, int) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SharedPoolSupportsFourWayFanOut) {
+  // Shared() is sized for at least 4-way fan-out even on 1-core machines,
+  // so MONDET_THREADS=4 interleaving is real in CI.
+  EXPECT_GE(ThreadPool::Shared().num_threads() + 1, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Canonical forms (base/canonical.h): order-independent instance hashing,
+// isomorphism checking, and the D'-test cache built on them.
+
+TEST(Canonical, HashInvariantUnderRenamingAndFactOrder) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  PredId u = vocab->AddPredicate("U", 1);
+  Instance a(vocab);
+  ElemId a0 = a.AddElement(), a1 = a.AddElement(), a2 = a.AddElement();
+  a.AddFact(r, {a0, a1});
+  a.AddFact(r, {a1, a2});
+  a.AddFact(u, {a2});
+  // Same shape, elements permuted and facts inserted in another order.
+  Instance b(vocab);
+  ElemId b0 = b.AddElement(), b1 = b.AddElement(), b2 = b.AddElement();
+  b.AddFact(u, {b0});
+  b.AddFact(r, {b1, b0});
+  b.AddFact(r, {b2, b1});
+  EXPECT_EQ(CanonicalHash(a, {a0}), CanonicalHash(b, {b2}));
+  // A different tuple anchor distinguishes them.
+  EXPECT_NE(CanonicalHash(a, {a0}), CanonicalHash(b, {b0}));
+}
+
+TEST(Canonical, FindIsomorphismOnPathsAndNonIso) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  Instance a(vocab);
+  ElemId a0 = a.AddElement(), a1 = a.AddElement(), a2 = a.AddElement();
+  a.AddFact(r, {a0, a1});
+  a.AddFact(r, {a1, a2});
+  Instance b(vocab);
+  ElemId b0 = b.AddElement(), b1 = b.AddElement(), b2 = b.AddElement();
+  b.AddFact(r, {b2, b0});
+  b.AddFact(r, {b0, b1});
+  auto iso = FindIsomorphism(a, {a0}, b, {b2});
+  ASSERT_TRUE(iso.has_value());
+  EXPECT_EQ((*iso)[a0], b2);
+  EXPECT_EQ((*iso)[a1], b0);
+  EXPECT_EQ((*iso)[a2], b1);
+  // Anchoring the tuple at the wrong end rules the isomorphism out.
+  EXPECT_FALSE(FindIsomorphism(a, {a0}, b, {b1}).has_value());
+  // A 2-cycle is not isomorphic to a path.
+  Instance c(vocab);
+  ElemId c0 = c.AddElement(), c1 = c.AddElement();
+  c.AddFact(r, {c0, c1});
+  c.AddFact(r, {c1, c0});
+  EXPECT_FALSE(FindIsomorphism(a, {}, c, {}).has_value());
+}
+
+TEST(Canonical, TestCacheComputesEachTypeOnce) {
+  auto vocab = MakeVocabulary();
+  PredId r = vocab->AddPredicate("R", 2);
+  CanonicalTestCache cache;
+  int computes = 0;
+  auto run = [&](ElemId anchor, const Instance& inst, bool value) {
+    bool hit = false;
+    bool got = cache.GetOrCompute(inst, {anchor}, [&] {
+      ++computes;
+      return value;
+    }, &hit);
+    EXPECT_EQ(got, value);
+    return hit;
+  };
+  Instance a(vocab);
+  ElemId a0 = a.AddElement(), a1 = a.AddElement();
+  a.AddFact(r, {a0, a1});
+  EXPECT_FALSE(run(a0, a, true));
+  // An isomorphic copy hits and returns the cached value without compute.
+  Instance b(vocab);
+  ElemId b0 = b.AddElement(), b1 = b.AddElement();
+  b.AddFact(r, {b1, b0});
+  EXPECT_TRUE(run(b1, b, true));
+  // A different anchor is a different test.
+  EXPECT_FALSE(run(b0, b, false));
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.size(), 2u);
 }
 
 }  // namespace

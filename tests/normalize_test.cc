@@ -135,5 +135,45 @@ TEST(Normalize, GoalRulesAreExempt) {
                            20);
 }
 
+TEST(Normalize, NullaryIdbInBodyIsDiagnosedNotAborted) {
+  auto vocab = MakeVocabulary();
+  // Aux() is a nullary IDB used in a body: inside the monadic fragment
+  // (arity <= 1), but the conjunction-set construction has no variable to
+  // group it on. TryNormalizeMdl must reject with a diagnostic.
+  DatalogQuery q = MustParseQuery(R"(
+    Aux() :- W(x).
+    P(x) :- U(x), Aux().
+    Goal() :- P(x).
+  )",
+                                  "Goal", vocab);
+  std::vector<Diagnostic> diags;
+  EXPECT_FALSE(TryNormalizeMdl(q, &diags).has_value());
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].check, "normalize-nullary-idb");
+  EXPECT_EQ(diags[0].loc.rule, 1);
+  EXPECT_EQ(diags[0].loc.atoms, (std::vector<int>{1}));
+}
+
+TEST(Normalize, GoalNameClashGetsFreshNormName) {
+  auto vocab = MakeVocabulary();
+  // The program already uses "Goal_norm" — with a different arity, so a
+  // blind AddPredicate("Goal_norm", 0) would abort on the arity clash.
+  DatalogQuery q = MustParseQuery(R"(
+    Goal_norm(x) :- U(x).
+    P(x) :- Goal_norm(x).
+    Goal() :- P(x), M(x).
+  )",
+                                  "Goal", vocab);
+  std::vector<Diagnostic> diags;
+  auto normalized = TryNormalizeMdl(q, &diags);
+  ASSERT_TRUE(normalized.has_value()) << FormatDiagnostics(diags);
+  EXPECT_NE(normalized->goal, *vocab->FindPredicate("Goal_norm"));
+  EXPECT_EQ(vocab->name(normalized->goal), "Goal_norm1");
+  ExpectEquivalentOnRandom(q, *normalized,
+                           {*vocab->FindPredicate("U"),
+                            *vocab->FindPredicate("M")},
+                           20);
+}
+
 }  // namespace
 }  // namespace mondet

@@ -9,6 +9,8 @@
 //
 // Usage: mondet-lint [options] <file>...
 //   --json                       emit one JSON object per file
+//   --sarif                      emit one SARIF 2.1.0 document for the
+//                                whole invocation (one run, all files)
 //   --goal NAME                  goal predicate (overrides "# goal:")
 //   --require-fragment FRAGMENT  non-recursive | monadic | frontier-guarded
 //                                (repeatable; violations become errors)
@@ -32,7 +34,7 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--json] [--goal NAME] [--werror]\n"
+               "usage: %s [--json|--sarif] [--goal NAME] [--werror]\n"
                "       [--require-fragment non-recursive|monadic|"
                "frontier-guarded]... <file>...\n",
                argv0);
@@ -44,11 +46,14 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   LintOptions options;
   bool json = false;
+  bool sarif = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--werror") {
       options.werror = true;
     } else if (arg == "--goal") {
@@ -75,6 +80,7 @@ int main(int argc, char** argv) {
   if (files.empty()) return Usage(argv[0]);
 
   int exit_code = 0;
+  std::vector<FileLint> linted;
   for (const std::string& path : files) {
     std::ifstream file(path);
     if (!file) {
@@ -84,6 +90,13 @@ int main(int argc, char** argv) {
     std::stringstream buffer;
     buffer << file.rdbuf();
     LintResult result = LintProgramText(buffer.str(), options);
+    if (sarif) {
+      linted.push_back(FileLint{path, std::move(result)});
+      if (linted.back().result.exit_code > exit_code) {
+        exit_code = linted.back().result.exit_code;
+      }
+      continue;
+    }
     if (json) {
       std::printf("%s\n", result.json.c_str());
     } else {
@@ -92,5 +105,7 @@ int main(int argc, char** argv) {
     }
     if (result.exit_code > exit_code) exit_code = result.exit_code;
   }
+  // One SARIF run per invocation, regardless of how many files were given.
+  if (sarif) std::printf("%s\n", LintRunToSarif(linted).c_str());
   return exit_code;
 }
