@@ -30,4 +30,34 @@ done
   --benchmark_out=BENCH_table2.json \
   --benchmark_out_format=json
 
-echo "bench_snapshot: wrote BENCH_table2.json"
+# Figure 4 row-family evaluator sweep: the incremental-vs-recount
+# statistics comparison (BM_Fig4_RowFamilyEval vs ..._RecountStats vs
+# ..._StaticPlan; stats_applies / stats_counted expose the
+# O(stratum facts) -> O(delta) maintenance drop). Merged into
+# BENCH_table2.json when python3 is around, kept as a sibling file
+# otherwise.
+./build/bench/bench_fig4_longrows \
+  --benchmark_filter='BM_Fig4_RowFamilyEval' \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out=BENCH_fig4_rowfamily.json \
+  --benchmark_out_format=json
+if command -v python3 > /dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+with open("BENCH_table2.json") as f:
+    table2 = json.load(f)
+with open("BENCH_fig4_rowfamily.json") as f:
+    fig4 = json.load(f)
+table2["benchmarks"] = [
+    b for b in table2["benchmarks"]
+    if not b["name"].startswith("BM_Fig4_RowFamilyEval")
+] + fig4["benchmarks"]
+with open("BENCH_table2.json", "w") as f:
+    json.dump(table2, f, indent=2)
+    f.write("\n")
+EOF
+  rm -f BENCH_fig4_rowfamily.json
+  echo "bench_snapshot: wrote BENCH_table2.json (incl. fig4 row-family sweep)"
+else
+  echo "bench_snapshot: wrote BENCH_table2.json and BENCH_fig4_rowfamily.json"
+fi

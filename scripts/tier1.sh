@@ -28,16 +28,20 @@ fi
 
 # Differential oracles under ASan/UBSan, single- and multi-threaded.
 # plan_differential_test exercises the statistics-driven planner (live
-# re-planning, seat observation buffers) against the naive reference;
+# re-planning, seat observation buffers, the feedback-correction fold)
+# against the naive reference; stats_incremental_test is the
+# Apply-vs-Collect equivalence oracle for the merge-barrier statistics
+# maintenance (value-count maps under random delta partitions);
 # mondet_parallel_test is the determinism oracle for the parallel
 # counterexample search (thread pool + canonical test cache), run at 4
 # workers so the sanitizers see real interleaving.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test mondet_parallel_test
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test mondet_parallel_test
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
 ./build-asan/tests/plan_differential_test
 ./build-asan/tests/stats_test
+./build-asan/tests/stats_incremental_test
 MONDET_THREADS=4 ./build-asan/tests/mondet_parallel_test
 
 echo "tier1: OK"

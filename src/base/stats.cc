@@ -1,8 +1,22 @@
 #include "base/stats.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "base/check.h"
 
 namespace mondet {
+
+namespace {
+
+constexpr double kCorrectionMin = 1.0 / 16.0;
+constexpr double kCorrectionMax = 16.0;
+
+double ClampCorrection(double v) {
+  return std::min(kCorrectionMax, std::max(kCorrectionMin, v));
+}
+
+}  // namespace
 
 Stats Stats::Collect(const Instance& inst) {
   Stats s;
@@ -16,24 +30,85 @@ void Stats::Refresh(const Instance& inst, const std::vector<PredId>& preds) {
   for (PredId p : preds) CountPred(inst, p);
 }
 
+void Stats::Apply(const Instance& inst, std::span<const Fact> added) {
+  // The contract check: this snapshot counted every fact of `inst` except
+  // exactly the ones in `added`. A delta from another instance, a
+  // partially-counted snapshot, or a delta containing already-counted
+  // facts all break the equation (the merge barrier's AddFact dedup is
+  // what guarantees `added` holds genuinely new facts).
+  MONDET_CHECK(counted_facts_ + added.size() == inst.num_facts() &&
+               "Stats::Apply: delta does not extend the counted instance");
+  for (const Fact& f : added) {
+    if (f.pred >= by_pred_.size()) by_pred_.resize(f.pred + 1);
+    PredicateStats& ps = by_pred_[f.pred];
+    if (ps.distinct.size() < f.args.size()) {
+      ps.distinct.resize(f.args.size(), 0);
+      ps.value_counts.resize(f.args.size());
+    }
+    ++ps.cardinality;
+    ++counted_facts_;
+    for (size_t pos = 0; pos < f.args.size(); ++pos) {
+      if (++ps.value_counts[pos][f.args[pos]] == 1) ++ps.distinct[pos];
+    }
+  }
+}
+
 void Stats::CountPred(const Instance& inst, PredId p) {
   if (p >= by_pred_.size()) by_pred_.resize(p + 1);
   PredicateStats& ps = by_pred_[p];
   const std::vector<uint32_t>& rows = inst.FactsWith(p);
   const int arity = inst.vocab()->arity(p);
+  counted_facts_ += rows.size() - ps.cardinality;
   ps.cardinality = rows.size();
   ps.distinct.assign(arity, 0);
+  ps.value_counts.assign(arity, {});
   if (rows.empty()) return;
-  // Sort + unique beats a hash set by a wide margin on the short columns
-  // this sees (a fixpoint run recounts predicates every stratum).
+  // Sort, then turn the runs into (value, multiplicity) entries: the sort
+  // beats a per-row hash insert on the short columns this sees, and the
+  // map — the state Apply maintains incrementally — costs only
+  // O(distinct) insertions this way.
   std::vector<ElemId> vals;
   vals.reserve(rows.size());
   for (int pos = 0; pos < arity; ++pos) {
     vals.clear();
     for (uint32_t fi : rows) vals.push_back(inst.facts()[fi].args[pos]);
     std::sort(vals.begin(), vals.end());
-    ps.distinct[pos] = static_cast<size_t>(
-        std::unique(vals.begin(), vals.end()) - vals.begin());
+    auto& counts = ps.value_counts[pos];
+    for (size_t i = 0; i < vals.size();) {
+      size_t j = i + 1;
+      while (j < vals.size() && vals[j] == vals[i]) ++j;
+      counts.emplace(vals[i], static_cast<uint32_t>(j - i));
+      i = j;
+    }
+    ps.distinct[pos] = counts.size();
+  }
+}
+
+void Stats::Observe(PredId p, double estimated, double actual) {
+  if (!(estimated > 0.0) || actual < 0.0) return;
+  if (p >= by_pred_.size()) by_pred_.resize(p + 1);
+  double ratio = ClampCorrection(actual / estimated);
+  PredicateStats& ps = by_pred_[p];
+  // Square-root damping: the factor moves half the observed error in log
+  // space, so alternating over/under observations settle instead of
+  // oscillating.
+  ps.correction = ClampCorrection(ps.correction * std::sqrt(ratio));
+}
+
+size_t Stats::ActiveCorrections() const {
+  size_t n = 0;
+  for (const PredicateStats& ps : by_pred_) {
+    if (ps.correction != 1.0) ++n;
+  }
+  return n;
+}
+
+void Stats::ImportCorrections(const Stats& from) {
+  if (by_pred_.size() < from.by_pred_.size()) {
+    by_pred_.resize(from.by_pred_.size());
+  }
+  for (size_t p = 0; p < from.by_pred_.size(); ++p) {
+    by_pred_[p].correction = from.by_pred_[p].correction;
   }
 }
 
@@ -49,7 +124,7 @@ double Stats::EstimateMatches(PredId p,
       est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
     }
   }
-  return est;
+  return est * ps.correction;
 }
 
 double Stats::EstimateMatches(PredId p, const std::vector<ElemId>& args,
@@ -64,7 +139,7 @@ double Stats::EstimateMatches(PredId p, const std::vector<ElemId>& args,
       est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
     }
   }
-  return est;
+  return est * ps.correction;
 }
 
 }  // namespace mondet

@@ -2,6 +2,9 @@
 #define MONDET_BASE_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "base/instance.h"
@@ -12,6 +15,15 @@ namespace mondet {
 struct PredicateStats {
   size_t cardinality = 0;        // number of facts
   std::vector<size_t> distinct;  // distinct values at each position
+  // Exact per-position value multiplicities, the state that makes
+  // Stats::Apply O(delta): distinct[pos] == value_counts[pos].size() at all
+  // times. Counts (not just a set) so the structure stays correct if a
+  // future caller ever retracts facts; today's callers are insert-only.
+  std::vector<std::unordered_map<ElemId, uint32_t>> value_counts;
+  // Feedback correction factor (see Stats::Observe), multiplied into
+  // EstimateMatches. 1.0 = no observations yet. Survives recounts:
+  // Refresh/Apply update the counts, not the learned selectivity error.
+  double correction = 1.0;
 };
 
 /// Per-predicate cardinalities and per-(pred, pos) distinct-value counts
@@ -20,9 +32,19 @@ struct PredicateStats {
 ///
 /// Statistics are a snapshot: evaluating a program on an instance that has
 /// since grown (or on a different instance entirely) is still *correct* —
-/// stale stats can only produce slower join orders, never wrong results —
-/// which is what makes cheap per-stratum Refresh calls during a fixpoint
-/// run sound (see docs/EVALUATION.md).
+/// stale stats can only produce slower join orders, never wrong results.
+/// During a fixpoint run the snapshot is kept exact at O(delta) cost by
+/// Apply, which folds the merge barrier's newly-added facts into the
+/// counts; Refresh (a full recount of chosen predicates) remains for
+/// callers without a delta stream (see docs/EVALUATION.md).
+///
+/// On top of the exact counts sits a feedback layer: Observe folds a
+/// measured-vs-estimated row ratio into a damped per-predicate correction
+/// factor, clamped to [1/16, 16], which EstimateMatches multiplies into
+/// every estimate for that predicate. Corrections encode how far the
+/// uniformity/independence assumptions are off for a relation, so repeated
+/// plan-observe rounds converge toward measured selectivities
+/// (EvalOptions::plan_feedback).
 class Stats {
  public:
   Stats() = default;
@@ -31,9 +53,22 @@ class Stats {
   static Stats Collect(const Instance& inst);
 
   /// Recounts just the given predicates from `inst`, leaving the rest of
-  /// the snapshot untouched. Used between strata / delta rounds where only
-  /// the predicates of the active stratum change.
+  /// the snapshot (and all correction factors) untouched.
   void Refresh(const Instance& inst, const std::vector<PredId>& preds);
+
+  /// Folds newly-added facts into the counts in O(|added| · arity): the
+  /// exact-maintenance path of the evaluator's merge barrier. The contract
+  /// is insert-only growth of the *counted* instance: this snapshot covered
+  /// every fact of `inst` except exactly the facts of `added` (which
+  /// `Instance::AddFact` has already deduplicated). Feeding a delta from a
+  /// different instance — or one containing already-counted facts — is a
+  /// programming error, caught by a fact-count MONDET_CHECK.
+  void Apply(const Instance& inst, std::span<const Fact> added);
+
+  /// Total facts this snapshot has counted (sum of cardinalities). Equals
+  /// inst.num_facts() whenever the snapshot is current for `inst`; the
+  /// Apply contract check is phrased in terms of this.
+  size_t counted_facts() const { return counted_facts_; }
 
   size_t cardinality(PredId p) const {
     return p < by_pred_.size() ? by_pred_[p].cardinality : 0;
@@ -44,12 +79,38 @@ class Stats {
     return pos < d.size() ? d[pos] : 0;
   }
 
+  /// Feedback: the planner estimated `estimated` rows for a join step on
+  /// predicate `p` and measured `actual`. Folds the ratio into the
+  /// predicate's correction factor with square-root damping (one
+  /// observation moves the factor at most half the error, in log space)
+  /// and clamps both the per-observation ratio and the running factor to
+  /// [1/16, 16] so one pathological step cannot poison the model.
+  /// Observations with a nonpositive estimate carry no signal and are
+  /// ignored; `actual == 0` is treated as the lower ratio clamp (a strong
+  /// overestimate).
+  void Observe(PredId p, double estimated, double actual);
+
+  /// The current correction factor for `p` (1.0 when never observed).
+  double correction(PredId p) const {
+    return p < by_pred_.size() ? by_pred_[p].correction : 1.0;
+  }
+
+  /// Number of predicates whose correction factor differs from 1.0.
+  size_t ActiveCorrections() const;
+
+  /// Copies every correction factor of `from` into this snapshot (counts
+  /// are untouched). Lets a caller carry learned corrections across
+  /// evaluations: EvalOptions::feedback imports before planning and
+  /// exports after the run.
+  void ImportCorrections(const Stats& from);
+
   /// System-R style estimate of how many facts of `p` match a probe with
   /// the positions flagged in `bound_pos` already bound:
-  ///   |p| / prod_{i bound} max(1, distinct(p, i))
-  /// assuming uniform values and independent positions. Returns 0 for an
-  /// empty (or never-counted) relation; results are fractional on purpose —
-  /// the planner compares them, it never rounds.
+  ///   corr(p) · |p| / prod_{i bound} max(1, distinct(p, i))
+  /// assuming uniform values and independent positions, scaled by the
+  /// predicate's feedback correction factor. Returns 0 for an empty (or
+  /// never-counted) relation; results are fractional on purpose — the
+  /// planner compares them, it never rounds.
   double EstimateMatches(PredId p, const std::vector<bool>& bound_pos) const;
 
   /// Same estimate, phrased for the planner's inner loop: `args[pos]` is
@@ -62,6 +123,7 @@ class Stats {
   void CountPred(const Instance& inst, PredId p);
 
   std::vector<PredicateStats> by_pred_;
+  size_t counted_facts_ = 0;
 };
 
 }  // namespace mondet

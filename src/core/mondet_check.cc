@@ -4,10 +4,12 @@
 #include <atomic>
 #include <functional>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "base/canonical.h"
 #include "base/check.h"
+#include "base/stats.h"
 #include "base/thread_pool.h"
 #include "core/cq_automaton.h"
 #include "core/forward.h"
@@ -251,6 +253,25 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
       }
     };
 
+    // One statistics snapshot per block, collected from the first
+    // buildable D': every test's D' assembles the same view expansions
+    // over the same image facts, so one test's counts describe them all
+    // well. The snapshot spares each of the (up to `cap`) inner Evals its
+    // own live collection — stale stats stay correct by construction —
+    // and, being built sequentially before the fan-out, keeps the planned
+    // orders identical at every thread count.
+    std::optional<Stats> block_stats;
+    {
+      std::vector<const Expansion*> probe_choice;
+      const size_t probe_limit = std::min<size_t>(block, 4);
+      for (size_t t = 0; t < probe_limit && !block_stats; ++t) {
+        decode(t, &probe_choice);
+        std::optional<Instance> dprime =
+            BuildDPrime(vocab, image, probe_choice, qi.inst.num_elements());
+        if (dprime) block_stats = Stats::Collect(*dprime);
+      }
+    }
+
     std::atomic<size_t> best{kNoTest};
     std::vector<std::vector<const Expansion*>> scratch(nthreads);
     std::vector<size_t> hits(nthreads, 0), misses(nthreads, 0);
@@ -269,6 +290,7 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
       auto run = [&] {
         EvalOptions eopts;
         eopts.num_threads = 1;
+        if (block_stats) eopts.stats = &*block_stats;
         return compiled_query.Eval(*dprime, nullptr, eopts)
             .HasFact(query.goal, qi.frontier);
       };

@@ -2,9 +2,11 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 
 #include "base/check.h"
 #include "base/homomorphism.h"
+#include "base/stats.h"
 #include "datalog/approximation.h"
 #include "datalog/eval.h"
 #include "datalog/eval_plan.h"
@@ -98,6 +100,7 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
   std::vector<const Expansion*> choice(nfacts, nullptr);
   size_t tried = 0;
   bool all_hold = true;
+  std::optional<Stats> chase_stats;
   std::function<bool(size_t)> descend = [&](size_t fi) -> bool {
     if (tried >= max_choices) return false;
     if (fi == nfacts) {
@@ -124,7 +127,16 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
           dprime.AddFact(f.pred, args);
         }
       }
-      if (compiled_query.Eval(dprime).FactsWith(query.goal).empty()) {
+      // Every chase witness assembles the same view expansions over J's
+      // facts; statistics from the first one describe them all, and the
+      // snapshot spares the remaining Evals their own live collection
+      // (stale stats are correct by construction).
+      if (!chase_stats) chase_stats = Stats::Collect(dprime);
+      EvalOptions eopts;
+      eopts.stats = &*chase_stats;
+      if (compiled_query.Eval(dprime, nullptr, eopts)
+              .FactsWith(query.goal)
+              .empty()) {
         all_hold = false;
         return false;
       }

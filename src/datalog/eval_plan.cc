@@ -20,6 +20,9 @@ void EvalStats::Accumulate(const EvalStats& other) {
   facts_derived += other.facts_derived;
   join_probes += other.join_probes;
   replans += other.replans;
+  stats_applies += other.stats_applies;
+  stats_facts_counted += other.stats_facts_counted;
+  corrections_active = std::max(corrections_active, other.corrections_active);
   wall_seconds += other.wall_seconds;
   strata.insert(strata.end(), other.strata.begin(), other.strata.end());
 }
@@ -28,6 +31,9 @@ std::string EvalStats::Summary() const {
   std::ostringstream os;
   os << "iters=" << iterations << " derived=" << facts_derived
      << " probes=" << join_probes << " replans=" << replans
+     << " stats_applies=" << stats_applies
+     << " stats_counted=" << stats_facts_counted
+     << " corrections=" << corrections_active
      << " strata=" << strata.size() << " wall_ms=" << wall_seconds * 1000.0;
   return os.str();
 }
@@ -196,6 +202,14 @@ std::string CompiledProgram::DescribePlansText() const {
     }
     os << "\n";
   }
+  if (bound_stats_ && bound_stats_->ActiveCorrections() > 0) {
+    os << "corrections:";
+    for (PredId p = 0; p < vocab.size(); ++p) {
+      double c = bound_stats_->correction(p);
+      if (c != 1.0) os << " " << vocab.name(p) << " x" << FormatEst(c);
+    }
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -258,6 +272,7 @@ void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
   const std::vector<uint32_t>& order = *item.order;
   std::vector<ElemId> map(plan.num_vars, kNoElem);
   if (item.rec < 0) {
+    if (item.seedings) ++(*item.seedings);
     Join(plan, order, 0, map, target, probes, item.step_rows, out);
     return;
   }
@@ -276,7 +291,10 @@ void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
         break;
       }
     }
-    if (ok) Join(plan, order, 0, map, target, probes, item.step_rows, out);
+    if (ok) {
+      if (item.seedings) ++(*item.seedings);
+      Join(plan, order, 0, map, target, probes, item.step_rows, out);
+    }
     for (VarId v : bound_here) map[v] = kNoElem;
   }
 }
@@ -293,14 +311,28 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
   // from the evolving result and re-plan as relations grow; a snapshot
   // plans every stratum once (stale-tolerant); with the planner off —
   // or on an input too small for planning to pay for itself — the
-  // compile-time orders run as-is.
+  // compile-time orders run as-is. Live statistics are maintained
+  // incrementally by default: each merge barrier folds its added facts
+  // into the snapshot (Stats::Apply, O(delta)), so the counts are exact
+  // everywhere and no per-stratum recount runs.
   const bool use_stats =
       options.stats_planner &&
       (options.stats != nullptr ||
        input.num_facts() >= options.stats_min_facts);
   const bool live_stats = use_stats && options.stats == nullptr;
+  const bool incremental = live_stats && options.stats_incremental;
+  // Feedback needs measurements (plan_stats) and a mutable model (live
+  // planning); with both, measured-vs-estimated row ratios fold into
+  // per-predicate correction factors at every re-plan and stratum close.
+  const bool feedback_on =
+      live_stats && options.plan_stats && options.plan_feedback;
   Stats live;
-  if (live_stats) live = Stats::Collect(result);
+  if (live_stats) {
+    live = Stats::Collect(result);
+    if (feedback_on && options.feedback) {
+      live.ImportCorrections(*options.feedback);
+    }
+  }
   const Stats* planning =
       use_stats ? (options.stats ? options.stats : &live) : nullptr;
 
@@ -333,11 +365,20 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       }
     }
     ss->facts_derived += added.size();
+    if (incremental) {
+      // The merge barrier is the one place facts enter `result`, so
+      // applying each round's delta keeps the live counts exact for the
+      // whole run at O(delta) cost.
+      live.Apply(result, added);
+      ++ss->stats_applies;
+      ss->stats_facts_counted += added.size();
+    }
     return added;
   };
 
-  // Preds of the previous stratum, whose live counts are stale on entry
-  // to the next one.
+  // Preds of the previous stratum, whose live counts go stale on entry to
+  // the next one — only on the recount path; incremental maintenance
+  // keeps every count exact at the merge barrier.
   std::vector<PredId> prev_preds;
 
   for (const Stratum& stratum : strata_) {
@@ -346,7 +387,12 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     std::vector<PredId> stratum_preds(stratum.preds.begin(),
                                       stratum.preds.end());
     std::sort(stratum_preds.begin(), stratum_preds.end());
-    if (live_stats && !prev_preds.empty()) live.Refresh(result, prev_preds);
+    if (live_stats && !incremental && !prev_preds.empty()) {
+      for (PredId p : prev_preds) {
+        ss.stats_facts_counted += result.FactsWith(p).size();
+      }
+      live.Refresh(result, prev_preds);
+    }
 
     // The join orders this stratum runs with: per (plan-in-stratum, seat),
     // seat 0 = the initial full join, seat 1 + i = recursive atom i.
@@ -358,6 +404,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       std::vector<uint32_t> order;
       std::vector<double> est;
       std::vector<size_t> actual;
+      size_t seedings = 0;
     };
     std::vector<std::vector<SeatPlan>> seats(stratum.plans.size());
     auto plan_seats = [&](bool initial) {
@@ -374,11 +421,43 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
             sp[s].order = plan.orders[s];
             sp[s].est = plan.est_rows[s];
           }
-          if (options.plan_stats) sp[s].actual.assign(sp[s].order.size(), 0);
+          if (options.plan_stats) {
+            sp[s].actual.assign(sp[s].order.size(), 0);
+            sp[s].seedings = 0;
+          }
         }
       }
     };
     plan_seats(true);
+
+    // Feedback: compare each executed seat's per-step fanout against the
+    // estimate it was planned under and fold the ratio into the stepped
+    // atom's predicate correction (Stats::Observe). Estimates are per
+    // seeding while the measured counters sum over seedings, so step 0
+    // normalizes by the seeding count and later steps use the previous
+    // step's rows as the denominator (which cancels it). Runs before
+    // every re-plan (counters reset with the new order) and at stratum
+    // close, so later plans in this very run see the corrections.
+    auto fold_feedback = [&] {
+      if (!feedback_on) return;
+      for (size_t k = 0; k < stratum.plans.size(); ++k) {
+        const RulePlan& plan = plans_[stratum.plans[k]];
+        for (SeatPlan& sp : seats[k]) {
+          if (sp.seedings == 0 || sp.est.size() != sp.order.size()) continue;
+          for (size_t step = 0; step < sp.order.size(); ++step) {
+            double est_prev = step == 0 ? 1.0 : sp.est[step - 1];
+            double act_prev = step == 0
+                                  ? static_cast<double>(sp.seedings)
+                                  : static_cast<double>(sp.actual[step - 1]);
+            // Zero rows upstream: the step never executed, no signal.
+            if (!(est_prev > 0.0) || act_prev <= 0.0) break;
+            live.Observe(plan.body[sp.order[step]].pred,
+                         sp.est[step] / est_prev,
+                         static_cast<double>(sp.actual[step]) / act_prev);
+          }
+        }
+      }
+    };
 
     // Cardinalities the current orders were planned under; a stratum
     // relation doubling (or appearing) since then triggers a re-plan.
@@ -399,7 +478,10 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       WorkItem w;
       w.plan = stratum.plans[k];
       w.order = &seats[k][0].order;
-      if (options.plan_stats) w.step_rows = &seats[k][0].actual;
+      if (options.plan_stats) {
+        w.step_rows = &seats[k][0].actual;
+        w.seedings = &seats[k][0].seedings;
+      }
       round0.push_back(w);
     }
     ss.iterations = 1;
@@ -422,7 +504,13 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
           }
         }
         if (replan) {
-          live.Refresh(result, stratum_preds);
+          fold_feedback();
+          if (!incremental) {
+            for (PredId p : stratum_preds) {
+              ss.stats_facts_counted += result.FactsWith(p).size();
+            }
+            live.Refresh(result, stratum_preds);
+          }
           plan_seats(false);
           for (auto& [p, card] : planned_card) {
             card = result.FactsWith(p).size();
@@ -445,7 +533,10 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
           w.rec = r;
           w.delta = &it->second;
           w.order = &seats[k][1 + r].order;
-          if (options.plan_stats) w.step_rows = &seats[k][1 + r].actual;
+          if (options.plan_stats) {
+            w.step_rows = &seats[k][1 + r].actual;
+            w.seedings = &seats[k][1 + r].seedings;
+          }
           items.push_back(w);
         }
       }
@@ -453,6 +544,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       ++ss.iterations;
       delta = run_round(items, &ss);
     }
+    fold_feedback();
     if (options.plan_stats) {
       for (size_t k = 0; k < stratum.plans.size(); ++k) {
         const uint32_t pi = stratum.plans[k];
@@ -465,6 +557,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
           j.order = std::move(seats[k][s].order);
           j.est_rows = std::move(seats[k][s].est);
           j.actual_rows = std::move(seats[k][s].actual);
+          j.seedings = seats[k][s].seedings;
           ss.seats.push_back(std::move(j));
         }
       }
@@ -474,8 +567,14 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     run.facts_derived += ss.facts_derived;
     run.join_probes += ss.join_probes;
     run.replans += ss.replans;
+    run.stats_applies += ss.stats_applies;
+    run.stats_facts_counted += ss.stats_facts_counted;
     run.strata.push_back(std::move(ss));
     prev_preds = std::move(stratum_preds);
+  }
+  if (live_stats) run.corrections_active = live.ActiveCorrections();
+  if (feedback_on && options.feedback) {
+    options.feedback->ImportCorrections(live);
   }
   run.wall_seconds = SecondsSince(t_start);
   if (stats) stats->Accumulate(run);

@@ -33,17 +33,38 @@ struct EvalOptions {
   /// produce slower orders, never wrong results. Ignored when
   /// stats_planner is false. Not owned; must outlive the Eval call.
   const Stats* stats = nullptr;
-  /// The planner's own cost gate: below this many input facts, live
-  /// statistics collection cannot pay for itself (one Refresh + re-plan
-  /// costs more than joining the whole instance), so Eval runs the
-  /// compile-time orders. Set to 0 to force live planning on any input
-  /// (the differential tests do); a caller-supplied `stats` snapshot
-  /// bypasses the gate.
-  size_t stats_min_facts = 64;
+  /// Maintain the live statistics incrementally: every merge barrier folds
+  /// its newly-added facts into the snapshot via Stats::Apply (O(delta)),
+  /// so the counts are exact at every re-plan and no per-stratum recount
+  /// ever runs. When false, Eval falls back to the recount discipline
+  /// (Stats::Refresh of the stale predicates per stratum / re-plan) —
+  /// kept for the incremental-vs-recount bench comparison.
+  bool stats_incremental = true;
+  /// The planner's own cost gate: below this many input facts, planning
+  /// cannot pay for itself, so Eval runs the compile-time orders. With
+  /// incremental maintenance the per-run statistics cost is one initial
+  /// Collect plus O(delta) per round — no per-stratum rescans — so the
+  /// gate sits at 8 facts (it was 64 under the recount discipline). Set
+  /// to 0 to force live planning on any input (the differential tests
+  /// do); a caller-supplied `stats` snapshot bypasses the gate.
+  size_t stats_min_facts = 8;
   /// Record the join order each (rule, delta seat) actually ran with,
   /// plus estimated vs. measured intermediate sizes, into
   /// StratumStats::seats. Small per-match cost; off by default.
   bool plan_stats = false;
+  /// Feedback: fold each seat's measured-vs-estimated per-step row counts
+  /// into per-predicate correction factors (Stats::Observe) at every
+  /// re-plan and stratum close, so later plans in the same run use
+  /// measured selectivities. Needs measurements, so it only engages when
+  /// plan_stats is on and planning is live (no `stats` snapshot).
+  bool plan_feedback = true;
+  /// Cross-run feedback accumulator (not owned, may be null): its
+  /// correction factors are imported into the live statistics before
+  /// planning, and the corrections learned during the run are exported
+  /// back after it — so repeated evaluations converge toward measured
+  /// selectivities (see the convergence test). Only consulted when
+  /// plan_feedback engages.
+  Stats* feedback = nullptr;
 };
 
 /// The join order one (rule, delta-seat) pair ran with, with the planner's
@@ -55,6 +76,11 @@ struct JoinSeatStats {
   std::vector<uint32_t> order;       // body atom indices, join order
   std::vector<double> est_rows;      // planner estimate after each step
   std::vector<size_t> actual_rows;   // measured rows after each step
+  // How many times this seat's join was seeded: 1 for the initial full
+  // join, one per successfully-bound delta fact otherwise. est_rows is a
+  // per-seeding estimate while actual_rows sums over seedings; dividing
+  // by this makes the two comparable (the feedback layer does).
+  size_t seedings = 0;
 };
 
 /// Counters for one stratum of a fixpoint run.
@@ -63,6 +89,11 @@ struct StratumStats {
   size_t facts_derived = 0;  // new facts this stratum added
   size_t join_probes = 0;    // candidate facts scanned by index joins
   size_t replans = 0;        // mid-stratum join-order recomputations
+  size_t stats_applies = 0;  // merge barriers folded in via Stats::Apply
+  // Facts the statistics machinery touched this stratum: delta sizes on
+  // the incremental path, full per-predicate row counts per recount on
+  // the Refresh path. The O(stratum facts) -> O(delta) drop shows here.
+  size_t stats_facts_counted = 0;
   double wall_seconds = 0;
   std::vector<JoinSeatStats> seats;  // only with EvalOptions::plan_stats
 };
@@ -75,10 +106,17 @@ struct EvalStats {
   size_t facts_derived = 0;
   size_t join_probes = 0;
   size_t replans = 0;
+  size_t stats_applies = 0;        // sum over strata (see StratumStats)
+  size_t stats_facts_counted = 0;  // sum over strata (see StratumStats)
+  // Predicates whose feedback correction factor ended the run away from
+  // 1.0 (Stats::ActiveCorrections of the planning statistics). Accumulate
+  // keeps the max across runs, not the sum — it is a gauge, not a counter.
+  size_t corrections_active = 0;
   double wall_seconds = 0;
   std::vector<StratumStats> strata;
 
-  /// Adds the scalar totals and appends the strata of `other`.
+  /// Adds the scalar totals (max for corrections_active) and appends the
+  /// strata of `other`.
   void Accumulate(const EvalStats& other);
 
   /// One-line rendering for bench labels / logs.
@@ -148,7 +186,10 @@ class CompiledProgram {
   /// seat), stable enough to pin in golden tests:
   ///   rule 0 (Head) full: R S(~4) T(~2.5)
   ///   rule 0 (Head) delta[1:S]: T R
-  /// The (~n) estimates appear only when stats are bound.
+  /// The (~n) estimates appear only when stats are bound. When the bound
+  /// stats carry feedback corrections (Stats::Observe), a final line
+  /// renders the correction table:
+  ///   corrections: R x0.25 S x4
   std::string DescribePlansText() const;
 
  private:
@@ -186,6 +227,7 @@ class CompiledProgram {
     const std::vector<Fact>* delta = nullptr;
     const std::vector<uint32_t>* order = nullptr;
     std::vector<size_t>* step_rows = nullptr;  // per-depth match counters
+    size_t* seedings = nullptr;                // successful join seedings
   };
 
   /// Computes the join order for seat `seat` of `plan` (0 = full join,

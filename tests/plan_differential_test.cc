@@ -1,13 +1,17 @@
 // Plan-quality differential oracle for the statistics-driven join
 // planner: on ~200 random programs × random bound instances,
-//   1. the stats-driven default run produces the same fixpoint as the
-//      naive full-rescan reference,
+//   1. the stats-driven run (feedback corrections active) produces the
+//      same fixpoint as the naive full-rescan reference,
 //   2. 1-thread and 4-thread stats-driven runs produce byte-identical
-//      fact sequences (planning is deterministic),
+//      fact sequences (planning, incremental stats maintenance, and the
+//      feedback fold are all deterministic),
 //   3. disabling the planner (compile-time orders) yields the same set,
-//   4. no executed plan for a rule whose join graph is connected contains
+//   4. disabling only the feedback corrections yields the same set (the
+//      feedback arm: corrected estimates steer orders, never results),
+//   5. no executed plan for a rule whose join graph is connected contains
 //      a cross product — checked against the orders the run *actually*
-//      used, reported through EvalStats (plan_stats).
+//      used, reported through EvalStats (plan_stats), which under the
+//      default options are orders planned from corrected estimates.
 
 #include <gtest/gtest.h>
 
@@ -188,10 +192,10 @@ TEST_P(PlanDifferential, StatsPlansAgreeWithOracleAndAvoidCrossProducts) {
     EXPECT_TRUE(semi1.HasFact(f)) << "seed " << seed;
   }
 
-  // 2. Thread-count determinism: identical fact sequences.
+  // 2. Thread-count determinism: identical fact sequences under identical
+  // options (plan_stats stays on so the feedback fold runs in both).
   EvalOptions opt4 = opt1;
   opt4.num_threads = 4;
-  opt4.plan_stats = false;
   Instance semi4 = compiled.Eval(inst, nullptr, opt4);
   ASSERT_EQ(semi1.num_facts(), semi4.num_facts()) << "seed " << seed;
   for (size_t i = 0; i < semi1.num_facts(); ++i) {
@@ -209,8 +213,21 @@ TEST_P(PlanDifferential, StatsPlansAgreeWithOracleAndAvoidCrossProducts) {
     EXPECT_TRUE(plain.HasFact(f)) << "seed " << seed;
   }
 
-  // 4. No executed plan for a connected-join-graph rule contains a cross
-  // product; estimates and measurements are exposed per step.
+  // 4. Feedback arm: corrections off — same fact set as the corrected
+  // run (and as the oracle). Corrections may reorder joins mid-run,
+  // never change what is derived.
+  EvalOptions opt_nofb = opt1;
+  opt_nofb.plan_feedback = false;
+  Instance nofb = compiled.Eval(inst, nullptr, opt_nofb);
+  ASSERT_EQ(naive.num_facts(), nofb.num_facts()) << "seed " << seed;
+  for (const Fact& f : naive.facts()) {
+    EXPECT_TRUE(nofb.HasFact(f)) << "seed " << seed;
+  }
+
+  // 5. No executed plan for a connected-join-graph rule contains a cross
+  // product — under corrected estimates (stats1 comes from the
+  // feedback-active run); estimates and measurements are exposed per
+  // step.
   bool saw_seat = false;
   for (const StratumStats& ss : stats1.strata) {
     for (const JoinSeatStats& seat : ss.seats) {
