@@ -8,7 +8,8 @@
 // failure so one run reports everything wrong with the task file.
 //
 // Task file format (sections in any order, one `.query`, any number of
-// `.view`s, optional `.instance`):
+// `.view`s, optional `.instance`, optional `.stream` — the stream
+// requires an instance):
 //
 //   .query Goal
 //   P(x) :- U(x).
@@ -21,8 +22,20 @@
 //   .instance
 //   R(a,b). R(b,c). U(c).
 //
+//   .stream
+//   +R(c,d). +U(d).
+//   -R(a,b).
+//
+// Each non-empty `.stream` line is one batch of raw inserts (+) and
+// deletes (-) against the instance; batches are applied in order to a
+// MaintainedImage (incremental view maintenance: counting + DRed), the
+// per-batch net view-image change is reported, and at the end the
+// maintained image is cross-checked against a from-scratch recompute and
+// the monotonic-determinacy verdict is re-checked.
+//
 // Usage: mondet_cli <task-file>     (defaults to a built-in demo task)
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -37,6 +50,7 @@
 #include "datalog/fragment.h"
 #include "datalog/parser.h"
 #include "views/inverse_rules.h"
+#include "views/maintained_image.h"
 
 using namespace mondet;
 
@@ -112,6 +126,7 @@ int main(int argc, char** argv) {
   std::optional<DatalogQuery> query;
   ViewSet views(vocab);
   std::optional<Instance> instance;
+  std::optional<std::string> stream_body;
   bool failed = false;
 
   for (const Section& s : SplitSections(text)) {
@@ -140,9 +155,24 @@ int main(int argc, char** argv) {
     } else if (s.kind == "instance") {
       instance = ParseInstance(s.body, vocab, &diags);
       failed |= Report(".instance", diags);
+    } else if (s.kind == "stream") {
+      stream_body = s.body;  // parsed below: it needs the instance
     } else {
       std::fprintf(stderr, "unknown section .%s\n", s.kind.c_str());
       failed = true;
+    }
+  }
+  // The stream references elements of the instance, so it parses after
+  // every section is in (sections may appear in any order).
+  std::optional<StreamParse> stream;
+  if (stream_body) {
+    if (!instance) {
+      std::fprintf(stderr, ".stream requires an .instance section\n");
+      failed = true;
+    } else {
+      std::vector<Diagnostic> diags;
+      stream = ParseStream(*stream_body, vocab, *instance, &diags);
+      failed |= Report(".stream", diags);
     }
   }
   if (!query) {
@@ -223,6 +253,41 @@ int main(int argc, char** argv) {
     } else {
       std::printf("on the instance: Q = %s\n", holds ? "true" : "false");
     }
+  }
+
+  // --- Maintained view image under the stream. ------------------------------
+  if (stream) {
+    MaintainedImage maintained(views, *instance);
+    for (const std::string& name : stream->new_elements) {
+      maintained.AddElement(name);
+    }
+    EvalStats mstats;
+    for (const StreamBatch& batch : stream->batches) {
+      ImageDelta d = maintained.ApplyDelta(batch.inserts, batch.deletes,
+                                           &mstats);
+      std::printf(
+          "stream line %d: +%zu/-%zu base facts -> image +%zu/-%zu"
+          " (overdeleted %zu, rederived %zu)\n",
+          batch.line, batch.inserts.size(), batch.deletes.size(),
+          d.inserts.size(), d.deletes.size(), d.overdeleted, d.rederived);
+    }
+    std::printf("stream maintenance: %s\n", mstats.Summary().c_str());
+
+    // Cross-check: the maintained image must equal a from-scratch
+    // recompute of the mutated base (the maintenance engine's contract).
+    Instance fresh = maintained.FreshImage();
+    std::vector<Fact> got = maintained.image().facts();
+    std::vector<Fact> want = fresh.facts();
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    bool image_ok = got == want;
+    std::printf("maintained image: %zu facts, matches recompute: %s\n",
+                maintained.image().num_facts(), image_ok ? "yes" : "NO");
+    if (!image_ok) return 1;
+
+    MonDetResult recheck = maintained.RecheckVerdict(*query);
+    std::printf("verdict over the maintained views: %s\n",
+                recheck.verdict == verdict.verdict ? "unchanged" : "CHANGED");
   }
   return 0;
 }

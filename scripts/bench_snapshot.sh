@@ -15,7 +15,8 @@ MIN_TIME="${BENCH_MIN_TIME:-0.05}"
 cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target \
   bench_table1 bench_table2 bench_fig1_gridtests bench_fig2_startimage \
-  bench_fig3_diamonds bench_fig4_longrows bench_fig5_lemma3
+  bench_fig3_diamonds bench_fig4_longrows bench_fig5_lemma3 \
+  bench_maintenance
 
 # Smoke pass: every bench binary once, same flags as the tier-1 ctests.
 for b in build/bench/bench_*; do
@@ -61,3 +62,13 @@ EOF
 else
   echo "bench_snapshot: wrote BENCH_table2.json and BENCH_fig4_rowfamily.json"
 fi
+
+# Maintenance churn family: maintained view image vs from-scratch
+# recompute under small insert/delete batches, plus the self-checking
+# speedup gauge (counter `speedup`; the acceptance bar is >= 2x on these
+# small-delta steps — the SetLabel flags any run below it).
+./build/bench/bench_maintenance \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out=BENCH_maintenance.json \
+  --benchmark_out_format=json
+echo "bench_snapshot: wrote BENCH_maintenance.json"

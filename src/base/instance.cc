@@ -1,5 +1,6 @@
 #include "base/instance.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/check.h"
@@ -31,9 +32,10 @@ bool Instance::AddFact(PredId pred, const std::vector<ElemId>& args) {
   MONDET_CHECK(static_cast<int>(args.size()) == vocab_->arity(pred));
   for (ElemId a : args) MONDET_CHECK(a < num_elements_);
   Fact f(pred, args);
-  if (!fact_set_.insert(f).second) return false;
   uint32_t idx = static_cast<uint32_t>(facts_.size());
+  if (!fact_index_.emplace(f, idx).second) return false;
   facts_.push_back(std::move(f));
+  counts_.push_back(1);
   if (by_pred_.size() <= pred) by_pred_.resize(vocab_->size());
   by_pred_[pred].push_back(idx);
   for (ElemId a : args) degree_[a]++;
@@ -50,7 +52,81 @@ bool Instance::AddFact(PredId pred, const std::vector<ElemId>& args) {
 
 bool Instance::HasFact(PredId pred, const std::vector<ElemId>& args) const {
   Fact f(pred, args);
-  return fact_set_.count(f) > 0;
+  return fact_index_.count(f) > 0;
+}
+
+namespace {
+/// Drops one occurrence of `idx` from a sorted-insertion index vector.
+void EraseIndexEntry(std::vector<uint32_t>& v, uint32_t idx) {
+  auto it = std::find(v.begin(), v.end(), idx);
+  MONDET_CHECK(it != v.end());
+  v.erase(it);
+}
+/// Re-points the entry for a moved fact: `from` becomes `to`.
+void RenameIndexEntry(std::vector<uint32_t>& v, uint32_t from, uint32_t to) {
+  auto it = std::find(v.begin(), v.end(), from);
+  MONDET_CHECK(it != v.end());
+  *it = to;
+}
+}  // namespace
+
+bool Instance::RemoveFact(PredId pred, const std::vector<ElemId>& args) {
+  Fact f(pred, args);
+  auto hit = fact_index_.find(f);
+  if (hit == fact_index_.end()) return false;
+  const uint32_t idx = hit->second;
+  const uint32_t last = static_cast<uint32_t>(facts_.size()) - 1;
+
+  // Bring the positional index fully current first: swap-remove moves the
+  // last fact, and an unindexed fact must never land below the watermark.
+  if (pos_index_live_) IndexUpTo(facts_.size());
+
+  // Unhook the doomed fact from every index.
+  EraseIndexEntry(by_pred_[pred], idx);
+  if (pos_index_live_) {
+    for (int pos = 0; pos < static_cast<int>(args.size()); ++pos) {
+      auto it = pos_index_.find(PackKey(pred, pos, args[pos]));
+      MONDET_CHECK(it != pos_index_.end());
+      EraseIndexEntry(it->second, idx);
+      if (it->second.empty()) pos_index_.erase(it);
+    }
+  }
+  for (ElemId a : args) degree_[a]--;
+  fact_index_.erase(hit);
+
+  // Swap-remove: move the last fact into the freed slot and re-point its
+  // index entries from `last` to `idx`.
+  if (idx != last) {
+    Fact moved = std::move(facts_[last]);
+    RenameIndexEntry(by_pred_[moved.pred], last, idx);
+    if (pos_index_live_) {
+      for (int pos = 0; pos < static_cast<int>(moved.args.size()); ++pos) {
+        auto it = pos_index_.find(PackKey(moved.pred, pos, moved.args[pos]));
+        MONDET_CHECK(it != pos_index_.end());
+        RenameIndexEntry(it->second, last, idx);
+      }
+    }
+    fact_index_[moved] = idx;
+    counts_[idx] = counts_[last];
+    facts_[idx] = std::move(moved);
+  }
+  facts_.pop_back();
+  counts_.pop_back();
+  if (pos_index_live_) pos_indexed_upto_ = facts_.size();
+  return true;
+}
+
+uint64_t Instance::FactCount(const Fact& f) const {
+  auto it = fact_index_.find(f);
+  if (it == fact_index_.end()) return 0;
+  return counts_[it->second];
+}
+
+void Instance::SetFactCount(const Fact& f, uint64_t count) {
+  auto it = fact_index_.find(f);
+  MONDET_CHECK(it != fact_index_.end());
+  MONDET_CHECK(count > 0);
+  counts_[it->second] = count;
 }
 
 const std::vector<uint32_t>& Instance::FactsWith(PredId pred) const {

@@ -24,6 +24,13 @@ struct Fact {
   bool operator==(const Fact& o) const {
     return pred == o.pred && args == o.args;
   }
+  /// Lexicographic (pred, args) order: the canonical fact order used by
+  /// the maintenance engine to apply delta batches deterministically and
+  /// by tests comparing maintained against recomputed instances.
+  bool operator<(const Fact& o) const {
+    if (pred != o.pred) return pred < o.pred;
+    return args < o.args;
+  }
 };
 
 struct FactHash {
@@ -62,8 +69,22 @@ class Instance {
   bool AddFact(PredId pred, const std::vector<ElemId>& args);
   bool AddFact(const Fact& f) { return AddFact(f.pred, f.args); }
 
+  /// Removes a fact if present. Returns true if it was removed. Removal
+  /// moves the last fact into the freed slot, so indices into facts() and
+  /// insertion order are not stable across RemoveFact; every internal
+  /// index (per-predicate, positional, degrees) is repaired in place.
+  bool RemoveFact(PredId pred, const std::vector<ElemId>& args);
+  bool RemoveFact(const Fact& f) { return RemoveFact(f.pred, f.args); }
+
   bool HasFact(PredId pred, const std::vector<ElemId>& args) const;
   bool HasFact(const Fact& f) const { return HasFact(f.pred, f.args); }
+
+  /// Per-fact derivation count, used by the maintenance engine: the
+  /// number of distinct derivations (plus one for base membership) that
+  /// support the fact. Facts start at 1; the count is bookkeeping only
+  /// and has no effect on set semantics. Zero for absent facts.
+  uint64_t FactCount(const Fact& f) const;
+  void SetFactCount(const Fact& f, uint64_t count);
 
   /// All facts, in insertion order.
   const std::vector<Fact>& facts() const { return facts_; }
@@ -111,7 +132,11 @@ class Instance {
   size_t num_elements_ = 0;
   std::vector<std::string> names_;
   std::vector<Fact> facts_;
-  std::unordered_set<Fact, FactHash> fact_set_;
+  // Maps each fact to its index in facts_ (membership test + the hook
+  // RemoveFact needs to find and repair the swapped-in fact).
+  std::unordered_map<Fact, uint32_t, FactHash> fact_index_;
+  // Parallel to facts_: derivation counts (see FactCount).
+  std::vector<uint64_t> counts_;
   std::vector<std::vector<uint32_t>> by_pred_;
   // Built lazily on the first positional query, then maintained
   // incrementally by AddFact. Key packs (pred, pos, val).

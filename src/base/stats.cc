@@ -31,13 +31,41 @@ void Stats::Refresh(const Instance& inst, const std::vector<PredId>& preds) {
 }
 
 void Stats::Apply(const Instance& inst, std::span<const Fact> added) {
+  Apply(inst, added, {});
+}
+
+void Stats::Apply(const Instance& inst, std::span<const Fact> added,
+                  std::span<const Fact> removed) {
   // The contract check: this snapshot counted every fact of `inst` except
-  // exactly the ones in `added`. A delta from another instance, a
-  // partially-counted snapshot, or a delta containing already-counted
-  // facts all break the equation (the merge barrier's AddFact dedup is
-  // what guarantees `added` holds genuinely new facts).
-  MONDET_CHECK(counted_facts_ + added.size() == inst.num_facts() &&
+  // exactly the ones in `added`, plus exactly the ones in `removed`. A
+  // delta from another instance, a partially-counted snapshot, a delta
+  // containing already-counted facts, or a removal of a never-counted
+  // fact all break the equation (Instance::AddFact / RemoveFact report
+  // whether they changed the instance, which is what guarantees the
+  // deltas hold genuinely applied mutations).
+  MONDET_CHECK(counted_facts_ + added.size() ==
+                   inst.num_facts() + removed.size() &&
                "Stats::Apply: delta does not extend the counted instance");
+  for (const Fact& f : removed) {
+    MONDET_CHECK(f.pred < by_pred_.size() &&
+                 "Stats::Apply: removal of a never-counted predicate");
+    PredicateStats& ps = by_pred_[f.pred];
+    MONDET_CHECK(ps.cardinality > 0 &&
+                 "Stats::Apply: removal from an empty relation");
+    MONDET_CHECK(f.args.size() <= ps.value_counts.size() &&
+                 "Stats::Apply: removal wider than the counted relation");
+    --ps.cardinality;
+    --counted_facts_;
+    for (size_t pos = 0; pos < f.args.size(); ++pos) {
+      auto it = ps.value_counts[pos].find(f.args[pos]);
+      MONDET_CHECK(it != ps.value_counts[pos].end() && it->second > 0 &&
+                   "Stats::Apply: removal of a never-counted value");
+      if (--it->second == 0) {
+        ps.value_counts[pos].erase(it);
+        --ps.distinct[pos];
+      }
+    }
+  }
   for (const Fact& f : added) {
     if (f.pred >= by_pred_.size()) by_pred_.resize(f.pred + 1);
     PredicateStats& ps = by_pred_[f.pred];

@@ -65,6 +65,17 @@ class Stats {
   /// programming error, caught by a fact-count MONDET_CHECK.
   void Apply(const Instance& inst, std::span<const Fact> added);
 
+  /// Deletion-aware variant: folds `added` in and `removed` out, in
+  /// O((|added| + |removed|) · arity). The contract generalizes the
+  /// insert-only one: this snapshot covered exactly
+  /// (facts of `inst`) ∖ added ∪ removed, with `added` and `removed`
+  /// disjoint sets of genuinely applied mutations (Instance::AddFact /
+  /// RemoveFact both report whether they changed the instance). Removing
+  /// a fact this snapshot never counted — including a double-delete —
+  /// breaks the equation or a per-value multiplicity and aborts.
+  void Apply(const Instance& inst, std::span<const Fact> added,
+             std::span<const Fact> removed);
+
   /// Total facts this snapshot has counted (sum of cardinalities). Equals
   /// inst.num_facts() whenever the snapshot is current for `inst`; the
   /// Apply contract check is phrased in terms of this.

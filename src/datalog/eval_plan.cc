@@ -18,6 +18,9 @@ namespace mondet {
 void EvalStats::Accumulate(const EvalStats& other) {
   iterations += other.iterations;
   facts_derived += other.facts_derived;
+  facts_retracted += other.facts_retracted;
+  overdeleted += other.overdeleted;
+  rederived += other.rederived;
   join_probes += other.join_probes;
   replans += other.replans;
   stats_applies += other.stats_applies;
@@ -29,8 +32,12 @@ void EvalStats::Accumulate(const EvalStats& other) {
 
 std::string EvalStats::Summary() const {
   std::ostringstream os;
-  os << "iters=" << iterations << " derived=" << facts_derived
-     << " probes=" << join_probes << " replans=" << replans
+  os << "iters=" << iterations << " derived=" << facts_derived;
+  if (facts_retracted + overdeleted + rederived > 0) {
+    os << " retracted=" << facts_retracted << " overdeleted=" << overdeleted
+       << " rederived=" << rederived;
+  }
+  os << " probes=" << join_probes << " replans=" << replans
      << " stats_applies=" << stats_applies
      << " stats_counted=" << stats_facts_counted
      << " corrections=" << corrections_active
@@ -126,7 +133,11 @@ CompiledProgram::CompiledProgram(const Program& program) : program_(program) {
       plan.est_rows.emplace_back();
     }
     strata_[stratum].plans.push_back(static_cast<uint32_t>(plans_.size()));
+    if (!plan.recursive_atoms.empty()) strata_[stratum].recursive = true;
     plans_.push_back(std::move(plan));
+  }
+  for (size_t si = 0; si < strata_.size(); ++si) {
+    for (PredId p : strata_[si].preds) stratum_of_[p] = si;
   }
 }
 
@@ -579,6 +590,464 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
   run.wall_seconds = SecondsSince(t_start);
   if (stats) stats->Accumulate(run);
   return result;
+}
+
+namespace {
+
+/// Binds the variables of `atom` to the arguments of `f`, appending every
+/// newly-bound variable to `bound`. Returns false on a clash (a repeated
+/// variable or a pre-bound one disagreeing with `f`); the caller unbinds
+/// `bound` either way.
+bool BindFact(const QAtom& atom, const Fact& f, std::vector<ElemId>& map,
+              std::vector<VarId>* bound) {
+  for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+    VarId v = atom.args[pos];
+    if (map[v] == kNoElem) {
+      map[v] = f.args[pos];
+      bound->push_back(v);
+    } else if (map[v] != f.args[pos]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Unbind(const std::vector<VarId>& bound, std::vector<ElemId>& map) {
+  for (VarId v : bound) map[v] = kNoElem;
+}
+
+}  // namespace
+
+bool CompiledProgram::MatchAtoms(
+    const RulePlan& plan, int seat, size_t k,
+    const std::vector<uint8_t>& read_old, const Instance& inst,
+    const ChangeMap& changed, std::vector<ElemId>& map,
+    const std::function<bool(const std::vector<ElemId>&)>& out) const {
+  if (k == plan.body.size()) return out(map);
+  if (static_cast<int>(k) == seat) {
+    return MatchAtoms(plan, seat, k + 1, read_old, inst, changed, map, out);
+  }
+  const QAtom& atom = plan.body[k];
+  const PredChange* pc = nullptr;
+  if (read_old[k]) {
+    auto it = changed.find(atom.pred);
+    if (it != changed.end()) pc = &it->second;
+  }
+  // Current-state candidates through the tightest index available for the
+  // bound positions (as in Join); an old-state read additionally skips
+  // facts inserted since the old snapshot and replays the deleted ones.
+  const std::vector<uint32_t>* candidates = &inst.FactsWith(atom.pred);
+  int anchor = -1;
+  for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
+    ElemId img = map[atom.args[pos]];
+    if (img == kNoElem) continue;
+    const auto& idx = inst.FactsWith(atom.pred, pos, img);
+    if (anchor < 0 || idx.size() < candidates->size()) {
+      candidates = &idx;
+      anchor = pos;
+    }
+  }
+  std::vector<VarId> bound_here;
+  for (uint32_t fi : *candidates) {
+    const Fact& tf = inst.facts()[fi];
+    if (pc && pc->ins_set.count(tf)) continue;
+    bound_here.clear();
+    if (BindFact(atom, tf, map, &bound_here) &&
+        !MatchAtoms(plan, seat, k + 1, read_old, inst, changed, map, out)) {
+      Unbind(bound_here, map);
+      return false;
+    }
+    Unbind(bound_here, map);
+  }
+  if (pc) {
+    for (const Fact& df : pc->del) {
+      bound_here.clear();
+      if (BindFact(atom, df, map, &bound_here) &&
+          !MatchAtoms(plan, seat, k + 1, read_old, inst, changed, map, out)) {
+        Unbind(bound_here, map);
+        return false;
+      }
+      Unbind(bound_here, map);
+    }
+  }
+  return true;
+}
+
+Materialization CompiledProgram::Materialize(const Instance& input,
+                                             EvalStats* stats,
+                                             const EvalOptions& options) const {
+  Materialization m{Eval(input, stats, options), Stats()};
+  const ChangeMap no_changes;
+  for (const Stratum& st : strata_) {
+    // Counting is unsound under recursion (a fact may transitively
+    // support itself), so recursive SCC strata keep the membership-only
+    // count of 1 and Maintain uses DRed for them.
+    if (st.recursive) continue;
+    std::unordered_map<Fact, uint64_t, FactHash> dc;
+    for (uint32_t pi : st.plans) {
+      const RulePlan& plan = plans_[pi];
+      std::vector<uint8_t> read_old(plan.body.size(), 0);
+      std::vector<ElemId> map(plan.num_vars, kNoElem);
+      MatchAtoms(plan, /*seat=*/-1, 0, read_old, m.inst, no_changes, map,
+                 [&](const std::vector<ElemId>& mm) {
+                   std::vector<ElemId> args;
+                   args.reserve(plan.head.args.size());
+                   for (VarId v : plan.head.args) args.push_back(mm[v]);
+                   ++dc[Fact(plan.head.pred, std::move(args))];
+                   return true;
+                 });
+    }
+    std::vector<PredId> preds(st.preds.begin(), st.preds.end());
+    std::sort(preds.begin(), preds.end());
+    for (PredId p : preds) {
+      for (uint32_t fi : m.inst.FactsWith(p)) {
+        const Fact& f = m.inst.facts()[fi];
+        auto it = dc.find(f);
+        uint64_t c = (it != dc.end() ? it->second : 0) +
+                     (input.HasFact(f) ? 1 : 0);
+        // Every fixpoint fact has base membership or a rule derivation.
+        MONDET_CHECK(c > 0 && "Materialize: unsupported fixpoint fact");
+        m.inst.SetFactCount(f, c);
+      }
+    }
+  }
+  m.stats = Stats::Collect(m.inst);
+  return m;
+}
+
+MaintainResult CompiledProgram::Maintain(Materialization& m,
+                                         const Instance& base,
+                                         const FactDelta& delta,
+                                         EvalStats* stats) const {
+  auto t_start = std::chrono::steady_clock::now();
+  Instance& inst = m.inst;
+  inst.EnsureElements(base.num_elements());
+  MaintainResult res;
+  ChangeMap changed;
+  std::function<void(const Fact&)> record_ins = [&](const Fact& f) {
+    PredChange& pc = changed[f.pred];
+    pc.ins.push_back(f);
+    pc.ins_set.insert(f);
+    res.inserts.push_back(f);
+  };
+  std::function<void(const Fact&)> record_del = [&](const Fact& f) {
+    changed[f.pred].del.push_back(f);
+    res.deletes.push_back(f);
+  };
+
+  // Split the base delta by layer: EDB changes apply directly (EDB
+  // membership *is* base membership), IDB base changes fold into their
+  // own stratum's pass — as ±1 derivation-count contributions on the
+  // counting path, as seeds on the DRed path.
+  std::vector<std::vector<const Fact*>> base_ins_at(strata_.size());
+  std::vector<std::vector<const Fact*>> base_del_at(strata_.size());
+  for (const Fact& f : delta.inserts) {
+    if (program_.IsIdb(f.pred)) {
+      base_ins_at[stratum_of_.at(f.pred)].push_back(&f);
+    } else {
+      MONDET_CHECK(inst.AddFact(f) && "Maintain: unnormalized insert");
+      record_ins(f);
+    }
+  }
+  for (const Fact& f : delta.deletes) {
+    if (program_.IsIdb(f.pred)) {
+      base_del_at[stratum_of_.at(f.pred)].push_back(&f);
+    } else {
+      MONDET_CHECK(inst.RemoveFact(f) && "Maintain: unnormalized delete");
+      record_del(f);
+    }
+  }
+
+  for (size_t si = 0; si < strata_.size(); ++si) {
+    const Stratum& st = strata_[si];
+    // Skip untouched strata: no base changes here and no membership
+    // change on any body predicate. This skip is what makes small deltas
+    // cheap — churn far from a stratum never re-runs its joins.
+    bool touched = !base_ins_at[si].empty() || !base_del_at[si].empty();
+    for (uint32_t pi : st.plans) {
+      if (touched) break;
+      for (const QAtom& a : plans_[pi].body) {
+        auto it = changed.find(a.pred);
+        if (it != changed.end() &&
+            (!it->second.ins.empty() || !it->second.del.empty())) {
+          touched = true;
+          break;
+        }
+      }
+    }
+    if (!touched) continue;
+    if (st.recursive) {
+      MaintainDRed(si, base, base_ins_at[si], base_del_at[si], inst, changed,
+                   &res, record_ins, record_del);
+    } else {
+      MaintainCounting(si, base_ins_at[si], base_del_at[si], inst, changed,
+                       record_ins, record_del);
+    }
+  }
+
+  // One statistics fold for the whole batch: the recorded lists are the
+  // exact net membership changes, so Apply's contract equation holds.
+  m.stats.Apply(inst, res.inserts, res.deletes);
+  if (stats) {
+    EvalStats run;
+    run.iterations = 1;
+    run.facts_derived = res.inserts.size();
+    run.facts_retracted = res.deletes.size();
+    run.overdeleted = res.overdeleted;
+    run.rederived = res.rederived;
+    run.stats_applies = 1;
+    run.stats_facts_counted = res.inserts.size() + res.deletes.size();
+    run.wall_seconds = SecondsSince(t_start);
+    stats->Accumulate(run);
+  }
+  return res;
+}
+
+void CompiledProgram::MaintainCounting(
+    size_t si, const std::vector<const Fact*>& base_ins,
+    const std::vector<const Fact*>& base_del, Instance& inst,
+    ChangeMap& changed, const std::function<void(const Fact&)>& record_ins,
+    const std::function<void(const Fact&)>& record_del) const {
+  const Stratum& st = strata_[si];
+  // Signed derivation-count deltas for this stratum's facts; base
+  // membership counts as one more derivation.
+  std::unordered_map<Fact, int64_t, FactHash> dcount;
+  for (const Fact* f : base_ins) ++dcount[*f];
+  for (const Fact* f : base_del) --dcount[*f];
+  for (uint32_t pi : st.plans) {
+    const RulePlan& plan = plans_[pi];
+    // Ordered-delta formula: Δ(A1 ⋈ … ⋈ Ak) = Σ_i new(A<i) ⋈ Δi ⋈
+    // old(A>i). Exact by telescoping — each appearing or disappearing
+    // derivation is counted exactly once, whichever atoms changed.
+    for (size_t i = 0; i < plan.body.size(); ++i) {
+      auto it = changed.find(plan.body[i].pred);
+      if (it == changed.end()) continue;
+      std::vector<uint8_t> read_old(plan.body.size(), 0);
+      for (size_t j = i + 1; j < plan.body.size(); ++j) read_old[j] = 1;
+      auto seed = [&](const Fact& df, int64_t sign) {
+        std::vector<ElemId> map(plan.num_vars, kNoElem);
+        std::vector<VarId> bound;
+        if (BindFact(plan.body[i], df, map, &bound)) {
+          MatchAtoms(plan, static_cast<int>(i), 0, read_old, inst, changed,
+                     map, [&](const std::vector<ElemId>& mm) {
+                       std::vector<ElemId> args;
+                       args.reserve(plan.head.args.size());
+                       for (VarId v : plan.head.args) args.push_back(mm[v]);
+                       dcount[Fact(plan.head.pred, std::move(args))] += sign;
+                       return true;
+                     });
+        }
+      };
+      for (const Fact& df : it->second.ins) seed(df, +1);
+      for (const Fact& df : it->second.del) seed(df, -1);
+    }
+  }
+  // Apply the count deltas in sorted fact order so the instance mutation
+  // sequence — and with it the stored fact order — is deterministic.
+  std::vector<std::pair<Fact, int64_t>> items(dcount.begin(), dcount.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [f, d] : items) {
+    if (d == 0) continue;
+    const int64_t oldc = static_cast<int64_t>(inst.FactCount(f));
+    const int64_t newc = oldc + d;
+    MONDET_CHECK(newc >= 0 && "Maintain: derivation count went negative");
+    if (oldc == 0 && newc > 0) {
+      MONDET_CHECK(inst.AddFact(f));
+      inst.SetFactCount(f, static_cast<uint64_t>(newc));
+      record_ins(f);
+    } else if (oldc > 0 && newc == 0) {
+      MONDET_CHECK(inst.RemoveFact(f));
+      record_del(f);
+    } else if (newc > 0) {
+      inst.SetFactCount(f, static_cast<uint64_t>(newc));
+    }
+  }
+}
+
+bool CompiledProgram::Rederivable(const Fact& f, size_t si,
+                                  const Instance& inst) const {
+  const Stratum& st = strata_[si];
+  const ChangeMap no_changes;
+  for (uint32_t pi : st.plans) {
+    const RulePlan& plan = plans_[pi];
+    if (plan.head.pred != f.pred) continue;
+    std::vector<ElemId> map(plan.num_vars, kNoElem);
+    bool ok = true;
+    for (size_t pos = 0; pos < plan.head.args.size(); ++pos) {
+      VarId v = plan.head.args[pos];
+      if (map[v] == kNoElem) {
+        map[v] = f.args[pos];
+      } else if (map[v] != f.args[pos]) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    std::vector<uint8_t> read_old(plan.body.size(), 0);
+    // One surviving derivation is a witness: stop at the first match.
+    if (!MatchAtoms(plan, /*seat=*/-1, 0, read_old, inst, no_changes, map,
+                    [](const std::vector<ElemId>&) { return false; })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CompiledProgram::MaintainDRed(
+    size_t si, const Instance& base, const std::vector<const Fact*>& base_ins,
+    const std::vector<const Fact*>& base_del, Instance& inst,
+    ChangeMap& changed, MaintainResult* res,
+    const std::function<void(const Fact&)>& record_ins,
+    const std::function<void(const Fact&)>& record_del) const {
+  const Stratum& st = strata_[si];
+
+  // Overdelete: every stratum fact with some old-state derivation that
+  // uses a deleted fact — seeded from lower-stratum membership deletions
+  // and base-deleted stratum facts, propagated semi-naively through the
+  // SCC. Lower predicates read the old state (current − ins + del);
+  // stratum predicates read the instance, which still holds the old
+  // stratum relations here (classic DRed joins over the full old
+  // database, which is what makes the deletion an over-approximation).
+  std::unordered_set<Fact, FactHash> over;
+  std::vector<Fact> odl;  // discovery order: deterministic
+  auto overdelete = [&](const Fact& h) {
+    if (!inst.HasFact(h)) return;
+    if (over.insert(h).second) odl.push_back(h);
+  };
+  for (const Fact* f : base_del) overdelete(*f);
+  auto lower_old = [&](const RulePlan& plan) {
+    std::vector<uint8_t> ro(plan.body.size(), 0);
+    for (size_t j = 0; j < plan.body.size(); ++j) {
+      if (!st.preds.count(plan.body[j].pred)) ro[j] = 1;
+    }
+    return ro;
+  };
+  auto seed_deletion = [&](const RulePlan& plan, size_t i, const Fact& df,
+                           const std::vector<uint8_t>& ro) {
+    std::vector<ElemId> map(plan.num_vars, kNoElem);
+    std::vector<VarId> bound;
+    if (!BindFact(plan.body[i], df, map, &bound)) return;
+    MatchAtoms(plan, static_cast<int>(i), 0, ro, inst, changed, map,
+               [&](const std::vector<ElemId>& mm) {
+                 std::vector<ElemId> args;
+                 args.reserve(plan.head.args.size());
+                 for (VarId v : plan.head.args) args.push_back(mm[v]);
+                 overdelete(Fact(plan.head.pred, std::move(args)));
+                 return true;
+               });
+  };
+  for (uint32_t pi : st.plans) {
+    const RulePlan& plan = plans_[pi];
+    const std::vector<uint8_t> ro = lower_old(plan);
+    for (size_t i = 0; i < plan.body.size(); ++i) {
+      if (st.preds.count(plan.body[i].pred)) continue;
+      auto it = changed.find(plan.body[i].pred);
+      if (it == changed.end() || it->second.del.empty()) continue;
+      for (const Fact& df : it->second.del) seed_deletion(plan, i, df, ro);
+    }
+  }
+  for (size_t k = 0; k < odl.size(); ++k) {  // the frontier; odl grows
+    const Fact f = odl[k];
+    for (uint32_t pi : st.plans) {
+      const RulePlan& plan = plans_[pi];
+      const std::vector<uint8_t> ro = lower_old(plan);
+      for (int r : plan.recursive_atoms) {
+        if (plan.body[r].pred != f.pred) continue;
+        seed_deletion(plan, static_cast<size_t>(r), f, ro);
+      }
+    }
+  }
+
+  // Remove, then rederive: a provisionally-deleted fact survives if the
+  // new base holds it or some rule still derives it over the current
+  // state (lower strata new, this stratum minus the provisional
+  // deletions). Revivals enable more revivals; iterate to fixpoint.
+  for (const Fact& f : odl) MONDET_CHECK(inst.RemoveFact(f));
+  res->overdeleted += odl.size();
+  std::unordered_map<Fact, bool, FactHash> was_present;
+  for (const Fact& f : odl) was_present.emplace(f, true);
+  std::vector<char> back(odl.size(), 0);
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t k = 0; k < odl.size(); ++k) {
+      if (back[k]) continue;
+      if (base.HasFact(odl[k]) || Rederivable(odl[k], si, inst)) {
+        MONDET_CHECK(inst.AddFact(odl[k]));
+        back[k] = 1;
+        progress = true;
+        ++res->rederived;
+      }
+    }
+  }
+
+  // Insert: semi-naive from the inserted seeds — base-inserted stratum
+  // facts and lower-stratum membership insertions at every matching body
+  // atom — joining the other atoms over the new state. Enumerating every
+  // seed against the full new state may revisit a derivation; set
+  // semantics absorbs that.
+  std::vector<Fact> ifront;
+  auto add_new = [&](const Fact& h) {
+    if (inst.AddFact(h)) {
+      was_present.emplace(h, false);
+      ifront.push_back(h);
+    }
+  };
+  auto seed_insertion = [&](const RulePlan& plan, size_t i, const Fact& df) {
+    std::vector<ElemId> map(plan.num_vars, kNoElem);
+    std::vector<VarId> bound;
+    if (!BindFact(plan.body[i], df, map, &bound)) return;
+    std::vector<uint8_t> ro(plan.body.size(), 0);
+    // Derivations are collected first and added after the enumeration:
+    // AddFact mutates the very indexes MatchAtoms is iterating.
+    std::vector<Fact> derived;
+    MatchAtoms(plan, static_cast<int>(i), 0, ro, inst, changed, map,
+               [&](const std::vector<ElemId>& mm) {
+                 std::vector<ElemId> args;
+                 args.reserve(plan.head.args.size());
+                 for (VarId v : plan.head.args) args.push_back(mm[v]);
+                 derived.emplace_back(plan.head.pred, std::move(args));
+                 return true;
+               });
+    for (const Fact& h : derived) add_new(h);
+  };
+  for (const Fact* f : base_ins) add_new(*f);
+  for (uint32_t pi : st.plans) {
+    const RulePlan& plan = plans_[pi];
+    for (size_t i = 0; i < plan.body.size(); ++i) {
+      if (st.preds.count(plan.body[i].pred)) continue;
+      auto it = changed.find(plan.body[i].pred);
+      if (it == changed.end() || it->second.ins.empty()) continue;
+      for (const Fact& df : it->second.ins) seed_insertion(plan, i, df);
+    }
+  }
+  for (size_t k = 0; k < ifront.size(); ++k) {  // the frontier; grows
+    const Fact f = ifront[k];
+    for (uint32_t pi : st.plans) {
+      const RulePlan& plan = plans_[pi];
+      for (int r : plan.recursive_atoms) {
+        if (plan.body[r].pred != f.pred) continue;
+        seed_insertion(plan, static_cast<size_t>(r), f);
+      }
+    }
+  }
+
+  // Net membership changes of this stratum, in sorted order so the
+  // recorded change lists — the lower-stratum deltas of later strata —
+  // are deterministic.
+  std::vector<std::pair<Fact, bool>> tv(was_present.begin(),
+                                        was_present.end());
+  std::sort(tv.begin(), tv.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [f, was] : tv) {
+    const bool now = inst.HasFact(f);
+    if (was && !now) {
+      record_del(f);
+    } else if (!was && now) {
+      record_ins(f);
+    }
+  }
 }
 
 }  // namespace mondet

@@ -2,8 +2,10 @@
 #define MONDET_DATALOG_EVAL_PLAN_H_
 
 #include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -101,9 +103,14 @@ struct StratumStats {
 /// Counters for a fixpoint run. Eval *accumulates* into a caller-provided
 /// EvalStats, so one struct can aggregate several runs (as the bench
 /// harnesses do); `strata` gets one entry appended per stratum evaluated.
+/// Maintain fills the retraction counters (facts_retracted, overdeleted,
+/// rederived), which stay zero on the insert-only Eval path.
 struct EvalStats {
   size_t iterations = 0;
   size_t facts_derived = 0;
+  size_t facts_retracted = 0;  // facts removed by Maintain
+  size_t overdeleted = 0;      // DRed: provisional deletions
+  size_t rederived = 0;        // DRed: provisional deletions revived
   size_t join_probes = 0;
   size_t replans = 0;
   size_t stats_applies = 0;        // sum over strata (see StratumStats)
@@ -126,6 +133,43 @@ struct EvalStats {
 /// Resolves the worker-thread count: `requested` if positive, else the
 /// MONDET_THREADS environment variable, else hardware_concurrency().
 int ResolveEvalThreads(int requested);
+
+/// One batch of base-instance mutations for CompiledProgram::Maintain.
+/// The contract is normalized set semantics: `inserts` holds exactly the
+/// facts newly added to the base and `deletes` exactly the facts removed
+/// from it — disjoint, duplicate-free, and genuinely applied (callers
+/// drop duplicate inserts and deletes of absent facts; inserts win when
+/// one batch both inserts and deletes a fact). MaintainedImage::ApplyDelta
+/// performs this normalization for raw user batches.
+struct FactDelta {
+  std::vector<Fact> inserts;
+  std::vector<Fact> deletes;
+
+  bool empty() const { return inserts.empty() && deletes.empty(); }
+};
+
+/// A maintained fixpoint: FPEval(Π, base) with per-fact derivation counts
+/// (Instance::FactCount) plus exact planner statistics of that instance.
+/// Produced by Materialize, updated in place by Maintain; the invariant —
+/// `inst` bit-identical (as a fact set, with counts and statistics) to a
+/// fresh Materialize of the current base — is the maintenance engine's
+/// headline correctness contract (tests/maintenance_differential_test.cc).
+struct Materialization {
+  Instance inst;
+  Stats stats;
+};
+
+/// Outcome of one Maintain call: the net membership changes of the
+/// materialized instance (every fact that appeared / disappeared, in the
+/// deterministic order they were recorded) plus the DRed counters.
+/// Consumers project these deltas further — MaintainedImage filters them
+/// to the view predicates to keep the view image current.
+struct MaintainResult {
+  std::vector<Fact> inserts;  // net facts added to the materialization
+  std::vector<Fact> deletes;  // net facts removed from it
+  size_t overdeleted = 0;     // DRed provisional deletions across strata
+  size_t rederived = 0;       // provisional deletions that came back
+};
 
 /// A Datalog program compiled for repeated semi-naive evaluation.
 ///
@@ -162,6 +206,31 @@ class CompiledProgram {
   /// When `stats` is non-null the run's counters are accumulated into it.
   Instance Eval(const Instance& input, EvalStats* stats = nullptr,
                 const EvalOptions& options = {}) const;
+
+  /// Eval plus derivation counting: the fixpoint of `input` whose facts
+  /// carry exact derivation counts (number of rule derivations, plus one
+  /// for base membership) for every non-recursive stratum, and exact
+  /// statistics. Facts of recursive SCC strata keep count 1 — counting is
+  /// unsound under recursion (a fact may support itself), which is
+  /// exactly why Maintain switches to DRed there.
+  Materialization Materialize(const Instance& input,
+                              EvalStats* stats = nullptr,
+                              const EvalOptions& options = {}) const;
+
+  /// Incremental view maintenance: updates `m` in place so it equals
+  /// Materialize(base) for the *new* base, given that it equaled
+  /// Materialize of the old base. `base` is the already-mutated new base
+  /// instance; `delta` lists its exact membership changes (see FactDelta).
+  /// Non-recursive strata are maintained by counting (the ordered-delta
+  /// join formula adjusts derivation counts; membership follows count
+  /// zero-crossings), recursive SCC strata by delete-rederive (DRed):
+  /// overdelete over the old state, remove, rederive survivors, then
+  /// semi-naive insertion. Single-threaded and deterministic: the same
+  /// schedule always yields the same instance, counts, and statistics.
+  /// When `stats` is non-null the call's counters accumulate into it.
+  MaintainResult Maintain(Materialization& m, const Instance& base,
+                          const FactDelta& delta,
+                          EvalStats* stats = nullptr) const;
 
   size_t num_strata() const { return strata_.size(); }
   const Program& program() const { return program_; }
@@ -217,7 +286,17 @@ class CompiledProgram {
   struct Stratum {
     std::vector<uint32_t> plans;       // indices into plans_, program order
     std::unordered_set<PredId> preds;  // the SCC's predicates
+    bool recursive = false;  // some rule has a same-SCC body atom
   };
+  /// The recorded membership changes of one predicate during Maintain:
+  /// `ins`/`del` in deterministic discovery order, `ins_set` for the
+  /// old-state reconstruction (old = current − ins + del).
+  struct PredChange {
+    std::vector<Fact> ins;
+    std::vector<Fact> del;
+    std::unordered_set<Fact, FactHash> ins_set;
+  };
+  using ChangeMap = std::unordered_map<PredId, PredChange>;
   /// One unit of the per-iteration fan-out: fire plan `plan` either as a
   /// full join (rec < 0) or seeding recursive atom `rec` from each fact
   /// of `delta`, visiting the remaining atoms in `*order`.
@@ -245,9 +324,42 @@ class CompiledProgram {
             size_t* probes, std::vector<size_t>* step_rows,
             std::vector<Fact>* out) const;
 
+  /// The maintenance engine's join: matches body atoms k.. of `plan` in
+  /// body order (skipping `seat`, whose variables `map` pre-binds) and
+  /// calls `out` once per complete match; `out` returns false to stop the
+  /// enumeration early (rederivation checks need only a witness). Atoms
+  /// flagged in `read_old` read the *old* state, reconstructed from the
+  /// current instance and the recorded changes (current − ins + del);
+  /// the rest read the current instance directly. Returns false iff some
+  /// `out` call stopped the enumeration.
+  bool MatchAtoms(const RulePlan& plan, int seat, size_t k,
+                  const std::vector<uint8_t>& read_old, const Instance& inst,
+                  const ChangeMap& changed, std::vector<ElemId>& map,
+                  const std::function<bool(const std::vector<ElemId>&)>& out)
+      const;
+
+  /// Counting maintenance of the non-recursive stratum `si` (see
+  /// Maintain); DRed maintenance of the recursive stratum `si`.
+  void MaintainCounting(size_t si, const std::vector<const Fact*>& base_ins,
+                        const std::vector<const Fact*>& base_del,
+                        Instance& inst, ChangeMap& changed,
+                        const std::function<void(const Fact&)>& record_ins,
+                        const std::function<void(const Fact&)>& record_del)
+      const;
+  void MaintainDRed(size_t si, const Instance& base,
+                    const std::vector<const Fact*>& base_ins,
+                    const std::vector<const Fact*>& base_del, Instance& inst,
+                    ChangeMap& changed, MaintainResult* res,
+                    const std::function<void(const Fact&)>& record_ins,
+                    const std::function<void(const Fact&)>& record_del) const;
+
+  /// True iff some rule of stratum `si` derives `f` over `inst` as-is.
+  bool Rederivable(const Fact& f, size_t si, const Instance& inst) const;
+
   Program program_;
   std::vector<RulePlan> plans_;
   std::vector<Stratum> strata_;
+  std::unordered_map<PredId, size_t> stratum_of_;  // IDB pred -> stratum
   std::optional<Stats> bound_stats_;
 };
 

@@ -389,4 +389,110 @@ std::optional<Instance> ParseInstance(const std::string& text,
   return inst;
 }
 
+std::optional<StreamParse> ParseStream(const std::string& text,
+                                       const VocabularyPtr& vocab,
+                                       const Instance& base,
+                                       std::vector<Diagnostic>* diagnostics) {
+  StreamParse out;
+  std::unordered_map<std::string, ElemId> elems;
+  for (ElemId e = 0; e < base.num_elements(); ++e) {
+    const std::string& name = base.element_name(e);
+    if (!name.empty()) elems.emplace(name, e);
+  }
+  ElemId next_elem = static_cast<ElemId>(base.num_elements());
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  size_t pos = 0;
+  auto skip_ws = [&]() {
+    while (pos < line.size()) {
+      if (line[pos] == '#') {
+        pos = line.size();
+      } else if (std::isspace(static_cast<unsigned char>(line[pos]))) {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  };
+  auto ident = [&]() -> std::optional<std::string> {
+    skip_ws();
+    size_t start = pos;
+    while (pos < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+            line[pos] == '_' || line[pos] == '\'')) {
+      ++pos;
+    }
+    if (pos == start) return std::nullopt;
+    return line.substr(start, pos - start);
+  };
+  auto eat = [&](char c) {
+    skip_ws();
+    if (pos < line.size() && line[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  };
+  auto fail = [&](const std::string& check, const std::string& msg) {
+    if (diagnostics) {
+      SourceLoc loc;
+      loc.line = lineno;
+      loc.col = static_cast<int>(pos) + 1;
+      diagnostics->push_back(
+          MakeDiagnostic(Severity::kError, check, msg, loc));
+    }
+    return std::optional<StreamParse>();
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    pos = 0;
+    skip_ws();
+    if (pos >= line.size()) continue;
+    StreamBatch batch;
+    batch.line = lineno;
+    while (pos < line.size()) {
+      char sign = line[pos];
+      if (sign != '+' && sign != '-') {
+        return fail("parse", "expected '+' or '-'");
+      }
+      ++pos;
+      auto pred_name = ident();
+      if (!pred_name) return fail("parse", "expected predicate name");
+      std::vector<ElemId> args;
+      if (eat('(')) {
+        if (!eat(')')) {
+          while (true) {
+            auto elem_name = ident();
+            if (!elem_name) return fail("parse", "expected element name");
+            auto it = elems.find(*elem_name);
+            if (it == elems.end()) {
+              it = elems.emplace(*elem_name, next_elem++).first;
+              out.new_elements.push_back(*elem_name);
+            }
+            args.push_back(it->second);
+            if (eat(')')) break;
+            if (!eat(',')) return fail("parse", "expected ',' or ')'");
+          }
+        }
+      }
+      auto existing = vocab->FindPredicate(*pred_name);
+      if (existing &&
+          vocab->arity(*existing) != static_cast<int>(args.size())) {
+        return fail("arity", "arity mismatch for predicate " + *pred_name);
+      }
+      PredId pred =
+          vocab->AddPredicate(*pred_name, static_cast<int>(args.size()));
+      (sign == '+' ? batch.inserts : batch.deletes)
+          .push_back(Fact(pred, std::move(args)));
+      if (!eat('.')) return fail("parse", "expected '.'");
+      skip_ws();
+    }
+    out.batches.push_back(std::move(batch));
+  }
+  return out;
+}
+
 }  // namespace mondet

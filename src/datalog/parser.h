@@ -70,6 +70,41 @@ std::optional<Instance> ParseInstance(
     const std::string& text, const VocabularyPtr& vocab,
     std::vector<Diagnostic>* diagnostics = nullptr);
 
+/// One raw batch of an insert/delete stream: the facts listed with `+`
+/// and `-` on one source line, in source order, unnormalized (duplicates
+/// and deletes of absent facts are the *consumer's* contract to resolve;
+/// MaintainedImage::ApplyDelta accepts exactly this shape).
+struct StreamBatch {
+  std::vector<Fact> inserts;
+  std::vector<Fact> deletes;
+  int line = 0;  // 1-based source line of the batch
+};
+
+/// A parsed stream: its batches plus the element names the stream
+/// mentions that `base` does not; new_elements[i] has id
+/// base.num_elements() + i, so consumers create them in order (e.g. via
+/// MaintainedImage::AddElement) before applying the batches.
+struct StreamParse {
+  std::vector<StreamBatch> batches;
+  std::vector<std::string> new_elements;
+};
+
+/// Parses an insert/delete stream against the elements of `base`: one
+/// batch per non-empty line, each a sequence of signed ground facts:
+///
+///   # churn: rewire b through d
+///   +E(b,d). +E(d,c). -E(b,c).
+///   -U(a).
+///
+/// Element names resolve to the like-named elements of `base`; unseen
+/// names allocate fresh ids after base.num_elements() (see StreamParse).
+/// Predicates are interned into `vocab` with the arity of first use, as
+/// in ParseInstance. On failure a diagnostic with 1-based line/col is
+/// appended to `diagnostics` when non-null.
+std::optional<StreamParse> ParseStream(
+    const std::string& text, const VocabularyPtr& vocab,
+    const Instance& base, std::vector<Diagnostic>* diagnostics = nullptr);
+
 }  // namespace mondet
 
 #endif  // MONDET_DATALOG_PARSER_H_

@@ -1,0 +1,234 @@
+// Direct unit tests for the NTA operations (automata/ops.h) on
+// hand-built automata and codes — product, union, emptiness (with and
+// without witnesses), determinization, complement and trim, including
+// binary transitions, which the chain fixtures of automata_test.cc
+// mostly bypass. The enumeration style pins the *languages*: an
+// operation is checked against every code of a small universe, not
+// against a few hand-picked members.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "automata/nta.h"
+#include "automata/ops.h"
+
+namespace mondet {
+namespace {
+
+// Two unary atom labels over dummy predicates; the automata only ever
+// compare labels for equality, so no vocabulary is needed.
+NodeLabel LabelA() { return {AtomLabel{0, {0}}}; }
+NodeLabel LabelB() { return {AtomLabel{1, {0}}}; }
+
+TreeCode Chain(const std::vector<NodeLabel>& top_down) {
+  TreeCode code;
+  code.width = 1;
+  code.nodes.resize(top_down.size());
+  for (size_t i = 0; i < top_down.size(); ++i) {
+    code.nodes[i].atoms = top_down[i];
+    if (i + 1 < top_down.size()) {
+      code.nodes[i].children = {static_cast<int>(i) + 1};
+      code.nodes[i].edge_labels = {EdgeLabel{}};
+      code.nodes[i + 1].parent = static_cast<int>(i);
+    }
+  }
+  return code;
+}
+
+TreeCode BinaryOverLeaves(const NodeLabel& root, const NodeLabel& left,
+                          const NodeLabel& right) {
+  TreeCode code;
+  code.width = 1;
+  code.nodes.resize(3);
+  code.nodes[0].atoms = root;
+  code.nodes[0].children = {1, 2};
+  code.nodes[0].edge_labels = {EdgeLabel{}, EdgeLabel{}};
+  code.nodes[1].atoms = left;
+  code.nodes[1].parent = 0;
+  code.nodes[2].atoms = right;
+  code.nodes[2].parent = 0;
+  return code;
+}
+
+/// Every chain code over {A, B} of length 1..3 (14 codes).
+std::vector<TreeCode> AllChains() {
+  const std::vector<NodeLabel> alphabet = {LabelA(), LabelB()};
+  std::vector<TreeCode> codes;
+  for (const NodeLabel& l0 : alphabet) {
+    codes.push_back(Chain({l0}));
+    for (const NodeLabel& l1 : alphabet) {
+      codes.push_back(Chain({l0, l1}));
+      for (const NodeLabel& l2 : alphabet) {
+        codes.push_back(Chain({l0, l1, l2}));
+      }
+    }
+  }
+  return codes;
+}
+
+/// Accepts chains with an odd number of nodes (parity automaton; total
+/// over the chain universe).
+Nta OddLengthChains() {
+  Nta m(1);
+  State even = m.AddState(), odd = m.AddState();
+  for (const NodeLabel& l : {LabelA(), LabelB()}) {
+    m.AddLeaf(l, odd);
+    m.AddUnary(l, EdgeLabel{}, odd, even);
+    m.AddUnary(l, EdgeLabel{}, even, odd);
+  }
+  m.AddFinal(odd);
+  return m;
+}
+
+/// Accepts chains whose root label is A.
+Nta RootIsA() {
+  Nta m(1);
+  State root_a = m.AddState(), root_b = m.AddState();
+  m.AddLeaf(LabelA(), root_a);
+  m.AddLeaf(LabelB(), root_b);
+  for (State child : {root_a, root_b}) {
+    m.AddUnary(LabelA(), EdgeLabel{}, child, root_a);
+    m.AddUnary(LabelB(), EdgeLabel{}, child, root_b);
+  }
+  m.AddFinal(root_a);
+  return m;
+}
+
+TEST(AutomataOps, ProductIsLanguageIntersection) {
+  Nta odd = OddLengthChains();
+  Nta root_a = RootIsA();
+  Nta both = Product(odd, root_a);
+  size_t accepted = 0;
+  for (const TreeCode& code : AllChains()) {
+    ASSERT_TRUE(code.Validate());
+    EXPECT_EQ(both.Accepts(code), odd.Accepts(code) && root_a.Accepts(code))
+        << code.nodes.size() << "-node chain";
+    accepted += both.Accepts(code);
+  }
+  // Odd length with root A: the leaf A plus the four 3-chains A??.
+  EXPECT_EQ(accepted, 5u);
+}
+
+TEST(AutomataOps, UnionIsLanguageUnion) {
+  Nta odd = OddLengthChains();
+  Nta root_a = RootIsA();
+  Nta either = UnionNta(odd, root_a);
+  for (const TreeCode& code : AllChains()) {
+    EXPECT_EQ(either.Accepts(code),
+              odd.Accepts(code) || root_a.Accepts(code))
+        << code.nodes.size() << "-node chain";
+  }
+}
+
+TEST(AutomataOps, EmptinessNoFinals) {
+  Nta m(1);
+  State q = m.AddState();
+  m.AddLeaf(LabelA(), q);
+  EXPECT_TRUE(IsEmpty(m));
+  EXPECT_FALSE(EmptinessWitness(m).has_value());
+}
+
+TEST(AutomataOps, EmptinessUninhabitedBinaryChild) {
+  // The only path to the final state is a binary transition whose second
+  // child state is never inhabited: the language is empty even though
+  // every state is syntactically "used".
+  Nta m(1);
+  State leaf = m.AddState(), dead = m.AddState(), fin = m.AddState();
+  m.AddLeaf(LabelA(), leaf);
+  m.AddBinary(LabelB(), EdgeLabel{}, EdgeLabel{}, leaf, dead, fin);
+  m.AddFinal(fin);
+  EXPECT_TRUE(IsEmpty(m));
+  EXPECT_FALSE(EmptinessWitness(m).has_value());
+
+  // Making `dead` inhabited flips the verdict.
+  m.AddLeaf(LabelB(), dead);
+  EXPECT_FALSE(IsEmpty(m));
+}
+
+TEST(AutomataOps, WitnessThroughBinaryTransition) {
+  // Acceptance requires a binary node: the minimal witness is the 3-node
+  // tree B(A, A), and it must itself be accepted.
+  Nta m(1);
+  State leaf = m.AddState(), fin = m.AddState();
+  m.AddLeaf(LabelA(), leaf);
+  m.AddBinary(LabelB(), EdgeLabel{}, EdgeLabel{}, leaf, leaf, fin);
+  m.AddFinal(fin);
+  ASSERT_FALSE(IsEmpty(m));
+  std::optional<TreeCode> witness = EmptinessWitness(m);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->Validate());
+  EXPECT_TRUE(m.Accepts(*witness));
+  EXPECT_EQ(witness->nodes.size(), 3u);
+}
+
+TEST(AutomataOps, WitnessIsMinimalHeight) {
+  // Accepts the single leaf A and arbitrarily deep chains above it; the
+  // witness must be the minimal-height member, the bare leaf.
+  Nta m(1);
+  State fin = m.AddState();
+  m.AddLeaf(LabelA(), fin);
+  m.AddUnary(LabelA(), EdgeLabel{}, fin, fin);
+  m.AddFinal(fin);
+  std::optional<TreeCode> witness = EmptinessWitness(m);
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(m.Accepts(*witness));
+  EXPECT_EQ(witness->nodes.size(), 1u);
+}
+
+/// The 6 codes buildable from {leaf A, leaf B, binary B(·,·)}.
+std::vector<TreeCode> AllBinaryShapes() {
+  std::vector<TreeCode> codes = {Chain({LabelA()}), Chain({LabelB()})};
+  for (const NodeLabel& l : {LabelA(), LabelB()}) {
+    for (const NodeLabel& r : {LabelA(), LabelB()}) {
+      codes.push_back(BinaryOverLeaves(LabelB(), l, r));
+    }
+  }
+  return codes;
+}
+
+TEST(AutomataOps, DeterminizeAndComplementOverBinaryUniverse) {
+  // Accepts exactly B(A, A) — a single binary-transition language.
+  Nta m(1);
+  State leaf_a = m.AddState(), fin = m.AddState();
+  m.AddLeaf(LabelA(), leaf_a);
+  m.AddBinary(LabelB(), EdgeLabel{}, EdgeLabel{}, leaf_a, leaf_a, fin);
+  m.AddFinal(fin);
+
+  SymbolUniverse universe = SymbolsOf(m);
+  for (const TreeCode& code : AllBinaryShapes()) {
+    universe.Merge(SymbolsOf(code));
+  }
+  Nta det = Determinize(m, universe);
+  Nta comp = Complement(m, universe);
+  size_t accepted = 0;
+  for (const TreeCode& code : AllBinaryShapes()) {
+    EXPECT_EQ(det.Accepts(code), m.Accepts(code));
+    EXPECT_EQ(comp.Accepts(code), !m.Accepts(code));
+    accepted += m.Accepts(code);
+  }
+  EXPECT_EQ(accepted, 1u);
+  // L(M) ∩ L(M)^c = ∅ — and the product construction must see it.
+  EXPECT_TRUE(IsEmpty(Product(m, comp)));
+  EXPECT_FALSE(IsEmpty(comp));
+}
+
+TEST(AutomataOps, TrimDropsDeadStatesAndPreservesLanguage) {
+  Nta m = RootIsA();
+  // Junk: a state reachable bottom-up but never co-reachable (no path to
+  // a final), and one not reachable at all.
+  State junk = m.AddState();
+  m.AddLeaf(LabelA(), junk);
+  State unreachable = m.AddState();
+  m.AddUnary(LabelB(), EdgeLabel{}, unreachable, junk);
+  Nta trimmed = Trim(m);
+  EXPECT_LT(trimmed.num_states(), m.num_states());
+  for (const TreeCode& code : AllChains()) {
+    EXPECT_EQ(trimmed.Accepts(code), m.Accepts(code))
+        << code.nodes.size() << "-node chain";
+  }
+}
+
+}  // namespace
+}  // namespace mondet

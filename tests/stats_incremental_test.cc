@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <random>
 #include <span>
 #include <vector>
@@ -144,6 +145,94 @@ TEST(StatsIncrementalTest, ApplySeesNewPositionsOfGrowingRelations) {
   EXPECT_EQ(stats.distinct(t, 0), 2u);  // {a, b}
   EXPECT_EQ(stats.distinct(t, 1), 2u);  // {a, b}
   EXPECT_EQ(stats.distinct(t, 2), 2u);  // {b, c}
+  ExpectStatsEqual(stats, Stats::Collect(inst), vocab, 0);
+}
+
+TEST(StatsIncrementalTest, MixedInsertDeleteStreamMatchesCollect) {
+  // The retraction arm of the oracle: interleaved genuine inserts and
+  // deletes (RemoveFact dedups the same way AddFact does) folded in over
+  // random partitions must land exactly on Collect of the final
+  // instance — removals drive per-value multiplicities back through the
+  // erase-at-zero path that shrinks the distinct counts.
+  for (unsigned seed = 0; seed < 250; ++seed) {
+    auto vocab = StreamVocab();
+    std::vector<PredId> preds = vocab->AllPredicates();
+    std::mt19937 rng(9000 + seed);
+    const size_t elems = 2 + seed % 7;
+    Instance inst(vocab);
+    for (size_t i = 0; i < elems; ++i) inst.AddElement();
+    std::uniform_int_distribution<int> prefix_dist(0, 10);
+    const int prefix = prefix_dist(rng);
+    for (int i = 0; i < prefix; ++i) {
+      inst.AddFact(RandomFact(vocab, preds, elems, rng));
+    }
+    Stats stats = Stats::Collect(inst);
+
+    std::uniform_int_distribution<int> len_dist(20, 60);
+    std::uniform_int_distribution<int> cut_dist(0, 3);
+    const int len = len_dist(rng);
+    std::vector<Fact> added, removed;
+    for (int i = 0; i < len; ++i) {
+      if (rng() % 3 == 0 && inst.num_facts() > 0) {
+        // Delete a present fact — unless this batch just added it, in
+        // which case the pair must cancel out of the delta instead
+        // (Apply's contract covers net changes only).
+        Fact f = inst.facts()[rng() % inst.num_facts()];
+        ASSERT_TRUE(inst.RemoveFact(f));
+        auto it = std::find(added.begin(), added.end(), f);
+        if (it != added.end()) {
+          added.erase(it);
+        } else {
+          removed.push_back(std::move(f));
+        }
+      } else {
+        Fact f = RandomFact(vocab, preds, elems, rng);
+        // A fact removed earlier in this batch and re-added also
+        // cancels; otherwise only genuinely new facts enter the delta.
+        auto it = std::find(removed.begin(), removed.end(), f);
+        if (inst.AddFact(f)) {
+          if (it != removed.end()) {
+            removed.erase(it);
+          } else {
+            added.push_back(std::move(f));
+          }
+        }
+      }
+      if (cut_dist(rng) == 0) {
+        stats.Apply(inst, added, removed);
+        added.clear();
+        removed.clear();
+      }
+    }
+    stats.Apply(inst, added, removed);
+
+    ExpectStatsEqual(stats, Stats::Collect(inst), vocab, seed);
+  }
+}
+
+TEST(StatsIncrementalTest, DeleteDrainsRelationToEmpty) {
+  auto vocab = StreamVocab();
+  Instance inst(vocab);
+  ElemId a = inst.AddElement(), b = inst.AddElement();
+  PredId r = *vocab->FindPredicate("R");
+  inst.AddFact(r, {a, b});
+  inst.AddFact(r, {b, b});
+  Stats stats = Stats::Collect(inst);
+  EXPECT_EQ(stats.distinct(r, 1), 1u);  // {b}
+
+  std::vector<Fact> removed = {Fact(r, {a, b})};
+  ASSERT_TRUE(inst.RemoveFact(removed[0]));
+  stats.Apply(inst, {}, removed);
+  EXPECT_EQ(stats.cardinality(r), 1u);
+  EXPECT_EQ(stats.distinct(r, 0), 1u);  // {a} gone, {b} stays
+  EXPECT_EQ(stats.distinct(r, 1), 1u);
+
+  removed = {Fact(r, {b, b})};
+  ASSERT_TRUE(inst.RemoveFact(removed[0]));
+  stats.Apply(inst, {}, removed);
+  EXPECT_EQ(stats.cardinality(r), 0u);
+  EXPECT_EQ(stats.distinct(r, 0), 0u);
+  EXPECT_EQ(stats.distinct(r, 1), 0u);
   ExpectStatsEqual(stats, Stats::Collect(inst), vocab, 0);
 }
 

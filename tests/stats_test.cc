@@ -183,6 +183,51 @@ TEST(StatsDeathTest, ApplyRejectsAlreadyCountedFacts) {
   EXPECT_DEATH(stats.Apply(inst, delta), "Stats::Apply");
 }
 
+TEST(StatsDeathTest, ApplyRejectsRemovalOfNeverCountedFact) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto vocab = SmallVocab();
+  std::vector<PredId> preds = vocab->AllPredicates();
+  Instance inst = RandomInstance(vocab, preds, 4, 6, 6003);
+  ASSERT_GT(inst.num_facts(), 0u);
+  Stats stats = Stats::Collect(inst);
+  // Balance the contract equation by genuinely removing one fact, but
+  // report the removal of a fact the snapshot never counted: the
+  // per-value (or per-relation) check aborts instead of driving some
+  // other fact's multiplicity negative.
+  Fact removed = inst.facts().front();
+  ASSERT_TRUE(inst.RemoveFact(removed));
+  ElemId fresh = inst.AddElement();
+  std::vector<Fact> bogus = {
+      Fact(*vocab->FindPredicate("R"), {fresh, fresh})};
+  EXPECT_DEATH(stats.Apply(inst, {}, bogus), "Stats::Apply");
+}
+
+TEST(StatsDeathTest, ApplyRejectsDoubleDelete) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  auto vocab = SmallVocab();
+  Instance inst(vocab);
+  ElemId a = inst.AddElement(), b = inst.AddElement();
+  PredId r = *vocab->FindPredicate("R");
+  inst.AddFact(r, {a, b});
+  inst.AddFact(r, {a, a});
+  Stats stats = Stats::Collect(inst);
+  // Remove two facts but report the same one twice: the batch balances
+  // the equation, so it is the per-value zero-crossing that must catch
+  // the second, already-erased removal.
+  ASSERT_TRUE(inst.RemoveFact(Fact(r, {a, b})));
+  ASSERT_TRUE(inst.RemoveFact(Fact(r, {a, a})));
+  std::vector<Fact> twice = {Fact(r, {a, b}), Fact(r, {a, b})};
+  EXPECT_DEATH(stats.Apply(inst, {}, twice), "Stats::Apply");
+
+  // The honest report lands; re-deleting after that — a second batch
+  // claiming the same removal — trips the counted-facts equation itself.
+  std::vector<Fact> both = {Fact(r, {a, b}), Fact(r, {a, a})};
+  stats.Apply(inst, {}, both);
+  EXPECT_EQ(stats.cardinality(r), 0u);
+  std::vector<Fact> once = {Fact(r, {a, b})};
+  EXPECT_DEATH(stats.Apply(inst, {}, once), "Stats::Apply");
+}
+
 TEST(StatsTest, StaleStatsStillYieldCorrectFixpoints) {
   // Plan from statistics of instance A while evaluating instance B: the
   // orders may be bad, the fixpoint must be identical to the naive
