@@ -33,6 +33,10 @@ for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
   fi
 done
 if [ -n "$CLANG_TIDY" ]; then
+  # Once a binary is known to exist on this machine, the pass may never
+  # again be skipped silently (e.g. by nested tier1 runs or CI re-execs
+  # that mangle PATH): missing clang-tidy becomes a hard failure.
+  export MONDET_REQUIRE_CLANG_TIDY=1
   cmake --preset tidy > /dev/null
   "$CLANG_TIDY" -p build-tidy --quiet src/analysis/*.cc
 elif [ "${MONDET_REQUIRE_CLANG_TIDY:-0}" != "0" ]; then
@@ -55,16 +59,47 @@ fi
 # parallel modes cross-check the maintained state);
 # mondet_parallel_test is the determinism oracle for the parallel
 # counterexample search (thread pool + canonical test cache), run at 4
-# workers so the sanitizers see real interleaving.
+# workers so the sanitizers see real interleaving;
+# dataflow_soundness_test is the abstract-interpretation soundness
+# oracle (concrete fixpoint contained in the abstract one, dead rules
+# never fire, pruning bit-identical at 1/4 threads).
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
+./build-asan/tests/dataflow_soundness_test
 ./build-asan/tests/plan_differential_test
 ./build-asan/tests/stats_test
 ./build-asan/tests/stats_incremental_test
 MONDET_THREADS=1 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/mondet_parallel_test
+
+# Race detection: the two genuinely multi-threaded oracles — the parallel
+# counterexample search and the maintained-materialization differential —
+# under ThreadSanitizer at 4 workers (the `tsan` CMake preset builds the
+# same tree). TSan needs compiler runtime support (libtsan); minimal
+# images often lack it, so probe the compiler first and make any skip
+# loud rather than silent.
+CXX_BIN="${CXX:-c++}"
+TSAN_PROBE="build/.tsan_probe.$$"
+if printf 'int main(){return 0;}\n' \
+    | "$CXX_BIN" -x c++ -fsanitize=thread -o "$TSAN_PROBE" - \
+      > /dev/null 2>&1; then
+  rm -f "$TSAN_PROBE"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMONDET_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS" \
+        --target mondet_parallel_test maintenance_differential_test
+  MONDET_THREADS=4 ./build-tsan/tests/mondet_parallel_test
+  MONDET_THREADS=4 ./build-tsan/tests/maintenance_differential_test
+else
+  rm -f "$TSAN_PROBE"
+  echo "==================================================================" >&2
+  echo "tier1: NOTICE — ThreadSanitizer arm SKIPPED." >&2
+  echo "tier1: $CXX_BIN cannot link -fsanitize=thread (libtsan missing?);" >&2
+  echo "tier1: data races in the parallel oracles go undetected here." >&2
+  echo "==================================================================" >&2
+fi
 
 echo "tier1: OK"

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/dataflow.h"
 #include "base/scc.h"
 #include "datalog/eval_plan.h"
 
@@ -476,6 +477,120 @@ void PlanLintCheck(const ProgramAnalyzer::Input& in,
   }
 }
 
+// --- Abstract-interpretation dataflow checks (analysis/dataflow.h). --------
+// Each check recomputes the analysis it needs: the fixpoints are linear in
+// the program (emptiness) or pairwise over rules of one head predicate
+// (subsumption), which is negligible at lint scale, and stateless checks
+// keep the registry trivially re-orderable.
+
+void AlwaysEmptyPredicateCheck(const ProgramAnalyzer::Input& in,
+                               std::vector<Diagnostic>* out) {
+  if (!in.options.dataflow) return;
+  EmptinessResult emptiness = AnalyzeEmptiness(in.program);
+  for (PredId p : emptiness.empty_idbs) {
+    std::vector<size_t> rules = in.program.RulesFor(p);
+    SourceLoc loc =
+        RuleLoc(in.program, rules.empty() ? -1 : static_cast<int>(rules[0]));
+    loc.atoms = {SourceLoc::kHead};
+    std::ostringstream os;
+    os << "IDB predicate " << in.program.vocab()->name(p)
+       << " can never derive a fact: every rule defining it is dead"
+       << " (rule";
+    for (size_t i = 0; i < rules.size(); ++i) {
+      os << (i ? "," : "") << " " << rules[i];
+    }
+    os << ")";
+    out->push_back(MakeDiagnostic(Severity::kWarning,
+                                  "always-empty-predicate", os.str(), loc));
+  }
+}
+
+void DeadRuleCheck(const ProgramAnalyzer::Input& in,
+                   std::vector<Diagnostic>* out) {
+  if (!in.options.dataflow) return;
+  EmptinessResult emptiness = AnalyzeEmptiness(in.program);
+  for (size_t ri = 0; ri < emptiness.rule_dead.size(); ++ri) {
+    if (!emptiness.rule_dead[ri]) continue;
+    const DeadRuleReason& reason = emptiness.dead_reasons[ri];
+    SourceLoc loc = RuleLoc(in.program, static_cast<int>(ri));
+    if (reason.atom >= 0) loc.atoms = {reason.atom};
+    out->push_back(MakeDiagnostic(
+        Severity::kWarning, "dead-rule",
+        "rule " + std::to_string(ri) + " can never fire: " + reason.detail,
+        loc));
+  }
+}
+
+void SubsumedRuleCheck(const ProgramAnalyzer::Input& in,
+                       std::vector<Diagnostic>* out) {
+  if (!in.options.dataflow) return;
+  SubsumptionResult sub = AnalyzeSubsumption(in.program);
+  for (size_t ri = 0; ri < sub.subsumed_by.size(); ++ri) {
+    if (sub.subsumed_by[ri] < 0) continue;
+    SourceLoc loc = RuleLoc(in.program, static_cast<int>(ri));
+    loc.atoms = {SourceLoc::kHead};
+    std::ostringstream os;
+    os << "rule " << ri << " is subsumed by rule " << sub.subsumed_by[ri]
+       << ": every fact it derives, rule " << sub.subsumed_by[ri]
+       << " derives from the same facts; it can be removed";
+    out->push_back(
+        MakeDiagnostic(Severity::kWarning, "subsumed-rule", os.str(), loc));
+  }
+}
+
+void RedundantBodyAtomCheck(const ProgramAnalyzer::Input& in,
+                            std::vector<Diagnostic>* out) {
+  if (!in.options.dataflow) return;
+  SubsumptionResult sub = AnalyzeSubsumption(in.program);
+  for (size_t ri = 0; ri < sub.redundant_atoms.size(); ++ri) {
+    for (int ai : sub.redundant_atoms[ri]) {
+      const Rule& rule = in.program.rules()[ri];
+      SourceLoc loc = RuleLoc(in.program, static_cast<int>(ri));
+      loc.atoms = {ai};
+      std::ostringstream os;
+      os << "body atom " << ai << " ("
+         << AtomSignature(*in.program.vocab(), rule.body[ai]) << ") of rule "
+         << ri << " is implied by the rest of the body; removing it leaves"
+         << " an equivalent rule";
+      out->push_back(MakeDiagnostic(Severity::kWarning, "redundant-body-atom",
+                                    os.str(), loc));
+    }
+  }
+}
+
+void UnboundAdornmentCheck(const ProgramAnalyzer::Input& in,
+                           std::vector<Diagnostic>* out) {
+  if (!in.options.dataflow || !in.options.goal) return;
+  const Program& program = in.program;
+  if (!program.IsIdb(*in.options.goal)) return;  // "goal" check reports it
+  AdornmentResult ad = AnalyzeAdornments(program, *in.options.goal);
+  // A nullary goal binds nothing, so all-free call patterns are the only
+  // possibility everywhere — vacuous, not a finding.
+  if (!ad.goal_binds) return;
+  for (const auto& [site, patterns] : ad.atom_calls) {
+    auto [ri, ai] = site;
+    const QAtom& atom = program.rules()[ri].body[ai];
+    if (atom.args.empty()) continue;
+    bool all_free = true;
+    for (const std::string& p : patterns) {
+      if (p.find('b') != std::string::npos) all_free = false;
+    }
+    if (!all_free) continue;
+    SourceLoc loc = RuleLoc(program, static_cast<int>(ri));
+    loc.atoms = {ai};
+    std::ostringstream os;
+    os << "IDB atom " << AtomSignature(*program.vocab(), atom)
+       << " at rule " << ri << " is only ever called with no bound"
+       << " arguments (adornment '" << std::string(atom.args.size(), 'f')
+       << "'): bindings from the goal "
+       << program.vocab()->name(*in.options.goal)
+       << " never reach it, so magic-sets specialization cannot restrict"
+       << " its evaluation";
+    out->push_back(MakeDiagnostic(Severity::kNote, "unbound-adornment",
+                                  os.str(), loc));
+  }
+}
+
 }  // namespace
 
 ProgramAnalyzer::ProgramAnalyzer() {
@@ -494,6 +609,11 @@ ProgramAnalyzer::ProgramAnalyzer() {
     FragmentCheck(Fragment::kFrontierGuarded, in, out);
   });
   AddCheck("plan-lints", PlanLintCheck);
+  AddCheck("always-empty-predicate", AlwaysEmptyPredicateCheck);
+  AddCheck("dead-rule", DeadRuleCheck);
+  AddCheck("subsumed-rule", SubsumedRuleCheck);
+  AddCheck("redundant-body-atom", RedundantBodyAtomCheck);
+  AddCheck("unbound-adornment", UnboundAdornmentCheck);
 }
 
 void ProgramAnalyzer::AddCheck(std::string id, CheckFn fn) {
@@ -505,7 +625,14 @@ bool ProgramAnalyzer::DisableCheck(const std::string& id) {
   checks_.erase(std::remove_if(checks_.begin(), checks_.end(),
                                [&](const Check& c) { return c.id == id; }),
                 checks_.end());
-  return checks_.size() != before;
+  if (checks_.size() == before) return false;
+  // Remember what was switched off: Analyze reports it so result
+  // consumers can tell a clean check apart from one that never ran.
+  if (std::find(disabled_ids_.begin(), disabled_ids_.end(), id) ==
+      disabled_ids_.end()) {
+    disabled_ids_.push_back(id);
+  }
+  return true;
 }
 
 std::vector<std::string> ProgramAnalyzer::CheckIds() const {
@@ -518,6 +645,7 @@ std::vector<std::string> ProgramAnalyzer::CheckIds() const {
 AnalysisResult ProgramAnalyzer::Analyze(const Program& program,
                                         const AnalysisOptions& options) const {
   AnalysisResult result;
+  result.disabled_checks = disabled_ids_;
   Input in{program, options};
   for (const Check& c : checks_) c.fn(in, &result.diagnostics);
   result.fragments.non_recursive =

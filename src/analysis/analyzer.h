@@ -73,12 +73,19 @@ struct AnalysisOptions {
   bool fragment_notes = true;
   /// Fragments the caller *requires*: violations become kError.
   std::vector<Fragment> required_fragments;
+  /// Run the abstract-interpretation dataflow checks (analysis/dataflow.h):
+  /// "always-empty-predicate", "dead-rule", "subsumed-rule",
+  /// "redundant-body-atom" and (goal-directed) "unbound-adornment".
+  bool dataflow = true;
 };
 
 struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;
   FragmentClassification fragments;
   RecursionReport recursion;
+  /// Check ids removed from the registry via DisableCheck, so consumers
+  /// (mondet-lint --json) can tell "clean" apart from "not run".
+  std::vector<std::string> disabled_checks;
 
   bool ok() const { return !HasErrors(diagnostics); }
 };
@@ -101,6 +108,8 @@ class ProgramAnalyzer {
 
   void AddCheck(std::string id, CheckFn fn);
   /// Removes a check by id; returns false when no such check exists.
+  /// Disabled ids are recorded and surface in
+  /// AnalysisResult::disabled_checks of every later Analyze call.
   bool DisableCheck(const std::string& id);
   std::vector<std::string> CheckIds() const;
 
@@ -113,6 +122,7 @@ class ProgramAnalyzer {
     CheckFn fn;
   };
   std::vector<Check> checks_;
+  std::vector<std::string> disabled_ids_;
 };
 
 /// Convenience: runs the default analyzer.

@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/dataflow.h"
 #include "datalog/parser.h"
 
 namespace mondet {
@@ -66,7 +67,13 @@ std::string RenderJson(const LintResult& result, const Program* program) {
      << CountSeverity(result.diagnostics, Severity::kError)
      << ",\"warnings\":"
      << CountSeverity(result.diagnostics, Severity::kWarning)
-     << ",\"notes\":" << CountSeverity(result.diagnostics, Severity::kNote);
+     << ",\"notes\":" << CountSeverity(result.diagnostics, Severity::kNote)
+     << ",\"disabled_checks\":[";
+  for (size_t i = 0; i < result.analysis.disabled_checks.size(); ++i) {
+    if (i) os << ",";
+    os << JsonQuote(result.analysis.disabled_checks[i]);
+  }
+  os << "]";
   if (program) {
     const FragmentClassification& f = result.analysis.fragments;
     const RecursionReport& r = result.analysis.recursion;
@@ -84,6 +91,9 @@ std::string RenderJson(const LintResult& result, const Program* program) {
       os << JsonQuote(program->vocab()->name(r.cyclic_idbs[i]));
     }
     os << "]}";
+  }
+  if (!result.dataflow.empty()) {
+    os << ",\"dataflow\":" << JsonQuote(result.dataflow);
   }
   os << ",\"diagnostics\":" << DiagnosticsToJson(result.diagnostics) << "}";
   return os.str();
@@ -194,15 +204,28 @@ LintResult LintProgramText(const std::string& text,
           "goal predicate " + goal_name + " does not occur in the program"));
     }
   }
-  result.analysis = AnalyzeProgram(program, analysis_options);
+  ProgramAnalyzer analyzer;
+  for (const std::string& id : options.disabled_checks) {
+    if (!analyzer.DisableCheck(id)) {
+      result.diagnostics.push_back(MakeDiagnostic(
+          Severity::kWarning, "unknown-check",
+          "--disable-check " + id + " matches no registered check"));
+    }
+  }
+  result.analysis = analyzer.Analyze(program, analysis_options);
   result.diagnostics.insert(result.diagnostics.end(),
                             result.analysis.diagnostics.begin(),
                             result.analysis.diagnostics.end());
+  if (options.dataflow_dump) {
+    result.dataflow = DescribeDataflow(
+        program,
+        AnalyzeDataflow(program, analysis_options.goal, nullptr), nullptr);
+  }
   bool failed = HasErrors(result.diagnostics) ||
                 (options.werror &&
                  CountSeverity(result.diagnostics, Severity::kWarning) > 0);
   result.exit_code = failed ? 1 : 0;
-  result.text = RenderText(result, &program, vocab);
+  result.text = RenderText(result, &program, vocab) + result.dataflow;
   result.json = RenderJson(result, &program);
   return result;
 }

@@ -20,6 +20,15 @@ struct LintOptions {
   std::vector<Fragment> required_fragments;
   /// Treat warnings as errors for the exit code.
   bool werror = false;
+  /// Check ids to remove from the analyzer registry before running
+  /// (mondet-lint --disable-check). Disabled ids surface in the JSON
+  /// output ("disabled_checks"), so "clean" and "not run" stay
+  /// distinguishable; unknown ids produce an "unknown-check" warning.
+  std::vector<std::string> disabled_checks;
+  /// Append the abstract dataflow fixpoint dump (mondet-lint --dataflow,
+  /// analysis/dataflow.h DescribeDataflow) to the text report and embed
+  /// it in the JSON output.
+  bool dataflow_dump = false;
 };
 
 struct LintResult {
@@ -33,6 +42,9 @@ struct LintResult {
   std::string text;
   /// Machine-readable report: one JSON object (stable field order).
   std::string json;
+  /// DescribeDataflow dump; filled only under LintOptions::dataflow_dump
+  /// (it is already appended to `text` and embedded in `json`).
+  std::string dataflow;
 };
 
 /// Parses and analyzes one program. Never aborts: parse failures become

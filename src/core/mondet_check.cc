@@ -197,7 +197,12 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
       }
     }
     if (!memo_hit) {
-      Instance raw = views.Image(qi.inst);
+      // One image per expansion, instances a few facts each: like the
+      // query evals below, too small to amortize per-instance dataflow
+      // analysis.
+      EvalOptions img_opts;
+      img_opts.dataflow_prune = false;
+      Instance raw = views.Image(qi.inst, nullptr, img_opts);
       image_facts = raw.facts();
       if (options.test_cache) {
         image_memo[qi_hash].push_back(
@@ -291,6 +296,10 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
         EvalOptions eopts;
         eopts.num_threads = 1;
         if (block_stats) eopts.stats = &*block_stats;
+        // Thousands of µs-scale evals per check: the per-instance
+        // dataflow analysis can never amortize here, same reason the
+        // stats snapshot above bypasses live collection.
+        eopts.dataflow_prune = false;
         return compiled_query.Eval(*dprime, nullptr, eopts)
             .HasFact(query.goal, qi.frontier);
       };

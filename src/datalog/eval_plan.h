@@ -67,6 +67,24 @@ struct EvalOptions {
   /// selectivities (see the convergence test). Only consulted when
   /// plan_feedback engages.
   Stats* feedback = nullptr;
+  /// Abstract-interpretation pruning (analysis/dataflow.h): before the
+  /// stratum loop, run the emptiness/constant-set fixpoint seeded from
+  /// the input and skip seating the provably-dead rules — their bodies
+  /// are unsatisfiable over (an overapproximation of) the fixpoint, so
+  /// they can never derive a fact and skipping them leaves the result,
+  /// its insertion order and all derivation counts bit-identical
+  /// (pinned by eval_differential_test / plan_differential_test arms and
+  /// tests/dataflow_soundness_test.cc). EvalStats::rules_pruned counts
+  /// the skipped rules.
+  bool dataflow_prune = true;
+  /// Input-size gate for dataflow_prune, the stats_min_facts idiom again:
+  /// the seeded analysis costs O(program + input) per run, so on a tiny
+  /// instance it cannot pay for the join work it saves — and the
+  /// canonical-test inner loops evaluate thousands of µs-scale instances
+  /// per check. Below the gate Eval skips the analysis and prunes
+  /// nothing (correctness is unaffected either way). Set to 0 to force
+  /// pruning on any input (the differential and soundness tests do).
+  size_t dataflow_min_facts = 8;
 };
 
 /// The join order one (rule, delta-seat) pair ran with, with the planner's
@@ -113,6 +131,7 @@ struct EvalStats {
   size_t rederived = 0;        // DRed: provisional deletions revived
   size_t join_probes = 0;
   size_t replans = 0;
+  size_t rules_pruned = 0;  // rules skipped by EvalOptions::dataflow_prune
   size_t stats_applies = 0;        // sum over strata (see StratumStats)
   size_t stats_facts_counted = 0;  // sum over strata (see StratumStats)
   // Predicates whose feedback correction factor ended the run away from

@@ -242,6 +242,111 @@ TEST(Checks, PlanLintFlagsCrossProduct) {
 }
 
 // ---------------------------------------------------------------------------
+// Dataflow checks (analysis/dataflow.h surfaced through the analyzer)
+
+// Exercises all five dataflow checks (examples/programs/dead_rules.dl
+// mirrors this text): Empty has no base case, Uses depends on it, rule 3
+// is subsumed by rule 2, rule 4 duplicates a body atom, and Helper is
+// only ever called with no bound argument under goal Query.
+constexpr char kDeadRules[] = R"(
+  Empty(x) :- Link(x,y), Empty(y).
+  Uses(x) :- Empty(x).
+  Path(x,y) :- Link(x,y).
+  Path(x,y) :- Link(x,y), Link(y,_z).
+  Dup(x) :- Link(x,y), Link(x,y).
+  Query(x) :- Helper(y), Path(y,x).
+  Helper(x) :- Link(x,x).
+)";
+
+TEST(DataflowChecks, FlagsEmptyPredicatesAndDeadRules) {
+  auto vocab = MakeVocabulary();
+  Program p = MustParse(kDeadRules, vocab);
+  AnalysisResult result = AnalyzeProgram(p);
+  auto empty = WithCheck(result.diagnostics, "always-empty-predicate");
+  ASSERT_EQ(empty.size(), 2u);
+  EXPECT_NE(empty[0].message.find("Empty"), std::string::npos);
+  EXPECT_NE(empty[1].message.find("Uses"), std::string::npos);
+  EXPECT_EQ(empty[0].severity, Severity::kWarning);
+  auto dead = WithCheck(result.diagnostics, "dead-rule");
+  ASSERT_EQ(dead.size(), 2u);
+  EXPECT_EQ(dead[0].loc.rule, 0);
+  EXPECT_EQ(dead[0].loc.atoms, std::vector<int>{1});  // the Empty(y) atom
+  EXPECT_EQ(dead[1].loc.rule, 1);
+}
+
+TEST(DataflowChecks, FlagsSubsumedRulesAndRedundantAtoms) {
+  auto vocab = MakeVocabulary();
+  Program p = MustParse(kDeadRules, vocab);
+  AnalysisResult result = AnalyzeProgram(p);
+  auto subsumed = WithCheck(result.diagnostics, "subsumed-rule");
+  ASSERT_EQ(subsumed.size(), 1u);
+  EXPECT_EQ(subsumed[0].loc.rule, 3);
+  EXPECT_NE(subsumed[0].message.find("subsumed by rule 2"),
+            std::string::npos);
+  auto redundant = WithCheck(result.diagnostics, "redundant-body-atom");
+  ASSERT_EQ(redundant.size(), 2u);  // both copies of the duplicated atom
+  EXPECT_EQ(redundant[0].loc.rule, 4);
+  EXPECT_EQ(redundant[1].loc.rule, 4);
+}
+
+TEST(DataflowChecks, UnboundAdornmentNeedsBindingGoal) {
+  auto vocab = MakeVocabulary();
+  Program p = MustParse(kDeadRules, vocab);
+  AnalysisOptions options;
+  options.goal = vocab->FindPredicate("Query");
+  AnalysisResult result = AnalyzeProgram(p, options);
+  auto notes = WithCheck(result.diagnostics, "unbound-adornment");
+  ASSERT_EQ(notes.size(), 1u);
+  EXPECT_EQ(notes[0].severity, Severity::kNote);
+  EXPECT_EQ(notes[0].loc.rule, 5);
+  EXPECT_EQ(notes[0].loc.atoms, std::vector<int>{0});
+  EXPECT_NE(notes[0].message.find("Helper"), std::string::npos);
+  // Without a goal there is no binding source; with a nullary goal the
+  // all-free pattern is vacuous. Both stay silent.
+  EXPECT_TRUE(
+      WithCheck(AnalyzeProgram(p).diagnostics, "unbound-adornment").empty());
+  auto vocab2 = MakeVocabulary();
+  Program reach = MustParse(kReach, vocab2);
+  AnalysisOptions opt2;
+  opt2.goal = vocab2->FindPredicate("Goal");
+  EXPECT_TRUE(WithCheck(AnalyzeProgram(reach, opt2).diagnostics,
+                        "unbound-adornment")
+                  .empty());
+}
+
+TEST(DataflowChecks, DataflowOptionTurnsAllFiveOff) {
+  auto vocab = MakeVocabulary();
+  Program p = MustParse(kDeadRules, vocab);
+  AnalysisOptions options;
+  options.goal = vocab->FindPredicate("Query");
+  options.dataflow = false;
+  AnalysisResult result = AnalyzeProgram(p, options);
+  for (const char* id :
+       {"always-empty-predicate", "dead-rule", "subsumed-rule",
+        "redundant-body-atom", "unbound-adornment"}) {
+    EXPECT_TRUE(WithCheck(result.diagnostics, id).empty()) << id;
+  }
+}
+
+TEST(Analyzer, DisableCheckRecordsDisabledIds) {
+  auto vocab = MakeVocabulary();
+  Program p = MustParse(kDeadRules, vocab);
+  ProgramAnalyzer analyzer;
+  EXPECT_TRUE(analyzer.DisableCheck("dead-rule"));
+  EXPECT_TRUE(analyzer.DisableCheck("plan-lints"));
+  EXPECT_FALSE(analyzer.DisableCheck("no-such-check"));
+  AnalysisResult result = analyzer.Analyze(p);
+  EXPECT_EQ(result.disabled_checks,
+            (std::vector<std::string>{"dead-rule", "plan-lints"}));
+  EXPECT_TRUE(WithCheck(result.diagnostics, "dead-rule").empty());
+  // The other dataflow checks still ran.
+  EXPECT_FALSE(
+      WithCheck(result.diagnostics, "always-empty-predicate").empty());
+  // A result from an analyzer with nothing disabled records nothing.
+  EXPECT_TRUE(ProgramAnalyzer().Analyze(p).disabled_checks.empty());
+}
+
+// ---------------------------------------------------------------------------
 // Fragment classification and witnesses
 
 TEST(Fragments, ClassifiesReachAndSameGen) {
@@ -339,7 +444,9 @@ TEST(Analyzer, RegistryListsDisablesAndExtends) {
   for (const char* expected :
        {"safety", "arity", "reachability", "singleton-variable",
         "recursion-structure", "fragment-non-recursive", "fragment-monadic",
-        "fragment-frontier-guarded", "plan-lints"}) {
+        "fragment-frontier-guarded", "plan-lints", "always-empty-predicate",
+        "dead-rule", "subsumed-rule", "redundant-body-atom",
+        "unbound-adornment"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), expected), ids.end())
         << expected;
   }
@@ -461,7 +568,7 @@ TEST(Lint, CleanProgramGoldenJson) {
   EXPECT_TRUE(result.parsed);
   EXPECT_EQ(result.json,
             "{\"ok\":true,\"parsed\":true,\"rules\":1,\"errors\":0,"
-            "\"warnings\":0,\"notes\":1,"
+            "\"warnings\":0,\"notes\":1,\"disabled_checks\":[],"
             "\"fragments\":{\"non_recursive\":true,\"monadic\":true,"
             "\"frontier_guarded\":true},"
             "\"recursion\":{\"strata\":1,\"recursive\":false,\"linear\":true,"
@@ -588,6 +695,88 @@ TEST(Lint, GoalCommentAndOptionControlReachability) {
       LintProgramText("Goal() :- P(x).\nP(x) :- U(x).\n", options);
   EXPECT_EQ(bad_goal.exit_code, 1);
   EXPECT_FALSE(WithCheck(bad_goal.diagnostics, "goal").empty());
+}
+
+TEST(Lint, DisableCheckSurfacesInJsonAndWarnsOnUnknownIds) {
+  LintOptions options;
+  options.disabled_checks = {"dead-rule", "no-such-check"};
+  LintResult result = LintProgramText(kDeadRules, options);
+  // Only successfully disabled ids are recorded — "clean because the
+  // check was off" stays distinguishable from "clean".
+  EXPECT_NE(result.json.find("\"disabled_checks\":[\"dead-rule\"]"),
+            std::string::npos)
+      << result.json;
+  EXPECT_TRUE(WithCheck(result.diagnostics, "dead-rule").empty());
+  EXPECT_FALSE(
+      WithCheck(result.diagnostics, "always-empty-predicate").empty());
+  auto unknown = WithCheck(result.diagnostics, "unknown-check");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_NE(unknown[0].message.find("no-such-check"), std::string::npos);
+}
+
+TEST(Lint, DataflowDumpAppendedToTextAndJson) {
+  LintOptions options;
+  options.goal = "Query";
+  options.dataflow_dump = true;
+  LintResult result = LintProgramText(kDeadRules, options);
+  ASSERT_FALSE(result.dataflow.empty());
+  EXPECT_NE(result.dataflow.find("emptiness/constant-set fixpoint"),
+            std::string::npos)
+      << result.dataflow;
+  EXPECT_NE(result.dataflow.find("Empty/1 idb: empty"), std::string::npos)
+      << result.dataflow;
+  EXPECT_NE(result.dataflow.find("rule 0: dead"), std::string::npos);
+  EXPECT_NE(result.dataflow.find("rule 3: subsumed by rule 2"),
+            std::string::npos)
+      << result.dataflow;
+  EXPECT_NE(result.dataflow.find("adornments"), std::string::npos);
+  // The dump rides along in both rendered forms.
+  EXPECT_NE(result.text.find(result.dataflow), std::string::npos);
+  EXPECT_NE(result.json.find("\"dataflow\":"), std::string::npos);
+  // Off by default.
+  EXPECT_TRUE(LintProgramText(kDeadRules).dataflow.empty());
+}
+
+TEST(Lint, SarifRuleTableCoversEveryRegisteredCheck) {
+  // Legacy registry ids whose emitted diagnostic ids differ; everything
+  // else emits under its own id.
+  auto emitted_ids = [](const std::string& check) {
+    if (check == "reachability") {
+      return std::vector<std::string>{"unused-predicate", "unreachable-rule"};
+    }
+    if (check == "plan-lints") {
+      return std::vector<std::string>{"plan-cross-product"};
+    }
+    return std::vector<std::string>{check};
+  };
+
+  // Files that together trigger every registered check at least once.
+  std::vector<FileLint> files;
+  files.push_back({"safety.dl", LintProgramText("Goal(x) :- R(y,z).")});
+  files.push_back(
+      {"arity.dl", LintProgramText("A(x) :- R(x).\nB(x) :- R(x,y).")});
+  files.push_back({"reach.dl",
+                   LintProgramText("# goal: Goal\n"
+                                   "Goal() :- A(x), B(y).\n"
+                                   "P(x) :- U(x).\n")});
+  LintOptions frag_options;
+  frag_options.required_fragments = {Fragment::kNonRecursive,
+                                     Fragment::kMonadic,
+                                     Fragment::kFrontierGuarded};
+  files.push_back({"fragments.dl", LintProgramText(kSameGen, frag_options)});
+  LintOptions dataflow_options;
+  dataflow_options.goal = "Query";
+  files.push_back(
+      {"dataflow.dl", LintProgramText(kDeadRules, dataflow_options)});
+
+  std::string sarif = LintRunToSarif(files);
+  for (const std::string& check : ProgramAnalyzer().CheckIds()) {
+    for (const std::string& id : emitted_ids(check)) {
+      EXPECT_NE(sarif.find("{\"id\":\"" + id + "\"}"), std::string::npos)
+          << "registered check '" << check << "' never surfaced a SARIF "
+          << "rule entry for '" << id << "' — extend the trigger files";
+    }
+  }
 }
 
 TEST(Lint, ParseFragmentNames) {

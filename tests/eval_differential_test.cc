@@ -123,6 +123,24 @@ TEST_P(EvalDifferential, NaiveSeminaiveParallelAgree) {
   }
   EXPECT_EQ(stats1.facts_derived, stats4.facts_derived) << "seed " << seed;
   EXPECT_EQ(stats1.iterations, stats4.iterations) << "seed " << seed;
+
+  // Dataflow pruning (on by default above) must be invisible: with it
+  // off, both thread counts still produce the exact same fact sequence.
+  EvalOptions off1{1}, off4{4};
+  off1.dataflow_prune = false;
+  off4.dataflow_prune = false;
+  EvalStats stats_off1;
+  Instance noprune1 = FpEval(program, inst, &stats_off1, off1);
+  Instance noprune4 = FpEval(program, inst, nullptr, off4);
+  EXPECT_EQ(stats_off1.rules_pruned, 0u);
+  ASSERT_EQ(semi1.num_facts(), noprune1.num_facts()) << "seed " << seed;
+  ASSERT_EQ(semi1.num_facts(), noprune4.num_facts()) << "seed " << seed;
+  for (size_t i = 0; i < semi1.num_facts(); ++i) {
+    EXPECT_EQ(semi1.facts()[i], noprune1.facts()[i])
+        << "seed " << seed << " fact " << i;
+    EXPECT_EQ(semi1.facts()[i], noprune4.facts()[i])
+        << "seed " << seed << " fact " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EvalDifferential, ::testing::Range(0u, 220u));

@@ -19,6 +19,7 @@
 #include <random>
 #include <vector>
 
+#include "analysis/dataflow.h"
 #include "datalog/eval.h"
 #include "datalog/eval_plan.h"
 #include "datalog/program.h"
@@ -183,6 +184,7 @@ TEST_P(PlanDifferential, StatsPlansAgreeWithOracleAndAvoidCrossProducts) {
   opt1.num_threads = 1;
   opt1.plan_stats = true;
   opt1.stats_min_facts = 0;
+  opt1.dataflow_min_facts = 0;  // same reason: pruning itself is under test
   EvalStats stats1;
   Instance semi1 = compiled.Eval(inst, &stats1, opt1);
   ASSERT_EQ(naive.num_facts(), semi1.num_facts())
@@ -242,7 +244,35 @@ TEST_P(PlanDifferential, StatsPlansAgreeWithOracleAndAvoidCrossProducts) {
       }
     }
   }
-  EXPECT_TRUE(saw_seat) << "plan_stats produced no seat observations";
+  // Provably-dead rules are never seated (dataflow pruning, on by
+  // default), so seats appear exactly when some rule is live.
+  const std::vector<bool> dead = DeadRuleMask(program, inst);
+  size_t n_dead = 0;
+  for (bool d : dead) n_dead += d ? 1 : 0;
+  if (n_dead < dead.size()) {
+    EXPECT_TRUE(saw_seat) << "plan_stats produced no seat observations";
+  }
+  EXPECT_EQ(stats1.rules_pruned, n_dead) << "seed " << seed;
+
+  // 6. Dataflow pruning off: byte-identical fact sequence to the pruned
+  // stats-driven runs at both thread counts (pruning only skips rules
+  // that derive nothing, so it is invisible in the result).
+  EvalOptions opt_noprune1 = opt1;
+  opt_noprune1.dataflow_prune = false;
+  EvalOptions opt_noprune4 = opt4;
+  opt_noprune4.dataflow_prune = false;
+  EvalStats stats_np;
+  Instance noprune1 = compiled.Eval(inst, &stats_np, opt_noprune1);
+  Instance noprune4 = compiled.Eval(inst, nullptr, opt_noprune4);
+  EXPECT_EQ(stats_np.rules_pruned, 0u);
+  ASSERT_EQ(semi1.num_facts(), noprune1.num_facts()) << "seed " << seed;
+  ASSERT_EQ(semi1.num_facts(), noprune4.num_facts()) << "seed " << seed;
+  for (size_t i = 0; i < semi1.num_facts(); ++i) {
+    EXPECT_EQ(semi1.facts()[i], noprune1.facts()[i])
+        << "seed " << seed << " fact " << i;
+    EXPECT_EQ(semi1.facts()[i], noprune4.facts()[i])
+        << "seed " << seed << " fact " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanDifferential, ::testing::Range(0u, 200u));

@@ -15,6 +15,11 @@
 //   --require-fragment FRAGMENT  non-recursive | monadic | frontier-guarded
 //                                (repeatable; violations become errors)
 //   --werror                     warnings fail the run
+//   --dataflow                   dump the abstract-interpretation fixpoint
+//                                per predicate (emptiness/constant sets,
+//                                dead/subsumed rules, adornments)
+//   --disable-check ID           remove a check from the registry
+//                                (repeatable; recorded in --json output)
 //
 // Exit codes: 0 clean, 1 diagnostics failed a file, 2 usage/IO error —
 // usable as a CI gate (scripts/tier1.sh runs it over examples/programs/).
@@ -35,6 +40,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--json|--sarif] [--goal NAME] [--werror]\n"
+               "       [--dataflow] [--disable-check ID]...\n"
                "       [--require-fragment non-recursive|monadic|"
                "frontier-guarded]... <file>...\n",
                argv0);
@@ -56,6 +62,11 @@ int main(int argc, char** argv) {
       sarif = true;
     } else if (arg == "--werror") {
       options.werror = true;
+    } else if (arg == "--dataflow") {
+      options.dataflow_dump = true;
+    } else if (arg == "--disable-check") {
+      if (++i >= argc) return Usage(argv[0]);
+      options.disabled_checks.push_back(argv[i]);
     } else if (arg == "--goal") {
       if (++i >= argc) return Usage(argv[0]);
       options.goal = argv[i];
