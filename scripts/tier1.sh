@@ -64,7 +64,7 @@ fi
 # oracle (concrete fixpoint contained in the abstract one, dead rules
 # never fire, pruning bit-identical at 1/4 threads).
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test mondet-fuzz
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
 ./build-asan/tests/dataflow_soundness_test
@@ -74,6 +74,26 @@ MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=1 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/mondet_parallel_test
+
+# Fuzz smoke arm: mondet-fuzz over every registered oracle at fixed
+# seeds under ASan/UBSan (~10s). Deterministic — the same seeds every
+# run, so a failure here is a reproducible regression, and the harness
+# prints the shrunk `.repro` path in its failure output (replay with
+# `mondet-fuzz --replay <path>`).
+FUZZ_OUT="build-asan/fuzz-repros"
+mkdir -p "$FUZZ_OUT"
+if ! ./build-asan/tools/mondet-fuzz --seeds 16 --out "$FUZZ_OUT"; then
+  echo "tier1: fuzz smoke FAILED — shrunk repros under $FUZZ_OUT" \
+       "(see 'repro written to' lines above)" >&2
+  exit 1
+fi
+
+# Fault-injection gate: a deliberately broken evaluator
+# (MONDET_FAULT=skip-delta-seat drops the last recursive delta seat)
+# must be caught by the eval-differential oracle within the smoke seed
+# budget and shrunk to <= 5 rules — proof the harness detects and the
+# shrinker reduces, not just that everything is green.
+./scripts/check_fuzz_fault.sh ./build-asan/tools/mondet-fuzz
 
 # Race detection: the two genuinely multi-threaded oracles — the parallel
 # counterexample search and the maintained-materialization differential —

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -57,6 +58,23 @@ int ResolveEvalThreads(int requested) {
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
+
+namespace {
+
+/// Deliberate fault injection for the fuzz harness' self-test
+/// (scripts/check_fuzz_fault.sh): with MONDET_FAULT=skip-delta-seat the
+/// last recursive delta seat of every rule is never scheduled — the
+/// classic semi-naive omission (a recursive atom whose deltas are never
+/// joined), which the differential oracles must catch and shrink.
+bool FaultSkipDeltaSeat() {
+  static const bool on = [] {
+    const char* env = std::getenv("MONDET_FAULT");
+    return env != nullptr && std::strcmp(env, "skip-delta-seat") == 0;
+  }();
+  return on;
+}
+
+}  // namespace
 
 namespace {
 
@@ -561,6 +579,10 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
         const RulePlan& plan = plans_[pi];
         for (int r = 0; r < static_cast<int>(plan.recursive_atoms.size());
              ++r) {
+          if (FaultSkipDeltaSeat() &&
+              r == static_cast<int>(plan.recursive_atoms.size()) - 1) {
+            continue;
+          }
           auto it = by_pred.find(plan.body[plan.recursive_atoms[r]].pred);
           if (it == by_pred.end()) continue;
           WorkItem w;

@@ -1,0 +1,321 @@
+#include "testing/corpus.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "testing/describe.h"
+
+namespace mondet {
+namespace testing {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses one `Pred(e0,e3)` fact rendering (no sign, no trailing dot).
+bool ParseFactBody(const std::string& text, const VocabularyPtr& vocab,
+                   size_t num_elements, Fact* out, std::string* error) {
+  size_t open = text.find('(');
+  size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open) {
+    *error = "malformed fact `" + text + "`";
+    return false;
+  }
+  std::string name = Trim(text.substr(0, open));
+  std::optional<PredId> pred = vocab->FindPredicate(name);
+  if (!pred.has_value()) {
+    *error = "unknown predicate `" + name + "`";
+    return false;
+  }
+  std::vector<ElemId> args;
+  std::string inner = Trim(text.substr(open + 1, close - open - 1));
+  if (!inner.empty()) {
+    std::istringstream in(inner);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      tok = Trim(tok);
+      if (tok.size() < 2 || tok[0] != 'e') {
+        *error = "malformed element `" + tok + "`";
+        return false;
+      }
+      int idx = -1;
+      try {
+        idx = std::stoi(tok.substr(1));
+      } catch (...) {
+        idx = -1;
+      }
+      if (idx < 0 || static_cast<size_t>(idx) >= num_elements) {
+        *error = "element `" + tok + "` out of range";
+        return false;
+      }
+      args.push_back(static_cast<ElemId>(idx));
+    }
+  }
+  if (static_cast<int>(args.size()) != vocab->arity(*pred)) {
+    *error = "arity mismatch for `" + name + "`";
+    return false;
+  }
+  *out = Fact(*pred, std::move(args));
+  return true;
+}
+
+struct Section {
+  std::string header;  // inside the brackets, e.g. "view VA1"
+  std::vector<std::string> lines;
+};
+
+}  // namespace
+
+std::string SerializeCase(const FuzzCase& c) {
+  std::string out;
+  out += "oracle: " + c.oracle + "\n";
+  out += "profile: " + c.profile.name + "\n";
+  out += "seed: " + std::to_string(c.seed) + "\n";
+  if (c.program.has_value()) {
+    out += "[program]\n" + DescribeProgram(*c.program);
+    if (!out.empty() && out.back() != '\n') out += "\n";
+  }
+  if (c.instance.has_value()) {
+    out += "[instance]\n" + DescribeInstance(*c.instance);
+  }
+  if (!c.schedule.empty()) {
+    out += "[schedule]\n" + DescribeSchedule(c.schedule, c.profile.vocab);
+  }
+  for (const ViewSpec& spec : c.views) {
+    out += "[view " + spec.name + "]\n";
+    if (spec.atomic_base != kNoPred) {
+      out += "atomic " + c.profile.vocab->name(spec.atomic_base) + "\n";
+    } else {
+      out += "goal " + spec.goal + "\n" + spec.text;
+      if (!spec.text.empty() && spec.text.back() != '\n') out += "\n";
+    }
+  }
+  if (c.tm.has_value()) {
+    out += "[tm]\n";
+    out += "machine " + c.tm->machine + "\n";
+    out += "input";
+    for (int sym : c.tm->input) out += " " + std::to_string(sym);
+    out += "\n";
+    out += "steps " + std::to_string(c.tm->max_steps) + "\n";
+  }
+  return out;
+}
+
+std::optional<FuzzCase> ParseCaseText(const std::string& text,
+                                      std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return std::nullopt;
+  };
+
+  std::vector<std::string> header_lines;
+  std::vector<Section> sections;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      std::string t = Trim(line);
+      if (!t.empty() && t.front() == '[' && t.back() == ']') {
+        sections.push_back(Section{Trim(t.substr(1, t.size() - 2)), {}});
+      } else if (!sections.empty()) {
+        sections.back().lines.push_back(line);
+      } else if (!t.empty()) {
+        header_lines.push_back(t);
+      }
+    }
+  }
+
+  FuzzCase c;
+  std::string profile_name;
+  for (const std::string& h : header_lines) {
+    size_t colon = h.find(':');
+    if (colon == std::string::npos) return fail("bad header line `" + h + "`");
+    std::string key = Trim(h.substr(0, colon));
+    std::string value = Trim(h.substr(colon + 1));
+    if (key == "oracle") {
+      c.oracle = value;
+    } else if (key == "profile") {
+      profile_name = value;
+    } else if (key == "seed") {
+      try {
+        c.seed = static_cast<unsigned>(std::stoul(value));
+      } catch (...) {
+        return fail("bad seed `" + value + "`");
+      }
+    } else {
+      return fail("unknown header key `" + key + "`");
+    }
+  }
+  if (c.oracle.empty()) return fail("missing `oracle:` header");
+  bool known_profile = false;
+  for (const std::string& n : ProfileNames()) {
+    if (n == profile_name) known_profile = true;
+  }
+  if (!known_profile) return fail("unknown profile `" + profile_name + "`");
+  c.profile = ProfileByName(profile_name);
+
+  for (const Section& sec : sections) {
+    std::string body;
+    for (const std::string& l : sec.lines) body += l + "\n";
+    if (sec.header == "program") {
+      ParseResult pr = ParseProgram(body, c.profile.vocab);
+      if (!pr.ok()) return fail("program: " + pr.error);
+      c.program = std::move(pr.program);
+    } else if (sec.header == "instance") {
+      Instance inst(c.profile.vocab);
+      bool have_elements = false;
+      for (const std::string& raw : sec.lines) {
+        std::string t = Trim(raw);
+        if (t.empty()) continue;
+        if (!have_elements) {
+          std::istringstream hl(t);
+          std::string kw;
+          int n = -1;
+          hl >> kw >> n;
+          if (kw != "elements" || n < 0) {
+            return fail("instance: expected `elements N`, got `" + t + "`");
+          }
+          for (int i = 0; i < n; ++i) inst.AddElement();
+          have_elements = true;
+          continue;
+        }
+        if (t.back() != '.') return fail("instance: fact without `.`");
+        Fact f(kNoPred, {});
+        std::string err;
+        if (!ParseFactBody(t.substr(0, t.size() - 1), c.profile.vocab,
+                           inst.num_elements(), &f, &err)) {
+          return fail("instance: " + err);
+        }
+        inst.AddFact(f);
+      }
+      if (!have_elements) return fail("instance: missing `elements N`");
+      c.instance = std::move(inst);
+    } else if (sec.header == "schedule") {
+      size_t instance_elems =
+          c.instance.has_value() ? c.instance->num_elements() : 0;
+      for (const std::string& raw : sec.lines) {
+        std::string t = Trim(raw);
+        if (t.empty()) continue;
+        if (t == "step") {
+          c.schedule.push_back(RawBatch{});
+          continue;
+        }
+        if (c.schedule.empty()) return fail("schedule: fact before `step`");
+        if ((t[0] != '+' && t[0] != '-') || t.back() != '.') {
+          return fail("schedule: expected `+Fact.`/`-Fact.`, got `" + t +
+                      "`");
+        }
+        Fact f(kNoPred, {});
+        std::string err;
+        if (!ParseFactBody(t.substr(1, t.size() - 2), c.profile.vocab,
+                           instance_elems, &f, &err)) {
+          return fail("schedule: " + err);
+        }
+        if (t[0] == '+') {
+          c.schedule.back().inserts.push_back(f);
+        } else {
+          c.schedule.back().deletes.push_back(f);
+        }
+      }
+    } else if (sec.header.rfind("view ", 0) == 0) {
+      ViewSpec spec;
+      spec.name = Trim(sec.header.substr(5));
+      if (spec.name.empty()) return fail("view section without a name");
+      bool have_kind = false;
+      for (const std::string& raw : sec.lines) {
+        std::string t = Trim(raw);
+        if (!have_kind) {
+          if (t.empty()) continue;
+          if (t.rfind("atomic ", 0) == 0) {
+            std::string pred_name = Trim(t.substr(7));
+            std::optional<PredId> pred =
+                c.profile.vocab->FindPredicate(pred_name);
+            if (!pred.has_value()) {
+              return fail("view " + spec.name + ": unknown base predicate `" +
+                          pred_name + "`");
+            }
+            spec.atomic_base = *pred;
+          } else if (t.rfind("goal ", 0) == 0) {
+            spec.goal = Trim(t.substr(5));
+          } else {
+            return fail("view " + spec.name +
+                        ": expected `atomic <Pred>` or `goal <G>`");
+          }
+          have_kind = true;
+          continue;
+        }
+        spec.text += raw + "\n";
+      }
+      if (!have_kind) return fail("view " + spec.name + ": empty section");
+      c.views.push_back(std::move(spec));
+    } else if (sec.header == "tm") {
+      TmCase tc;
+      for (const std::string& raw : sec.lines) {
+        std::string t = Trim(raw);
+        if (t.empty()) continue;
+        std::istringstream in(t);
+        std::string kw;
+        in >> kw;
+        if (kw == "machine") {
+          in >> tc.machine;
+        } else if (kw == "input") {
+          tc.input.clear();
+          int sym = 0;
+          while (in >> sym) tc.input.push_back(sym);
+        } else if (kw == "steps") {
+          long long n = -1;
+          in >> n;
+          if (n < 0) return fail("tm: bad steps");
+          tc.max_steps = static_cast<size_t>(n);
+        } else {
+          return fail("tm: unknown key `" + kw + "`");
+        }
+      }
+      if (tc.machine.empty()) return fail("tm: missing machine");
+      c.tm = std::move(tc);
+    } else {
+      return fail("unknown section `[" + sec.header + "]`");
+    }
+  }
+  return c;
+}
+
+std::optional<FuzzCase> LoadCaseFile(const std::string& path,
+                                     std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseCaseText(buf.str(), error);
+}
+
+bool SaveCaseFile(const FuzzCase& c, const std::string& path,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << SerializeCase(c);
+  out.close();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace testing
+}  // namespace mondet

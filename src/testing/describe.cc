@@ -1,0 +1,84 @@
+#include "testing/describe.h"
+
+#include <string>
+
+namespace mondet {
+namespace testing {
+
+namespace {
+
+std::string FactLine(const VocabularyPtr& vocab, const Fact& f) {
+  std::string out = vocab->name(f.pred) + "(";
+  for (size_t i = 0; i < f.args.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "e" + std::to_string(f.args[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace
+
+std::string DescribeProgram(const Program& program) {
+  return program.DebugString();
+}
+
+std::string DescribeInstance(const Instance& inst) {
+  std::string out = "elements " + std::to_string(inst.num_elements()) + "\n";
+  for (const Fact& f : inst.facts()) {
+    out += FactLine(inst.vocab(), f) + ".\n";
+  }
+  return out;
+}
+
+std::string DescribeSchedule(const std::vector<RawBatch>& schedule,
+                             const VocabularyPtr& vocab) {
+  std::string out;
+  for (const RawBatch& batch : schedule) {
+    out += "step\n";
+    for (const Fact& f : batch.inserts) {
+      out += "+" + FactLine(vocab, f) + ".\n";
+    }
+    for (const Fact& f : batch.deletes) {
+      out += "-" + FactLine(vocab, f) + ".\n";
+    }
+  }
+  return out;
+}
+
+std::string DescribeViews(const std::vector<ViewSpec>& specs) {
+  std::string out;
+  for (const ViewSpec& spec : specs) {
+    out += "view " + spec.name + "\n";
+    if (spec.atomic_base != kNoPred) {
+      out += "atomic\n";
+    } else {
+      out += "goal " + spec.goal + "\n" + spec.text;
+      if (!spec.text.empty() && spec.text.back() != '\n') out += "\n";
+    }
+  }
+  return out;
+}
+
+std::string Describe(const GenProfile& profile, unsigned seed,
+                     const Program& program, const Instance* inst) {
+  std::string out = "profile " + profile.name + " seed " +
+                    std::to_string(seed) + "\nprogram:\n" +
+                    DescribeProgram(program);
+  if (inst != nullptr) {
+    out += "instance:\n" + DescribeInstance(*inst);
+  }
+  return out;
+}
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace testing
+}  // namespace mondet

@@ -1,0 +1,51 @@
+#ifndef MONDET_TESTING_DESCRIBE_H_
+#define MONDET_TESTING_DESCRIBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "datalog/program.h"
+#include "testing/generator.h"
+
+namespace mondet {
+namespace testing {
+
+/// Canonical textual rendering of a generated program: exactly
+/// Program::DebugString (one parseable rule per line). The golden test
+/// hashes this, and corpus files embed it, so it doubles as the
+/// serialization format.
+std::string DescribeProgram(const Program& program);
+
+/// Canonical textual rendering of an instance: an `elements N` header
+/// followed by one `Pred(e0,e3).` line per fact in insertion order.
+/// Element i renders as `e<i>` regardless of debug names — the corpus
+/// parser maps the index back, so round-trips are id-exact (ParseInstance
+/// is not: it interns elements in first-use order).
+std::string DescribeInstance(const Instance& inst);
+
+/// One `+Fact` / `-Fact` line per raw mutation, batches separated by
+/// `step` lines. Raw batches are rendered as drawn (duplicates and
+/// deletes of absent facts included): normalization is replayed by the
+/// consumer against the evolving base, so the text stays base-independent.
+std::string DescribeSchedule(const std::vector<RawBatch>& schedule,
+                             const VocabularyPtr& vocab);
+
+/// One block per view: `atomic <Pred>` or the goal plus definition text.
+std::string DescribeViews(const std::vector<ViewSpec>& specs);
+
+/// The standard failure-message preamble of the differential oracles:
+/// profile, seed, full program, and (when given) the instance — so a bare
+/// gtest failure line always carries enough to reproduce by hand.
+std::string Describe(const GenProfile& profile, unsigned seed,
+                     const Program& program, const Instance* inst);
+
+/// FNV-1a 64-bit over the bytes of `s`; the golden tests pin aggregate
+/// hashes of generated-artifact renderings with it.
+uint64_t Fnv1a(const std::string& s);
+
+}  // namespace testing
+}  // namespace mondet
+
+#endif  // MONDET_TESTING_DESCRIBE_H_

@@ -1,0 +1,840 @@
+#include "testing/oracle.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/dataflow.h"
+#include "base/homomorphism.h"
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/eval_plan.h"
+#include "reductions/thm9.h"
+#include "reductions/tiling.h"
+#include "testing/corpus.h"
+#include "testing/reference.h"
+#include "testing/tm.h"
+
+namespace mondet {
+namespace testing {
+
+namespace {
+
+OracleOutcome Fail(const FuzzCase& c, const std::string& detail) {
+  return {false, detail + "\n--- case ---\n" + DescribeCase(c)};
+}
+
+OracleOutcome Pass() { return {true, ""}; }
+
+// --- Shared comparison helpers (gtest-free ports of the test idioms). ----
+
+/// Same fact *set*: `got` holds exactly the facts of `want`.
+std::optional<std::string> DiffSets(const Instance& want, const Instance& got,
+                                    const std::string& tag) {
+  if (want.num_facts() != got.num_facts()) {
+    return tag + ": fact counts differ (" + std::to_string(want.num_facts()) +
+           " vs " + std::to_string(got.num_facts()) + ")";
+  }
+  for (const Fact& f : want.facts()) {
+    if (!got.HasFact(f)) {
+      return tag + ": missing fact " + FactToString(want, f);
+    }
+  }
+  return std::nullopt;
+}
+
+/// Same fact *sequence*: byte-identical insertion order.
+std::optional<std::string> DiffSequences(const Instance& a, const Instance& b,
+                                         const std::string& tag) {
+  if (a.num_facts() != b.num_facts()) {
+    return tag + ": fact counts differ (" + std::to_string(a.num_facts()) +
+           " vs " + std::to_string(b.num_facts()) + ")";
+  }
+  for (size_t i = 0; i < a.num_facts(); ++i) {
+    if (!(a.facts()[i] == b.facts()[i])) {
+      return tag + ": fact " + std::to_string(i) + " differs (" +
+             FactToString(a, a.facts()[i]) + " vs " +
+             FactToString(b, b.facts()[i]) + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+// --- eval-differential ------------------------------------------------------
+// Port of tests/eval_differential_test.cc: naive reference vs semi-naive
+// at 1 and 4 threads — same set vs the oracle, same *sequence* and stats
+// across thread counts, and dataflow pruning invisible with it off.
+
+class EvalOracle : public Oracle {
+ public:
+  std::string name() const override { return "eval-differential"; }
+  GenProfile Profile() const override { return EvalProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = EvalProfile();
+    c.program = RandomProgram(c.profile, 7000 + seed);
+    c.instance =
+        RandomInstance(c.profile.vocab, SeededPreds(c.profile, seed),
+                       c.profile.elems, c.profile.facts, 9000 + seed);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    const Program& program = *c.program;
+    const Instance& inst = *c.instance;
+
+    Instance naive = NaiveFpEval(program, inst);
+    EvalStats stats1, stats4;
+    Instance semi1 = FpEval(program, inst, &stats1, EvalOptions{1});
+    Instance semi4 = FpEval(program, inst, &stats4, EvalOptions{4});
+
+    if (auto d = DiffSets(naive, semi1, "naive vs 1T")) return Fail(c, *d);
+    if (auto d = DiffSequences(semi1, semi4, "1T vs 4T")) return Fail(c, *d);
+    if (stats1.facts_derived != stats4.facts_derived) {
+      return Fail(c, "facts_derived differs across thread counts");
+    }
+    if (stats1.iterations != stats4.iterations) {
+      return Fail(c, "iterations differs across thread counts");
+    }
+
+    EvalOptions off1{1}, off4{4};
+    off1.dataflow_prune = false;
+    off4.dataflow_prune = false;
+    EvalStats stats_off1;
+    Instance noprune1 = FpEval(program, inst, &stats_off1, off1);
+    Instance noprune4 = FpEval(program, inst, nullptr, off4);
+    if (stats_off1.rules_pruned != 0) {
+      return Fail(c, "rules_pruned nonzero with pruning off");
+    }
+    if (auto d = DiffSequences(semi1, noprune1, "pruned vs unpruned 1T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(semi1, noprune4, "pruned 1T vs unpruned 4T")) {
+      return Fail(c, *d);
+    }
+    return Pass();
+  }
+};
+
+// --- plan-differential ------------------------------------------------------
+// Port of tests/plan_differential_test.cc: the stats-driven planner
+// agrees with the naive oracle, is deterministic across threads,
+// invariant under planner/feedback/pruning toggles, and never executes a
+// cross product on a connected join graph.
+
+/// True when the rule's join graph — body atoms as nodes, edges between
+/// atoms sharing a variable — has a single component (nullary excluded).
+bool ConnectedJoinGraph(const Rule& rule) {
+  std::vector<int> nodes;
+  for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
+    if (!rule.body[i].args.empty()) nodes.push_back(i);
+  }
+  if (nodes.size() <= 1) return true;
+  std::vector<bool> seen(rule.body.size(), false);
+  std::vector<int> stack = {nodes[0]};
+  seen[nodes[0]] = true;
+  size_t reached = 1;
+  auto shares = [&](int a, int b) {
+    for (VarId va : rule.body[a].args) {
+      for (VarId vb : rule.body[b].args) {
+        if (va == vb) return true;
+      }
+    }
+    return false;
+  };
+  while (!stack.empty()) {
+    int cur = stack.back();
+    stack.pop_back();
+    for (int nxt : nodes) {
+      if (!seen[nxt] && shares(cur, nxt)) {
+        seen[nxt] = true;
+        ++reached;
+        stack.push_back(nxt);
+      }
+    }
+  }
+  return reached == nodes.size();
+}
+
+/// Replays one executed seat order; returns a message if any step joins
+/// an atom with no bound variable while something is already bound (=
+/// cross product). Nullary atoms are filters and exempt.
+std::optional<std::string> CrossProductError(const Rule& rule,
+                                             const JoinSeatStats& seat) {
+  std::vector<bool> bound(rule.num_vars(), false);
+  bool anything_bound = false;
+  if (seat.delta_atom >= 0) {
+    for (VarId v : rule.body[seat.delta_atom].args) bound[v] = true;
+    anything_bound = !rule.body[seat.delta_atom].args.empty();
+  }
+  for (size_t k = 0; k < seat.order.size(); ++k) {
+    const QAtom& atom = rule.body[seat.order[k]];
+    bool shares = false;
+    for (VarId v : atom.args) {
+      if (bound[v]) shares = true;
+    }
+    if (anything_bound && !shares && !atom.args.empty()) {
+      return "cross product at step " + std::to_string(k) + " of rule " +
+             std::to_string(seat.rule) + " (delta_atom " +
+             std::to_string(seat.delta_atom) + ")";
+    }
+    for (VarId v : atom.args) bound[v] = true;
+    if (!atom.args.empty()) anything_bound = true;
+  }
+  return std::nullopt;
+}
+
+class PlanOracle : public Oracle {
+ public:
+  std::string name() const override { return "plan-differential"; }
+  GenProfile Profile() const override { return PlanProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = PlanProfile();
+    c.program = RandomProgram(c.profile, 17000 + seed);
+    c.instance =
+        RandomInstance(c.profile.vocab, SeededPreds(c.profile, seed),
+                       c.profile.elems, c.profile.facts, 19000 + seed);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    const Program& program = *c.program;
+    const Instance& inst = *c.instance;
+    CompiledProgram compiled(program);
+    Instance naive = NaiveFpEval(program, inst);
+
+    // 1. Stats-driven vs the naive oracle (gates forced open: the
+    // planner and the pruning, not their size gates, are under test).
+    EvalOptions opt1;
+    opt1.num_threads = 1;
+    opt1.plan_stats = true;
+    opt1.stats_min_facts = 0;
+    opt1.dataflow_min_facts = 0;
+    EvalStats stats1;
+    Instance semi1 = compiled.Eval(inst, &stats1, opt1);
+    if (auto d = DiffSets(naive, semi1, "naive vs stats-driven 1T")) {
+      return Fail(c, *d);
+    }
+
+    // 2. Thread-count determinism: identical fact sequences.
+    EvalOptions opt4 = opt1;
+    opt4.num_threads = 4;
+    Instance semi4 = compiled.Eval(inst, nullptr, opt4);
+    if (auto d = DiffSequences(semi1, semi4, "1T vs 4T")) return Fail(c, *d);
+
+    // 3. Planner off (compile-time EDB-first orders): same fact set.
+    EvalOptions opt_static;
+    opt_static.num_threads = 1;
+    opt_static.stats_planner = false;
+    Instance plain = compiled.Eval(inst, nullptr, opt_static);
+    if (auto d = DiffSets(naive, plain, "naive vs planner-off")) {
+      return Fail(c, *d);
+    }
+
+    // 4. Feedback corrections off: same fact set.
+    EvalOptions opt_nofb = opt1;
+    opt_nofb.plan_feedback = false;
+    Instance nofb = compiled.Eval(inst, nullptr, opt_nofb);
+    if (auto d = DiffSets(naive, nofb, "naive vs feedback-off")) {
+      return Fail(c, *d);
+    }
+
+    // 5. Executed-seat sanity + no cross products on connected graphs.
+    bool saw_seat = false;
+    for (const StratumStats& ss : stats1.strata) {
+      for (const JoinSeatStats& seat : ss.seats) {
+        saw_seat = true;
+        const Rule& rule = program.rules()[seat.rule];
+        const size_t expect =
+            rule.body.size() - (seat.delta_atom >= 0 ? 1 : 0);
+        if (seat.order.size() != expect) {
+          return Fail(c, "seat order length " +
+                             std::to_string(seat.order.size()) + " != " +
+                             std::to_string(expect) + " for rule " +
+                             std::to_string(seat.rule));
+        }
+        if (seat.est_rows.size() != seat.order.size() ||
+            seat.actual_rows.size() != seat.order.size()) {
+          return Fail(c, "seat estimate/measurement sizes mismatch order");
+        }
+        if (ConnectedJoinGraph(rule)) {
+          if (auto d = CrossProductError(rule, seat)) return Fail(c, *d);
+        }
+      }
+    }
+    const std::vector<bool> dead = DeadRuleMask(program, inst);
+    size_t n_dead = 0;
+    for (bool d : dead) n_dead += d ? 1 : 0;
+    if (n_dead < dead.size() && !saw_seat) {
+      return Fail(c, "plan_stats produced no seat observations");
+    }
+    if (stats1.rules_pruned != n_dead) {
+      return Fail(c, "rules_pruned " + std::to_string(stats1.rules_pruned) +
+                         " != dead-rule count " + std::to_string(n_dead));
+    }
+
+    // 6. Dataflow pruning off: byte-identical sequences, both threads.
+    EvalOptions opt_noprune1 = opt1;
+    opt_noprune1.dataflow_prune = false;
+    EvalOptions opt_noprune4 = opt4;
+    opt_noprune4.dataflow_prune = false;
+    EvalStats stats_np;
+    Instance noprune1 = compiled.Eval(inst, &stats_np, opt_noprune1);
+    Instance noprune4 = compiled.Eval(inst, nullptr, opt_noprune4);
+    if (stats_np.rules_pruned != 0) {
+      return Fail(c, "rules_pruned nonzero with pruning off");
+    }
+    if (auto d = DiffSequences(semi1, noprune1, "pruned vs unpruned 1T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(semi1, noprune4, "pruned 1T vs unpruned 4T")) {
+      return Fail(c, *d);
+    }
+    return Pass();
+  }
+};
+
+// --- maintenance-differential -----------------------------------------------
+// Port of tests/maintenance_differential_test.cc: the maintained
+// materialization equals a from-scratch Materialize (at 1 and 0=env
+// threads) after every prefix of the raw insert/delete schedule.
+
+/// The bit-identical contract: same elements, same fact set, same
+/// derivation count per fact, same statistics.
+std::optional<std::string> DiffMaterializations(const Materialization& got,
+                                                const Materialization& want,
+                                                const VocabularyPtr& vocab,
+                                                const std::string& tag) {
+  if (got.inst.num_elements() != want.inst.num_elements()) {
+    return tag + ": element counts differ";
+  }
+  if (got.inst.num_facts() != want.inst.num_facts()) {
+    return tag + ": fact counts differ (" +
+           std::to_string(got.inst.num_facts()) + " vs " +
+           std::to_string(want.inst.num_facts()) + ")";
+  }
+  std::vector<Fact> gf = got.inst.facts(), wf = want.inst.facts();
+  std::sort(gf.begin(), gf.end());
+  std::sort(wf.begin(), wf.end());
+  for (size_t i = 0; i < gf.size(); ++i) {
+    if (!(gf[i] == wf[i])) {
+      return tag + ": sorted fact " + std::to_string(i) + " differs";
+    }
+    if (got.inst.FactCount(gf[i]) != want.inst.FactCount(wf[i])) {
+      return tag + ": derivation count of " + FactToString(want.inst, wf[i]) +
+             " differs (" + std::to_string(got.inst.FactCount(gf[i])) +
+             " vs " + std::to_string(want.inst.FactCount(wf[i])) + ")";
+    }
+  }
+  if (got.stats.counted_facts() != want.stats.counted_facts()) {
+    return tag + ": stats counted_facts differ";
+  }
+  for (PredId p : vocab->AllPredicates()) {
+    if (got.stats.cardinality(p) != want.stats.cardinality(p)) {
+      return tag + ": cardinality of " + vocab->name(p) + " differs";
+    }
+    for (int i = 0; i < vocab->arity(p); ++i) {
+      if (got.stats.distinct(p, i) != want.stats.distinct(p, i)) {
+        return tag + ": distinct(" + vocab->name(p) + ", " +
+               std::to_string(i) + ") differs";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+class MaintenanceOracle : public Oracle {
+ public:
+  std::string name() const override { return "maintenance-differential"; }
+  GenProfile Profile() const override { return EvalProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = EvalProfile();
+    c.program = RandomProgram(c.profile, 11000 + seed);
+    std::mt19937 rng(12000 + seed);
+    std::vector<PredId> churn = SeededPreds(c.profile, seed);
+    // The historical oracle used a slightly smaller base (8 facts) than
+    // the eval family so deletions bite.
+    c.instance = RandomInstance(c.profile.vocab, churn, c.profile.elems, 8,
+                                13000 + seed);
+    const int steps = 4 + seed % 4;
+    c.schedule = RandomSchedule(c.profile, churn, *c.instance, steps, rng);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    const Program& program = *c.program;
+    CompiledProgram compiled(program);
+    Instance base = *c.instance;  // evolves under the schedule
+
+    EvalOptions opt1;
+    opt1.num_threads = 1;
+    opt1.stats_min_facts = 0;
+    // The second recompute runs at MONDET_THREADS when set (the ASan arm
+    // of scripts/tier1.sh sweeps 1 and 4), else hardware concurrency.
+    EvalOptions opt4;
+    opt4.num_threads = 0;
+    opt4.stats_min_facts = 0;
+
+    Materialization m = compiled.Materialize(base, nullptr, opt1);
+    if (auto d = DiffMaterializations(
+            m, compiled.Materialize(base, nullptr, opt4), c.profile.vocab,
+            "t0 1T vs envT")) {
+      return Fail(c, *d);
+    }
+
+    for (size_t step = 0; step < c.schedule.size(); ++step) {
+      RawBatch applied = NormalizeAndApply(c.schedule[step], base);
+      FactDelta delta;
+      delta.inserts = applied.inserts;
+      delta.deletes = applied.deletes;
+      compiled.Maintain(m, base, delta);
+
+      const std::string tag = "step " + std::to_string(step);
+      if (auto d = DiffMaterializations(
+              m, compiled.Materialize(base, nullptr, opt1), c.profile.vocab,
+              tag + " (vs 1T recompute)")) {
+        return Fail(c, *d);
+      }
+      if (auto d = DiffMaterializations(
+              m, compiled.Materialize(base, nullptr, opt4), c.profile.vocab,
+              tag + " (vs envT recompute)")) {
+        return Fail(c, *d);
+      }
+    }
+    return Pass();
+  }
+};
+
+// --- dataflow-soundness -----------------------------------------------------
+// Port of tests/dataflow_soundness_test.cc's four TEST_P properties (the
+// deterministic cases stay in the test file). The instance-free arms are
+// gated on the case's actual content — no seeded IDB facts — rather than
+// the historical seed parity, so shrunk cases remain fully checkable.
+
+class DataflowOracle : public Oracle {
+ public:
+  std::string name() const override { return "dataflow-soundness"; }
+  GenProfile Profile() const override { return DataflowProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = DataflowProfile();
+    c.program = RandomProgram(c.profile, 7000 + seed);
+    c.instance =
+        RandomInstance(c.profile.vocab, SeededPreds(c.profile, seed),
+                       c.profile.elems, c.profile.facts, 9000 + seed);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    const Program& program = *c.program;
+    const Instance& inst = *c.instance;
+    const VocabularyPtr& vocab = c.profile.vocab;
+    Instance fix = NaiveFpEval(program, inst);
+
+    // The instance-free analysis assumes IDB relations start empty, so
+    // its soundness arms only apply to IDB-free inputs.
+    bool idb_free = true;
+    for (const Fact& f : inst.facts()) {
+      if (program.IsIdb(f.pred)) idb_free = false;
+    }
+
+    // 1. Concrete fixpoint within gamma(abstract fixpoint).
+    EmptinessResult er = AnalyzeEmptiness(program, &inst);
+    for (const Fact& f : fix.facts()) {
+      auto it = er.preds.find(f.pred);
+      if (it == er.preds.end()) {
+        return Fail(c, "no abstract value for " + vocab->name(f.pred));
+      }
+      const PredAbstract& pa = it->second;
+      if (!pa.nonempty) {
+        return Fail(c, "fact over " + vocab->name(f.pred) +
+                           " but predicate abstractly empty");
+      }
+      if (pa.pos.size() != f.args.size()) {
+        return Fail(c, "abstract arity mismatch for " + vocab->name(f.pred));
+      }
+      for (size_t j = 0; j < f.args.size(); ++j) {
+        if (!pa.pos[j].Admits(f.args[j])) {
+          return Fail(c, vocab->name(f.pred) + " position " +
+                             std::to_string(j) +
+                             " rejects a concrete value");
+        }
+      }
+    }
+    for (PredId p : er.empty_idbs) {
+      if (!fix.FactsWith(p).empty()) {
+        return Fail(c, vocab->name(p) + " flagged empty but holds a fact");
+      }
+    }
+    EmptinessResult free_er = AnalyzeEmptiness(program, nullptr);
+    if (idb_free) {
+      for (PredId p : free_er.empty_idbs) {
+        if (!fix.FactsWith(p).empty()) {
+          return Fail(c, "instance-free emptiness unsound for " +
+                             vocab->name(p));
+        }
+      }
+    }
+
+    // 2. Dead rules never fire; instance-free mask weaker than seeded.
+    if (er.rule_dead.size() != program.rules().size() ||
+        free_er.rule_dead.size() != program.rules().size()) {
+      return Fail(c, "rule_dead size mismatch");
+    }
+    for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+      if (idb_free && free_er.rule_dead[ri] && !er.rule_dead[ri]) {
+        return Fail(c, "rule " + std::to_string(ri) +
+                           " dead without a seed but live with one");
+      }
+      if (er.rule_dead[ri]) {
+        const Rule& rule = program.rules()[ri];
+        Instance pattern(vocab);
+        pattern.EnsureElements(rule.num_vars());
+        for (const QAtom& a : rule.body) {
+          pattern.AddFact(a.pred,
+                          std::vector<ElemId>(a.args.begin(), a.args.end()));
+        }
+        if (HasHomomorphism(pattern, fix)) {
+          return Fail(c, "dead rule " + std::to_string(ri) +
+                             " has a body match in the fixpoint");
+        }
+        if (er.dead_reasons[ri].detail.empty()) {
+          return Fail(c, "dead rule " + std::to_string(ri) +
+                             " carries no reason");
+        }
+      }
+    }
+    if (DeadRuleMask(program, inst) != er.rule_dead) {
+      return Fail(c, "DeadRuleMask disagrees with seeded analysis");
+    }
+
+    // 3. Pruning is bit-identical (and saves, never adds, iterations).
+    EvalOptions on1{1}, on4{4}, off1{1}, off4{4};
+    on1.dataflow_min_facts = 0;
+    on4.dataflow_min_facts = 0;
+    off1.dataflow_prune = false;
+    off4.dataflow_prune = false;
+    EvalStats s_on1, s_on4, s_off1, s_off4;
+    Instance r_on1 = FpEval(program, inst, &s_on1, on1);
+    Instance r_on4 = FpEval(program, inst, &s_on4, on4);
+    Instance r_off1 = FpEval(program, inst, &s_off1, off1);
+    Instance r_off4 = FpEval(program, inst, &s_off4, off4);
+    if (auto d = DiffSequences(r_on1, r_off1, "prune-on vs off 1T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(r_on1, r_on4, "prune-on 1T vs 4T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(r_on1, r_off4, "prune-on 1T vs off 4T")) {
+      return Fail(c, *d);
+    }
+    if (s_on1.facts_derived != s_off1.facts_derived) {
+      return Fail(c, "facts_derived differ with pruning");
+    }
+    if (s_on1.iterations > s_off1.iterations) {
+      return Fail(c, "pruning increased iterations");
+    }
+    if (s_on1.rules_pruned != s_on4.rules_pruned) {
+      return Fail(c, "rules_pruned differ across thread counts");
+    }
+    if (s_off1.rules_pruned != 0) {
+      return Fail(c, "rules_pruned nonzero with pruning off");
+    }
+    const std::vector<bool> dead = DeadRuleMask(program, inst);
+    size_t n_dead = 0;
+    for (bool d : dead) n_dead += d ? 1 : 0;
+    if (s_on1.rules_pruned != n_dead) {
+      return Fail(c, "rules_pruned != dead-rule count");
+    }
+
+    // 4. Dropping subsumed rules / redundant atoms preserves the fixpoint.
+    SubsumptionResult sr = AnalyzeSubsumption(program);
+    if (sr.subsumed_by.size() != program.rules().size()) {
+      return Fail(c, "subsumed_by size mismatch");
+    }
+    bool any_subsumed = false;
+    Program reduced(vocab);
+    for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+      if (sr.subsumed_by[ri] >= 0) {
+        any_subsumed = true;
+        if (sr.subsumed_by[ri] == static_cast<int>(ri) ||
+            sr.subsumed_by[ri] >=
+                static_cast<int>(program.rules().size())) {
+          return Fail(c, "bad subsumer index for rule " + std::to_string(ri));
+        }
+        continue;
+      }
+      reduced.AddRule(program.rules()[ri]);
+    }
+    if (any_subsumed) {
+      Instance fix2 = NaiveFpEval(reduced, inst);
+      if (auto d = DiffSets(fix, fix2, "dropping subsumed rules")) {
+        return Fail(c, *d);
+      }
+    }
+    for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+      for (int ai : sr.redundant_atoms[ri]) {
+        Program without(vocab);
+        for (size_t rj = 0; rj < program.rules().size(); ++rj) {
+          Rule r = program.rules()[rj];
+          if (rj == ri) r.body.erase(r.body.begin() + ai);
+          without.AddRule(r);
+        }
+        Instance fix2 = NaiveFpEval(without, inst);
+        if (auto d = DiffSets(fix, fix2,
+                              "dropping redundant atom " +
+                                  std::to_string(ai) + " of rule " +
+                                  std::to_string(ri))) {
+          return Fail(c, *d);
+        }
+      }
+    }
+    return Pass();
+  }
+};
+
+// --- mondet-parallel --------------------------------------------------------
+// Port of tests/mondet_parallel_test.cc: CheckMonotonicDeterminacy is
+// bit-identical across thread counts and cache settings.
+
+std::optional<std::string> DiffMonDetInstances(const Instance& a,
+                                               const Instance& b,
+                                               const std::string& what) {
+  if (a.num_elements() != b.num_elements()) {
+    return what + ": element counts differ";
+  }
+  return DiffSequences(a, b, what);
+}
+
+std::optional<std::string> DiffMonDetResults(const MonDetResult& a,
+                                             const MonDetResult& b,
+                                             const std::string& what) {
+  if (a.verdict != b.verdict) return what + ": verdicts differ";
+  if (a.tests_run != b.tests_run) {
+    return what + ": tests_run differ (" + std::to_string(a.tests_run) +
+           " vs " + std::to_string(b.tests_run) + ")";
+  }
+  if (a.expansions_tried != b.expansions_tried) {
+    return what + ": expansions_tried differ";
+  }
+  if (a.failure.has_value() != b.failure.has_value()) {
+    return what + ": one run found a counterexample, the other did not";
+  }
+  if (a.failure) {
+    if (auto d = DiffMonDetInstances(a.failure->approximation.inst,
+                                     b.failure->approximation.inst,
+                                     what + " approximation")) {
+      return d;
+    }
+    if (a.failure->approximation.frontier !=
+        b.failure->approximation.frontier) {
+      return what + ": approximation frontiers differ";
+    }
+    if (auto d = DiffMonDetInstances(a.failure->dprime, b.failure->dprime,
+                                     what + " dprime")) {
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+class ParallelOracle : public Oracle {
+ public:
+  std::string name() const override { return "mondet-parallel"; }
+  GenProfile Profile() const override { return QueryProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = QueryProfile();
+    c.program = RandomGoalProgram(c.profile, 5000 + seed);
+    c.views = RandomViewSpecs(c.profile, seed);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    DatalogQuery query(*c.program, c.profile.goal);
+    ViewSet views = BuildViews(c.profile.vocab, c.views);
+
+    MonDetOptions base;
+    base.query_depth = 3;
+    base.view_depth = 3;
+    base.max_query_expansions = 24;
+    base.max_tests_per_expansion = 48;
+
+    MonDetOptions t1 = base, t4 = base, t1n = base, t4n = base;
+    t1.num_threads = 1;
+    t1.test_cache = true;
+    t4.num_threads = 4;
+    t4.test_cache = true;
+    t1n.num_threads = 1;
+    t1n.test_cache = false;
+    t4n.num_threads = 4;
+    t4n.test_cache = false;
+
+    MonDetResult r1 = CheckMonotonicDeterminacy(query, views, t1);
+    MonDetResult r4 = CheckMonotonicDeterminacy(query, views, t4);
+    MonDetResult r1n = CheckMonotonicDeterminacy(query, views, t1n);
+    MonDetResult r4n = CheckMonotonicDeterminacy(query, views, t4n);
+
+    if (auto d = DiffMonDetResults(r1, r4, "1T vs 4T (cache)")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffMonDetResults(r1, r1n, "cache vs no-cache (1T)")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffMonDetResults(r1, r4n, "1T cache vs 4T no-cache")) {
+      return Fail(c, *d);
+    }
+    if (r1n.cache_hits + r1n.cache_misses != 0 ||
+        r4n.cache_hits + r4n.cache_misses != 0) {
+      return Fail(c, "cache-off run touched the cache");
+    }
+    if (r1.verdict != Verdict::kInvalidInput &&
+        r1.cache_hits + r1.cache_misses > r1.tests_run) {
+      return Fail(c, "cache traffic exceeds tests_run");
+    }
+    return Pass();
+  }
+};
+
+// --- tm-reduction -----------------------------------------------------------
+// The executable undecidability frontier: a builtin machine's bounded run
+// is compiled through the tiling reduction (testing/tm.h); the extracted
+// certificate must re-check, the backtracking solver must agree on the
+// exact grid and refute the truncated grids, and the Thm 9 run-string
+// gadget must accept both the faithful and a corrupted encoding of the
+// same run. Machines that do not halt within the budget pass vacuously
+// (the semi-decision boundary).
+
+class TmOracle : public Oracle {
+ public:
+  std::string name() const override { return "tm-reduction"; }
+  // TM cases carry no generated program; the profile is only the corpus
+  // vocabulary anchor.
+  GenProfile Profile() const override { return EvalProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = EvalProfile();
+    const std::vector<std::string> names = BuiltinTmNames();
+    TmCase tc;
+    tc.machine = names[seed % names.size()];
+    // Short all-ones inputs: the eraser is quadratic, so longer tapes
+    // blow the grid up past what the backtracking solver refutes quickly.
+    tc.input.assign(1 + (seed / names.size()) % 3, 1);
+    tc.max_steps = 200;
+    c.tm = tc;
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    if (!c.tm.has_value()) return Fail(c, "tm-reduction case without [tm]");
+    const TmCase& tc = *c.tm;
+    const std::vector<std::string> names = BuiltinTmNames();
+    if (std::find(names.begin(), names.end(), tc.machine) == names.end()) {
+      return Fail(c, "unknown machine " + tc.machine);
+    }
+    for (int sym : tc.input) {
+      if (sym != 0 && sym != 1) return Fail(c, "input symbol out of range");
+    }
+    const TuringMachine tm = BuiltinTm(tc.machine);
+
+    std::optional<TmTiling> tiling =
+        CompileTmRun(tm, tc.input, tc.max_steps);
+    if (!tiling.has_value()) return Pass();  // no halt, no verdict
+
+    // (a) The certificate extracted from the trace re-checks directly.
+    std::string why;
+    if (!CheckTiling(tiling->tp, tiling->n, tiling->m, tiling->cert, &why)) {
+      return Fail(c, "extracted certificate rejected: " + why);
+    }
+    // (b)/(c) use the exhaustive backtracking solver, whose refutation
+    // arms must sweep the whole search space — exponential in grid area.
+    // A 4x15 eraser grid (60 cells) exhausts in ~0.5s; 5x25 takes hours.
+    // Gate the exhaustive arms on area so every machine/input still gets
+    // the certificate re-check above and the Thm 9 arms below.
+    const long area = static_cast<long>(tiling->n) * tiling->m;
+    constexpr long kSolverAreaCap = 64;
+    if (area <= kSolverAreaCap) {
+      // (b) The solver solves the exact grid, and its witness re-checks.
+      std::optional<std::vector<int>> sol =
+          tiling->tp.Solve(tiling->n, tiling->m);
+      if (!sol.has_value()) {
+        return Fail(c, "solver found no tiling on the certified grid");
+      }
+      if (!CheckTiling(tiling->tp, tiling->n, tiling->m, *sol, &why)) {
+        return Fail(c, "solver witness rejected: " + why);
+      }
+      // (c) Truncated grids are unsolvable: the construction pins the
+      // run length, which is what makes the reduction faithful.
+      if (tiling->m > 3 &&
+          tiling->tp.Solve(tiling->n, tiling->m - 1).has_value()) {
+        return Fail(c, "truncated grid unexpectedly solvable");
+      }
+    }
+    // The height-2 refutation dies in the first rows; always cheap.
+    if (tiling->tp.Solve(tiling->n, 2).has_value()) {
+      return Fail(c, "height-2 grid unexpectedly solvable");
+    }
+    // (d) The Thm 9 run-string gadget accepts the faithful encoding (the
+    // run reaches accept) and the corrupted one (local corruption fires).
+    Thm9Gadget gadget = BuildThm9(tm);
+    Instance run = gadget.EncodeRun(tc.input, tc.max_steps);
+    if (!DatalogHoldsOn(gadget.query, run)) {
+      return Fail(c, "Thm 9 query rejects the faithful run string");
+    }
+    Instance corrupted = gadget.EncodeCorruptedRun(tc.input, tc.max_steps);
+    if (!DatalogHoldsOn(gadget.query, corrupted)) {
+      return Fail(c, "Thm 9 query rejects the corrupted run string");
+    }
+    return Pass();
+  }
+};
+
+}  // namespace
+
+const std::vector<const Oracle*>& AllOracles() {
+  static const std::vector<const Oracle*>* all = [] {
+    auto* v = new std::vector<const Oracle*>();
+    v->push_back(new EvalOracle());
+    v->push_back(new PlanOracle());
+    v->push_back(new MaintenanceOracle());
+    v->push_back(new DataflowOracle());
+    v->push_back(new ParallelOracle());
+    v->push_back(new TmOracle());
+    return v;
+  }();
+  return *all;
+}
+
+const Oracle* FindOracle(const std::string& name) {
+  for (const Oracle* o : AllOracles()) {
+    if (o->name() == name) return o;
+  }
+  return nullptr;
+}
+
+std::string DescribeCase(const FuzzCase& c) { return SerializeCase(c); }
+
+}  // namespace testing
+}  // namespace mondet

@@ -1,0 +1,74 @@
+#ifndef MONDET_TESTING_ORACLE_H_
+#define MONDET_TESTING_ORACLE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/instance.h"
+#include "datalog/program.h"
+#include "testing/generator.h"
+
+namespace mondet {
+namespace testing {
+
+/// A Turing-machine scenario: a builtin machine (testing/tm.h) run on an
+/// input, compiled through the tiling reduction. `max_steps` bounds the
+/// simulation — past it the oracle has no verdict (the semi-decision
+/// boundary of Thm 6/8), so the case passes vacuously.
+struct TmCase {
+  std::string machine;
+  std::vector<int> input;
+  size_t max_steps = 200;
+};
+
+/// One self-contained fuzz case: everything an oracle's Check needs,
+/// decoupled from how it was produced (Generate, a corpus file, or the
+/// shrinker). Only the fields the owning oracle reads are populated.
+struct FuzzCase {
+  std::string oracle;
+  unsigned seed = 0;
+  GenProfile profile;
+  std::optional<Program> program;
+  std::optional<Instance> instance;
+  std::vector<RawBatch> schedule;
+  std::vector<ViewSpec> views;
+  std::optional<TmCase> tm;
+};
+
+struct OracleOutcome {
+  bool ok = true;
+  /// First failure, prefixed with what diverged and suffixed with the
+  /// full case rendering (DescribeCase) — self-contained for bug reports.
+  std::string message;
+};
+
+/// One randomized property: a deterministic seed -> case generator plus a
+/// gtest-free checker. The historical differential tests are thin
+/// wrappers over these; tools/mondet_fuzz.cc drives them standalone.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+  virtual std::string name() const = 0;
+  /// The generation profile of this oracle's case family.
+  virtual GenProfile Profile() const = 0;
+  /// The case for `seed` — bit-identical to what the pre-refactor test
+  /// file generated for that seed (pinned by tests/testing_golden_test.cc).
+  virtual FuzzCase Generate(unsigned seed) const = 0;
+  /// Checks the property; stops at the first divergence.
+  virtual OracleOutcome Check(const FuzzCase& c) const = 0;
+};
+
+/// The registry, in fixed order (the CLI's --list order).
+const std::vector<const Oracle*>& AllOracles();
+/// Lookup by name; nullptr when unknown.
+const Oracle* FindOracle(const std::string& name);
+
+/// Full textual rendering of a case (the corpus `.repro` format; see
+/// testing/corpus.h). Failure messages embed it.
+std::string DescribeCase(const FuzzCase& c);
+
+}  // namespace testing
+}  // namespace mondet
+
+#endif  // MONDET_TESTING_ORACLE_H_

@@ -1,5 +1,5 @@
-#ifndef MONDET_TESTS_NAIVE_EVAL_H_
-#define MONDET_TESTS_NAIVE_EVAL_H_
+#ifndef MONDET_TESTING_REFERENCE_H_
+#define MONDET_TESTING_REFERENCE_H_
 
 #include <vector>
 
@@ -11,7 +11,10 @@ namespace mondet {
 
 /// Naive reference evaluation: fire every rule against the full instance
 /// until no new facts appear. Slow but obviously correct — the oracle the
-/// differential tests compare the semi-naive evaluator against.
+/// differential tests and the fuzz harness compare the semi-naive
+/// evaluator against. Lives in src/testing (not tests/) so the mondet-fuzz
+/// CLI can link it; kept in namespace mondet because it predates the
+/// testing library and is reference semantics, not generation.
 inline Instance NaiveFpEval(const Program& program, const Instance& inst) {
   Instance result = inst;
   bool changed = true;
@@ -46,4 +49,4 @@ inline Instance NaiveFpEval(const Program& program, const Instance& inst) {
 
 }  // namespace mondet
 
-#endif  // MONDET_TESTS_NAIVE_EVAL_H_
+#endif  // MONDET_TESTING_REFERENCE_H_

@@ -1,0 +1,160 @@
+#include "testing/shrink.h"
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace mondet {
+namespace testing {
+
+namespace {
+
+/// Drops body atom `ai`, recompacting variable ids densely (Rule::num_vars
+/// requires it) in remaining-body first-use order. Returns nullopt when
+/// the drop would leave the rule unsafe (a head variable no longer bound)
+/// or the body empty.
+std::optional<Rule> DropBodyAtom(const Rule& rule, size_t ai) {
+  if (rule.body.size() <= 1) return std::nullopt;
+  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
+  Rule out;
+  std::vector<VarId> remap(rule.num_vars(), kUnmapped);
+  auto used = [&](VarId raw) {
+    if (remap[raw] == kUnmapped) {
+      remap[raw] = static_cast<VarId>(out.var_names.size());
+      out.var_names.push_back(rule.var_names[raw]);
+    }
+    return remap[raw];
+  };
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i == ai) continue;
+    std::vector<VarId> args;
+    for (VarId v : rule.body[i].args) args.push_back(used(v));
+    out.body.push_back(QAtom(rule.body[i].pred, args));
+  }
+  std::vector<VarId> head_args;
+  for (VarId v : rule.head.args) {
+    if (remap[v] == kUnmapped) return std::nullopt;  // would be unsafe
+    head_args.push_back(remap[v]);
+  }
+  out.head = QAtom(rule.head.pred, head_args);
+  return out;
+}
+
+Program RebuildWithout(const Program& program, size_t drop_rule) {
+  Program out(program.vocab());
+  for (size_t ri = 0; ri < program.rules().size(); ++ri) {
+    if (ri != drop_rule) out.AddRule(program.rules()[ri]);
+  }
+  return out;
+}
+
+Program RebuildWithRule(const Program& program, size_t ri, Rule replacement) {
+  Program out(program.vocab());
+  for (size_t rj = 0; rj < program.rules().size(); ++rj) {
+    if (rj == ri) {
+      out.AddRule(std::move(replacement));
+    } else {
+      out.AddRule(program.rules()[rj]);
+    }
+  }
+  return out;
+}
+
+Instance RebuildWithoutFact(const Instance& inst, size_t drop_fact) {
+  Instance out(inst.vocab());
+  out.EnsureElements(inst.num_elements());
+  for (size_t fi = 0; fi < inst.num_facts(); ++fi) {
+    if (fi != drop_fact) out.AddFact(inst.facts()[fi]);
+  }
+  return out;
+}
+
+/// All one-step reductions of `c`, most impactful first (whole rules and
+/// batches before single atoms and mutations).
+std::vector<FuzzCase> Candidates(const FuzzCase& c) {
+  std::vector<FuzzCase> out;
+  if (c.program.has_value()) {
+    for (size_t ri = 0; ri < c.program->rules().size(); ++ri) {
+      FuzzCase cand = c;
+      cand.program = RebuildWithout(*c.program, ri);
+      out.push_back(std::move(cand));
+    }
+  }
+  for (size_t bi = 0; bi < c.schedule.size(); ++bi) {
+    FuzzCase cand = c;
+    cand.schedule.erase(cand.schedule.begin() + bi);
+    out.push_back(std::move(cand));
+  }
+  for (size_t vi = 0; vi < c.views.size(); ++vi) {
+    FuzzCase cand = c;
+    cand.views.erase(cand.views.begin() + vi);
+    out.push_back(std::move(cand));
+  }
+  if (c.instance.has_value()) {
+    for (size_t fi = 0; fi < c.instance->num_facts(); ++fi) {
+      FuzzCase cand = c;
+      cand.instance = RebuildWithoutFact(*c.instance, fi);
+      out.push_back(std::move(cand));
+    }
+  }
+  if (c.program.has_value()) {
+    for (size_t ri = 0; ri < c.program->rules().size(); ++ri) {
+      const Rule& rule = c.program->rules()[ri];
+      for (size_t ai = 0; ai < rule.body.size(); ++ai) {
+        std::optional<Rule> smaller = DropBodyAtom(rule, ai);
+        if (!smaller.has_value()) continue;
+        FuzzCase cand = c;
+        cand.program = RebuildWithRule(*c.program, ri, std::move(*smaller));
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+  for (size_t bi = 0; bi < c.schedule.size(); ++bi) {
+    for (size_t j = 0; j < c.schedule[bi].inserts.size(); ++j) {
+      FuzzCase cand = c;
+      cand.schedule[bi].inserts.erase(cand.schedule[bi].inserts.begin() + j);
+      out.push_back(std::move(cand));
+    }
+    for (size_t j = 0; j < c.schedule[bi].deletes.size(); ++j) {
+      FuzzCase cand = c;
+      cand.schedule[bi].deletes.erase(cand.schedule[bi].deletes.begin() + j);
+      out.push_back(std::move(cand));
+    }
+  }
+  if (c.tm.has_value()) {
+    for (size_t si = 0; si < c.tm->input.size(); ++si) {
+      FuzzCase cand = c;
+      cand.tm->input.erase(cand.tm->input.begin() + si);
+      out.push_back(std::move(cand));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult ShrinkCase(const Oracle& oracle, const FuzzCase& failing,
+                        size_t max_checks) {
+  ShrinkResult res;
+  res.best = failing;
+  bool progress = true;
+  while (progress && res.checks < max_checks) {
+    progress = false;
+    for (FuzzCase& cand : Candidates(res.best)) {
+      if (res.checks >= max_checks) break;
+      ++res.checks;
+      if (!oracle.Check(cand).ok) {
+        // Still failing: keep the smaller case and restart the scan so
+        // earlier (more impactful) reductions get another chance on it.
+        res.best = std::move(cand);
+        res.changed = true;
+        progress = true;
+        break;
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace testing
+}  // namespace mondet

@@ -1,0 +1,32 @@
+#ifndef MONDET_TESTING_SHRINK_H_
+#define MONDET_TESTING_SHRINK_H_
+
+#include <cstddef>
+
+#include "testing/oracle.h"
+
+namespace mondet {
+namespace testing {
+
+struct ShrinkResult {
+  FuzzCase best;
+  /// Oracle Check invocations spent.
+  size_t checks = 0;
+  /// True when at least one reduction was kept.
+  bool changed = false;
+};
+
+/// Greedy delta debugging: starting from a case `failing` for which
+/// `oracle.Check` fails, repeatedly tries dropping one component — a
+/// rule, a body atom (when the rule stays safe), an instance fact, a
+/// schedule batch, a single batched mutation, a view, a TM input symbol —
+/// and keeps the candidate whenever the oracle still fails, looping to a
+/// fixpoint or until `max_checks` checks are spent. The result is a
+/// 1-minimal repro: no single further drop still fails.
+ShrinkResult ShrinkCase(const Oracle& oracle, const FuzzCase& failing,
+                        size_t max_checks = 400);
+
+}  // namespace testing
+}  // namespace mondet
+
+#endif  // MONDET_TESTING_SHRINK_H_

@@ -1,0 +1,437 @@
+#include "testing/tm.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "base/check.h"
+
+namespace mondet {
+namespace testing {
+
+namespace {
+
+// --- .tm parsing. -----------------------------------------------------------
+
+/// Strips `#` comments and splits a line into whitespace tokens.
+std::vector<std::string> Tokens(const std::string& line) {
+  std::string clean = line.substr(0, line.find('#'));
+  std::vector<std::string> toks;
+  std::istringstream in(clean);
+  std::string t;
+  while (in >> t) toks.push_back(t);
+  return toks;
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  try {
+    size_t pos = 0;
+    *out = std::stoi(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ParseMove(const std::string& s, int* out) {
+  if (s == "L" || s == "-1") {
+    *out = -1;
+  } else if (s == "R" || s == "1" || s == "+1") {
+    *out = 1;
+  } else if (s == "S" || s == "0") {
+    *out = 0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<TuringMachine> ParseTm(const std::string& text,
+                                     std::string* error) {
+  auto fail = [&](int line, const std::string& msg) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + msg;
+    }
+    return std::nullopt;
+  };
+  TuringMachine tm;
+  tm.num_states = -1;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::vector<std::string> toks = Tokens(line);
+    if (toks.empty()) continue;
+    int v = 0;
+    if (toks[0] == "states" || toks[0] == "symbols" || toks[0] == "start" ||
+        toks[0] == "accept") {
+      if (toks.size() != 2 || !ParseInt(toks[1], &v) || v < 0) {
+        return fail(lineno, "expected `" + toks[0] + " <n>`");
+      }
+      if (toks[0] == "states") tm.num_states = v;
+      if (toks[0] == "symbols") tm.num_symbols = v;
+      if (toks[0] == "start") tm.start = v;
+      if (toks[0] == "accept") tm.accept = v;
+      continue;
+    }
+    // Delta line: Q A -> Q' B D.
+    int q = 0, a = 0, q2 = 0, b = 0, d = 0;
+    if (toks.size() != 6 || toks[2] != "->" || !ParseInt(toks[0], &q) ||
+        !ParseInt(toks[1], &a) || !ParseInt(toks[3], &q2) ||
+        !ParseInt(toks[4], &b) || !ParseMove(toks[5], &d)) {
+      return fail(lineno, "expected `q a -> q' b L|R|S`");
+    }
+    if (tm.delta.count({q, a})) {
+      return fail(lineno, "duplicate transition");
+    }
+    tm.delta[{q, a}] = TuringMachine::Action{q2, b, d};
+  }
+  if (tm.num_states <= 0) return fail(lineno, "missing `states` directive");
+  if (tm.num_symbols <= 0) return fail(lineno, "missing `symbols` directive");
+  if (tm.start >= tm.num_states || tm.accept >= tm.num_states) {
+    return fail(lineno, "start/accept state out of range");
+  }
+  for (const auto& [key, act] : tm.delta) {
+    if (key.first >= tm.num_states || key.second >= tm.num_symbols ||
+        act.next_state >= tm.num_states || act.write >= tm.num_symbols) {
+      return fail(lineno, "transition mentions out-of-range state/symbol");
+    }
+  }
+  return tm;
+}
+
+std::string TmToText(const TuringMachine& tm) {
+  std::string out;
+  out += "states " + std::to_string(tm.num_states) + "\n";
+  out += "symbols " + std::to_string(tm.num_symbols) + "\n";
+  out += "start " + std::to_string(tm.start) + "\n";
+  out += "accept " + std::to_string(tm.accept) + "\n";
+  for (const auto& [key, act] : tm.delta) {
+    const char* move = act.move < 0 ? "L" : (act.move > 0 ? "R" : "S");
+    out += std::to_string(key.first) + " " + std::to_string(key.second) +
+           " -> " + std::to_string(act.next_state) + " " +
+           std::to_string(act.write) + " " + move + "\n";
+  }
+  return out;
+}
+
+// --- Builtin corpus. --------------------------------------------------------
+
+namespace {
+
+struct BuiltinEntry {
+  const char* name;
+  const char* text;
+};
+
+// The same texts are checked into tests/corpus/tm/<name>.tm;
+// tests/tm_scenario_test.cc pins the equality so the two corpora cannot
+// drift apart.
+const BuiltinEntry kBuiltins[] = {
+    {"eraser",
+     "# Quadratic-time eraser: repeatedly erase the rightmost 1 and return\n"
+     "# to the left end; accept when no 1 remains (Thm 9's theta(n^2)\n"
+     "# machine — must match reductions/thm9's EraserMachine()).\n"
+     "states 4\n"
+     "symbols 2\n"
+     "start 0\n"
+     "accept 3\n"
+     "0 1 -> 0 1 R\n"
+     "0 0 -> 1 0 L\n"
+     "1 1 -> 2 0 L\n"
+     "1 0 -> 3 0 S\n"
+     "2 1 -> 2 1 L\n"
+     "2 0 -> 0 0 R\n"},
+    {"wipe",
+     "# Linear wiper: scan right erasing 1s, accept at the first blank.\n"
+     "states 2\n"
+     "symbols 2\n"
+     "start 0\n"
+     "accept 1\n"
+     "0 1 -> 0 0 R\n"
+     "0 0 -> 1 0 S\n"},
+    {"parity",
+     "# Parity scanner: alternate even/odd states moving right over 1s,\n"
+     "# accept at the right blank (always halts; the parity is the\n"
+     "# payload of the run string).\n"
+     "states 3\n"
+     "symbols 2\n"
+     "start 0\n"
+     "accept 2\n"
+     "0 1 -> 1 1 R\n"
+     "0 0 -> 2 0 S\n"
+     "1 1 -> 0 1 R\n"
+     "1 0 -> 2 0 S\n"},
+    {"zigzag",
+     "# Zigzag: run to the right end, return to the left end, accept at\n"
+     "# the left blank — the minimal machine using both head directions.\n"
+     "states 3\n"
+     "symbols 2\n"
+     "start 0\n"
+     "accept 2\n"
+     "0 1 -> 0 1 R\n"
+     "0 0 -> 1 0 L\n"
+     "1 1 -> 1 1 L\n"
+     "1 0 -> 2 0 S\n"},
+};
+
+}  // namespace
+
+std::vector<std::string> BuiltinTmNames() {
+  std::vector<std::string> names;
+  for (const BuiltinEntry& e : kBuiltins) names.push_back(e.name);
+  return names;
+}
+
+const std::string& BuiltinTmText(const std::string& name) {
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  auto it = cache->find(name);
+  if (it != cache->end()) return it->second;
+  for (const BuiltinEntry& e : kBuiltins) {
+    if (name == e.name) {
+      return (*cache)[name] = e.text;
+    }
+  }
+  MONDET_CHECK(false && "unknown builtin Turing machine");
+  return (*cache)[name];
+}
+
+TuringMachine BuiltinTm(const std::string& name) {
+  std::string error;
+  std::optional<TuringMachine> tm = ParseTm(BuiltinTmText(name), &error);
+  MONDET_CHECK(tm.has_value());
+  return *tm;
+}
+
+// --- Run -> Wang tiling. ----------------------------------------------------
+
+namespace {
+
+///// Tile-id arithmetic for one (machine, window) pair. Layout:
+/// [0, n)                         I_i   (init row, column i)
+/// [n, n+K)                       S_a   (headless cell, symbol a)
+/// then 5 blocks of S*K tiles     H, Sr, Sl, Hr, Hl  (q-major, symbol-minor)
+/// last 3                         A0, A1, A2 (accept-marker row)
+struct TileSet {
+  int n = 0, S = 0, K = 0;
+
+  int num() const { return n + K + 5 * S * K + 3; }
+  int I(int i) const { return i; }
+  int Sym(int a) const { return n + a; }
+  int H(int q, int a) const { return n + K + q * K + a; }
+  int Sr(int q, int b) const { return n + K + S * K + q * K + b; }
+  int Sl(int q, int b) const { return n + K + 2 * S * K + q * K + b; }
+  int Hr(int q, int c) const { return n + K + 3 * S * K + q * K + c; }
+  int Hl(int q, int c) const { return n + K + 4 * S * K + q * K + c; }
+  int A(int k) const { return n + K + 5 * S * K + k; }
+
+  bool IsInit(int t) const { return t < n; }
+  bool IsAccMark(int t) const { return t >= A(0); }
+  bool IsConfig(int t) const { return !IsInit(t) && !IsAccMark(t); }
+  /// Block index 0..4 (S/H/Sr/Sl/Hr/Hl -> -1/0/1/2/3/4) of a config tile.
+  int Block(int t) const {
+    if (t < n + K) return -1;  // plain headless S_a
+    return (t - n - K) / (S * K);
+  }
+  int BlockQ(int t) const { return ((t - n - K) % (S * K)) / K; }
+  int BlockSym(int t) const { return (t - n - K) % K; }
+
+  /// The underlying cell of a config tile in its own row: head state (or
+  /// -1 for headless) and tape symbol. Drives the uniform VC generation.
+  void Underlying(int t, int* state, int* sym) const {
+    if (t < n + K) {
+      *state = -1;
+      *sym = t - n;
+      return;
+    }
+    int block = Block(t), q = BlockQ(t), a = BlockSym(t);
+    if (block == 1 || block == 2) {  // Sr/Sl: head departed, cell headless
+      *state = -1;
+    } else {  // H/Hr/Hl: the head is here
+      *state = q;
+    }
+    *sym = a;
+    (void)q;
+  }
+
+  std::string Name(int t) const {
+    if (IsInit(t)) return "I" + std::to_string(t);
+    if (t == A(0)) return "A0";
+    if (t == A(1)) return "A1";
+    if (t == A(2)) return "A2";
+    if (t < n + K) return "S" + std::to_string(t - n);
+    static const char* kBlock[] = {"H", "Sr", "Sl", "Hr", "Hl"};
+    return std::string(kBlock[Block(t)]) + std::to_string(BlockQ(t)) + "," +
+           std::to_string(BlockSym(t));
+  }
+};
+
+}  // namespace
+
+std::optional<TmTiling> CompileTmRun(const TuringMachine& tm,
+                                     const std::vector<int>& input,
+                                     size_t max_steps) {
+  std::optional<std::vector<TuringMachine::Config>> trace =
+      tm.Run(input, max_steps);
+  if (!trace.has_value()) return std::nullopt;  // semi-decision: no verdict
+
+  TmTiling out;
+  out.trace = *trace;
+  const TileSet ts{static_cast<int>(input.size()) + 2, tm.num_states,
+                   tm.num_symbols};
+  const int n = ts.n;
+  const int T = static_cast<int>(trace->size()) - 1;
+  out.n = n;
+  out.m = T + 3;
+
+  TilingProblem& tp = out.tp;
+  tp.num_tiles = ts.num();
+  for (int t = 0; t < tp.num_tiles; ++t) out.tile_names.push_back(ts.Name(t));
+  tp.initial = {ts.I(0)};
+  tp.final_tiles = {ts.A(1), ts.A(2)};
+
+  // Horizontal constraints. Init row chains I_0..I_{n-1}; the accept row
+  // chains A0* A1 A2*; inside a config row the only restriction is the
+  // marked-pair protocol — a right-departure tile Sr_q must sit
+  // immediately left of an arrival Hr_q (and vice versa), and dually for
+  // Hl_q/Sl_q — which welds each head move to its landing cell.
+  for (int i = 0; i + 1 < n; ++i) tp.hc.push_back({ts.I(i), ts.I(i + 1)});
+  tp.hc.push_back({ts.A(0), ts.A(0)});
+  tp.hc.push_back({ts.A(0), ts.A(1)});
+  tp.hc.push_back({ts.A(1), ts.A(2)});
+  tp.hc.push_back({ts.A(2), ts.A(2)});
+  for (int x = 0; x < tp.num_tiles; ++x) {
+    if (!ts.IsConfig(x)) continue;
+    for (int y = 0; y < tp.num_tiles; ++y) {
+      if (!ts.IsConfig(y)) continue;
+      const int bx = ts.Block(x), by = ts.Block(y);
+      bool ok = true;
+      if (bx == 1) ok = ok && by == 3 && ts.BlockQ(x) == ts.BlockQ(y);  // Sr|Hr
+      if (by == 3) ok = ok && bx == 1 && ts.BlockQ(x) == ts.BlockQ(y);
+      if (bx == 4) ok = ok && by == 2 && ts.BlockQ(x) == ts.BlockQ(y);  // Hl|Sl
+      if (by == 2) ok = ok && bx == 4 && ts.BlockQ(x) == ts.BlockQ(y);
+      if (ok) tp.hc.push_back({x, y});
+    }
+  }
+
+  // Vertical constraints (pair = (below, above)). The init row pins C_0:
+  // column 1 carries the head in the start state, every other column its
+  // window symbol, all as plain tiles.
+  const std::vector<int>& tape0 = (*trace)[0].tape;
+  for (int i = 0; i < n; ++i) {
+    if (i == (*trace)[0].head) {
+      tp.vc.push_back({ts.I(i), ts.H(tm.start, tape0[i])});
+    } else {
+      tp.vc.push_back({ts.I(i), ts.Sym(tape0[i])});
+    }
+  }
+  // Config row -> next row, uniformly over the underlying cell: a
+  // headless cell keeps its symbol (plain, or an arriving head with the
+  // same symbol under it, or an accept-marker); a head cell rewrites per
+  // delta (departure tile for moves, plain head for stays), and an
+  // accepting head admits only the A1 marker above it — so the grid must
+  // end exactly one row above the first acceptance.
+  for (int t = 0; t < tp.num_tiles; ++t) {
+    if (!ts.IsConfig(t)) continue;
+    int state = 0, sym = 0;
+    ts.Underlying(t, &state, &sym);
+    if (state < 0) {
+      tp.vc.push_back({t, ts.Sym(sym)});
+      for (int q = 0; q < tm.num_states; ++q) {
+        tp.vc.push_back({t, ts.Hr(q, sym)});
+        tp.vc.push_back({t, ts.Hl(q, sym)});
+      }
+      tp.vc.push_back({t, ts.A(0)});
+      tp.vc.push_back({t, ts.A(2)});
+      continue;
+    }
+    if (state == tm.accept) {
+      tp.vc.push_back({t, ts.A(1)});
+      continue;
+    }
+    auto it = tm.delta.find({state, sym});
+    if (it == tm.delta.end()) continue;  // stuck head: nothing fits above
+    const TuringMachine::Action& act = it->second;
+    if (act.move > 0) {
+      tp.vc.push_back({t, ts.Sr(act.next_state, act.write)});
+    } else if (act.move < 0) {
+      tp.vc.push_back({t, ts.Sl(act.next_state, act.write)});
+    } else {
+      tp.vc.push_back({t, ts.H(act.next_state, act.write)});
+    }
+  }
+
+  // Certificate: read the rows straight off the trace.
+  out.cert.assign(static_cast<size_t>(n) * out.m, -1);
+  auto at = [&](int col, int row) -> int& {  // 0-based column, 1-based row
+    return out.cert[static_cast<size_t>(row - 1) * n + col];
+  };
+  for (int i = 0; i < n; ++i) at(i, 1) = ts.I(i);
+  for (int r = 0; r <= T; ++r) {
+    const TuringMachine::Config& cfg = (*trace)[r];
+    const int row = r + 2;
+    for (int c = 0; c < n; ++c) at(c, row) = ts.Sym(cfg.tape[c]);
+    if (r == 0) {
+      at(cfg.head, row) = ts.H(cfg.state, cfg.tape[cfg.head]);
+    } else {
+      const TuringMachine::Config& prev = (*trace)[r - 1];
+      const TuringMachine::Action& act =
+          tm.delta.at({prev.state, prev.tape[prev.head]});
+      if (act.move > 0) {
+        at(prev.head, row) = ts.Sr(cfg.state, act.write);
+        at(cfg.head, row) = ts.Hr(cfg.state, cfg.tape[cfg.head]);
+      } else if (act.move < 0) {
+        at(prev.head, row) = ts.Sl(cfg.state, act.write);
+        at(cfg.head, row) = ts.Hl(cfg.state, cfg.tape[cfg.head]);
+      } else {
+        at(cfg.head, row) = ts.H(cfg.state, cfg.tape[cfg.head]);
+      }
+    }
+  }
+  const int accept_head = (*trace)[T].head;
+  for (int c = 0; c < n; ++c) {
+    at(c, out.m) = ts.A(c < accept_head ? 0 : (c == accept_head ? 1 : 2));
+  }
+  return out;
+}
+
+bool CheckTiling(const TilingProblem& tp, int n, int m,
+                 const std::vector<int>& assign, std::string* why) {
+  auto fail = [&](const std::string& msg) {
+    if (why != nullptr) *why = msg;
+    return false;
+  };
+  if (assign.size() != static_cast<size_t>(n) * m) {
+    return fail("assignment size != n*m");
+  }
+  auto at = [&](int i, int j) {  // 1-based grid coordinates
+    return assign[static_cast<size_t>(j - 1) * n + (i - 1)];
+  };
+  for (int j = 1; j <= m; ++j) {
+    for (int i = 1; i <= n; ++i) {
+      const int t = at(i, j);
+      if (t < 0 || t >= tp.num_tiles) {
+        return fail("tile out of range at (" + std::to_string(i) + "," +
+                    std::to_string(j) + ")");
+      }
+      if (i > 1 && !tp.HcAllows(at(i - 1, j), t)) {
+        return fail("hc violated at (" + std::to_string(i) + "," +
+                    std::to_string(j) + ")");
+      }
+      if (j > 1 && !tp.VcAllows(at(i, j - 1), t)) {
+        return fail("vc violated at (" + std::to_string(i) + "," +
+                    std::to_string(j) + ")");
+      }
+    }
+  }
+  if (!tp.IsInitial(at(1, 1))) return fail("(1,1) not an initial tile");
+  if (!tp.IsFinal(at(n, m))) return fail("(n,m) not a final tile");
+  return true;
+}
+
+}  // namespace testing
+}  // namespace mondet

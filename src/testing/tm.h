@@ -1,0 +1,77 @@
+#ifndef MONDET_TESTING_TM_H_
+#define MONDET_TESTING_TM_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reductions/thm9.h"
+#include "reductions/tiling.h"
+
+namespace mondet {
+namespace testing {
+
+/// Parses the `.tm` corpus format (tests/corpus/tm/): directives
+///
+///   states N        # state count; states are 0..N-1
+///   symbols K       # tape symbols 0..K-1, 0 = blank
+///   start Q
+///   accept Q
+///   Q A -> Q' B D   # delta(Q, reading A) = (Q', write B, move D)
+///
+/// with D one of L/R/S (or -1/1/0), `#` comments, blank lines ignored.
+/// Returns nullopt with `*error` set on malformed input.
+std::optional<TuringMachine> ParseTm(const std::string& text,
+                                     std::string* error);
+
+/// Renders a machine back into the `.tm` format (corpus round-trips).
+std::string TmToText(const TuringMachine& tm);
+
+/// The built-in machine corpus, embedded so the fuzz harness needs no
+/// files: the same texts are checked into tests/corpus/tm/<name>.tm and
+/// tests/tm_scenario_test.cc pins the equality.
+std::vector<std::string> BuiltinTmNames();
+/// The `.tm` source of a builtin; aborts on unknown names.
+const std::string& BuiltinTmText(const std::string& name);
+/// The parsed builtin; aborts on unknown names.
+TuringMachine BuiltinTm(const std::string& name);
+
+/// A machine run compiled into a Wang tiling (the Thm 6–8 currency):
+/// grid columns are the tape window [blank, input..., blank], rows are
+/// (bottom to top) an initial marker row, the configurations C_0..C_T of
+/// the accepting run, and an accept-marker top row. The constraints force
+/// every solution of the n×m grid to spell out exactly that run — row 1
+/// is pinned by the initial tile and horizontal chaining, each next row
+/// by determinism of the machine, and the top row exists only above an
+/// accepting head — so Solve(n, m) succeeds while Solve(n, m-1) and
+/// Solve(n, 2) fail. `cert` is the certificate extracted directly from
+/// the trace (row-major, (i,j) at (j-1)*n+(i-1), 1-based), checkable
+/// without the solver via CheckTiling.
+struct TmTiling {
+  TilingProblem tp;
+  int n = 0;
+  int m = 0;
+  std::vector<int> cert;
+  /// Debug names parallel to tile ids ("I0", "S1", "H2,0", "Sr0,1", ...).
+  std::vector<std::string> tile_names;
+  /// The trace the certificate was extracted from.
+  std::vector<TuringMachine::Config> trace;
+};
+
+/// Compiles the accepting run of `tm` on `input` into a tiling, or
+/// nullopt when the machine does not accept within `max_steps` (the
+/// semi-decision boundary of Thm 6/8: no certificate, no verdict).
+std::optional<TmTiling> CompileTmRun(const TuringMachine& tm,
+                                     const std::vector<int>& input,
+                                     size_t max_steps);
+
+/// Direct constraint check of a full n×m assignment against `tp` —
+/// independent of TilingProblem::Solve, so certificate and solver verify
+/// each other. On failure returns false and sets `*why` when non-null.
+bool CheckTiling(const TilingProblem& tp, int n, int m,
+                 const std::vector<int>& assign, std::string* why);
+
+}  // namespace testing
+}  // namespace mondet
+
+#endif  // MONDET_TESTING_TM_H_

@@ -13,6 +13,7 @@
 
 #include "automata/nta.h"
 #include "automata/ops.h"
+#include "testing/generator.h"
 
 namespace mondet {
 namespace {
@@ -213,6 +214,55 @@ TEST(AutomataOps, DeterminizeAndComplementOverBinaryUniverse) {
   EXPECT_TRUE(IsEmpty(Product(m, comp)));
   EXPECT_FALSE(IsEmpty(comp));
 }
+
+// --- Randomized language-enumeration arm. -----------------------------------
+//
+// Random automata from the shared testing library (testing::RandomNta —
+// same two labels as the fixtures above, 1–3 states, random leaf / unary
+// / binary transitions, random finals, so empty and total languages both
+// occur) checked against the *whole* enumerable universe of chains and
+// binary shapes: Determinize preserves the language, Complement flips
+// exactly it, their product is empty, their union is total over the
+// universe, Trim preserves the language, and a nonempty automaton's
+// emptiness witness is itself accepted.
+
+class NtaLanguageEnumeration : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NtaLanguageEnumeration, OpsAgreeOnEnumeratedUniverse) {
+  const unsigned seed = GetParam();
+  Nta m = testing::RandomNta(seed);
+
+  std::vector<TreeCode> codes = AllChains();
+  for (const TreeCode& code : AllBinaryShapes()) codes.push_back(code);
+
+  SymbolUniverse universe = SymbolsOf(m);
+  for (const TreeCode& code : codes) universe.Merge(SymbolsOf(code));
+
+  Nta det = Determinize(m, universe);
+  Nta comp = Complement(m, universe);
+  Nta trimmed = Trim(m);
+  Nta either = UnionNta(m, comp);
+  for (const TreeCode& code : codes) {
+    const bool in_l = m.Accepts(code);
+    EXPECT_EQ(det.Accepts(code), in_l) << "seed " << seed;
+    EXPECT_EQ(comp.Accepts(code), !in_l) << "seed " << seed;
+    EXPECT_EQ(trimmed.Accepts(code), in_l) << "seed " << seed;
+    EXPECT_TRUE(either.Accepts(code)) << "seed " << seed;
+  }
+  // L(M) ∩ L(M)^c = ∅, whatever M the generator produced.
+  EXPECT_TRUE(IsEmpty(Product(m, comp))) << "seed " << seed;
+
+  // Emptiness and its witness agree with acceptance.
+  std::optional<TreeCode> witness = EmptinessWitness(m);
+  EXPECT_EQ(IsEmpty(m), !witness.has_value()) << "seed " << seed;
+  if (witness.has_value()) {
+    EXPECT_TRUE(witness->Validate()) << "seed " << seed;
+    EXPECT_TRUE(m.Accepts(*witness)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NtaLanguageEnumeration,
+                         ::testing::Range(0u, 60u));
 
 TEST(AutomataOps, TrimDropsDeadStatesAndPreservesLanguage) {
   Nta m = RootIsA();

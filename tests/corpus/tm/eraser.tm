@@ -1,0 +1,13 @@
+# Quadratic-time eraser: repeatedly erase the rightmost 1 and return
+# to the left end; accept when no 1 remains (Thm 9's theta(n^2)
+# machine — must match reductions/thm9's EraserMachine()).
+states 4
+symbols 2
+start 0
+accept 3
+0 1 -> 0 1 R
+0 0 -> 1 0 L
+1 1 -> 2 0 L
+1 0 -> 3 0 S
+2 1 -> 2 1 L
+2 0 -> 0 0 R

@@ -1,0 +1,11 @@
+# Parity scanner: alternate even/odd states moving right over 1s,
+# accept at the right blank (always halts; the parity is the
+# payload of the run string).
+states 3
+symbols 2
+start 0
+accept 2
+0 1 -> 1 1 R
+0 0 -> 2 0 S
+1 1 -> 0 1 R
+1 0 -> 2 0 S

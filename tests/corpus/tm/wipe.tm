@@ -1,0 +1,7 @@
+# Linear wiper: scan right erasing 1s, accept at the first blank.
+states 2
+symbols 2
+start 0
+accept 1
+0 1 -> 0 0 R
+0 0 -> 1 0 S

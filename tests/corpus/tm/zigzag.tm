@@ -1,0 +1,10 @@
+# Zigzag: run to the right end, return to the left end, accept at
+# the left blank — the minimal machine using both head directions.
+states 3
+symbols 2
+start 0
+accept 2
+0 1 -> 0 1 R
+0 0 -> 1 0 L
+1 1 -> 1 1 L
+1 0 -> 2 0 S

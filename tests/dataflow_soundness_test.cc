@@ -1,322 +1,39 @@
-// Soundness oracle for the abstract-interpretation dataflow analyses
-// (analysis/dataflow.h), over randomized Datalog programs and instances:
+// Soundness test for the abstract-interpretation dataflow analyses
+// (analysis/dataflow.h):
 //
-//   * the concrete fixpoint is contained in the concretization of the
-//     abstract emptiness/constant-set fixpoint (every derived fact lands
-//     in a nonempty abstract predicate, every argument in an admitted
-//     position value);
-//   * rules flagged dead never fire (their bodies have no homomorphic
-//     match into the concrete fixpoint), and the instance-free mask is
-//     monotonically weaker than any seeded mask;
-//   * evaluation with EvalOptions::dataflow_prune produces the exact
-//     same fact sequence, derivation counts and iteration counts as
-//     evaluation without it, at 1 and 4 threads;
-//   * dropping every subsumed rule — and any single redundant body
-//     atom — leaves the fixpoint fact set unchanged.
-//
-// The schema deliberately includes an often-empty EDB predicate and an
-// IDB predicate that frequently lacks a base case, so dead rules and
-// empty predicates actually occur across the seed range.
+//   * randomized arm — the concrete fixpoint is contained in the
+//     concretization of the abstract emptiness/constant-set fixpoint,
+//     rules flagged dead never fire, pruning is bit-identical at 1 and 4
+//     threads, and dropping subsumed rules / redundant atoms preserves
+//     the fixpoint. The generator and checker live in the shared
+//     randomized-testing library (testing/oracle.h, oracle
+//     `dataflow-soundness`); `mondet-fuzz` drives the same property over
+//     open-ended seed ranges with shrinking.
+//   * deterministic arm — hand-built adornment, emptiness and
+//     subsumption cases with exact expected analysis output.
 
 #include <gtest/gtest.h>
 
-#include <limits>
-#include <random>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "analysis/dataflow.h"
-#include "base/homomorphism.h"
-#include "datalog/eval.h"
-#include "datalog/eval_plan.h"
+#include "base/instance.h"
+#include "base/symbol_table.h"
 #include "datalog/program.h"
-#include "tests/naive_eval.h"
-#include "tests/test_util.h"
+#include "testing/oracle.h"
 
 namespace mondet {
 namespace {
 
-struct RandomSchema {
-  VocabularyPtr vocab;
-  // EDBs E1/1, E2/2 and Z1/1 (Z1 is seeded only every third instance, so
-  // rules over it are often provably dead). IDBs I1/1, I2/2, J2/2, G0/0.
-  PredId e1, e2, z1, i1, i2, j2, g0;
-};
-
-RandomSchema MakeSchema() {
-  RandomSchema s;
-  s.vocab = MakeVocabulary();
-  s.e1 = s.vocab->AddPredicate("E1", 1);
-  s.e2 = s.vocab->AddPredicate("E2", 2);
-  s.z1 = s.vocab->AddPredicate("Z1", 1);
-  s.i1 = s.vocab->AddPredicate("I1", 1);
-  s.i2 = s.vocab->AddPredicate("I2", 2);
-  s.j2 = s.vocab->AddPredicate("J2", 2);
-  s.g0 = s.vocab->AddPredicate("G0", 0);
-  return s;
-}
-
-/// A random safe rule (cf. eval_differential_test): 1-3 body atoms with
-/// dense per-rule variable ids, head arguments drawn from body variables.
-Rule RandomRule(const RandomSchema& s, std::mt19937& rng) {
-  std::uniform_int_distribution<int> nvars_dist(2, 4);
-  std::uniform_int_distribution<int> natoms_dist(1, 3);
-  const int nvars = nvars_dist(rng);
-  const int natoms = natoms_dist(rng);
-  std::uniform_int_distribution<int> var_dist(0, nvars - 1);
-  const PredId body_preds[] = {s.e1, s.e2, s.z1, s.i1, s.i2, s.j2};
-  std::uniform_int_distribution<size_t> body_pred_dist(0, 5);
-
-  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
-  Rule rule;
-  std::vector<VarId> remap(nvars, kUnmapped);
-  auto used = [&](int raw) {
-    if (remap[raw] == kUnmapped) {
-      remap[raw] = static_cast<VarId>(rule.var_names.size());
-      rule.var_names.push_back("v" + std::to_string(raw));
-    }
-    return remap[raw];
-  };
-  for (int a = 0; a < natoms; ++a) {
-    PredId p = body_preds[body_pred_dist(rng)];
-    std::vector<VarId> args;
-    for (int j = 0; j < s.vocab->arity(p); ++j) {
-      args.push_back(used(var_dist(rng)));
-    }
-    rule.body.push_back(QAtom(p, args));
-  }
-  const PredId head_preds[] = {s.i1, s.i2, s.j2, s.g0};
-  std::uniform_int_distribution<size_t> head_pred_dist(0, 3);
-  PredId hp = head_preds[head_pred_dist(rng)];
-  std::uniform_int_distribution<size_t> body_var_dist(
-      0, rule.var_names.size() - 1);
-  std::vector<VarId> head_args;
-  for (int j = 0; j < s.vocab->arity(hp); ++j) {
-    head_args.push_back(static_cast<VarId>(body_var_dist(rng)));
-  }
-  rule.head = QAtom(hp, head_args);
-  return rule;
-}
-
-Program RandomProgram(const RandomSchema& s, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<int> nrules_dist(2, 6);
-  Program program(s.vocab);
-  const int nrules = nrules_dist(rng);
-  for (int i = 0; i < nrules; ++i) program.AddRule(RandomRule(s, rng));
-  return program;
-}
-
-Instance RandomSeedInstance(const RandomSchema& s, unsigned seed) {
-  std::vector<PredId> inst_preds = {s.e1, s.e2};
-  // Z1 stays empty two thirds of the time; input IDB facts half the time
-  // (FPEval is defined on instances that may mention IDB predicates).
-  if (seed % 3 == 0) inst_preds.push_back(s.z1);
-  if (seed % 2 == 1) {
-    inst_preds.push_back(s.i1);
-    inst_preds.push_back(s.i2);
-  }
-  return RandomInstance(s.vocab, inst_preds, 4, 8, 9000 + seed);
-}
-
-/// Does the rule body have a satisfying assignment over `db`? Checked
-/// independently of the evaluator: the body's canonical instance (element
-/// v = variable v, one fact per atom) maps homomorphically into db iff
-/// the body is satisfiable.
-bool BodySatisfiable(const Program& program, const Rule& rule,
-                     const Instance& db) {
-  Instance pattern(program.vocab());
-  pattern.EnsureElements(rule.num_vars());
-  for (const QAtom& a : rule.body) {
-    std::vector<ElemId> args(a.args.begin(), a.args.end());
-    pattern.AddFact(a.pred, args);
-  }
-  return HasHomomorphism(pattern, db);
-}
-
 class DataflowSoundness : public ::testing::TestWithParam<unsigned> {};
 
-// Concrete fixpoint \subseteq gamma(abstract fixpoint): every fact of the
-// naive evaluation lands in a nonempty abstract predicate whose position
-// values admit its arguments, and predicates flagged empty hold no fact.
-TEST_P(DataflowSoundness, AbstractOverapproximatesConcrete) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 7000 + seed);
-  Instance inst = RandomSeedInstance(s, seed);
-  Instance fix = NaiveFpEval(program, inst);
-
-  EmptinessResult er = AnalyzeEmptiness(program, &inst);
-  for (const Fact& f : fix.facts()) {
-    auto it = er.preds.find(f.pred);
-    ASSERT_NE(it, er.preds.end()) << "seed " << seed;
-    const PredAbstract& pa = it->second;
-    ASSERT_TRUE(pa.nonempty)
-        << "seed " << seed << ": fact over "
-        << s.vocab->name(f.pred) << " but predicate abstractly empty\n"
-        << program.DebugString();
-    ASSERT_EQ(pa.pos.size(), f.args.size()) << "seed " << seed;
-    for (size_t j = 0; j < f.args.size(); ++j) {
-      EXPECT_TRUE(pa.pos[j].Admits(f.args[j]))
-          << "seed " << seed << ": " << s.vocab->name(f.pred) << " position "
-          << j << " rejects a concrete value\n" << program.DebugString();
-    }
-  }
-  for (PredId p : er.empty_idbs) {
-    EXPECT_TRUE(fix.FactsWith(p).empty())
-        << "seed " << seed << ": " << s.vocab->name(p)
-        << " flagged empty but holds a fact";
-  }
-
-  // The instance-free analysis assumes IDB relations start empty, so it
-  // is sound for every *EDB* instance — odd seeds inject IDB facts into
-  // the input and void that premise (the seeded analysis covers them).
-  if (seed % 2 == 0) {
-    EmptinessResult free_er = AnalyzeEmptiness(program, nullptr);
-    for (PredId p : free_er.empty_idbs) {
-      EXPECT_TRUE(fix.FactsWith(p).empty())
-          << "seed " << seed << ": instance-free emptiness unsound for "
-          << s.vocab->name(p);
-    }
-  }
-}
-
-// Rules flagged dead never fire: their bodies are unsatisfiable over the
-// concrete fixpoint. Both masks are checked; the instance-free mask must
-// moreover be a subset of the seeded mask (monotonicity).
-TEST_P(DataflowSoundness, DeadRulesNeverFire) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 7000 + seed);
-  Instance inst = RandomSeedInstance(s, seed);
-  Instance fix = NaiveFpEval(program, inst);
-
-  EmptinessResult seeded = AnalyzeEmptiness(program, &inst);
-  EmptinessResult free_er = AnalyzeEmptiness(program, nullptr);
-  ASSERT_EQ(seeded.rule_dead.size(), program.rules().size());
-  ASSERT_EQ(free_er.rule_dead.size(), program.rules().size());
-  for (size_t ri = 0; ri < program.rules().size(); ++ri) {
-    // Monotonicity holds on EDB-only inputs: whatever the instance-free
-    // analysis kills, any concrete seed without IDB facts kills too.
-    if (seed % 2 == 0 && free_er.rule_dead[ri]) {
-      EXPECT_TRUE(seeded.rule_dead[ri])
-          << "seed " << seed << ": rule " << ri
-          << " dead without a seed but live with one";
-    }
-    if (seeded.rule_dead[ri]) {
-      EXPECT_FALSE(BodySatisfiable(program, program.rules()[ri], fix))
-          << "seed " << seed << ": dead rule " << ri
-          << " has a body match in the fixpoint\n" << program.DebugString();
-      EXPECT_FALSE(seeded.dead_reasons[ri].detail.empty());
-    }
-  }
-  // DeadRuleMask is exactly the seeded dead set (the evaluator contract).
-  EXPECT_EQ(DeadRuleMask(program, inst), seeded.rule_dead);
-}
-
-// EvalOptions::dataflow_prune is invisible in the result: same fact
-// sequence, derivation count and iteration count with pruning on and off,
-// at 1 and 4 threads.
-TEST_P(DataflowSoundness, PruningIsBitIdentical) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 7000 + seed);
-  Instance inst = RandomSeedInstance(s, seed);
-
-  EvalOptions on1{1}, on4{4}, off1{1}, off4{4};
-  // The random instances sit below the pruning size gate; force the
-  // analysis — bit-identity of pruning itself is what is under test.
-  on1.dataflow_min_facts = 0;
-  on4.dataflow_min_facts = 0;
-  off1.dataflow_prune = false;
-  off4.dataflow_prune = false;
-  EvalStats s_on1, s_on4, s_off1, s_off4;
-  Instance r_on1 = FpEval(program, inst, &s_on1, on1);
-  Instance r_on4 = FpEval(program, inst, &s_on4, on4);
-  Instance r_off1 = FpEval(program, inst, &s_off1, off1);
-  Instance r_off4 = FpEval(program, inst, &s_off4, off4);
-
-  ASSERT_EQ(r_on1.num_facts(), r_off1.num_facts())
-      << "seed " << seed << "\n" << program.DebugString();
-  ASSERT_EQ(r_on1.num_facts(), r_on4.num_facts()) << "seed " << seed;
-  ASSERT_EQ(r_on1.num_facts(), r_off4.num_facts()) << "seed " << seed;
-  for (size_t i = 0; i < r_on1.num_facts(); ++i) {
-    ASSERT_EQ(r_on1.facts()[i], r_off1.facts()[i])
-        << "seed " << seed << " fact " << i;
-    ASSERT_EQ(r_on1.facts()[i], r_on4.facts()[i])
-        << "seed " << seed << " fact " << i;
-    ASSERT_EQ(r_on1.facts()[i], r_off4.facts()[i])
-        << "seed " << seed << " fact " << i;
-  }
-  EXPECT_EQ(s_on1.facts_derived, s_off1.facts_derived) << "seed " << seed;
-  // Iterations may shrink when a stratum's rules are all pruned (its
-  // empty rounds disappear) — that is the saving, not a divergence.
-  EXPECT_LE(s_on1.iterations, s_off1.iterations) << "seed " << seed;
-  EXPECT_EQ(s_on1.rules_pruned, s_on4.rules_pruned) << "seed " << seed;
-  EXPECT_EQ(s_off1.rules_pruned, 0u) << "seed " << seed;
-
-  const std::vector<bool> dead = DeadRuleMask(program, inst);
-  size_t n_dead = 0;
-  for (bool d : dead) n_dead += d ? 1 : 0;
-  EXPECT_EQ(s_on1.rules_pruned, n_dead) << "seed " << seed;
-}
-
-// Dropping every subsumed rule leaves the fixpoint fact set unchanged
-// (uniform containment is sound under recursion), and removing any single
-// redundant body atom leaves an equivalent rule.
-TEST_P(DataflowSoundness, SubsumptionPreservesFixpoint) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 7000 + seed);
-  Instance inst = RandomSeedInstance(s, seed);
-  Instance fix = NaiveFpEval(program, inst);
-
-  SubsumptionResult sr = AnalyzeSubsumption(program);
-  ASSERT_EQ(sr.subsumed_by.size(), program.rules().size());
-
-  bool any_subsumed = false;
-  Program reduced(s.vocab);
-  for (size_t ri = 0; ri < program.rules().size(); ++ri) {
-    if (sr.subsumed_by[ri] >= 0) {
-      any_subsumed = true;
-      // A strict subsumer may sit anywhere; only equivalent rules must
-      // point backwards (the lowest of an equivalence class stays
-      // unmarked so all marked rules are droppable together).
-      ASSERT_NE(sr.subsumed_by[ri], static_cast<int>(ri)) << "seed " << seed;
-      ASSERT_LT(sr.subsumed_by[ri], static_cast<int>(program.rules().size()))
-          << "seed " << seed;
-      continue;
-    }
-    reduced.AddRule(program.rules()[ri]);
-  }
-  if (any_subsumed) {
-    Instance fix2 = NaiveFpEval(reduced, inst);
-    ASSERT_EQ(fix.num_facts(), fix2.num_facts())
-        << "seed " << seed << ": dropping subsumed rules changed the "
-        << "fixpoint\n" << program.DebugString();
-    for (const Fact& f : fix.facts()) {
-      EXPECT_TRUE(fix2.HasFact(f)) << "seed " << seed;
-    }
-  }
-
-  for (size_t ri = 0; ri < program.rules().size(); ++ri) {
-    for (int ai : sr.redundant_atoms[ri]) {
-      Program without(s.vocab);
-      for (size_t rj = 0; rj < program.rules().size(); ++rj) {
-        Rule r = program.rules()[rj];
-        if (rj == ri) {
-          r.body.erase(r.body.begin() + ai);
-        }
-        without.AddRule(r);
-      }
-      Instance fix2 = NaiveFpEval(without, inst);
-      ASSERT_EQ(fix.num_facts(), fix2.num_facts())
-          << "seed " << seed << ": dropping body atom " << ai << " of rule "
-          << ri << " changed the fixpoint\n" << program.DebugString();
-      for (const Fact& f : fix.facts()) {
-        EXPECT_TRUE(fix2.HasFact(f)) << "seed " << seed;
-      }
-    }
-  }
+TEST_P(DataflowSoundness, AnalysesSoundAndPruningInvisible) {
+  const testing::Oracle* oracle = testing::FindOracle("dataflow-soundness");
+  ASSERT_NE(oracle, nullptr);
+  testing::OracleOutcome out = oracle->Check(oracle->Generate(GetParam()));
+  EXPECT_TRUE(out.ok) << out.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DataflowSoundness,

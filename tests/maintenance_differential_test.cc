@@ -1,220 +1,32 @@
-// Differential oracle for retraction + incremental view maintenance
-// (CompiledProgram::Materialize / Maintain): on randomized Datalog
-// programs and randomized insert/delete schedules, the maintained
-// materialization must be bit-identical — fact set, per-fact derivation
-// counts, and statistics — to a from-scratch Materialize of the current
-// base after *every* prefix of the schedule. Raw batches deliberately
-// contain duplicate inserts and deletes of absent facts (normalization is
-// the caller contract this test also exercises), and the from-scratch
-// recomputation runs at 1 and 4 threads so the maintained state is
-// checked against both parallel evaluation modes.
+// Differential test for retraction + incremental view maintenance
+// (CompiledProgram::Materialize / Maintain): on randomized programs and
+// randomized insert/delete schedules, the maintained materialization must
+// be bit-identical — fact set, per-fact derivation counts, statistics —
+// to a from-scratch Materialize of the current base after *every* prefix
+// of the schedule, checked against 1-thread and environment-thread
+// recomputes. Raw batches deliberately contain duplicate inserts and
+// deletes of absent facts (normalization is the caller contract).
+//
+// The generator and checker live in the shared randomized-testing
+// library (testing/oracle.h, oracle `maintenance-differential`);
+// `mondet-fuzz` drives the same property with shrinking, and failure
+// messages carry the full generated case for `.repro` replay.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <limits>
-#include <random>
-#include <string>
-#include <unordered_set>
-#include <vector>
-
-#include "datalog/eval_plan.h"
-#include "datalog/program.h"
-#include "tests/test_util.h"
+#include "testing/oracle.h"
 
 namespace mondet {
 namespace {
 
-struct RandomSchema {
-  VocabularyPtr vocab;
-  PredId e1, e2, i1, i2, g0;
-};
-
-RandomSchema MakeSchema() {
-  RandomSchema s;
-  s.vocab = MakeVocabulary();
-  s.e1 = s.vocab->AddPredicate("E1", 1);
-  s.e2 = s.vocab->AddPredicate("E2", 2);
-  s.i1 = s.vocab->AddPredicate("I1", 1);
-  s.i2 = s.vocab->AddPredicate("I2", 2);
-  s.g0 = s.vocab->AddPredicate("G0", 0);
-  return s;
-}
-
-/// A random safe rule (same scheme as eval_differential_test): 1–3 body
-/// atoms over {E1, E2, I1, I2}, head over {I1, I2, G0}, variable ids
-/// compacted per rule. Recursive rules arise whenever an IDB body atom
-/// lands in the head's SCC, so the schedules exercise both the counting
-/// and the DRed maintenance paths.
-Rule RandomRule(const RandomSchema& s, std::mt19937& rng) {
-  std::uniform_int_distribution<int> nvars_dist(2, 4);
-  std::uniform_int_distribution<int> natoms_dist(1, 3);
-  const int nvars = nvars_dist(rng);
-  const int natoms = natoms_dist(rng);
-  std::uniform_int_distribution<int> var_dist(0, nvars - 1);
-  const PredId body_preds[] = {s.e1, s.e2, s.i1, s.i2};
-  std::uniform_int_distribution<size_t> body_pred_dist(0, 3);
-
-  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
-  Rule rule;
-  std::vector<VarId> remap(nvars, kUnmapped);
-  auto used = [&](int raw) {
-    if (remap[raw] == kUnmapped) {
-      remap[raw] = static_cast<VarId>(rule.var_names.size());
-      rule.var_names.push_back("v" + std::to_string(raw));
-    }
-    return remap[raw];
-  };
-  for (int a = 0; a < natoms; ++a) {
-    PredId p = body_preds[body_pred_dist(rng)];
-    std::vector<VarId> args;
-    for (int j = 0; j < s.vocab->arity(p); ++j) {
-      args.push_back(used(var_dist(rng)));
-    }
-    rule.body.push_back(QAtom(p, args));
-  }
-  const PredId head_preds[] = {s.i1, s.i2, s.g0};
-  std::uniform_int_distribution<size_t> head_pred_dist(0, 2);
-  PredId hp = head_preds[head_pred_dist(rng)];
-  std::uniform_int_distribution<size_t> body_var_dist(
-      0, rule.var_names.size() - 1);
-  std::vector<VarId> head_args;
-  for (int j = 0; j < s.vocab->arity(hp); ++j) {
-    head_args.push_back(static_cast<VarId>(body_var_dist(rng)));
-  }
-  rule.head = QAtom(hp, head_args);
-  return rule;
-}
-
-Program RandomProgram(const RandomSchema& s, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<int> nrules_dist(2, 6);
-  Program program(s.vocab);
-  const int nrules = nrules_dist(rng);
-  for (int i = 0; i < nrules; ++i) program.AddRule(RandomRule(s, rng));
-  return program;
-}
-
-/// A random fact over the base predicates, drawn from a small element
-/// pool so duplicate inserts and re-deletions are frequent.
-Fact RandomBaseFact(const RandomSchema& s, const std::vector<PredId>& preds,
-                    size_t elems, std::mt19937& rng) {
-  std::uniform_int_distribution<size_t> pred_dist(0, preds.size() - 1);
-  std::uniform_int_distribution<ElemId> elem_dist(
-      0, static_cast<ElemId>(elems - 1));
-  PredId p = preds[pred_dist(rng)];
-  std::vector<ElemId> args;
-  for (int j = 0; j < s.vocab->arity(p); ++j) args.push_back(elem_dist(rng));
-  return Fact(p, std::move(args));
-}
-
-/// The bit-identical contract: same elements, same fact *set* (insertion
-/// order legitimately differs between a maintained and a recomputed
-/// instance), same derivation count per fact, same statistics.
-void ExpectSameMaterialization(const Materialization& got,
-                               const Materialization& want,
-                               const VocabularyPtr& vocab,
-                               const std::string& tag) {
-  ASSERT_EQ(got.inst.num_elements(), want.inst.num_elements()) << tag;
-  ASSERT_EQ(got.inst.num_facts(), want.inst.num_facts()) << tag;
-  std::vector<Fact> gf = got.inst.facts(), wf = want.inst.facts();
-  std::sort(gf.begin(), gf.end());
-  std::sort(wf.begin(), wf.end());
-  for (size_t i = 0; i < gf.size(); ++i) {
-    ASSERT_EQ(gf[i], wf[i]) << tag << " fact " << i;
-    EXPECT_EQ(got.inst.FactCount(gf[i]), want.inst.FactCount(wf[i]))
-        << tag << " count of " << FactToString(want.inst, wf[i]);
-  }
-  EXPECT_EQ(got.stats.counted_facts(), want.stats.counted_facts()) << tag;
-  for (PredId p : vocab->AllPredicates()) {
-    EXPECT_EQ(got.stats.cardinality(p), want.stats.cardinality(p))
-        << tag << " pred " << vocab->name(p);
-    for (int i = 0; i < vocab->arity(p); ++i) {
-      EXPECT_EQ(got.stats.distinct(p, i), want.stats.distinct(p, i))
-          << tag << " pred " << vocab->name(p) << " pos " << i;
-    }
-  }
-}
-
 class MaintenanceDifferential : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(MaintenanceDifferential, MaintainedEqualsRecomputedAtEveryPrefix) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 11000 + seed);
-  CompiledProgram compiled(program);
-
-  std::mt19937 rng(12000 + seed);
-  // Half the cases put IDB facts into the base (FPEval is defined on
-  // instances that may already mention IDB predicates, cf. Prop. 4), so
-  // base-level IDB churn exercises the ±1 base-membership bookkeeping.
-  std::vector<PredId> churn_preds = {s.e1, s.e2};
-  if (seed % 2 == 1) {
-    churn_preds.push_back(s.i1);
-    churn_preds.push_back(s.i2);
-  }
-  const size_t elems = 5;
-  Instance base = RandomInstance(s.vocab, churn_preds, elems, 8,
-                                 13000 + seed);
-
-  EvalOptions opt1;
-  opt1.num_threads = 1;
-  opt1.stats_min_facts = 0;
-  // The second recompute runs at MONDET_THREADS when set (the ASan arm
-  // of scripts/tier1.sh sweeps 1 and 4), else hardware concurrency — so
-  // the maintained state is checked against both evaluation modes.
-  EvalOptions opt4;
-  opt4.num_threads = 0;
-  opt4.stats_min_facts = 0;
-
-  Materialization m = compiled.Materialize(base, nullptr, opt1);
-  ExpectSameMaterialization(m, compiled.Materialize(base, nullptr, opt4),
-                            s.vocab, "seed " + std::to_string(seed) + " t0");
-
-  const int steps = 4 + seed % 4;
-  std::uniform_int_distribution<int> batch_dist(0, 4);
-  for (int step = 0; step < steps; ++step) {
-    // Raw batch: duplicate inserts, deletes of absent facts, and facts
-    // appearing on both sides are all legal — normalization below is the
-    // documented caller contract (new base = (old ∖ deletes) ∪ inserts).
-    std::vector<Fact> raw_ins, raw_del;
-    for (int i = batch_dist(rng); i > 0; --i) {
-      raw_ins.push_back(RandomBaseFact(s, churn_preds, elems, rng));
-    }
-    for (int i = batch_dist(rng); i > 0; --i) {
-      if (base.num_facts() > 0 && rng() % 2 == 0) {
-        raw_del.push_back(base.facts()[rng() % base.num_facts()]);
-      } else {
-        raw_del.push_back(RandomBaseFact(s, churn_preds, elems, rng));
-      }
-    }
-    std::unordered_set<Fact, FactHash> raw_ins_set(raw_ins.begin(),
-                                                   raw_ins.end());
-    FactDelta delta;
-    std::unordered_set<Fact, FactHash> seen_ins, seen_del;
-    for (const Fact& f : raw_ins) {
-      if (!base.HasFact(f) && seen_ins.insert(f).second) {
-        delta.inserts.push_back(f);
-      }
-    }
-    for (const Fact& f : raw_del) {
-      if (base.HasFact(f) && !raw_ins_set.count(f) &&
-          seen_del.insert(f).second) {
-        delta.deletes.push_back(f);
-      }
-    }
-    for (const Fact& f : delta.inserts) ASSERT_TRUE(base.AddFact(f));
-    for (const Fact& f : delta.deletes) ASSERT_TRUE(base.RemoveFact(f));
-
-    compiled.Maintain(m, base, delta);
-
-    std::string tag = "seed " + std::to_string(seed) + " step " +
-                      std::to_string(step) + "\n" + program.DebugString();
-    ExpectSameMaterialization(m, compiled.Materialize(base, nullptr, opt1),
-                              s.vocab, tag + " (vs 1T recompute)");
-    ExpectSameMaterialization(m, compiled.Materialize(base, nullptr, opt4),
-                              s.vocab, tag + " (vs 4T recompute)");
-  }
+  const testing::Oracle* oracle =
+      testing::FindOracle("maintenance-differential");
+  ASSERT_NE(oracle, nullptr);
+  testing::OracleOutcome out = oracle->Check(oracle->Generate(GetParam()));
+  EXPECT_TRUE(out.ok) << out.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MaintenanceDifferential,

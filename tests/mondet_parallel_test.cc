@@ -1,193 +1,28 @@
-// Determinism oracle for the parallel counterexample-search pipeline: on
+// Determinism test for the parallel counterexample-search pipeline: on
 // randomized query/view pairs, CheckMonotonicDeterminacy must produce a
 // bit-identical result — verdict, counterexample, tests_run,
-// expansions_tried — across thread counts and cache settings. (cache_hits
+// expansions_tried — across thread counts and cache settings (cache_hits
 // and cache_misses are explicitly exempt: concurrent misses on one
-// isomorphism type may each compute.)
+// isomorphism type may each compute).
+//
+// The generator and checker live in the shared randomized-testing
+// library (testing/oracle.h, oracle `mondet-parallel`); `mondet-fuzz`
+// drives the same property over open-ended seed ranges with shrinking.
 
 #include <gtest/gtest.h>
 
-#include <limits>
-#include <random>
-#include <string>
-#include <vector>
-
-#include "core/mondet_check.h"
-#include "datalog/parser.h"
-#include "views/view_set.h"
+#include "testing/oracle.h"
 
 namespace mondet {
 namespace {
 
-struct RandomSchema {
-  VocabularyPtr vocab;
-  PredId e1, e2, i1, i2, g0;
-};
-
-RandomSchema MakeSchema() {
-  RandomSchema s;
-  s.vocab = MakeVocabulary();
-  s.e1 = s.vocab->AddPredicate("E1", 1);
-  s.e2 = s.vocab->AddPredicate("E2", 2);
-  s.i1 = s.vocab->AddPredicate("I1", 1);
-  s.i2 = s.vocab->AddPredicate("I2", 2);
-  s.g0 = s.vocab->AddPredicate("G0", 0);
-  return s;
-}
-
-/// A random safe rule (same scheme as eval_differential_test): 1–3 body
-/// atoms over {E1, E2, I1, I2}, head over {I1, I2, G0} with arguments
-/// drawn from the body's variables, variable ids compacted per rule.
-Rule RandomRule(const RandomSchema& s, std::mt19937& rng, bool goal_head) {
-  std::uniform_int_distribution<int> nvars_dist(2, 4);
-  std::uniform_int_distribution<int> natoms_dist(1, 3);
-  const int nvars = nvars_dist(rng);
-  const int natoms = natoms_dist(rng);
-  std::uniform_int_distribution<int> var_dist(0, nvars - 1);
-  const PredId body_preds[] = {s.e1, s.e2, s.i1, s.i2};
-  std::uniform_int_distribution<size_t> body_pred_dist(0, 3);
-
-  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
-  Rule rule;
-  std::vector<VarId> remap(nvars, kUnmapped);
-  auto used = [&](int raw) {
-    if (remap[raw] == kUnmapped) {
-      remap[raw] = static_cast<VarId>(rule.var_names.size());
-      rule.var_names.push_back("v" + std::to_string(raw));
-    }
-    return remap[raw];
-  };
-  for (int a = 0; a < natoms; ++a) {
-    PredId p = body_preds[body_pred_dist(rng)];
-    std::vector<VarId> args;
-    for (int j = 0; j < s.vocab->arity(p); ++j) {
-      args.push_back(used(var_dist(rng)));
-    }
-    rule.body.push_back(QAtom(p, args));
-  }
-  const PredId head_preds[] = {s.i1, s.i2, s.g0};
-  std::uniform_int_distribution<size_t> head_pred_dist(0, 2);
-  PredId hp = goal_head ? s.g0 : head_preds[head_pred_dist(rng)];
-  std::uniform_int_distribution<size_t> body_var_dist(
-      0, rule.var_names.size() - 1);
-  std::vector<VarId> head_args;
-  for (int j = 0; j < s.vocab->arity(hp); ++j) {
-    head_args.push_back(static_cast<VarId>(body_var_dist(rng)));
-  }
-  rule.head = QAtom(hp, head_args);
-  return rule;
-}
-
-DatalogQuery RandomQuery(const RandomSchema& s, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<int> nrules_dist(1, 4);
-  Program program(s.vocab);
-  const int nrules = nrules_dist(rng);
-  for (int i = 0; i < nrules; ++i) {
-    program.AddRule(RandomRule(s, rng, /*goal_head=*/false));
-  }
-  // At least one rule derives the goal.
-  program.AddRule(RandomRule(s, rng, /*goal_head=*/true));
-  return DatalogQuery(std::move(program), s.g0);
-}
-
-/// One of three view-set shapes over {E1, E2}: all-atomic (lossless),
-/// projection CQ views (lossy), or a recursive MDL reachability view plus
-/// an atomic one — the recursive case is where the canonical cache sees
-/// repeated isomorphic D' instances.
-ViewSet RandomViews(const RandomSchema& s, unsigned seed) {
-  ViewSet views(s.vocab);
-  std::vector<Diagnostic> diags;
-  switch (seed % 3) {
-    case 0:
-      views.AddAtomicView("VA1", s.e1);
-      views.AddAtomicView("VA2", s.e2);
-      break;
-    case 1: {
-      auto proj = ParseQuery("VP(x) :- E2(x,y).", "VP", s.vocab, &diags);
-      views.AddView("VProj", *proj);
-      views.AddAtomicView("VA1", s.e1);
-      break;
-    }
-    default: {
-      auto reach = ParseQuery(
-          "VR(x) :- E1(x).\nVR(x) :- E2(x,y), VR(y).", "VR", s.vocab, &diags);
-      views.AddView("VReach", *reach);
-      views.AddAtomicView("VA2", s.e2);
-      break;
-    }
-  }
-  return views;
-}
-
-void ExpectSameInstance(const Instance& a, const Instance& b,
-                        const std::string& what) {
-  ASSERT_EQ(a.num_elements(), b.num_elements()) << what;
-  ASSERT_EQ(a.num_facts(), b.num_facts()) << what;
-  for (size_t i = 0; i < a.num_facts(); ++i) {
-    EXPECT_EQ(a.facts()[i], b.facts()[i]) << what << " fact " << i;
-  }
-}
-
-void ExpectSameResult(const MonDetResult& a, const MonDetResult& b,
-                      const std::string& what) {
-  EXPECT_EQ(a.verdict, b.verdict) << what;
-  EXPECT_EQ(a.tests_run, b.tests_run) << what;
-  EXPECT_EQ(a.expansions_tried, b.expansions_tried) << what;
-  ASSERT_EQ(a.failure.has_value(), b.failure.has_value()) << what;
-  if (a.failure) {
-    ExpectSameInstance(a.failure->approximation.inst,
-                       b.failure->approximation.inst,
-                       what + " approximation");
-    EXPECT_EQ(a.failure->approximation.frontier,
-              b.failure->approximation.frontier)
-        << what;
-    ExpectSameInstance(a.failure->dprime, b.failure->dprime,
-                       what + " dprime");
-  }
-}
-
 class MonDetParallel : public ::testing::TestWithParam<unsigned> {};
 
-TEST_P(MonDetParallel, IdenticalAcrossThreadsAndCache) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  DatalogQuery query = RandomQuery(s, 5000 + seed);
-  ViewSet views = RandomViews(s, seed);
-
-  MonDetOptions base;
-  base.query_depth = 3;
-  base.view_depth = 3;
-  base.max_query_expansions = 24;
-  base.max_tests_per_expansion = 48;
-
-  MonDetOptions t1 = base, t4 = base, t1_nocache = base, t4_nocache = base;
-  t1.num_threads = 1;
-  t1.test_cache = true;
-  t4.num_threads = 4;
-  t4.test_cache = true;
-  t1_nocache.num_threads = 1;
-  t1_nocache.test_cache = false;
-  t4_nocache.num_threads = 4;
-  t4_nocache.test_cache = false;
-
-  MonDetResult r1 = CheckMonotonicDeterminacy(query, views, t1);
-  MonDetResult r4 = CheckMonotonicDeterminacy(query, views, t4);
-  MonDetResult r1n = CheckMonotonicDeterminacy(query, views, t1_nocache);
-  MonDetResult r4n = CheckMonotonicDeterminacy(query, views, t4_nocache);
-
-  std::string tag = "seed " + std::to_string(seed);
-  ExpectSameResult(r1, r4, tag + " 1T vs 4T (cache)");
-  ExpectSameResult(r1, r1n, tag + " cache vs no-cache (1T)");
-  ExpectSameResult(r1, r4n, tag + " 1T cache vs 4T no-cache");
-
-  // The cache-off runs never touch the cache.
-  EXPECT_EQ(r1n.cache_hits + r1n.cache_misses, 0u) << tag;
-  EXPECT_EQ(r4n.cache_hits + r4n.cache_misses, 0u) << tag;
-  // The cache-on runs account every built test as a hit or a miss.
-  if (r1.verdict != Verdict::kInvalidInput) {
-    EXPECT_LE(r1.cache_hits + r1.cache_misses, r1.tests_run) << tag;
-  }
+TEST_P(MonDetParallel, DeterministicAcrossThreadsAndCache) {
+  const testing::Oracle* oracle = testing::FindOracle("mondet-parallel");
+  ASSERT_NE(oracle, nullptr);
+  testing::OracleOutcome out = oracle->Check(oracle->Generate(GetParam()));
+  EXPECT_TRUE(out.ok) << out.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MonDetParallel, ::testing::Range(0u, 100u));

@@ -1,278 +1,29 @@
-// Plan-quality differential oracle for the statistics-driven join
-// planner: on ~200 random programs × random bound instances,
-//   1. the stats-driven run (feedback corrections active) produces the
-//      same fixpoint as the naive full-rescan reference,
-//   2. 1-thread and 4-thread stats-driven runs produce byte-identical
-//      fact sequences (planning, incremental stats maintenance, and the
-//      feedback fold are all deterministic),
-//   3. disabling the planner (compile-time orders) yields the same set,
-//   4. disabling only the feedback corrections yields the same set (the
-//      feedback arm: corrected estimates steer orders, never results),
-//   5. no executed plan for a rule whose join graph is connected contains
-//      a cross product — checked against the orders the run *actually*
-//      used, reported through EvalStats (plan_stats), which under the
-//      default options are orders planned from corrected estimates.
+// Plan-quality differential test for the statistics-driven join planner:
+// on randomized programs × random bound instances, the stats-driven run
+// must match the naive reference, 1- and 4-thread runs must be
+// byte-identical, planner-off and feedback-off runs must derive the same
+// set, no executed plan for a connected-join-graph rule may contain a
+// cross product, and dataflow pruning must stay invisible.
+//
+// The generator and checker live in the shared randomized-testing
+// library (testing/oracle.h, oracle `plan-differential`); `mondet-fuzz`
+// drives the same property over open-ended seed ranges with shrinking.
+// Failure messages carry the full generated case for `.repro` replay.
 
 #include <gtest/gtest.h>
 
-#include <limits>
-#include <random>
-#include <vector>
-
-#include "analysis/dataflow.h"
-#include "datalog/eval.h"
-#include "datalog/eval_plan.h"
-#include "datalog/program.h"
-#include "tests/naive_eval.h"
-#include "tests/test_util.h"
+#include "testing/oracle.h"
 
 namespace mondet {
 namespace {
 
-struct RandomSchema {
-  VocabularyPtr vocab;
-  // EDB predicates (arities 1, 2, 3) and IDB predicates (1, 2, 0): the
-  // ternary EDB gives the planner rules where order genuinely matters.
-  PredId e1, e2, e3, i1, i2, g0;
-};
-
-RandomSchema MakeSchema() {
-  RandomSchema s;
-  s.vocab = MakeVocabulary();
-  s.e1 = s.vocab->AddPredicate("E1", 1);
-  s.e2 = s.vocab->AddPredicate("E2", 2);
-  s.e3 = s.vocab->AddPredicate("E3", 3);
-  s.i1 = s.vocab->AddPredicate("I1", 1);
-  s.i2 = s.vocab->AddPredicate("I2", 2);
-  s.g0 = s.vocab->AddPredicate("G0", 0);
-  return s;
-}
-
-/// A random safe rule: 1–4 body atoms over {E1, E2, E3, I1, I2} with
-/// variables drawn from a small pool, head over {I1, I2, G0} with
-/// arguments drawn from the variables actually used in the body.
-Rule RandomRule(const RandomSchema& s, std::mt19937& rng) {
-  std::uniform_int_distribution<int> nvars_dist(2, 5);
-  std::uniform_int_distribution<int> natoms_dist(1, 4);
-  const int nvars = nvars_dist(rng);
-  const int natoms = natoms_dist(rng);
-  std::uniform_int_distribution<int> var_dist(0, nvars - 1);
-  const PredId body_preds[] = {s.e1, s.e2, s.e3, s.i1, s.i2};
-  std::uniform_int_distribution<size_t> body_pred_dist(0, 4);
-
-  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
-  Rule rule;
-  std::vector<VarId> remap(nvars, kUnmapped);
-  auto used = [&](int raw) {
-    if (remap[raw] == kUnmapped) {
-      remap[raw] = static_cast<VarId>(rule.var_names.size());
-      rule.var_names.push_back("v" + std::to_string(raw));
-    }
-    return remap[raw];
-  };
-  for (int a = 0; a < natoms; ++a) {
-    PredId p = body_preds[body_pred_dist(rng)];
-    std::vector<VarId> args;
-    for (int j = 0; j < s.vocab->arity(p); ++j) {
-      args.push_back(used(var_dist(rng)));
-    }
-    rule.body.push_back(QAtom(p, args));
-  }
-  const PredId head_preds[] = {s.i1, s.i2, s.g0};
-  std::uniform_int_distribution<size_t> head_pred_dist(0, 2);
-  PredId hp = head_preds[head_pred_dist(rng)];
-  std::uniform_int_distribution<size_t> body_var_dist(
-      0, rule.var_names.size() - 1);
-  std::vector<VarId> head_args;
-  for (int j = 0; j < s.vocab->arity(hp); ++j) {
-    head_args.push_back(static_cast<VarId>(body_var_dist(rng)));
-  }
-  rule.head = QAtom(hp, head_args);
-  return rule;
-}
-
-Program RandomProgram(const RandomSchema& s, unsigned seed) {
-  std::mt19937 rng(seed);
-  std::uniform_int_distribution<int> nrules_dist(2, 6);
-  Program program(s.vocab);
-  const int nrules = nrules_dist(rng);
-  for (int i = 0; i < nrules; ++i) program.AddRule(RandomRule(s, rng));
-  return program;
-}
-
-/// True when the rule's join graph — body atoms with variables as nodes,
-/// edges between atoms sharing a variable — has a single component.
-bool ConnectedJoinGraph(const Rule& rule) {
-  std::vector<int> nodes;
-  for (int i = 0; i < static_cast<int>(rule.body.size()); ++i) {
-    if (!rule.body[i].args.empty()) nodes.push_back(i);
-  }
-  if (nodes.size() <= 1) return true;
-  std::vector<bool> seen(rule.body.size(), false);
-  std::vector<int> stack = {nodes[0]};
-  seen[nodes[0]] = true;
-  size_t reached = 1;
-  auto shares = [&](int a, int b) {
-    for (VarId va : rule.body[a].args) {
-      for (VarId vb : rule.body[b].args) {
-        if (va == vb) return true;
-      }
-    }
-    return false;
-  };
-  while (!stack.empty()) {
-    int cur = stack.back();
-    stack.pop_back();
-    for (int nxt : nodes) {
-      if (!seen[nxt] && shares(cur, nxt)) {
-        seen[nxt] = true;
-        ++reached;
-        stack.push_back(nxt);
-      }
-    }
-  }
-  return reached == nodes.size();
-}
-
-/// Replays one executed seat order and fails if any step joins an atom
-/// with no bound variable while something is already bound (= cross
-/// product). Nullary atoms are filters and exempt.
-void ExpectNoCrossProduct(const Rule& rule, const JoinSeatStats& seat,
-                          unsigned seed) {
-  std::vector<bool> bound(rule.num_vars(), false);
-  bool anything_bound = false;
-  if (seat.delta_atom >= 0) {
-    for (VarId v : rule.body[seat.delta_atom].args) bound[v] = true;
-    anything_bound = !rule.body[seat.delta_atom].args.empty();
-  }
-  for (size_t k = 0; k < seat.order.size(); ++k) {
-    const QAtom& atom = rule.body[seat.order[k]];
-    bool shares = false;
-    for (VarId v : atom.args) {
-      if (bound[v]) shares = true;
-    }
-    EXPECT_TRUE(!anything_bound || shares || atom.args.empty())
-        << "seed " << seed << ": cross product at step " << k << " of rule "
-        << seat.rule << " (delta_atom " << seat.delta_atom << ")";
-    for (VarId v : atom.args) bound[v] = true;
-    if (!atom.args.empty()) anything_bound = true;
-  }
-}
-
 class PlanDifferential : public ::testing::TestWithParam<unsigned> {};
 
-TEST_P(PlanDifferential, StatsPlansAgreeWithOracleAndAvoidCrossProducts) {
-  unsigned seed = GetParam();
-  RandomSchema s = MakeSchema();
-  Program program = RandomProgram(s, 17000 + seed);
-  // Half the cases include input IDB facts (FPEval is defined on
-  // instances that may already mention IDB predicates, cf. Prop. 4).
-  std::vector<PredId> inst_preds = {s.e1, s.e2, s.e3};
-  if (seed % 2 == 1) {
-    inst_preds.push_back(s.i1);
-    inst_preds.push_back(s.i2);
-  }
-  Instance inst = RandomInstance(s.vocab, inst_preds, 5, 12, 19000 + seed);
-
-  CompiledProgram compiled(program);
-  Instance naive = NaiveFpEval(program, inst);
-
-  // 1. Stats-driven vs the naive oracle: same fact set. The instances
-  // here sit below the planner's default size gate, so force live
-  // planning — the planner, not the gate, is under test.
-  EvalOptions opt1;
-  opt1.num_threads = 1;
-  opt1.plan_stats = true;
-  opt1.stats_min_facts = 0;
-  opt1.dataflow_min_facts = 0;  // same reason: pruning itself is under test
-  EvalStats stats1;
-  Instance semi1 = compiled.Eval(inst, &stats1, opt1);
-  ASSERT_EQ(naive.num_facts(), semi1.num_facts())
-      << "seed " << seed << "\n"
-      << program.DebugString();
-  for (const Fact& f : naive.facts()) {
-    EXPECT_TRUE(semi1.HasFact(f)) << "seed " << seed;
-  }
-
-  // 2. Thread-count determinism: identical fact sequences under identical
-  // options (plan_stats stays on so the feedback fold runs in both).
-  EvalOptions opt4 = opt1;
-  opt4.num_threads = 4;
-  Instance semi4 = compiled.Eval(inst, nullptr, opt4);
-  ASSERT_EQ(semi1.num_facts(), semi4.num_facts()) << "seed " << seed;
-  for (size_t i = 0; i < semi1.num_facts(); ++i) {
-    EXPECT_EQ(semi1.facts()[i], semi4.facts()[i])
-        << "seed " << seed << " fact " << i;
-  }
-
-  // 3. Planner off (compile-time EDB-first orders): same fact set.
-  EvalOptions opt_static;
-  opt_static.num_threads = 1;
-  opt_static.stats_planner = false;
-  Instance plain = compiled.Eval(inst, nullptr, opt_static);
-  ASSERT_EQ(naive.num_facts(), plain.num_facts()) << "seed " << seed;
-  for (const Fact& f : naive.facts()) {
-    EXPECT_TRUE(plain.HasFact(f)) << "seed " << seed;
-  }
-
-  // 4. Feedback arm: corrections off — same fact set as the corrected
-  // run (and as the oracle). Corrections may reorder joins mid-run,
-  // never change what is derived.
-  EvalOptions opt_nofb = opt1;
-  opt_nofb.plan_feedback = false;
-  Instance nofb = compiled.Eval(inst, nullptr, opt_nofb);
-  ASSERT_EQ(naive.num_facts(), nofb.num_facts()) << "seed " << seed;
-  for (const Fact& f : naive.facts()) {
-    EXPECT_TRUE(nofb.HasFact(f)) << "seed " << seed;
-  }
-
-  // 5. No executed plan for a connected-join-graph rule contains a cross
-  // product — under corrected estimates (stats1 comes from the
-  // feedback-active run); estimates and measurements are exposed per
-  // step.
-  bool saw_seat = false;
-  for (const StratumStats& ss : stats1.strata) {
-    for (const JoinSeatStats& seat : ss.seats) {
-      saw_seat = true;
-      const Rule& rule = program.rules()[seat.rule];
-      ASSERT_EQ(seat.order.size(),
-                rule.body.size() - (seat.delta_atom >= 0 ? 1 : 0));
-      EXPECT_EQ(seat.est_rows.size(), seat.order.size());
-      EXPECT_EQ(seat.actual_rows.size(), seat.order.size());
-      if (ConnectedJoinGraph(rule)) {
-        ExpectNoCrossProduct(rule, seat, seed);
-      }
-    }
-  }
-  // Provably-dead rules are never seated (dataflow pruning, on by
-  // default), so seats appear exactly when some rule is live.
-  const std::vector<bool> dead = DeadRuleMask(program, inst);
-  size_t n_dead = 0;
-  for (bool d : dead) n_dead += d ? 1 : 0;
-  if (n_dead < dead.size()) {
-    EXPECT_TRUE(saw_seat) << "plan_stats produced no seat observations";
-  }
-  EXPECT_EQ(stats1.rules_pruned, n_dead) << "seed " << seed;
-
-  // 6. Dataflow pruning off: byte-identical fact sequence to the pruned
-  // stats-driven runs at both thread counts (pruning only skips rules
-  // that derive nothing, so it is invisible in the result).
-  EvalOptions opt_noprune1 = opt1;
-  opt_noprune1.dataflow_prune = false;
-  EvalOptions opt_noprune4 = opt4;
-  opt_noprune4.dataflow_prune = false;
-  EvalStats stats_np;
-  Instance noprune1 = compiled.Eval(inst, &stats_np, opt_noprune1);
-  Instance noprune4 = compiled.Eval(inst, nullptr, opt_noprune4);
-  EXPECT_EQ(stats_np.rules_pruned, 0u);
-  ASSERT_EQ(semi1.num_facts(), noprune1.num_facts()) << "seed " << seed;
-  ASSERT_EQ(semi1.num_facts(), noprune4.num_facts()) << "seed " << seed;
-  for (size_t i = 0; i < semi1.num_facts(); ++i) {
-    EXPECT_EQ(semi1.facts()[i], noprune1.facts()[i])
-        << "seed " << seed << " fact " << i;
-    EXPECT_EQ(semi1.facts()[i], noprune4.facts()[i])
-        << "seed " << seed << " fact " << i;
-  }
+TEST_P(PlanDifferential, StatsPlannerAgreesWithReference) {
+  const testing::Oracle* oracle = testing::FindOracle("plan-differential");
+  ASSERT_NE(oracle, nullptr);
+  testing::OracleOutcome out = oracle->Check(oracle->Generate(GetParam()));
+  EXPECT_TRUE(out.ok) << out.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlanDifferential, ::testing::Range(0u, 200u));

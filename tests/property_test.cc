@@ -14,7 +14,7 @@
 #include "datalog/eval.h"
 #include "datalog/parser.h"
 #include "games/pebble.h"
-#include "tests/naive_eval.h"
+#include "testing/reference.h"
 #include "tests/test_util.h"
 #include "tree/code.h"
 #include "tree/decompose.h"
@@ -25,8 +25,8 @@ namespace {
 
 // ---------- Semi-naive FPEval vs. a naive reference evaluator ------------
 
-// NaiveFpEval lives in tests/naive_eval.h (shared with the differential
-// oracle in eval_differential_test.cc).
+// NaiveFpEval lives in src/testing/reference.h (shared with the
+// differential oracles and the mondet-fuzz harness).
 
 class SeminaiveVsNaive : public ::testing::TestWithParam<unsigned> {};
 

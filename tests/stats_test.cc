@@ -19,7 +19,7 @@
 #include "datalog/eval.h"
 #include "datalog/eval_plan.h"
 #include "datalog/program.h"
-#include "tests/naive_eval.h"
+#include "testing/reference.h"
 #include "tests/test_util.h"
 
 namespace mondet {

@@ -1,12 +1,11 @@
 #ifndef MONDET_TESTS_TEST_UTIL_H_
 #define MONDET_TESTS_TEST_UTIL_H_
 
-#include <random>
-#include <string>
 #include <vector>
 
 #include "base/instance.h"
 #include "base/symbol_table.h"
+#include "testing/generator.h"
 
 namespace mondet {
 
@@ -31,24 +30,13 @@ inline Instance MakeCycle(const VocabularyPtr& vocab, PredId edge, int n) {
 }
 
 /// Random instance over the given predicates with `elems` elements and
-/// roughly `facts` facts (deduplicated).
+/// roughly `facts` facts (deduplicated). Forwards to the shared
+/// randomized-testing library; the historical draw order is preserved
+/// there (tests/testing_golden_test.cc pins it).
 inline Instance RandomInstance(const VocabularyPtr& vocab,
                                const std::vector<PredId>& preds, int elems,
                                int facts, unsigned seed) {
-  std::mt19937 rng(seed);
-  Instance inst(vocab);
-  for (int i = 0; i < elems; ++i) inst.AddElement();
-  std::uniform_int_distribution<int> elem_dist(0, elems - 1);
-  std::uniform_int_distribution<size_t> pred_dist(0, preds.size() - 1);
-  for (int i = 0; i < facts; ++i) {
-    PredId p = preds[pred_dist(rng)];
-    std::vector<ElemId> args;
-    for (int j = 0; j < vocab->arity(p); ++j) {
-      args.push_back(static_cast<ElemId>(elem_dist(rng)));
-    }
-    inst.AddFact(p, args);
-  }
-  return inst;
+  return testing::RandomInstance(vocab, preds, elems, facts, seed);
 }
 
 }  // namespace mondet

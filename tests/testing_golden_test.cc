@@ -1,0 +1,414 @@
+// Behavior-preservation pin for the shared randomized-testing library
+// (src/testing/generator.h). The five differential suites historically
+// carried private copies of their program/instance/schedule generators;
+// the refactor folded them into one seed-deterministic library, and every
+// saved seed (CI logs, corpus files, bug reports) must keep meaning the
+// same generated artifact. This test freezes the pre-refactor generation
+// logic *verbatim* in the `frozen` namespace — deliberately not sharing a
+// line with src/testing — regenerates every historical seed through both
+// paths, and requires textual equality. An aggregate FNV-1a hash per
+// family is additionally pinned so a coordinated drift of both copies
+// (e.g. a well-meaning "cleanup" of the draw order in each) still fails.
+//
+// If this test breaks, the fix is to restore the library's draw order,
+// never to update the hashes: historical seeds are a public interface.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "base/instance.h"
+#include "base/symbol_table.h"
+#include "datalog/program.h"
+#include "testing/describe.h"
+#include "testing/generator.h"
+#include "testing/oracle.h"
+
+namespace mondet {
+namespace {
+
+// --- Frozen pre-refactor generators. ----------------------------------------
+//
+// One parameterized copy of the rule/program scheme all five tests shared
+// (they differed only in predicate pools and shape bounds), preserving the
+// exact draw order: nvars, natoms, per body atom the predicate then one
+// var per argument, head predicate (skipped when the goal is forced), one
+// body var per head argument.
+
+namespace frozen {
+
+Rule RuleFromPools(const VocabularyPtr& vocab,
+                   const std::vector<PredId>& body_preds,
+                   const std::vector<PredId>& head_preds, PredId goal,
+                   int min_vars, int max_vars, int min_atoms, int max_atoms,
+                   std::mt19937& rng, bool goal_head) {
+  std::uniform_int_distribution<int> nvars_dist(min_vars, max_vars);
+  std::uniform_int_distribution<int> natoms_dist(min_atoms, max_atoms);
+  const int nvars = nvars_dist(rng);
+  const int natoms = natoms_dist(rng);
+  std::uniform_int_distribution<int> var_dist(0, nvars - 1);
+  std::uniform_int_distribution<size_t> body_pred_dist(0,
+                                                       body_preds.size() - 1);
+
+  constexpr VarId kUnmapped = std::numeric_limits<VarId>::max();
+  Rule rule;
+  std::vector<VarId> remap(nvars, kUnmapped);
+  auto used = [&](int raw) {
+    if (remap[raw] == kUnmapped) {
+      remap[raw] = static_cast<VarId>(rule.var_names.size());
+      rule.var_names.push_back("v" + std::to_string(raw));
+    }
+    return remap[raw];
+  };
+  for (int a = 0; a < natoms; ++a) {
+    PredId p = body_preds[body_pred_dist(rng)];
+    std::vector<VarId> args;
+    for (int j = 0; j < vocab->arity(p); ++j) {
+      args.push_back(used(var_dist(rng)));
+    }
+    rule.body.push_back(QAtom(p, args));
+  }
+  std::uniform_int_distribution<size_t> head_pred_dist(0,
+                                                       head_preds.size() - 1);
+  PredId hp = goal_head ? goal : head_preds[head_pred_dist(rng)];
+  std::uniform_int_distribution<size_t> body_var_dist(
+      0, rule.var_names.size() - 1);
+  std::vector<VarId> head_args;
+  for (int j = 0; j < vocab->arity(hp); ++j) {
+    head_args.push_back(static_cast<VarId>(body_var_dist(rng)));
+  }
+  rule.head = QAtom(hp, head_args);
+  return rule;
+}
+
+Program ProgramFromPools(const VocabularyPtr& vocab,
+                         const std::vector<PredId>& body_preds,
+                         const std::vector<PredId>& head_preds, PredId goal,
+                         int min_vars, int max_vars, int min_atoms,
+                         int max_atoms, int min_rules, int max_rules,
+                         unsigned seed, bool goal_tail) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> nrules_dist(min_rules, max_rules);
+  Program program(vocab);
+  const int nrules = nrules_dist(rng);
+  for (int i = 0; i < nrules; ++i) {
+    program.AddRule(RuleFromPools(vocab, body_preds, head_preds, goal,
+                                  min_vars, max_vars, min_atoms, max_atoms,
+                                  rng, /*goal_head=*/false));
+  }
+  if (goal_tail) {
+    program.AddRule(RuleFromPools(vocab, body_preds, head_preds, goal,
+                                  min_vars, max_vars, min_atoms, max_atoms,
+                                  rng, /*goal_head=*/true));
+  }
+  return program;
+}
+
+/// Verbatim tests/test_util.h RandomInstance (the historical helper).
+Instance InstanceFromPreds(const VocabularyPtr& vocab,
+                           const std::vector<PredId>& preds, int elems,
+                           int facts, unsigned seed) {
+  std::mt19937 rng(seed);
+  Instance inst(vocab);
+  for (int i = 0; i < elems; ++i) inst.AddElement();
+  std::uniform_int_distribution<int> elem_dist(0, elems - 1);
+  std::uniform_int_distribution<size_t> pred_dist(0, preds.size() - 1);
+  for (int i = 0; i < facts; ++i) {
+    PredId p = preds[pred_dist(rng)];
+    std::vector<ElemId> args;
+    for (int j = 0; j < vocab->arity(p); ++j) {
+      args.push_back(static_cast<ElemId>(elem_dist(rng)));
+    }
+    inst.AddFact(p, args);
+  }
+  return inst;
+}
+
+/// Verbatim maintenance_differential_test RandomBaseFact.
+Fact BaseFact(const VocabularyPtr& vocab, const std::vector<PredId>& preds,
+              size_t elems, std::mt19937& rng) {
+  std::uniform_int_distribution<size_t> pred_dist(0, preds.size() - 1);
+  std::uniform_int_distribution<ElemId> elem_dist(
+      0, static_cast<ElemId>(elems - 1));
+  PredId p = preds[pred_dist(rng)];
+  std::vector<ElemId> args;
+  for (int j = 0; j < vocab->arity(p); ++j) args.push_back(elem_dist(rng));
+  return Fact(p, std::move(args));
+}
+
+/// Verbatim maintenance_differential_test schedule loop: raw batches
+/// drawn against the evolving base, inline normalization applied between
+/// batches. Returns the *raw* batches (what FuzzCase records).
+std::vector<testing::RawBatch> Schedule(const VocabularyPtr& vocab,
+                                        const std::vector<PredId>& churn,
+                                        Instance base, size_t elems,
+                                        int steps, std::mt19937& rng) {
+  std::vector<testing::RawBatch> out;
+  std::uniform_int_distribution<int> batch_dist(0, 4);
+  for (int step = 0; step < steps; ++step) {
+    std::vector<Fact> raw_ins, raw_del;
+    for (int i = batch_dist(rng); i > 0; --i) {
+      raw_ins.push_back(BaseFact(vocab, churn, elems, rng));
+    }
+    for (int i = batch_dist(rng); i > 0; --i) {
+      if (base.num_facts() > 0 && rng() % 2 == 0) {
+        raw_del.push_back(base.facts()[rng() % base.num_facts()]);
+      } else {
+        raw_del.push_back(BaseFact(vocab, churn, elems, rng));
+      }
+    }
+    std::unordered_set<Fact, FactHash> raw_ins_set(raw_ins.begin(),
+                                                   raw_ins.end());
+    std::unordered_set<Fact, FactHash> seen_ins, seen_del;
+    std::vector<Fact> ins, del;
+    for (const Fact& f : raw_ins) {
+      if (!base.HasFact(f) && seen_ins.insert(f).second) ins.push_back(f);
+    }
+    for (const Fact& f : raw_del) {
+      if (base.HasFact(f) && !raw_ins_set.count(f) &&
+          seen_del.insert(f).second) {
+        del.push_back(f);
+      }
+    }
+    for (const Fact& f : ins) base.AddFact(f);
+    for (const Fact& f : del) base.RemoveFact(f);
+    out.push_back(testing::RawBatch{std::move(raw_ins), std::move(raw_del)});
+  }
+  return out;
+}
+
+}  // namespace frozen
+
+// Pinned aggregate FNV-1a hashes (over the library-side renderings of
+// every historical seed, concatenated). See the file comment: on
+// mismatch, fix the generator, do not re-pin.
+constexpr uint64_t kEvalHash = 0x808e728911d31032ull;
+constexpr uint64_t kPlanHash = 0x203d4b47a4b23d2eull;
+constexpr uint64_t kDataflowHash = 0x2ab96dcac606587full;
+constexpr uint64_t kMaintenanceHash = 0x0d7f7a929b8849b2ull;
+constexpr uint64_t kParallelHash = 0x884de98679367498ull;
+
+uint64_t HashAccum(uint64_t h, const std::string& s) {
+  // Chain per-seed hashes (hash of hash ⊕ next rendering hash) so the
+  // aggregate depends on order without concatenating megabytes.
+  return testing::Fnv1a(std::to_string(h) + "|" + std::to_string(
+                            testing::Fnv1a(s)));
+}
+
+TEST(TestingGolden, EvalFamilyBitIdentical) {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId e1 = vocab->AddPredicate("E1", 1);
+  PredId e2 = vocab->AddPredicate("E2", 2);
+  PredId i1 = vocab->AddPredicate("I1", 1);
+  PredId i2 = vocab->AddPredicate("I2", 2);
+  PredId g0 = vocab->AddPredicate("G0", 0);
+  const testing::Oracle* oracle = testing::FindOracle("eval-differential");
+  ASSERT_NE(oracle, nullptr);
+
+  uint64_t hash = 0;
+  for (unsigned seed = 0; seed < 220; ++seed) {
+    Program want = frozen::ProgramFromPools(
+        vocab, {e1, e2, i1, i2}, {i1, i2, g0}, g0, 2, 4, 1, 3, 2, 6,
+        7000 + seed, /*goal_tail=*/false);
+    std::vector<PredId> inst_preds = {e1, e2};
+    if (seed % 2 == 1) {
+      inst_preds.push_back(i1);
+      inst_preds.push_back(i2);
+    }
+    Instance want_inst =
+        frozen::InstanceFromPreds(vocab, inst_preds, 5, 10, 9000 + seed);
+
+    testing::FuzzCase c = oracle->Generate(seed);
+    ASSERT_TRUE(c.program.has_value()) << "seed " << seed;
+    ASSERT_TRUE(c.instance.has_value()) << "seed " << seed;
+    EXPECT_EQ(testing::DescribeProgram(*c.program),
+              testing::DescribeProgram(want))
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeInstance(*c.instance),
+              testing::DescribeInstance(want_inst))
+        << "seed " << seed;
+    hash = HashAccum(hash, testing::DescribeProgram(*c.program) +
+                               testing::DescribeInstance(*c.instance));
+  }
+  EXPECT_EQ(hash, kEvalHash) << "actual 0x" << std::hex << hash;
+}
+
+TEST(TestingGolden, PlanFamilyBitIdentical) {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId e1 = vocab->AddPredicate("E1", 1);
+  PredId e2 = vocab->AddPredicate("E2", 2);
+  PredId e3 = vocab->AddPredicate("E3", 3);
+  PredId i1 = vocab->AddPredicate("I1", 1);
+  PredId i2 = vocab->AddPredicate("I2", 2);
+  PredId g0 = vocab->AddPredicate("G0", 0);
+  const testing::Oracle* oracle = testing::FindOracle("plan-differential");
+  ASSERT_NE(oracle, nullptr);
+
+  uint64_t hash = 0;
+  for (unsigned seed = 0; seed < 200; ++seed) {
+    Program want = frozen::ProgramFromPools(
+        vocab, {e1, e2, e3, i1, i2}, {i1, i2, g0}, g0, 2, 5, 1, 4, 2, 6,
+        17000 + seed, /*goal_tail=*/false);
+    std::vector<PredId> inst_preds = {e1, e2, e3};
+    if (seed % 2 == 1) {
+      inst_preds.push_back(i1);
+      inst_preds.push_back(i2);
+    }
+    Instance want_inst =
+        frozen::InstanceFromPreds(vocab, inst_preds, 5, 12, 19000 + seed);
+
+    testing::FuzzCase c = oracle->Generate(seed);
+    ASSERT_TRUE(c.program.has_value() && c.instance.has_value())
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeProgram(*c.program),
+              testing::DescribeProgram(want))
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeInstance(*c.instance),
+              testing::DescribeInstance(want_inst))
+        << "seed " << seed;
+    hash = HashAccum(hash, testing::DescribeProgram(*c.program) +
+                               testing::DescribeInstance(*c.instance));
+  }
+  EXPECT_EQ(hash, kPlanHash) << "actual 0x" << std::hex << hash;
+}
+
+TEST(TestingGolden, DataflowFamilyBitIdentical) {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId e1 = vocab->AddPredicate("E1", 1);
+  PredId e2 = vocab->AddPredicate("E2", 2);
+  PredId z1 = vocab->AddPredicate("Z1", 1);
+  PredId i1 = vocab->AddPredicate("I1", 1);
+  PredId i2 = vocab->AddPredicate("I2", 2);
+  PredId j2 = vocab->AddPredicate("J2", 2);
+  PredId g0 = vocab->AddPredicate("G0", 0);
+  const testing::Oracle* oracle = testing::FindOracle("dataflow-soundness");
+  ASSERT_NE(oracle, nullptr);
+
+  uint64_t hash = 0;
+  for (unsigned seed = 0; seed < 220; ++seed) {
+    Program want = frozen::ProgramFromPools(
+        vocab, {e1, e2, z1, i1, i2, j2}, {i1, i2, j2, g0}, g0, 2, 4, 1, 3,
+        2, 6, 7000 + seed, /*goal_tail=*/false);
+    std::vector<PredId> inst_preds = {e1, e2};
+    if (seed % 3 == 0) inst_preds.push_back(z1);
+    if (seed % 2 == 1) {
+      inst_preds.push_back(i1);
+      inst_preds.push_back(i2);
+    }
+    Instance want_inst =
+        frozen::InstanceFromPreds(vocab, inst_preds, 4, 8, 9000 + seed);
+
+    testing::FuzzCase c = oracle->Generate(seed);
+    ASSERT_TRUE(c.program.has_value() && c.instance.has_value())
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeProgram(*c.program),
+              testing::DescribeProgram(want))
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeInstance(*c.instance),
+              testing::DescribeInstance(want_inst))
+        << "seed " << seed;
+    hash = HashAccum(hash, testing::DescribeProgram(*c.program) +
+                               testing::DescribeInstance(*c.instance));
+  }
+  EXPECT_EQ(hash, kDataflowHash) << "actual 0x" << std::hex << hash;
+}
+
+TEST(TestingGolden, MaintenanceFamilyBitIdentical) {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId e1 = vocab->AddPredicate("E1", 1);
+  PredId e2 = vocab->AddPredicate("E2", 2);
+  PredId i1 = vocab->AddPredicate("I1", 1);
+  PredId i2 = vocab->AddPredicate("I2", 2);
+  PredId g0 = vocab->AddPredicate("G0", 0);
+  const testing::Oracle* oracle =
+      testing::FindOracle("maintenance-differential");
+  ASSERT_NE(oracle, nullptr);
+
+  uint64_t hash = 0;
+  for (unsigned seed = 0; seed < 220; ++seed) {
+    Program want = frozen::ProgramFromPools(
+        vocab, {e1, e2, i1, i2}, {i1, i2, g0}, g0, 2, 4, 1, 3, 2, 6,
+        11000 + seed, /*goal_tail=*/false);
+    std::mt19937 rng(12000 + seed);
+    std::vector<PredId> churn = {e1, e2};
+    if (seed % 2 == 1) {
+      churn.push_back(i1);
+      churn.push_back(i2);
+    }
+    Instance want_base =
+        frozen::InstanceFromPreds(vocab, churn, 5, 8, 13000 + seed);
+    std::vector<testing::RawBatch> want_sched = frozen::Schedule(
+        vocab, churn, want_base, 5, 4 + seed % 4, rng);
+
+    testing::FuzzCase c = oracle->Generate(seed);
+    ASSERT_TRUE(c.program.has_value() && c.instance.has_value())
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeProgram(*c.program),
+              testing::DescribeProgram(want))
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeInstance(*c.instance),
+              testing::DescribeInstance(want_base))
+        << "seed " << seed;
+    EXPECT_EQ(testing::DescribeSchedule(c.schedule, vocab),
+              testing::DescribeSchedule(want_sched, vocab))
+        << "seed " << seed;
+    hash = HashAccum(hash, testing::DescribeProgram(*c.program) +
+                               testing::DescribeInstance(*c.instance) +
+                               testing::DescribeSchedule(c.schedule, vocab));
+  }
+  EXPECT_EQ(hash, kMaintenanceHash) << "actual 0x" << std::hex << hash;
+}
+
+TEST(TestingGolden, ParallelFamilyBitIdentical) {
+  VocabularyPtr vocab = MakeVocabulary();
+  PredId e1 = vocab->AddPredicate("E1", 1);
+  PredId e2 = vocab->AddPredicate("E2", 2);
+  PredId i1 = vocab->AddPredicate("I1", 1);
+  PredId i2 = vocab->AddPredicate("I2", 2);
+  PredId g0 = vocab->AddPredicate("G0", 0);
+  const testing::Oracle* oracle = testing::FindOracle("mondet-parallel");
+  ASSERT_NE(oracle, nullptr);
+
+  uint64_t hash = 0;
+  for (unsigned seed = 0; seed < 100; ++seed) {
+    Program want = frozen::ProgramFromPools(
+        vocab, {e1, e2, i1, i2}, {i1, i2, g0}, g0, 2, 4, 1, 3, 1, 4,
+        5000 + seed, /*goal_tail=*/true);
+
+    testing::FuzzCase c = oracle->Generate(seed);
+    ASSERT_TRUE(c.program.has_value()) << "seed " << seed;
+    EXPECT_EQ(testing::DescribeProgram(*c.program),
+              testing::DescribeProgram(want))
+        << "seed " << seed;
+    // View shapes are keyed by seed % 3 with fixed names/definitions —
+    // pin the rendering directly.
+    ASSERT_EQ(c.views.size(), 2u) << "seed " << seed;
+    switch (seed % 3) {
+      case 0:
+        EXPECT_EQ(c.views[0].name, "VA1");
+        EXPECT_EQ(c.views[1].name, "VA2");
+        break;
+      case 1:
+        EXPECT_EQ(c.views[0].name, "VProj");
+        EXPECT_EQ(c.views[0].text, "VP(x) :- E2(x,y).");
+        EXPECT_EQ(c.views[1].name, "VA1");
+        break;
+      default:
+        EXPECT_EQ(c.views[0].name, "VReach");
+        EXPECT_EQ(c.views[0].text, "VR(x) :- E1(x).\nVR(x) :- E2(x,y), VR(y).");
+        EXPECT_EQ(c.views[1].name, "VA2");
+        break;
+    }
+    hash = HashAccum(hash, testing::DescribeProgram(*c.program) +
+                               testing::DescribeViews(c.views));
+  }
+  EXPECT_EQ(hash, kParallelHash) << "actual 0x" << std::hex << hash;
+}
+
+}  // namespace
+}  // namespace mondet

@@ -1,0 +1,155 @@
+// The TM-driven hard-instance stream: Turing machines from the `.tm`
+// corpus compile through the Wang-tiling reduction (the currency of
+// Thm 6–8) into step-bounded semi-decision instances with extracted
+// certificates. This suite pins
+//
+//   * corpus/builtin equality — tests/corpus/tm/<name>.tm is byte-equal
+//     to the embedded builtin text the fuzz harness uses;
+//   * parser round-trips — ParseTm(TmToText(tm)) preserves the machine;
+//   * the acceptance bar of the reduction: every builtin machine
+//     compiles through CompileTmRun and its extracted certificate
+//     re-checks via CheckTiling (independent of the solver);
+//   * the semi-decision boundary — a non-accepting run yields no tiling;
+//   * agreement with reductions/thm9: the `eraser` builtin is exactly
+//     Thm 9's EraserMachine.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "reductions/thm9.h"
+#include "testing/tm.h"
+
+#ifndef MONDET_CORPUS_DIR
+#error "MONDET_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace mondet {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(TmCorpus, CorpusFilesMatchBuiltins) {
+  const std::vector<std::string> names = testing::BuiltinTmNames();
+  ASSERT_GE(names.size(), 3u);
+  for (const std::string& name : names) {
+    const std::string path =
+        std::string(MONDET_CORPUS_DIR) + "/tm/" + name + ".tm";
+    EXPECT_EQ(Slurp(path), testing::BuiltinTmText(name))
+        << path << " drifted from the embedded builtin";
+  }
+}
+
+TEST(TmCorpus, ParseRoundTripsEveryBuiltin) {
+  for (const std::string& name : testing::BuiltinTmNames()) {
+    TuringMachine tm = testing::BuiltinTm(name);
+    std::string error;
+    std::optional<TuringMachine> back =
+        testing::ParseTm(testing::TmToText(tm), &error);
+    ASSERT_TRUE(back.has_value()) << name << ": " << error;
+    EXPECT_EQ(back->num_states, tm.num_states) << name;
+    EXPECT_EQ(back->num_symbols, tm.num_symbols) << name;
+    EXPECT_EQ(back->start, tm.start) << name;
+    EXPECT_EQ(back->accept, tm.accept) << name;
+    ASSERT_EQ(back->delta.size(), tm.delta.size()) << name;
+    for (const auto& [key, act] : tm.delta) {
+      auto it = back->delta.find(key);
+      ASSERT_NE(it, back->delta.end()) << name;
+      EXPECT_EQ(it->second.next_state, act.next_state) << name;
+      EXPECT_EQ(it->second.write, act.write) << name;
+      EXPECT_EQ(it->second.move, act.move) << name;
+    }
+  }
+}
+
+TEST(TmCorpus, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(testing::ParseTm("states 2\nsymbols 2\nstart 5\naccept 1\n",
+                                &error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      testing::ParseTm("states 2\nsymbols 2\nstart 0\naccept 1\n"
+                       "0 1 -> 0 1 R\n0 1 -> 1 0 L\n",
+                       &error)
+          .has_value())
+      << "duplicate transition must be rejected";
+  EXPECT_FALSE(
+      testing::ParseTm("states 2\nsymbols 2\nstart 0\naccept 1\n0 1 -> 0 1\n",
+                       &error)
+          .has_value())
+      << "truncated transition must be rejected";
+}
+
+// The acceptance bar: every builtin machine compiles through the tiling
+// reduction, and the certificate extracted from the trace re-checks
+// against the constraints without the solver.
+TEST(TmScenario, EveryBuiltinCompilesAndCertificateRechecks) {
+  for (const std::string& name : testing::BuiltinTmNames()) {
+    TuringMachine tm = testing::BuiltinTm(name);
+    std::optional<testing::TmTiling> t =
+        testing::CompileTmRun(tm, {1, 1}, 500);
+    ASSERT_TRUE(t.has_value()) << name << " does not accept 11 in 500 steps";
+    EXPECT_EQ(t->n, 4) << name;
+    EXPECT_EQ(t->m, static_cast<int>(t->trace.size()) + 2) << name;
+    ASSERT_EQ(t->cert.size(), static_cast<size_t>(t->n) * t->m) << name;
+    ASSERT_EQ(t->tile_names.size(),
+              static_cast<size_t>(t->tp.num_tiles))
+        << name;
+    std::string why;
+    EXPECT_TRUE(testing::CheckTiling(t->tp, t->n, t->m, t->cert, &why))
+        << name << ": " << why;
+  }
+}
+
+// The solver and the certificate verify each other on a small grid, and
+// truncated grids are refuted (the construction pins the run length).
+TEST(TmScenario, SolverAgreesOnWipe) {
+  TuringMachine tm = testing::BuiltinTm("wipe");
+  std::optional<testing::TmTiling> t = testing::CompileTmRun(tm, {1}, 100);
+  ASSERT_TRUE(t.has_value());
+  std::optional<std::vector<int>> sol = t->tp.Solve(t->n, t->m);
+  ASSERT_TRUE(sol.has_value());
+  std::string why;
+  EXPECT_TRUE(testing::CheckTiling(t->tp, t->n, t->m, *sol, &why)) << why;
+  EXPECT_FALSE(t->tp.Solve(t->n, 2).has_value());
+  EXPECT_FALSE(t->tp.Solve(t->n, t->m - 1).has_value());
+}
+
+// Semi-decision boundary: a run that does not accept within the step
+// budget produces no tiling (and so no verdict).
+TEST(TmScenario, NoAcceptNoTiling) {
+  TuringMachine tm = testing::BuiltinTm("eraser");
+  // The eraser needs ~n^2 steps; 3 is not enough for input 11.
+  EXPECT_FALSE(testing::CompileTmRun(tm, {1, 1}, 3).has_value());
+}
+
+// The `eraser` builtin is Thm 9's theta(n^2) machine, transition for
+// transition — the corpus file and the paper gadget cannot drift apart.
+TEST(TmScenario, EraserMatchesThm9Machine) {
+  TuringMachine corpus = testing::BuiltinTm("eraser");
+  TuringMachine paper = EraserMachine();
+  EXPECT_EQ(corpus.num_states, paper.num_states);
+  EXPECT_EQ(corpus.num_symbols, paper.num_symbols);
+  EXPECT_EQ(corpus.start, paper.start);
+  EXPECT_EQ(corpus.accept, paper.accept);
+  ASSERT_EQ(corpus.delta.size(), paper.delta.size());
+  for (const auto& [key, act] : paper.delta) {
+    auto it = corpus.delta.find(key);
+    ASSERT_NE(it, corpus.delta.end());
+    EXPECT_EQ(it->second.next_state, act.next_state);
+    EXPECT_EQ(it->second.write, act.write);
+    EXPECT_EQ(it->second.move, act.move);
+  }
+}
+
+}  // namespace
+}  // namespace mondet
