@@ -20,9 +20,9 @@ void BM_Fig3_ImageShape(benchmark::State& state) {
   for (auto _ : state) {
     stats = EvalStats{};
     Instance image = gadget.views.Image(gadget.DiamondChain(n), &stats);
-    s = image.FactsWith(gadget.s_view).size();
-    r = image.FactsWith(gadget.r_view).size();
-    t = image.FactsWith(gadget.t_view).size();
+    s = image.NumRows(gadget.s_view);
+    r = image.NumRows(gadget.r_view);
+    t = image.NumRows(gadget.t_view);
   }
   state.counters["S"] = static_cast<double>(s);
   state.counters["R"] = static_cast<double>(r);

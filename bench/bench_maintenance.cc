@@ -78,8 +78,8 @@ void BM_Maintenance_ChurnMaintain(benchmark::State& state) {
   // The headline contract, checked once after the timed loop: the
   // maintained image is bit-identical (as a set) to a recompute.
   Instance fresh = maintained.FreshImage();
-  std::vector<Fact> got = maintained.image().facts();
-  std::vector<Fact> want = fresh.facts();
+  std::vector<Fact> got = maintained.image().AllFacts();
+  std::vector<Fact> want = fresh.AllFacts();
   std::sort(got.begin(), got.end());
   std::sort(want.begin(), want.end());
   state.SetLabel(got == want ? "maintained image == recomputed image"

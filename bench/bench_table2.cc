@@ -347,7 +347,7 @@ void BM_T2_Thm9_SeparatorCost(benchmark::State& state) {
     // cost is re-checking the simulation, which grows ~quadratically).
     stats = EvalStats{};
     accepted =
-        !compiled->Eval(run, &stats).FactsWith(gadget->query.goal).empty();
+        !compiled->Eval(run, &stats).NumRows(gadget->query.goal) == 0;
   }
   state.counters["run_facts"] = static_cast<double>(run_facts);
   state.counters["eval_iters"] = static_cast<double>(stats.iterations);

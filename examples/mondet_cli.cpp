@@ -243,7 +243,7 @@ int main(int argc, char** argv) {
   if (instance) {
     EvalStats estats;
     Instance fixpoint = compiled.Eval(*instance, &estats);
-    bool holds = !fixpoint.FactsWith(query->goal).empty();
+    bool holds = fixpoint.NumRows(query->goal) > 0;
     std::printf("eval: %s\n", estats.Summary().c_str());
     if (rewriting) {
       Instance image = views.Image(*instance);
@@ -276,8 +276,8 @@ int main(int argc, char** argv) {
     // Cross-check: the maintained image must equal a from-scratch
     // recompute of the mutated base (the maintenance engine's contract).
     Instance fresh = maintained.FreshImage();
-    std::vector<Fact> got = maintained.image().facts();
-    std::vector<Fact> want = fresh.facts();
+    std::vector<Fact> got = maintained.image().AllFacts();
+    std::vector<Fact> want = fresh.AllFacts();
     std::sort(got.begin(), got.end());
     std::sort(want.begin(), want.end());
     bool image_ok = got == want;

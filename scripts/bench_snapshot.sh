@@ -16,7 +16,7 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target \
   bench_table1 bench_table2 bench_fig1_gridtests bench_fig2_startimage \
   bench_fig3_diamonds bench_fig4_longrows bench_fig5_lemma3 \
-  bench_maintenance
+  bench_maintenance bench_kernels
 
 # Smoke pass: every bench binary once, same flags as the tier-1 ctests.
 for b in build/bench/bench_*; do
@@ -72,3 +72,14 @@ fi
   --benchmark_out=BENCH_maintenance.json \
   --benchmark_out_format=json
 echo "bench_snapshot: wrote BENCH_maintenance.json"
+
+# Kernel probe-shape family: each compiled-kernel shape (single-position
+# probe, binary-min probe, membership, scan) against the generic
+# interpreter on the same workload (the *_Off twins). The on/off time
+# ratio per shape is the kernel plane's worth; the `facts` counters must
+# match pairwise (each bench self-checks in its label).
+./build/bench/bench_kernels \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out=BENCH_kernels.json \
+  --benchmark_out_format=json
+echo "bench_snapshot: wrote BENCH_kernels.json"

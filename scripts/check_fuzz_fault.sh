@@ -2,11 +2,19 @@
 # Fault-injection gate for the fuzz harness: a deliberately broken
 # evaluator must be *caught* and the failure must *shrink*.
 #
-# MONDET_FAULT=skip-delta-seat makes the semi-naive evaluator drop the
-# last recursive delta seat of every rule (src/datalog/eval_plan.cc), so
-# some derivations that need late delta rounds are silently lost. This
-# script asserts that, against that evaluator, mondet-fuzz's
-# eval-differential oracle
+# Two faults, one per data plane:
+#
+#   MONDET_FAULT=skip-delta-seat makes the semi-naive evaluator drop the
+#   last recursive delta seat of every rule (src/datalog/eval_plan.cc),
+#   so some derivations that need late delta rounds are silently lost —
+#   caught by the eval-differential oracle.
+#
+#   MONDET_FAULT=skip-kernel-row makes every compiled join kernel trim
+#   the last candidate row of every enumeration (src/datalog/kernel.cc),
+#   so the kernel plane diverges from the generic interpreter — caught
+#   by the kernel-differential oracle.
+#
+# For each (oracle, fault) pair this script asserts that mondet-fuzz
 #
 #   1. reports failures within the smoke seed budget (exit 1, not 0 —
 #      the harness would be decorative if a lost fixpoint got through),
@@ -20,49 +28,63 @@ set -u
 
 bin="${1:?usage: check_fuzz_fault.sh <mondet-fuzz binary> [seeds]}"
 seeds="${2:-64}"
-outdir="$(mktemp -d)"
-trap 'rm -rf "$outdir"' EXIT
 
-# Clean control run: same seeds, healthy evaluator, must be green.
-out="$("$bin" --oracle eval-differential --seeds "$seeds" \
-        --out "$outdir" 2>&1)"
-status=$?
-if [ "$status" -ne 0 ]; then
-  echo "fuzz-fault: clean run failed (exit $status) — real bug?" >&2
-  echo "$out" >&2
-  exit 1
-fi
+run_phase() {
+  local oracle="$1" fault="$2"
+  local outdir out status rules
+  outdir="$(mktemp -d)"
 
-# Faulted run: must trip (exit 1) and leave at least one repro behind.
-out="$(MONDET_FAULT=skip-delta-seat \
-        "$bin" --oracle eval-differential --seeds "$seeds" \
-        --out "$outdir" 2>&1)"
-status=$?
-if [ "$status" -ne 1 ]; then
-  echo "fuzz-fault: injected fault NOT caught (exit $status," \
-       "expected 1) over $seeds seeds" >&2
-  echo "$out" >&2
-  exit 1
-fi
+  # Clean control run: same seeds, healthy evaluator, must be green.
+  out="$("$bin" --oracle "$oracle" --seeds "$seeds" --out "$outdir" 2>&1)"
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "fuzz-fault[$oracle]: clean run failed (exit $status)" \
+         "— real bug?" >&2
+    echo "$out" >&2
+    rm -rf "$outdir"
+    return 1
+  fi
 
-repros=("$outdir"/eval-differential-seed*.repro)
-if [ ! -e "${repros[0]}" ]; then
-  echo "fuzz-fault: failures reported but no repro written to $outdir" >&2
-  echo "$out" >&2
-  exit 1
-fi
+  # Faulted run: must trip (exit 1) and leave at least one repro behind.
+  out="$(MONDET_FAULT="$fault" \
+          "$bin" --oracle "$oracle" --seeds "$seeds" --out "$outdir" 2>&1)"
+  status=$?
+  if [ "$status" -ne 1 ]; then
+    echo "fuzz-fault[$oracle]: injected fault $fault NOT caught" \
+         "(exit $status, expected 1) over $seeds seeds" >&2
+    echo "$out" >&2
+    rm -rf "$outdir"
+    return 1
+  fi
 
-# Shrinking gate: the first repro's [program] section has <= 5 rules.
-# Rules are the ':-'-bearing lines between [program] and the next
-# section header.
-rules=$(awk '/^\[program\]/{inp=1; next} /^\[/{inp=0}
-             inp && /:-/{n++} END{print n+0}' "${repros[0]}")
-if [ "$rules" -gt 5 ]; then
-  echo "fuzz-fault: shrunk repro still has $rules rules (want <= 5):" >&2
-  cat "${repros[0]}" >&2
-  exit 1
-fi
+  local repros=("$outdir/$oracle"-seed*.repro)
+  if [ ! -e "${repros[0]}" ]; then
+    echo "fuzz-fault[$oracle]: failures reported but no repro written" \
+         "to $outdir" >&2
+    echo "$out" >&2
+    rm -rf "$outdir"
+    return 1
+  fi
 
-echo "fuzz-fault: OK — fault caught, shrunk repro has $rules rules" \
-     "(${repros[0]##*/})"
+  # Shrinking gate: the first repro's [program] section has <= 5 rules.
+  # Rules are the ':-'-bearing lines between [program] and the next
+  # section header.
+  rules=$(awk '/^\[program\]/{inp=1; next} /^\[/{inp=0}
+               inp && /:-/{n++} END{print n+0}' "${repros[0]}")
+  if [ "$rules" -gt 5 ]; then
+    echo "fuzz-fault[$oracle]: shrunk repro still has $rules rules" \
+         "(want <= 5):" >&2
+    cat "${repros[0]}" >&2
+    rm -rf "$outdir"
+    return 1
+  fi
+
+  echo "fuzz-fault[$oracle]: OK — $fault caught, shrunk repro has" \
+       "$rules rules (${repros[0]##*/})"
+  rm -rf "$outdir"
+  return 0
+}
+
+run_phase eval-differential skip-delta-seat || exit 1
+run_phase kernel-differential skip-kernel-row || exit 1
 exit 0

@@ -62,13 +62,18 @@ fi
 # workers so the sanitizers see real interleaving;
 # dataflow_soundness_test is the abstract-interpretation soundness
 # oracle (concrete fixpoint contained in the abstract one, dead rules
-# never fire, pruning bit-identical at 1/4 threads).
+# never fire, pruning bit-identical at 1/4 threads);
+# kernel_differential_test is the columnar data plane's invisibility
+# oracle (compiled join kernels vs the generic interpreter, byte-
+# identical sequences at 1 and 4 threads).
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test mondet-fuzz
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test kernel_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test mondet-fuzz
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
 ./build-asan/tests/dataflow_soundness_test
 ./build-asan/tests/plan_differential_test
+MONDET_THREADS=1 ./build-asan/tests/kernel_differential_test
+MONDET_THREADS=4 ./build-asan/tests/kernel_differential_test
 ./build-asan/tests/stats_test
 ./build-asan/tests/stats_incremental_test
 MONDET_THREADS=1 ./build-asan/tests/maintenance_differential_test
@@ -88,16 +93,19 @@ if ! ./build-asan/tools/mondet-fuzz --seeds 16 --out "$FUZZ_OUT"; then
   exit 1
 fi
 
-# Fault-injection gate: a deliberately broken evaluator
-# (MONDET_FAULT=skip-delta-seat drops the last recursive delta seat)
-# must be caught by the eval-differential oracle within the smoke seed
-# budget and shrunk to <= 5 rules — proof the harness detects and the
-# shrinker reduces, not just that everything is green.
+# Fault-injection gate: deliberately broken evaluators
+# (MONDET_FAULT=skip-delta-seat drops the last recursive delta seat;
+# MONDET_FAULT=skip-kernel-row trims the last row of every compiled
+# kernel enumeration) must be caught by the eval-differential and
+# kernel-differential oracles within the smoke seed budget and shrunk
+# to <= 5 rules — proof the harness detects and the shrinker reduces,
+# not just that everything is green.
 ./scripts/check_fuzz_fault.sh ./build-asan/tools/mondet-fuzz
 
-# Race detection: the two genuinely multi-threaded oracles — the parallel
-# counterexample search and the maintained-materialization differential —
-# under ThreadSanitizer at 4 workers (the `tsan` CMake preset builds the
+# Race detection: the genuinely multi-threaded oracles — the parallel
+# counterexample search, the maintained-materialization differential,
+# and the kernel differential (whose 4T arms run compiled kernels over
+# shared column indexes) — under ThreadSanitizer at 4 workers (the `tsan` CMake preset builds the
 # same tree). TSan needs compiler runtime support (libtsan); minimal
 # images often lack it, so probe the compiler first and make any skip
 # loud rather than silent.
@@ -110,9 +118,11 @@ if printf 'int main(){return 0;}\n' \
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
         -DMONDET_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS" \
-        --target mondet_parallel_test maintenance_differential_test
+        --target mondet_parallel_test maintenance_differential_test \
+        kernel_differential_test
   MONDET_THREADS=4 ./build-tsan/tests/mondet_parallel_test
   MONDET_THREADS=4 ./build-tsan/tests/maintenance_differential_test
+  MONDET_THREADS=4 ./build-tsan/tests/kernel_differential_test
 else
   rm -f "$TSAN_PROBE"
   echo "==================================================================" >&2

@@ -115,24 +115,24 @@ PredAbstract EmptinessDomain::Init(PredId p) const {
     // Seed every predicate from the concrete instance: the input of
     // FPEval may carry IDB facts too, and soundness requires the seed to
     // cover them (rule contributions join in on top).
-    const std::vector<uint32_t>& facts = edb->FactsWith(p);
-    if (facts.empty()) return out;  // bottom: no fact in the input
+    const uint32_t rows = edb->NumRows(p);
+    if (rows == 0) return out;  // bottom: no fact in the input
     out.nonempty = true;
     out.pos.resize(arity);
     for (PosAbstract& pa : out.pos) pa.top = false;
-    for (uint32_t fi : facts) {
-      const Fact& f = edb->facts()[fi];
-      for (size_t j = 0; j < arity && j < f.args.size(); ++j) {
+    for (uint32_t row = 0; row < rows; ++row) {
+      const std::span<const ElemId> fargs = edb->Args(p, row);
+      for (size_t j = 0; j < arity && j < fargs.size(); ++j) {
         PosAbstract& pa = out.pos[j];
         if (pa.top) continue;
         auto it = std::lower_bound(pa.consts.begin(), pa.consts.end(),
-                                   f.args[j]);
-        if (it != pa.consts.end() && *it == f.args[j]) continue;
+                                   fargs[j]);
+        if (it != pa.consts.end() && *it == fargs[j]) continue;
         if (pa.consts.size() >= kMaxTrackedConsts) {
           pa.top = true;
           pa.consts.clear();
         } else {
-          pa.consts.insert(it, f.args[j]);
+          pa.consts.insert(it, fargs[j]);
         }
       }
     }

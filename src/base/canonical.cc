@@ -21,8 +21,8 @@ uint64_t Mix2(uint64_t a, uint64_t b) { return Mix(a ^ Mix(b)); }
 std::vector<char> RelevantElements(const Instance& inst,
                                    const std::vector<ElemId>& tuple) {
   std::vector<char> rel(inst.num_elements(), 0);
-  for (const Fact& f : inst.facts()) {
-    for (ElemId e : f.args) rel[e] = 1;
+  for (uint32_t g = 0; g < inst.num_facts(); ++g) {
+    for (ElemId e : inst.ViewAt(g).args) rel[e] = 1;
   }
   for (ElemId e : tuple) rel[e] = 1;
   return rel;
@@ -46,7 +46,8 @@ std::vector<uint64_t> RefinedColors(const Instance& inst,
   constexpr int kRounds = 3;
   for (int round = 0; round < kRounds; ++round) {
     for (auto& v : occ) v.clear();
-    for (const Fact& f : inst.facts()) {
+    for (uint32_t g = 0; g < inst.num_facts(); ++g) {
+      const FactView f = inst.ViewAt(g);
       uint64_t sig = Mix2(0x3333, f.pred);
       for (ElemId a : f.args) sig = Mix2(sig, color[a]);
       for (size_t pos = 0; pos < f.args.size(); ++pos) {
@@ -74,7 +75,8 @@ uint64_t CanonicalHash(const Instance& inst, const std::vector<ElemId>& tuple) {
   // Fact multiset under final colors, order-independent.
   std::vector<uint64_t> sigs;
   sigs.reserve(inst.num_facts());
-  for (const Fact& f : inst.facts()) {
+  for (uint32_t g = 0; g < inst.num_facts(); ++g) {
+    const FactView f = inst.ViewAt(g);
     uint64_t sig = Mix2(0x4444, f.pred);
     for (ElemId a : f.args) sig = Mix2(sig, color[a]);
     sigs.push_back(sig);
@@ -150,13 +152,15 @@ std::optional<std::vector<ElemId>> FindIsomorphism(
   for (size_t k = 0; k < order.size(); ++k) when[order[k]] = k;
   std::vector<std::vector<uint32_t>> anchored(order.size());
   for (uint32_t fi = 0; fi < a.num_facts(); ++fi) {
+    const FactView f = a.ViewAt(fi);
     size_t latest = 0;
-    for (ElemId e : a.facts()[fi].args) latest = std::max(latest, when[e]);
-    if (!a.facts()[fi].args.empty()) anchored[latest].push_back(fi);
-  }
-  // Nullary facts have no anchor; check them up front.
-  for (const Fact& f : a.facts()) {
-    if (f.args.empty() && !b.HasFact(f)) return std::nullopt;
+    for (ElemId e : f.args) latest = std::max(latest, when[e]);
+    if (!f.args.empty()) {
+      anchored[latest].push_back(fi);
+    } else if (!b.HasFact(f.pred, f.args)) {
+      // Nullary facts have no anchor; check them up front.
+      return std::nullopt;
+    }
   }
 
   size_t nodes = 0;
@@ -174,7 +178,7 @@ std::optional<std::vector<ElemId>> FindIsomorphism(
       used_b[f] = 1;
       bool ok = true;
       for (uint32_t fi : anchored[k]) {
-        const Fact& fact = a.facts()[fi];
+        const FactView fact = a.ViewAt(fi);
         mapped_args.clear();
         for (ElemId x : fact.args) mapped_args.push_back(map[x]);
         if (!b.HasFact(fact.pred, mapped_args)) {

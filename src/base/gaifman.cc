@@ -9,12 +9,13 @@ namespace mondet {
 
 GaifmanGraph::GaifmanGraph(const Instance& inst) : inst_(inst) {
   adj_.resize(inst.num_elements());
-  for (const Fact& f : inst.facts()) {
-    for (size_t i = 0; i < f.args.size(); ++i) {
-      for (size_t j = i + 1; j < f.args.size(); ++j) {
-        if (f.args[i] != f.args[j]) {
-          adj_[f.args[i]].push_back(f.args[j]);
-          adj_[f.args[j]].push_back(f.args[i]);
+  for (uint32_t g = 0; g < inst.num_facts(); ++g) {
+    const std::span<const ElemId> args = inst.ViewAt(g).args;
+    for (size_t i = 0; i < args.size(); ++i) {
+      for (size_t j = i + 1; j < args.size(); ++j) {
+        if (args[i] != args[j]) {
+          adj_[args[i]].push_back(args[j]);
+          adj_[args[j]].push_back(args[i]);
         }
       }
     }

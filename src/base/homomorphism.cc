@@ -87,19 +87,20 @@ std::vector<uint32_t> SelectivityAtomOrder(
 }
 
 HomSearch::HomSearch(const Instance& pattern, const Instance& target)
-    : pattern_(pattern), target_(target) {
+    : pattern_(pattern),
+      target_(target),
+      pattern_facts_(pattern.AllFacts()) {
   MONDET_CHECK(pattern.vocab().get() == target.vocab().get());
   // Greedy atom ordering: repeatedly pick the unprocessed pattern fact
   // sharing the most elements with already-processed facts (ties: fewer
   // target facts of that predicate). Keeps the search tree narrow.
   std::vector<std::vector<ElemId>> atom_vars;
-  atom_vars.reserve(pattern_.num_facts());
-  for (const Fact& f : pattern_.facts()) atom_vars.push_back(f.args);
+  atom_vars.reserve(pattern_facts_.size());
+  for (const Fact& f : pattern_facts_) atom_vars.push_back(f.args);
   atom_order_ = GreedyAtomOrder(atom_vars, pattern_.num_elements(),
                                 [this](size_t i) {
-                                  return target_
-                                      .FactsWith(pattern_.facts()[i].pred)
-                                      .size();
+                                  return target_.NumRows(
+                                      pattern_facts_[i].pred);
                                 });
 }
 
@@ -119,30 +120,32 @@ bool HomSearch::Search(size_t depth, std::vector<ElemId>& map,
     for (size_t e : filled) map[e] = kNoElem;
     return keep_going;
   }
-  const Fact& atom = pattern_.facts()[atom_order_[depth]];
-  // Candidate target facts: use the tightest available index.
-  const std::vector<uint32_t>* candidates = &target_.FactsWith(atom.pred);
+  const Fact& atom = pattern_facts_[atom_order_[depth]];
+  // Candidate target rows: use the tightest available index; a fully
+  // unbound atom scans every row of the predicate.
+  std::span<const uint32_t> candidates;
   int anchor_pos = -1;
   for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
     if (map[atom.args[pos]] != kNoElem) {
-      const auto& idx =
-          target_.FactsWith(atom.pred, pos, map[atom.args[pos]]);
-      if (anchor_pos < 0 || idx.size() < candidates->size()) {
-        candidates = &idx;
+      const std::span<const uint32_t> idx =
+          target_.RowsWith(atom.pred, pos, map[atom.args[pos]]);
+      if (anchor_pos < 0 || idx.size() < candidates.size()) {
+        candidates = idx;
         anchor_pos = pos;
       }
     }
   }
-  for (uint32_t fi : *candidates) {
-    const Fact& tf = target_.facts()[fi];
-    std::vector<ElemId> newly_bound;
+  std::vector<ElemId> newly_bound;
+  auto try_row = [&](uint32_t row) {
+    const std::span<const ElemId> targs = target_.Args(atom.pred, row);
+    newly_bound.clear();
     bool ok = true;
     for (size_t pos = 0; pos < atom.args.size(); ++pos) {
       ElemId pe = atom.args[pos];
       if (map[pe] == kNoElem) {
-        map[pe] = tf.args[pos];
+        map[pe] = targs[pos];
         newly_bound.push_back(pe);
-      } else if (map[pe] != tf.args[pos]) {
+      } else if (map[pe] != targs[pos]) {
         ok = false;
         break;
       }
@@ -154,6 +157,17 @@ bool HomSearch::Search(size_t depth, std::vector<ElemId>& map,
       }
     }
     for (ElemId pe : newly_bound) map[pe] = kNoElem;
+    return true;
+  };
+  if (anchor_pos < 0) {
+    const uint32_t n = target_.NumRows(atom.pred);
+    for (uint32_t row = 0; row < n; ++row) {
+      if (!try_row(row)) return false;
+    }
+  } else {
+    for (uint32_t row : candidates) {
+      if (!try_row(row)) return false;
+    }
   }
   return true;
 }
@@ -211,9 +225,10 @@ bool IsHomomorphism(const Instance& pattern, const Instance& target,
   for (ElemId e = 0; e < pattern.num_elements(); ++e) {
     if (map[e] >= target.num_elements()) return false;
   }
-  for (const Fact& f : pattern.facts()) {
-    std::vector<ElemId> img;
-    img.reserve(f.args.size());
+  std::vector<ElemId> img;
+  for (uint32_t g = 0; g < pattern.num_facts(); ++g) {
+    const FactView f = pattern.ViewAt(g);
+    img.clear();
     for (ElemId a : f.args) img.push_back(map[a]);
     if (!target.HasFact(f.pred, img)) return false;
   }

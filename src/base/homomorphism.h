@@ -77,6 +77,10 @@ class HomSearch {
  private:
   const Instance& pattern_;
   const Instance& target_;
+  // Pattern facts materialized once at construction (the pattern is small
+  // and immutable for the search's lifetime; the columnar target is always
+  // read in place through RowsWith/Args).
+  std::vector<Fact> pattern_facts_;
   std::vector<uint32_t> atom_order_;  // pattern fact indices, search order
 
   bool Search(size_t depth, std::vector<ElemId>& map, const Callback& cb) const;

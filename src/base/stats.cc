@@ -34,6 +34,26 @@ void Stats::Apply(const Instance& inst, std::span<const Fact> added) {
   Apply(inst, added, {});
 }
 
+void Stats::Apply(const Instance& inst, std::span<const uint32_t> added_gids) {
+  MONDET_CHECK(counted_facts_ + added_gids.size() == inst.num_facts() &&
+               "Stats::Apply: delta does not extend the counted instance");
+  for (uint32_t g : added_gids) {
+    const FactView f = inst.ViewAt(g);
+    if (f.pred >= by_pred_.size()) by_pred_.resize(f.pred + 1);
+    PredicateStats& ps = by_pred_[f.pred];
+    EnsureMaps(ps);
+    if (ps.distinct.size() < f.args.size()) {
+      ps.distinct.resize(f.args.size(), 0);
+      ps.value_counts.resize(f.args.size());
+    }
+    ++ps.cardinality;
+    ++counted_facts_;
+    for (size_t pos = 0; pos < f.args.size(); ++pos) {
+      if (++ps.value_counts[pos][f.args[pos]] == 1) ++ps.distinct[pos];
+    }
+  }
+}
+
 void Stats::Apply(const Instance& inst, std::span<const Fact> added,
                   std::span<const Fact> removed) {
   // The contract check: this snapshot counted every fact of `inst` except
@@ -50,6 +70,7 @@ void Stats::Apply(const Instance& inst, std::span<const Fact> added,
     MONDET_CHECK(f.pred < by_pred_.size() &&
                  "Stats::Apply: removal of a never-counted predicate");
     PredicateStats& ps = by_pred_[f.pred];
+    EnsureMaps(ps);
     MONDET_CHECK(ps.cardinality > 0 &&
                  "Stats::Apply: removal from an empty relation");
     MONDET_CHECK(f.args.size() <= ps.value_counts.size() &&
@@ -69,6 +90,7 @@ void Stats::Apply(const Instance& inst, std::span<const Fact> added,
   for (const Fact& f : added) {
     if (f.pred >= by_pred_.size()) by_pred_.resize(f.pred + 1);
     PredicateStats& ps = by_pred_[f.pred];
+    EnsureMaps(ps);
     if (ps.distinct.size() < f.args.size()) {
       ps.distinct.resize(f.args.size(), 0);
       ps.value_counts.resize(f.args.size());
@@ -84,32 +106,54 @@ void Stats::Apply(const Instance& inst, std::span<const Fact> added,
 void Stats::CountPred(const Instance& inst, PredId p) {
   if (p >= by_pred_.size()) by_pred_.resize(p + 1);
   PredicateStats& ps = by_pred_[p];
-  const std::vector<uint32_t>& rows = inst.FactsWith(p);
+  const uint32_t rows = inst.NumRows(p);
   const int arity = inst.vocab()->arity(p);
-  counted_facts_ += rows.size() - ps.cardinality;
-  ps.cardinality = rows.size();
+  counted_facts_ += rows - ps.cardinality;
+  ps.cardinality = rows;
   ps.distinct.assign(arity, 0);
   ps.value_counts.assign(arity, {});
-  if (rows.empty()) return;
-  // Sort, then turn the runs into (value, multiplicity) entries: the sort
-  // beats a per-row hash insert on the short columns this sees, and the
-  // map — the state Apply maintains incrementally — costs only
-  // O(distinct) insertions this way.
-  std::vector<ElemId> vals;
-  vals.reserve(rows.size());
+  ps.sorted_vals.assign(arity, {});
+  ps.maps_built = rows == 0;
+  if (rows == 0) return;
+  // Sort each column and count runs for the distinct counts the planner
+  // reads. The per-value multiplicity maps are NOT built here: the sorted
+  // snapshot is kept instead, and EnsureMaps turns it into maps only if a
+  // delta ever lands on this predicate (see PredicateStats::sorted_vals).
+  const std::span<const ElemId> flat = inst.FlatArgs(p);
   for (int pos = 0; pos < arity; ++pos) {
-    vals.clear();
-    for (uint32_t fi : rows) vals.push_back(inst.facts()[fi].args[pos]);
+    std::vector<ElemId>& vals = ps.sorted_vals[pos];
+    vals.reserve(rows);
+    for (uint32_t row = 0; row < rows; ++row) {
+      vals.push_back(flat[static_cast<size_t>(row) * arity + pos]);
+    }
     std::sort(vals.begin(), vals.end());
+    size_t runs = 0;
+    for (size_t i = 0; i < vals.size();) {
+      size_t j = i + 1;
+      while (j < vals.size() && vals[j] == vals[i]) ++j;
+      ++runs;
+      i = j;
+    }
+    ps.distinct[pos] = runs;
+  }
+}
+
+void Stats::EnsureMaps(PredicateStats& ps) {
+  if (ps.maps_built) return;
+  for (size_t pos = 0; pos < ps.sorted_vals.size(); ++pos) {
+    const std::vector<ElemId>& vals = ps.sorted_vals[pos];
     auto& counts = ps.value_counts[pos];
+    counts.reserve(ps.distinct[pos]);
     for (size_t i = 0; i < vals.size();) {
       size_t j = i + 1;
       while (j < vals.size() && vals[j] == vals[i]) ++j;
       counts.emplace(vals[i], static_cast<uint32_t>(j - i));
       i = j;
     }
-    ps.distinct[pos] = counts.size();
   }
+  ps.sorted_vals.clear();
+  ps.sorted_vals.shrink_to_fit();
+  ps.maps_built = true;
 }
 
 void Stats::Observe(PredId p, double estimated, double actual) {
@@ -123,10 +167,38 @@ void Stats::Observe(PredId p, double estimated, double actual) {
   ps.correction = ClampCorrection(ps.correction * std::sqrt(ratio));
 }
 
+void Stats::Observe(PredId p, const std::vector<bool>& bound_pos,
+                    double estimated, double actual) {
+  if (!(estimated > 0.0) || actual < 0.0) return;
+  size_t k = 0;
+  for (bool b : bound_pos) k += b ? 1 : 0;
+  if (k == 0) {
+    // A full scan: no position to blame, fold into the scalar factor.
+    Observe(p, estimated, actual);
+    return;
+  }
+  if (p >= by_pred_.size()) by_pred_.resize(p + 1);
+  PredicateStats& ps = by_pred_[p];
+  if (ps.pos_correction.size() < bound_pos.size()) {
+    ps.pos_correction.resize(bound_pos.size(), 1.0);
+  }
+  const double ratio = ClampCorrection(actual / estimated);
+  // Split the sqrt-damped error evenly over the bound positions in log
+  // space: the product of the k per-position nudges is sqrt(ratio), the
+  // same total correction the scalar overload would have applied.
+  const double nudge = std::pow(ratio, 1.0 / (2.0 * static_cast<double>(k)));
+  for (size_t pos = 0; pos < bound_pos.size(); ++pos) {
+    if (!bound_pos[pos]) continue;
+    ps.pos_correction[pos] = ClampCorrection(ps.pos_correction[pos] * nudge);
+  }
+}
+
 size_t Stats::ActiveCorrections() const {
   size_t n = 0;
   for (const PredicateStats& ps : by_pred_) {
-    if (ps.correction != 1.0) ++n;
+    bool active = ps.correction != 1.0;
+    for (double c : ps.pos_correction) active = active || c != 1.0;
+    if (active) ++n;
   }
   return n;
 }
@@ -137,6 +209,7 @@ void Stats::ImportCorrections(const Stats& from) {
   }
   for (size_t p = 0; p < from.by_pred_.size(); ++p) {
     by_pred_[p].correction = from.by_pred_[p].correction;
+    by_pred_[p].pos_correction = from.by_pred_[p].pos_correction;
   }
 }
 
@@ -150,6 +223,7 @@ double Stats::EstimateMatches(PredId p,
   for (size_t i = 0; i < n; ++i) {
     if (bound_pos[i]) {
       est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
+      if (i < ps.pos_correction.size()) est *= ps.pos_correction[i];
     }
   }
   return est * ps.correction;
@@ -165,6 +239,7 @@ double Stats::EstimateMatches(PredId p, const std::vector<ElemId>& args,
   for (size_t i = 0; i < n; ++i) {
     if (args[i] < bound_var.size() && bound_var[args[i]]) {
       est /= static_cast<double>(std::max<size_t>(1, ps.distinct[i]));
+      if (i < ps.pos_correction.size()) est *= ps.pos_correction[i];
     }
   }
   return est * ps.correction;

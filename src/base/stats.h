@@ -16,14 +16,35 @@ struct PredicateStats {
   size_t cardinality = 0;        // number of facts
   std::vector<size_t> distinct;  // distinct values at each position
   // Exact per-position value multiplicities, the state that makes
-  // Stats::Apply O(delta): distinct[pos] == value_counts[pos].size() at all
-  // times. Counts (not just a set) so the structure stays correct if a
-  // future caller ever retracts facts; today's callers are insert-only.
+  // Stats::Apply O(delta). Counts (not just a set) so the structure stays
+  // correct if a future caller ever retracts facts; today's callers are
+  // insert-only.
+  //
+  // Materialized lazily: CountPred leaves the maps empty and keeps the
+  // sorted column snapshot instead; the first Apply touching the
+  // predicate rebuilds the maps from the snapshot (EnsureMaps), after
+  // which distinct[pos] == value_counts[pos].size() holds and is
+  // maintained incrementally. Predicates that never see a delta — every
+  // EDB relation of a fixpoint run — never pay the per-value map nodes,
+  // which is most of Collect's cost on the µs-scale evals the checker's
+  // canonical-test loops issue.
   std::vector<std::unordered_map<ElemId, uint32_t>> value_counts;
+  // Per-position sorted column snapshot backing the lazy maps; cleared
+  // once EnsureMaps runs. maps_built is true for default-constructed
+  // stats (empty maps match an empty relation).
+  std::vector<std::vector<ElemId>> sorted_vals;
+  bool maps_built = true;
   // Feedback correction factor (see Stats::Observe), multiplied into
   // EstimateMatches. 1.0 = no observations yet. Survives recounts:
   // Refresh/Apply update the counts, not the learned selectivity error.
   double correction = 1.0;
+  // Per-position correction factors (see the masked Stats::Observe):
+  // pos_correction[i] scales every estimate whose probe binds position i,
+  // encoding *which* position's uniformity assumption is off — a skewed
+  // join column no longer taxes probes on the relation's other columns.
+  // Empty means all 1.0; sized to the arity on first positional
+  // observation. Survives recounts, like `correction`.
+  std::vector<double> pos_correction;
 };
 
 /// Per-predicate cardinalities and per-(pred, pos) distinct-value counts
@@ -65,6 +86,11 @@ class Stats {
   /// programming error, caught by a fact-count MONDET_CHECK.
   void Apply(const Instance& inst, std::span<const Fact> added);
 
+  /// Same insert-only fold, but the delta is given as global fact ids into
+  /// `inst` (what the evaluator's merge barrier holds) — no Fact
+  /// materialization, the columnar rows are read in place.
+  void Apply(const Instance& inst, std::span<const uint32_t> added_gids);
+
   /// Deletion-aware variant: folds `added` in and `removed` out, in
   /// O((|added| + |removed|) · arity). The contract generalizes the
   /// insert-only one: this snapshot covered exactly
@@ -101,12 +127,30 @@ class Stats {
   /// overestimate).
   void Observe(PredId p, double estimated, double actual);
 
+  /// Positional feedback: the same measurement, plus which positions of
+  /// `p` the estimated probe had bound. With k > 0 bound positions the
+  /// error is attributed to those positions' correction factors — each
+  /// moves by ratio^(1/(2k)) in log space, so the combined positional
+  /// nudge equals the scalar overload's sqrt(ratio) — and the scalar
+  /// factor is left alone. With no bound position (a full scan: nothing
+  /// positional to blame) this degrades to the scalar overload.
+  void Observe(PredId p, const std::vector<bool>& bound_pos, double estimated,
+               double actual);
+
   /// The current correction factor for `p` (1.0 when never observed).
   double correction(PredId p) const {
     return p < by_pred_.size() ? by_pred_[p].correction : 1.0;
   }
 
-  /// Number of predicates whose correction factor differs from 1.0.
+  /// The correction factor for probes binding position `pos` of `p`.
+  double pos_correction(PredId p, size_t pos) const {
+    if (p >= by_pred_.size()) return 1.0;
+    const auto& pc = by_pred_[p].pos_correction;
+    return pos < pc.size() ? pc[pos] : 1.0;
+  }
+
+  /// Number of predicates with any correction factor (scalar or
+  /// positional) differing from 1.0.
   size_t ActiveCorrections() const;
 
   /// Copies every correction factor of `from` into this snapshot (counts
@@ -117,11 +161,12 @@ class Stats {
 
   /// System-R style estimate of how many facts of `p` match a probe with
   /// the positions flagged in `bound_pos` already bound:
-  ///   corr(p) · |p| / prod_{i bound} max(1, distinct(p, i))
+  ///   corr(p) · |p| · prod_{i bound} poscorr(p, i) / max(1, distinct(p, i))
   /// assuming uniform values and independent positions, scaled by the
-  /// predicate's feedback correction factor. Returns 0 for an empty (or
-  /// never-counted) relation; results are fractional on purpose — the
-  /// planner compares them, it never rounds.
+  /// predicate's scalar correction factor and by the positional factor of
+  /// every bound position. Returns 0 for an empty (or never-counted)
+  /// relation; results are fractional on purpose — the planner compares
+  /// them, it never rounds.
   double EstimateMatches(PredId p, const std::vector<bool>& bound_pos) const;
 
   /// Same estimate, phrased for the planner's inner loop: `args[pos]` is
@@ -132,6 +177,9 @@ class Stats {
 
  private:
   void CountPred(const Instance& inst, PredId p);
+  /// Materializes `ps.value_counts` from the sorted snapshot CountPred
+  /// left behind (see PredicateStats::sorted_vals). Idempotent.
+  static void EnsureMaps(PredicateStats& ps);
 
   std::vector<PredicateStats> by_pred_;
   size_t counted_facts_ = 0;

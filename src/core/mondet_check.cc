@@ -45,8 +45,8 @@ std::optional<Instance> BuildDPrime(
     const std::vector<const Expansion*>& choice, size_t base_elems) {
   Instance dprime(vocab);
   dprime.EnsureElements(base_elems);
-  for (size_t fi = 0; fi < image.num_facts(); ++fi) {
-    const Fact& fact = image.facts()[fi];
+  for (uint32_t fi = 0; fi < image.num_facts(); ++fi) {
+    const FactView fact = image.ViewAt(fi);
     const Expansion& exp = *choice[fi];
     // Map the expansion's elements: frontier -> fact args, others fresh.
     std::vector<ElemId> map(exp.inst.num_elements(), kNoElem);
@@ -60,7 +60,8 @@ std::optional<Instance> BuildDPrime(
     for (ElemId e = 0; e < exp.inst.num_elements(); ++e) {
       if (map[e] == kNoElem) map[e] = dprime.AddElement();
     }
-    for (const Fact& f : exp.inst.facts()) {
+    for (uint32_t fg = 0; fg < exp.inst.num_facts(); ++fg) {
+      const FactView f = exp.inst.ViewAt(fg);
       std::vector<ElemId> args;
       args.reserve(f.args.size());
       for (ElemId a : f.args) args.push_back(map[a]);
@@ -203,7 +204,7 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
       EvalOptions img_opts;
       img_opts.dataflow_prune = false;
       Instance raw = views.Image(qi.inst, nullptr, img_opts);
-      image_facts = raw.facts();
+      image_facts = raw.AllFacts();
       if (options.test_cache) {
         image_memo[qi_hash].push_back(
             ImageMemoEntry{qi.inst, qi.frontier, image_facts});
@@ -220,7 +221,8 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
     std::vector<const std::vector<Expansion>*> options_per_fact;
     options_per_fact.reserve(nfacts);
     bool has_empty = false;
-    for (const Fact& f : image.facts()) {
+    for (uint32_t fg = 0; fg < image.num_facts(); ++fg) {
+      const FactView f = image.ViewAt(fg);
       options_per_fact.push_back(&view_exps.at(f.pred));
       if (options_per_fact.back()->empty()) {
         // No expansion of this view within the depth bound: cannot build
@@ -511,7 +513,8 @@ Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views) {
     goal_rule.var_names.push_back(canon.element_name(static_cast<ElemId>(e)));
   }
   goal_rule.head = QAtom(goal2, {});
-  for (const Fact& f : image.facts()) {
+  for (uint32_t fg = 0; fg < image.num_facts(); ++fg) {
+    const FactView f = image.ViewAt(fg);
     goal_rule.body.push_back(
         QAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end())));
   }

@@ -14,7 +14,8 @@ std::optional<CQ> SimpleCqRewriting(const CQ& query, const ViewSet& views) {
     out.AddVar(canon.element_name(static_cast<ElemId>(e)));
   }
   std::vector<bool> used(canon.num_elements(), false);
-  for (const Fact& f : image.facts()) {
+  for (uint32_t fg = 0; fg < image.num_facts(); ++fg) {
+    const FactView f = image.ViewAt(fg);
     out.AddAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end()));
     for (ElemId a : f.args) used[a] = true;
   }

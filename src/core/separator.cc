@@ -20,7 +20,8 @@ Instance Quotient(const Instance& inst, const std::vector<ElemId>& to_class,
                   size_t num_classes) {
   Instance out(inst.vocab());
   out.EnsureElements(num_classes);
-  for (const Fact& f : inst.facts()) {
+  for (uint32_t fg = 0; fg < inst.num_facts(); ++fg) {
+    const FactView f = inst.ViewAt(fg);
     std::vector<ElemId> args;
     args.reserve(f.args.size());
     for (ElemId a : f.args) args.push_back(to_class[a]);
@@ -111,8 +112,8 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
       ++tried;
       Instance dprime(vocab);
       dprime.EnsureElements(j.num_elements());
-      for (size_t i = 0; i < nfacts; ++i) {
-        const Fact& fact = j.facts()[i];
+      for (uint32_t i = 0; i < nfacts; ++i) {
+        const FactView fact = j.ViewAt(i);
         const Expansion& exp = *choice[i];
         std::vector<ElemId> map(exp.inst.num_elements(), kNoElem);
         bool ok = true;
@@ -125,7 +126,8 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
         for (ElemId e = 0; e < exp.inst.num_elements(); ++e) {
           if (map[e] == kNoElem) map[e] = dprime.AddElement();
         }
-        for (const Fact& f : exp.inst.facts()) {
+        for (uint32_t fg = 0; fg < exp.inst.num_facts(); ++fg) {
+          const FactView f = exp.inst.ViewAt(fg);
           std::vector<ElemId> args;
           for (ElemId a : f.args) args.push_back(map[a]);
           dprime.AddFact(f.pred, args);
@@ -142,14 +144,13 @@ bool ChaseSeparatorAccepts(const DatalogQuery& query, const ViewSet& views,
       // evals, too small to amortize per-instance dataflow analysis.
       eopts.dataflow_prune = false;
       if (compiled_query.Eval(dprime, nullptr, eopts)
-              .FactsWith(query.goal)
-              .empty()) {
+              .NumRows(query.goal) == 0) {
         all_hold = false;
         return false;
       }
       return true;
     }
-    const auto& options = view_exps.at(j.facts()[fi].pred);
+    const auto& options = view_exps.at(j.ViewAt(static_cast<uint32_t>(fi)).pred);
     if (options.empty()) return true;  // no inverse within bound: skip fact
     for (const Expansion& e : options) {
       choice[fi] = &e;

@@ -62,7 +62,8 @@ CQ CqCore(const CQ& q) {
     Instance image(q.vocab());
     image.EnsureElements(n);
     std::unordered_set<ElemId> live;
-    for (const Fact& f : canon.facts()) {
+    for (uint32_t fg = 0; fg < canon.num_facts(); ++fg) {
+      const FactView f = canon.ViewAt(fg);
       std::vector<ElemId> args;
       for (ElemId a : f.args) args.push_back(retract[a]);
       image.AddFact(f.pred, args);
@@ -91,7 +92,8 @@ CQ CqCore(const CQ& q) {
     if (new_var[e] == kNoElem) new_var[e] = core.AddVar(q.var_name(e));
     return new_var[e];
   };
-  for (const Fact& f : canon.facts()) {
+  for (uint32_t fg = 0; fg < canon.num_facts(); ++fg) {
+    const FactView f = canon.ViewAt(fg);
     std::vector<VarId> args;
     std::string key = std::to_string(f.pred);
     for (ElemId a : f.args) {

@@ -164,7 +164,8 @@ CQ ExpansionToCq(const Expansion& e) {
   for (size_t i = 0; i < e.inst.num_elements(); ++i) {
     cq.AddVar(e.inst.element_name(static_cast<ElemId>(i)));
   }
-  for (const Fact& f : e.inst.facts()) {
+  for (uint32_t g = 0; g < e.inst.num_facts(); ++g) {
+    const FactView f = e.inst.ViewAt(g);
     cq.AddAtom(f.pred, std::vector<VarId>(f.args.begin(), f.args.end()));
   }
   cq.SetFreeVars(std::vector<VarId>(e.frontier.begin(), e.frontier.end()));

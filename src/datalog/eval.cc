@@ -17,15 +17,17 @@ std::set<std::vector<ElemId>> EvaluateDatalog(const DatalogQuery& query,
                                               const Instance& inst) {
   Instance fixpoint = FpEval(query.program, inst);
   std::set<std::vector<ElemId>> out;
-  for (uint32_t fi : fixpoint.FactsWith(query.goal)) {
-    out.insert(fixpoint.facts()[fi].args);
+  const uint32_t n = fixpoint.NumRows(query.goal);
+  for (uint32_t row = 0; row < n; ++row) {
+    const std::span<const ElemId> args = fixpoint.Args(query.goal, row);
+    out.insert(std::vector<ElemId>(args.begin(), args.end()));
   }
   return out;
 }
 
 bool DatalogHoldsOn(const DatalogQuery& query, const Instance& inst) {
   Instance fixpoint = FpEval(query.program, inst);
-  return !fixpoint.FactsWith(query.goal).empty();
+  return fixpoint.NumRows(query.goal) > 0;
 }
 
 bool DatalogHoldsOn(const DatalogQuery& query, const Instance& inst,

@@ -239,6 +239,12 @@ std::string CompiledProgram::DescribePlansText() const {
     for (PredId p = 0; p < vocab.size(); ++p) {
       double c = bound_stats_->correction(p);
       if (c != 1.0) os << " " << vocab.name(p) << " x" << FormatEst(c);
+      for (int pos = 0; pos < vocab.arity(p); ++pos) {
+        double pcv = bound_stats_->pos_correction(p, static_cast<size_t>(pos));
+        if (pcv != 1.0) {
+          os << " " << vocab.name(p) << "[" << pos << "] x" << FormatEst(pcv);
+        }
+      }
     }
     os << "\n";
   }
@@ -249,7 +255,7 @@ void CompiledProgram::Join(const RulePlan& plan,
                            const std::vector<uint32_t>& order, size_t depth,
                            std::vector<ElemId>& map, const Instance& target,
                            size_t* probes, std::vector<size_t>* step_rows,
-                           std::vector<Fact>* out) const {
+                           DerivedBuffer* out) const {
   if (depth == order.size()) {
     std::vector<ElemId> head_args;
     head_args.reserve(plan.head.args.size());
@@ -257,35 +263,37 @@ void CompiledProgram::Join(const RulePlan& plan,
     // Facts already in the target are filtered here; duplicates derived
     // within the same round are deduplicated at the merge barrier.
     if (!target.HasFact(plan.head.pred, head_args)) {
-      out->push_back(Fact(plan.head.pred, std::move(head_args)));
+      out->args.insert(out->args.end(), head_args.begin(), head_args.end());
+      ++out->count;
     }
     return;
   }
   const QAtom& atom = plan.body[order[depth]];
-  // Probe the tightest index available for the bound positions.
-  const std::vector<uint32_t>* candidates = &target.FactsWith(atom.pred);
+  // Probe the tightest index available for the bound positions; a fully
+  // unbound atom falls back to scanning every row of the predicate.
+  std::span<const uint32_t> candidates;
   int anchor = -1;
   for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
     ElemId img = map[atom.args[pos]];
     if (img == kNoElem) continue;
-    const auto& idx = target.FactsWith(atom.pred, pos, img);
-    if (anchor < 0 || idx.size() < candidates->size()) {
-      candidates = &idx;
+    const std::span<const uint32_t> idx =
+        target.RowsWith(atom.pred, pos, img);
+    if (anchor < 0 || idx.size() < candidates.size()) {
+      candidates = idx;
       anchor = pos;
     }
   }
-  *probes += candidates->size();
   std::vector<VarId> bound_here;
-  for (uint32_t fi : *candidates) {
-    const Fact& tf = target.facts()[fi];
+  auto try_row = [&](uint32_t row) {
+    const std::span<const ElemId> targs = target.Args(atom.pred, row);
     bound_here.clear();
     bool ok = true;
     for (size_t pos = 0; pos < atom.args.size(); ++pos) {
       VarId v = atom.args[pos];
       if (map[v] == kNoElem) {
-        map[v] = tf.args[pos];
+        map[v] = targs[pos];
         bound_here.push_back(v);
-      } else if (map[v] != tf.args[pos]) {
+      } else if (map[v] != targs[pos]) {
         ok = false;
         break;
       }
@@ -295,11 +303,29 @@ void CompiledProgram::Join(const RulePlan& plan,
       Join(plan, order, depth + 1, map, target, probes, step_rows, out);
     }
     for (VarId v : bound_here) map[v] = kNoElem;
+  };
+  if (anchor < 0) {
+    const uint32_t n = target.NumRows(atom.pred);
+    *probes += n;
+    for (uint32_t row = 0; row < n; ++row) try_row(row);
+  } else {
+    *probes += candidates.size();
+    for (uint32_t row : candidates) try_row(row);
   }
 }
 
 void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
-                              size_t* probes, std::vector<Fact>* out) const {
+                              size_t* probes, DerivedBuffer* out) const {
+  if (item.kernel != nullptr) {
+    KernelCounters c{0, item.step_rows, item.seedings};
+    if (item.rec < 0) {
+      RunKernelFull(*item.kernel, target, c, out);
+    } else {
+      RunKernelDelta(*item.kernel, target, *item.delta_rows, c, out);
+    }
+    *probes += c.probes;
+    return;
+  }
   const RulePlan& plan = plans_[item.plan];
   const std::vector<uint32_t>& order = *item.order;
   std::vector<ElemId> map(plan.num_vars, kNoElem);
@@ -310,15 +336,16 @@ void CompiledProgram::RunItem(const WorkItem& item, const Instance& target,
   }
   const QAtom& delta_atom = plan.body[plan.recursive_atoms[item.rec]];
   std::vector<VarId> bound_here;
-  for (const Fact& f : *item.delta) {
+  for (uint32_t row : *item.delta_rows) {
+    const std::span<const ElemId> fargs = target.Args(item.delta_pred, row);
     bound_here.clear();
     bool ok = true;
     for (size_t pos = 0; pos < delta_atom.args.size(); ++pos) {
       VarId v = delta_atom.args[pos];
       if (map[v] == kNoElem) {
-        map[v] = f.args[pos];
+        map[v] = fargs[pos];
         bound_here.push_back(v);
-      } else if (map[v] != f.args[pos]) {
+      } else if (map[v] != fargs[pos]) {
         ok = false;
         break;
       }
@@ -369,6 +396,22 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       options.stats_planner &&
       (options.stats != nullptr ||
        input.num_facts() >= options.stats_min_facts);
+  // Kernel lowering is a per-(rule, seat) fixed cost; below the size
+  // gate the generic interpreter is strictly cheaper (kernel_min_facts
+  // doc in eval_plan.h). The second clause scales the gate with program
+  // size: lowering runs once per rule-seat, so a many-hundred-rule
+  // program over few facts (the Thm 9 separator's machine simulations)
+  // pays hundreds of lowerings that no seat's row volume can amortize —
+  // kernels engage only when the input carries at least a few facts per
+  // rule. The gate reads the *input* size, not the running fixpoint, so
+  // a whole Eval is one plane or the other — switching planes mid-run
+  // would be correct (they are bit-identical) but would waste the
+  // already-built kernels.
+  const bool use_kernels =
+      options.compiled_kernels &&
+      input.num_facts() >= options.kernel_min_facts &&
+      (options.kernel_min_facts == 0 ||
+       input.num_facts() >= plans_.size() * 4);
   const bool live_stats = use_stats && options.stats == nullptr;
   const bool incremental = live_stats && options.stats_incremental;
   // Feedback needs measurements (plan_stats) and a mutable model (live
@@ -388,10 +431,11 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
 
   // Runs one round of work items, merges their derivations into `result`
   // in item order — this makes the fact insertion order independent of
-  // the thread count — and returns the newly added facts (the delta).
+  // the thread count — and returns the newly added facts (the delta) as
+  // global fact ids into `result`.
   auto run_round = [&](const std::vector<WorkItem>& items,
                        StratumStats* ss) {
-    std::vector<std::vector<Fact>> derived(items.size());
+    std::vector<DerivedBuffer> derived(items.size());
     std::vector<size_t> probes(items.size(), 0);
     int workers = std::min<int>(nthreads, static_cast<int>(items.size()));
     if (workers > 1) {
@@ -407,11 +451,17 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
         RunItem(items[i], result, &probes[i], &derived[i]);
       }
     }
-    std::vector<Fact> added;
+    std::vector<uint32_t> added;
     for (size_t i = 0; i < items.size(); ++i) {
       ss->join_probes += probes[i];
-      for (Fact& f : derived[i]) {
-        if (result.AddFact(f)) added.push_back(std::move(f));
+      const RulePlan& plan = plans_[items[i].plan];
+      const size_t ar = plan.head.args.size();
+      const ElemId* a = derived[i].args.data();
+      for (size_t j = 0; j < derived[i].count; ++j) {
+        if (result.AddFact(plan.head.pred,
+                           std::span<const ElemId>(a + j * ar, ar))) {
+          added.push_back(static_cast<uint32_t>(result.num_facts() - 1));
+        }
       }
     }
     ss->facts_derived += added.size();
@@ -439,7 +489,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     std::sort(stratum_preds.begin(), stratum_preds.end());
     if (live_stats && !incremental && !prev_preds.empty()) {
       for (PredId p : prev_preds) {
-        ss.stats_facts_counted += result.FactsWith(p).size();
+        ss.stats_facts_counted += result.NumRows(p);
       }
       live.Refresh(result, prev_preds);
     }
@@ -455,6 +505,11 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       std::vector<double> est;
       std::vector<size_t> actual;
       size_t seedings = 0;
+      JoinKernel kernel;
+      // Lazy lowering: 0 = not yet tried for the current order, 1 =
+      // kernel valid, 2 = shape unsupported (interpreter). Reset to 0 on
+      // every re-plan, since the kernel bakes the order in.
+      uint8_t kernel_state = 0;
     };
     std::vector<std::vector<SeatPlan>> seats(stratum.plans.size());
     auto plan_seats = [&](bool initial) {
@@ -472,6 +527,9 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
             sp[s].order = plan.orders[s];
             sp[s].est = plan.est_rows[s];
           }
+          // The planned order invalidates any kernel lowered from the
+          // previous one; kernel_for re-lowers on the seat's next run.
+          sp[s].kernel_state = 0;
           if (options.plan_stats) {
             sp[s].actual.assign(sp[s].order.size(), 0);
             sp[s].seedings = 0;
@@ -480,6 +538,28 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       }
     };
     plan_seats(true);
+
+    // Lowers seat (k, s)'s planned order into a compiled kernel on first
+    // use, so evals whose seats never run (converged strata, empty delta
+    // predicates, µs-scale instances) pay nothing. Called only from the
+    // sequential work-item assembly, never from workers.
+    auto kernel_for = [&](size_t k, size_t s) -> const JoinKernel* {
+      SeatPlan& sp = seats[k][s];
+      if (sp.kernel_state == 0) {
+        const RulePlan& plan = plans_[stratum.plans[k]];
+        if (use_kernels &&
+            KernelSupported(plan.head, plan.body, plan.num_vars)) {
+          const int seat_atom =
+              s == 0 ? -1 : plan.recursive_atoms[s - 1];
+          sp.kernel = BuildKernel(plan.head, plan.body, plan.num_vars,
+                                  seat_atom, sp.order);
+          sp.kernel_state = 1;
+        } else {
+          sp.kernel_state = 2;
+        }
+      }
+      return sp.kernel_state == 1 ? &sp.kernel : nullptr;
+    };
 
     // Feedback: compare each executed seat's per-step fanout against the
     // estimate it was planned under and fold the ratio into the stepped
@@ -493,18 +573,28 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       if (!feedback_on) return;
       for (size_t k = 0; k < stratum.plans.size(); ++k) {
         const RulePlan& plan = plans_[stratum.plans[k]];
-        for (SeatPlan& sp : seats[k]) {
+        for (size_t s = 0; s < seats[k].size(); ++s) {
+          SeatPlan& sp = seats[k][s];
           if (sp.seedings == 0 || sp.est.size() != sp.order.size()) continue;
+          // Replay which variables are bound on entry to each step, so the
+          // observed ratio lands on the stepped atom's *bound positions* —
+          // the per-(pred,pos) correction factors the planner divides by.
+          std::vector<bool> bound_var = plan.seats[s].bound0;
           for (size_t step = 0; step < sp.order.size(); ++step) {
+            const QAtom& atom = plan.body[sp.order[step]];
             double est_prev = step == 0 ? 1.0 : sp.est[step - 1];
             double act_prev = step == 0
                                   ? static_cast<double>(sp.seedings)
                                   : static_cast<double>(sp.actual[step - 1]);
             // Zero rows upstream: the step never executed, no signal.
             if (!(est_prev > 0.0) || act_prev <= 0.0) break;
-            live.Observe(plan.body[sp.order[step]].pred,
-                         sp.est[step] / est_prev,
+            std::vector<bool> mask(atom.args.size(), false);
+            for (size_t pos = 0; pos < atom.args.size(); ++pos) {
+              mask[pos] = bound_var[atom.args[pos]];
+            }
+            live.Observe(atom.pred, mask, sp.est[step] / est_prev,
                          static_cast<double>(sp.actual[step]) / act_prev);
+            for (VarId v : atom.args) bound_var[v] = true;
           }
         }
       }
@@ -516,7 +606,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
     if (live_stats) {
       planned_card.reserve(stratum_preds.size());
       for (PredId p : stratum_preds) {
-        planned_card.emplace_back(p, result.FactsWith(p).size());
+        planned_card.emplace_back(p, result.NumRows(p));
       }
     }
 
@@ -530,6 +620,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       WorkItem w;
       w.plan = stratum.plans[k];
       w.order = &seats[k][0].order;
+      w.kernel = kernel_for(k, 0);
       if (options.plan_stats) {
         w.step_rows = &seats[k][0].actual;
         w.seedings = &seats[k][0].seedings;
@@ -537,7 +628,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
       round0.push_back(w);
     }
     ss.iterations = 1;
-    std::vector<Fact> delta = run_round(round0, &ss);
+    std::vector<uint32_t> delta = run_round(round0, &ss);
     // Delta rounds: each new derivation must use a previous-round fact in
     // some recursive body atom.
     while (!delta.empty()) {
@@ -548,7 +639,7 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
         constexpr size_t kReplanMinFacts = 16;
         bool replan = false;
         for (const auto& [p, card] : planned_card) {
-          size_t cur = result.FactsWith(p).size();
+          size_t cur = result.NumRows(p);
           if (cur != card && cur >= kReplanMinFacts &&
               (card == 0 || cur >= 2 * card)) {
             replan = true;
@@ -559,19 +650,24 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
           fold_feedback();
           if (!incremental) {
             for (PredId p : stratum_preds) {
-              ss.stats_facts_counted += result.FactsWith(p).size();
+              ss.stats_facts_counted += result.NumRows(p);
             }
             live.Refresh(result, stratum_preds);
           }
           plan_seats(false);
           for (auto& [p, card] : planned_card) {
-            card = result.FactsWith(p).size();
+            card = result.NumRows(p);
           }
           ++ss.replans;
         }
       }
-      std::unordered_map<PredId, std::vector<Fact>> by_pred;
-      for (Fact& f : delta) by_pred[f.pred].push_back(std::move(f));
+      // Partition the delta's global ids into per-predicate row lists —
+      // the coordinates kernels and the interpreter consume directly.
+      std::unordered_map<PredId, std::vector<uint32_t>> by_pred;
+      for (uint32_t g : delta) {
+        const auto [p, row] = result.Locate(g);
+        by_pred[p].push_back(row);
+      }
       std::vector<WorkItem> items;
       for (size_t k = 0; k < stratum.plans.size(); ++k) {
         const uint32_t pi = stratum.plans[k];
@@ -588,8 +684,10 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
           WorkItem w;
           w.plan = pi;
           w.rec = r;
-          w.delta = &it->second;
+          w.delta_pred = it->first;
+          w.delta_rows = &it->second;
           w.order = &seats[k][1 + r].order;
+          w.kernel = kernel_for(k, 1 + r);
           if (options.plan_stats) {
             w.step_rows = &seats[k][1 + r].actual;
             w.seedings = &seats[k][1 + r].seedings;
@@ -641,22 +739,27 @@ Instance CompiledProgram::Eval(const Instance& input, EvalStats* stats,
 
 namespace {
 
-/// Binds the variables of `atom` to the arguments of `f`, appending every
-/// newly-bound variable to `bound`. Returns false on a clash (a repeated
-/// variable or a pre-bound one disagreeing with `f`); the caller unbinds
-/// `bound` either way.
-bool BindFact(const QAtom& atom, const Fact& f, std::vector<ElemId>& map,
-              std::vector<VarId>* bound) {
+/// Binds the variables of `atom` to the argument tuple `args`, appending
+/// every newly-bound variable to `bound`. Returns false on a clash (a
+/// repeated variable or a pre-bound one disagreeing with `args`); the
+/// caller unbinds `bound` either way.
+bool BindArgs(const QAtom& atom, std::span<const ElemId> args,
+              std::vector<ElemId>& map, std::vector<VarId>* bound) {
   for (size_t pos = 0; pos < atom.args.size(); ++pos) {
     VarId v = atom.args[pos];
     if (map[v] == kNoElem) {
-      map[v] = f.args[pos];
+      map[v] = args[pos];
       bound->push_back(v);
-    } else if (map[v] != f.args[pos]) {
+    } else if (map[v] != args[pos]) {
       return false;
     }
   }
   return true;
+}
+
+bool BindFact(const QAtom& atom, const Fact& f, std::vector<ElemId>& map,
+              std::vector<VarId>* bound) {
+  return BindArgs(atom, f.args, map, bound);
 }
 
 void Unbind(const std::vector<VarId>& bound, std::vector<ElemId>& map) {
@@ -683,28 +786,43 @@ bool CompiledProgram::MatchAtoms(
   // Current-state candidates through the tightest index available for the
   // bound positions (as in Join); an old-state read additionally skips
   // facts inserted since the old snapshot and replays the deleted ones.
-  const std::vector<uint32_t>* candidates = &inst.FactsWith(atom.pred);
+  std::span<const uint32_t> candidates;
   int anchor = -1;
   for (int pos = 0; pos < static_cast<int>(atom.args.size()); ++pos) {
     ElemId img = map[atom.args[pos]];
     if (img == kNoElem) continue;
-    const auto& idx = inst.FactsWith(atom.pred, pos, img);
-    if (anchor < 0 || idx.size() < candidates->size()) {
-      candidates = &idx;
+    const std::span<const uint32_t> idx = inst.RowsWith(atom.pred, pos, img);
+    if (anchor < 0 || idx.size() < candidates.size()) {
+      candidates = idx;
       anchor = pos;
     }
   }
   std::vector<VarId> bound_here;
-  for (uint32_t fi : *candidates) {
-    const Fact& tf = inst.facts()[fi];
-    if (pc && pc->ins_set.count(tf)) continue;
+  // Returns false when the enumeration must stop (out() vetoed).
+  auto try_row = [&](uint32_t row) {
+    const std::span<const ElemId> targs = inst.Args(atom.pred, row);
+    if (pc &&
+        pc->ins_set.find(FactView{atom.pred, targs}) != pc->ins_set.end()) {
+      return true;
+    }
     bound_here.clear();
-    if (BindFact(atom, tf, map, &bound_here) &&
+    if (BindArgs(atom, targs, map, &bound_here) &&
         !MatchAtoms(plan, seat, k + 1, read_old, inst, changed, map, out)) {
       Unbind(bound_here, map);
       return false;
     }
     Unbind(bound_here, map);
+    return true;
+  };
+  if (anchor < 0) {
+    const uint32_t n = inst.NumRows(atom.pred);
+    for (uint32_t row = 0; row < n; ++row) {
+      if (!try_row(row)) return false;
+    }
+  } else {
+    for (uint32_t row : candidates) {
+      if (!try_row(row)) return false;
+    }
   }
   if (pc) {
     for (const Fact& df : pc->del) {
@@ -756,14 +874,16 @@ Materialization CompiledProgram::Materialize(const Instance& input,
     std::vector<PredId> preds(st.preds.begin(), st.preds.end());
     std::sort(preds.begin(), preds.end());
     for (PredId p : preds) {
-      for (uint32_t fi : m.inst.FactsWith(p)) {
-        const Fact& f = m.inst.facts()[fi];
+      const uint32_t n = m.inst.NumRows(p);
+      for (uint32_t row = 0; row < n; ++row) {
+        const std::span<const ElemId> args = m.inst.Args(p, row);
+        const Fact f(p, std::vector<ElemId>(args.begin(), args.end()));
         auto it = dc.find(f);
         uint64_t c = (it != dc.end() ? it->second : 0) +
                      (input.HasFact(f) ? 1 : 0);
         // Every fixpoint fact has base membership or a rule derivation.
         MONDET_CHECK(c > 0 && "Materialize: unsupported fixpoint fact");
-        m.inst.SetFactCount(f, c);
+        m.inst.SetCountAt(p, row, c);
       }
     }
   }

@@ -11,6 +11,7 @@
 
 #include "base/instance.h"
 #include "base/stats.h"
+#include "datalog/kernel.h"
 #include "datalog/program.h"
 
 namespace mondet {
@@ -43,13 +44,15 @@ struct EvalOptions {
   /// kept for the incremental-vs-recount bench comparison.
   bool stats_incremental = true;
   /// The planner's own cost gate: below this many input facts, planning
-  /// cannot pay for itself, so Eval runs the compile-time orders. With
-  /// incremental maintenance the per-run statistics cost is one initial
-  /// Collect plus O(delta) per round — no per-stratum rescans — so the
-  /// gate sits at 8 facts (it was 64 under the recount discipline). Set
-  /// to 0 to force live planning on any input (the differential tests
-  /// do); a caller-supplied `stats` snapshot bypasses the gate.
-  size_t stats_min_facts = 8;
+  /// cannot pay for itself, so Eval runs the compile-time orders. Even
+  /// with incremental maintenance the per-run cost — one Collect with a
+  /// sort per column plus a SelectivityAtomOrder pass per rule — takes
+  /// tens of µs, which dominates a µs-scale eval outright (the checker's
+  /// canonical-test loops issue thousands of those), so the gate sits at
+  /// 64 facts. Set to 0 to force live planning on any input (the
+  /// differential and convergence tests do); a caller-supplied `stats`
+  /// snapshot bypasses the gate.
+  size_t stats_min_facts = 64;
   /// Record the join order each (rule, delta seat) actually ran with,
   /// plus estimated vs. measured intermediate sizes, into
   /// StratumStats::seats. Small per-match cost; off by default.
@@ -77,14 +80,37 @@ struct EvalOptions {
   /// tests/dataflow_soundness_test.cc). EvalStats::rules_pruned counts
   /// the skipped rules.
   bool dataflow_prune = true;
+  /// Compiled join kernels (datalog/kernel.h): lower each planned
+  /// (rule, delta-seat, order) into a shape-specialized loop nest over the
+  /// columnar store — fixed binding frame, plan-time probe/check/bind
+  /// classification, flat derived-head buffers — instead of interpreting
+  /// the atom order through the generic backtracking join. Bit-identical
+  /// to the interpreter in result, insertion order and derivation counts
+  /// (pinned by the kernel-differential oracle); kept as an escape hatch
+  /// for the differential arms and as the interpreter's reference.
+  bool compiled_kernels = true;
+  /// Input-size gate for compiled_kernels, the stats_min_facts idiom
+  /// again: lowering a (rule, seat, order) into a kernel costs a few µs
+  /// per rule-seat per Eval, which a µs-scale evaluation of a tiny
+  /// instance can never amortize — and the canonical-test inner loops
+  /// (separators, containment search) run thousands of such evals.
+  /// Below the gate the generic interpreter runs instead; above it the
+  /// kernel pays for itself within the first delta round. A nonzero gate
+  /// additionally requires at least 4 input facts per program rule
+  /// (lowering cost is per rule-seat, so a huge program over few facts
+  /// can never amortize it no matter the absolute input size). Set to 0
+  /// to force kernels on any input (the kernel-differential oracle and
+  /// bench_kernels do, so the gated path stays fully cross-checked).
+  size_t kernel_min_facts = 64;
   /// Input-size gate for dataflow_prune, the stats_min_facts idiom again:
-  /// the seeded analysis costs O(program + input) per run, so on a tiny
+  /// the seeded analysis costs O(program + input) per run, so on a small
   /// instance it cannot pay for the join work it saves — and the
   /// canonical-test inner loops evaluate thousands of µs-scale instances
-  /// per check. Below the gate Eval skips the analysis and prunes
+  /// per check (profiles put the analysis near 30% of such evals at the
+  /// old gate of 8). Below the gate Eval skips the analysis and prunes
   /// nothing (correctness is unaffected either way). Set to 0 to force
   /// pruning on any input (the differential and soundness tests do).
-  size_t dataflow_min_facts = 8;
+  size_t dataflow_min_facts = 64;
 };
 
 /// The join order one (rule, delta-seat) pair ran with, with the planner's
@@ -309,21 +335,26 @@ class CompiledProgram {
   };
   /// The recorded membership changes of one predicate during Maintain:
   /// `ins`/`del` in deterministic discovery order, `ins_set` for the
-  /// old-state reconstruction (old = current − ins + del).
+  /// old-state reconstruction (old = current − ins + del). Transparent
+  /// hashing so stored rows probe the set as FactViews, copy-free.
   struct PredChange {
     std::vector<Fact> ins;
     std::vector<Fact> del;
-    std::unordered_set<Fact, FactHash> ins_set;
+    std::unordered_set<Fact, FactHash, FactEq> ins_set;
   };
   using ChangeMap = std::unordered_map<PredId, PredChange>;
   /// One unit of the per-iteration fan-out: fire plan `plan` either as a
-  /// full join (rec < 0) or seeding recursive atom `rec` from each fact
-  /// of `delta`, visiting the remaining atoms in `*order`.
+  /// full join (rec < 0) or seeding recursive atom `rec` from each row of
+  /// `*delta_rows` (rows of `delta_pred`), visiting the remaining atoms
+  /// in `*order` — through `*kernel` when compiled, the interpreter
+  /// otherwise.
   struct WorkItem {
     uint32_t plan = 0;
     int rec = -1;
-    const std::vector<Fact>* delta = nullptr;
+    PredId delta_pred = kNoPred;
+    const std::vector<uint32_t>* delta_rows = nullptr;
     const std::vector<uint32_t>* order = nullptr;
+    const JoinKernel* kernel = nullptr;        // null = generic interpreter
     std::vector<size_t>* step_rows = nullptr;  // per-depth match counters
     size_t* seedings = nullptr;                // successful join seedings
   };
@@ -337,11 +368,11 @@ class CompiledProgram {
                                   std::vector<double>* est_rows) const;
 
   void RunItem(const WorkItem& item, const Instance& target, size_t* probes,
-               std::vector<Fact>* out) const;
+               DerivedBuffer* out) const;
   void Join(const RulePlan& plan, const std::vector<uint32_t>& order,
             size_t depth, std::vector<ElemId>& map, const Instance& target,
             size_t* probes, std::vector<size_t>* step_rows,
-            std::vector<Fact>* out) const;
+            DerivedBuffer* out) const;
 
   /// The maintenance engine's join: matches body atoms k.. of `plan` in
   /// body order (skipping `seat`, whose variables `map` pre-binds) and

@@ -1,6 +1,7 @@
 #include "games/pebble.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -57,9 +58,11 @@ bool DuplicatorWins(const Instance& from, const Instance& to, int k,
     return static_cast<size_t>(it - domain.begin());
   };
 
-  // Attach covered facts.
+  // Attach covered facts. The materialized snapshot must outlive the
+  // per-domain fact pointers below.
+  const std::vector<Fact> from_facts = from.AllFacts();
   for (DomainEntry& entry : entries) {
-    for (const Fact& f : from.facts()) {
+    for (const Fact& f : from_facts) {
       bool inside = true;
       for (ElemId a : f.args) {
         inside = inside && std::binary_search(entry.domain.begin(),

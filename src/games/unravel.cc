@@ -23,7 +23,8 @@ std::vector<std::vector<ElemId>> CandidateBags(const Instance& source,
       bool keep = true;
       if (opt.connected_subsets_only && current.size() > 1) {
         keep = false;
-        for (const Fact& f : source.facts()) {
+        for (uint32_t fg = 0; fg < source.num_facts(); ++fg) {
+          const FactView f = source.ViewAt(fg);
           size_t inside = 0;
           for (ElemId a : f.args) {
             for (ElemId c : current) inside += (a == c) ? 1 : 0;
@@ -89,7 +90,8 @@ Unravelling BoundedUnravelling(const Instance& source,
       }
     }
     // Facts of the source induced by the bag.
-    for (const Fact& f : source.facts()) {
+    for (uint32_t fg = 0; fg < source.num_facts(); ++fg) {
+      const FactView f = source.ViewAt(fg);
       std::vector<ElemId> args;
       bool inside = true;
       for (ElemId a : f.args) {

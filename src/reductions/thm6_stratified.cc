@@ -38,7 +38,7 @@ bool StratifiedRewritingHolds(const Thm6Gadget& gadget,
   }
 
   // --- Disjunct 1/2: the helper views are non-empty. ----------------------
-  if (!image.FactsWith(vhc).empty() || !image.FactsWith(vhd).empty()) {
+  if (image.NumRows(vhc) > 0 || image.NumRows(vhd) > 0) {
     return true;
   }
 
@@ -46,38 +46,35 @@ bool StratifiedRewritingHolds(const Thm6Gadget& gadget,
   auto tile_of = [&](ElemId z) {
     std::set<int> tiles;
     for (int t = 0; t < gadget.tp.num_tiles; ++t) {
-      for (uint32_t fi : image.FactsWith(vtiles[t], 0, z)) {
-        (void)fi;
-        tiles.insert(t);
-      }
+      if (!image.RowsWith(vtiles[t], 0, z).empty()) tiles.insert(t);
     }
     return tiles;
   };
-  for (uint32_t fi : image.FactsWith(vha)) {
-    const Fact& f = image.facts()[fi];  // VHA(z1,z2,y,x1,x2)
-    for (int t1 : tile_of(f.args[0])) {
-      for (int t2 : tile_of(f.args[1])) {
+  for (uint32_t row = 0; row < image.NumRows(vha); ++row) {
+    const std::span<const ElemId> args = image.Args(vha, row);  // VHA(z1,z2,y,x1,x2)
+    for (int t1 : tile_of(args[0])) {
+      for (int t2 : tile_of(args[1])) {
         if (!gadget.tp.HcAllows(t1, t2)) return true;
       }
     }
   }
-  for (uint32_t fi : image.FactsWith(vva)) {
-    const Fact& f = image.facts()[fi];  // VVA(z1,z2,y1,y2,x)
-    for (int t1 : tile_of(f.args[0])) {
-      for (int t2 : tile_of(f.args[1])) {
+  for (uint32_t row = 0; row < image.NumRows(vva); ++row) {
+    const std::span<const ElemId> args = image.Args(vva, row);  // VVA(z1,z2,y1,y2,x)
+    for (int t1 : tile_of(args[0])) {
+      for (int t2 : tile_of(args[1])) {
         if (!gadget.tp.VcAllows(t1, t2)) return true;
       }
     }
   }
-  for (uint32_t fi : image.FactsWith(vi)) {
-    const Fact& f = image.facts()[fi];  // VI(o,x,y,z)
-    for (int t : tile_of(f.args[3])) {
+  for (uint32_t row = 0; row < image.NumRows(vi); ++row) {
+    const std::span<const ElemId> args = image.Args(vi, row);  // VI(o,x,y,z)
+    for (int t : tile_of(args[3])) {
       if (!gadget.tp.IsInitial(t)) return true;
     }
   }
-  for (uint32_t fi : image.FactsWith(vf)) {
-    const Fact& f = image.facts()[fi];  // VF(x,y,z)
-    for (int t : tile_of(f.args[2])) {
+  for (uint32_t row = 0; row < image.NumRows(vf); ++row) {
+    const std::span<const ElemId> args = image.Args(vf, row);  // VF(x,y,z)
+    for (int t : tile_of(args[2])) {
       if (!gadget.tp.IsFinal(t)) return true;
     }
   }
@@ -87,10 +84,10 @@ bool StratifiedRewritingHolds(const Thm6Gadget& gadget,
   // algebra; the stratified stratum).
   std::set<ElemId> proj1;
   std::set<ElemId> proj2;
-  for (uint32_t fi : image.FactsWith(s)) {
-    const Fact& f = image.facts()[fi];
-    proj1.insert(f.args[0]);
-    proj2.insert(f.args[1]);
+  for (uint32_t row = 0; row < image.NumRows(s); ++row) {
+    const std::span<const ElemId> args = image.Args(s, row);
+    proj1.insert(args[0]);
+    proj2.insert(args[1]);
   }
   for (ElemId x : proj1) {
     for (ElemId y : proj2) {

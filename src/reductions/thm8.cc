@@ -56,11 +56,12 @@ std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
   DeltaSchema delta = DeltaSchema::Create(vocab);
   Instance w(vocab);
   std::map<uint32_t, ElemId> w_elem;  // U_ℓ fact index -> W element
-  for (uint32_t fi : u.FactsWith(s)) {
+  for (uint32_t row = 0; row < u.NumRows(s); ++row) {
+    const uint32_t fi = u.GlobalOf(s, row);
     w_elem[fi] = w.AddElement("p" + std::to_string(fi));
   }
   for (const auto& [fi, we] : w_elem) {
-    const Fact& f = u.facts()[fi];
+    const FactView f = u.ViewAt(fi);
     if (phi[f.args[0]] == x1 && phi[f.args[1]] == y1) {
       w.AddFact(delta.i, {we});
     }
@@ -69,9 +70,9 @@ std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
     }
   }
   for (const auto& [f1, w1] : w_elem) {
-    const Fact& a = u.facts()[f1];
+    const FactView a = u.ViewAt(f1);
     for (const auto& [f2, w2] : w_elem) {
-      const Fact& b = u.facts()[f2];
+      const FactView b = u.ViewAt(f2);
       // H: same y-element, x advances by a VXSucc edge of U_ℓ.
       if (a.args[1] == b.args[1] && u.HasFact(vxsucc, {a.args[0], b.args[0]})) {
         w.AddFact(delta.h, {w1, w2});
@@ -95,7 +96,7 @@ std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
     // I'_ℓ: chase U_ℓ back to the base schema. Elements of U_ℓ keep their
     // ids; each S-fact gets a fresh grid-point element with its tile.
     iprime.EnsureElements(u.num_elements());
-    for (const Fact& f : u.facts()) {
+    for (const Fact& f : u.AllFacts()) {
       if (f.pred == vxsucc) {
         iprime.AddFact(gadget.xsucc, f.args);
       } else if (f.pred == vysucc) {
@@ -107,7 +108,7 @@ std::optional<Thm8Pipeline> BuildThm8Pipeline(const Thm6Gadget& gadget,
       }
     }
     for (const auto& [fi, we] : w_elem) {
-      const Fact& f = u.facts()[fi];
+      const FactView f = u.ViewAt(fi);
       ElemId grid_point = iprime.AddElement("s" + std::to_string(fi));
       iprime.AddFact(gadget.xproj, {f.args[0], grid_point});
       iprime.AddFact(gadget.yproj, {f.args[1], grid_point});

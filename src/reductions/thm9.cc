@@ -427,8 +427,8 @@ Instance Thm9Gadget::EncodeCorruptedRun(const std::vector<int>& input,
   out.EnsureElements(inst.num_elements());
   bool flipped = false;
   size_t midpoint = inst.num_facts() / 2;
-  for (size_t fi = 0; fi < inst.num_facts(); ++fi) {
-    Fact g = inst.facts()[fi];
+  for (uint32_t fi = 0; fi < inst.num_facts(); ++fi) {
+    Fact g = inst.FactAt(fi);
     if (!flipped && fi >= midpoint) {
       for (int sym = 0; sym < machine.num_symbols && !flipped; ++sym) {
         if (g.pred == cell[0][sym]) {

@@ -25,7 +25,7 @@ std::string DescribeProgram(const Program& program) {
 
 std::string DescribeInstance(const Instance& inst) {
   std::string out = "elements " + std::to_string(inst.num_elements()) + "\n";
-  for (const Fact& f : inst.facts()) {
+  for (const Fact& f : inst.AllFacts()) {
     out += FactLine(inst.vocab(), f) + ".\n";
   }
   return out;

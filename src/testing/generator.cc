@@ -253,7 +253,8 @@ std::vector<RawBatch> RandomSchedule(const GenProfile& p,
     }
     for (int i = batch_dist(rng); i > 0; --i) {
       if (work.num_facts() > 0 && rng() % 2 == 0) {
-        raw.deletes.push_back(work.facts()[rng() % work.num_facts()]);
+        raw.deletes.push_back(
+            work.FactAt(static_cast<uint32_t>(rng() % work.num_facts())));
       } else {
         raw.deletes.push_back(RandomBaseFact(p, churn_preds, p.elems, rng));
       }

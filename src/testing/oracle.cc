@@ -37,7 +37,7 @@ std::optional<std::string> DiffSets(const Instance& want, const Instance& got,
     return tag + ": fact counts differ (" + std::to_string(want.num_facts()) +
            " vs " + std::to_string(got.num_facts()) + ")";
   }
-  for (const Fact& f : want.facts()) {
+  for (const Fact& f : want.AllFacts()) {
     if (!got.HasFact(f)) {
       return tag + ": missing fact " + FactToString(want, f);
     }
@@ -52,11 +52,12 @@ std::optional<std::string> DiffSequences(const Instance& a, const Instance& b,
     return tag + ": fact counts differ (" + std::to_string(a.num_facts()) +
            " vs " + std::to_string(b.num_facts()) + ")";
   }
-  for (size_t i = 0; i < a.num_facts(); ++i) {
-    if (!(a.facts()[i] == b.facts()[i])) {
+  for (uint32_t i = 0; i < a.num_facts(); ++i) {
+    const FactView fa = a.ViewAt(i);
+    const FactView fb = b.ViewAt(i);
+    if (!(fa == fb)) {
       return tag + ": fact " + std::to_string(i) + " differs (" +
-             FactToString(a, a.facts()[i]) + " vs " +
-             FactToString(b, b.facts()[i]) + ")";
+             FactToString(a, fa) + " vs " + FactToString(b, fb) + ")";
     }
   }
   return std::nullopt;
@@ -303,6 +304,106 @@ class PlanOracle : public Oracle {
   }
 };
 
+// --- kernel-differential ----------------------------------------------------
+// The compiled-kernel data plane against its own escape hatch: the same
+// program and instance evaluated with compiled kernels on and off, at 1
+// and 4 threads, plus the static planner (compile-time EDB-first orders,
+// which exercises kernel shapes the stats planner never picks). Kernels
+// must be invisible in every observable — fact *sequences* byte-identical
+// across all arms, derivation counters equal — while the naive reference
+// anchors the fact *set*. join_probes is deliberately NOT compared: a
+// fully-bound membership step costs one probe in a kernel but a
+// bucket-size scan in the interpreter, so the counter legitimately
+// differs between the two planes.
+
+class KernelOracle : public Oracle {
+ public:
+  std::string name() const override { return "kernel-differential"; }
+  GenProfile Profile() const override { return PlanProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = PlanProfile();
+    c.program = RandomProgram(c.profile, 21000 + seed);
+    c.instance =
+        RandomInstance(c.profile.vocab, SeededPreds(c.profile, seed),
+                       c.profile.elems, c.profile.facts, 23000 + seed);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    const Program& program = *c.program;
+    const Instance& inst = *c.instance;
+    CompiledProgram compiled(program);
+    Instance naive = NaiveFpEval(program, inst);
+
+    // Kernels on, stats planner forced on (stats_min_facts = 0 so small
+    // fuzz instances still take the planned path the kernels compile,
+    // kernel_min_facts = 0 so the size gate never routes them to the
+    // interpreter — every arm below exercises the plane it names).
+    EvalOptions on1;
+    on1.num_threads = 1;
+    on1.stats_min_facts = 0;
+    on1.kernel_min_facts = 0;
+    EvalOptions on4 = on1;
+    on4.num_threads = 4;
+    EvalStats s_on1, s_on4;
+    Instance r_on1 = compiled.Eval(inst, &s_on1, on1);
+    Instance r_on4 = compiled.Eval(inst, &s_on4, on4);
+    if (auto d = DiffSets(naive, r_on1, "naive vs kernels-on 1T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(r_on1, r_on4, "kernels-on 1T vs 4T")) {
+      return Fail(c, *d);
+    }
+
+    // The escape hatch: same plans, interpreted generically.
+    EvalOptions off1 = on1, off4 = on4;
+    off1.compiled_kernels = false;
+    off4.compiled_kernels = false;
+    EvalStats s_off1;
+    Instance r_off1 = compiled.Eval(inst, &s_off1, off1);
+    Instance r_off4 = compiled.Eval(inst, nullptr, off4);
+    if (auto d = DiffSequences(r_on1, r_off1, "kernels on vs off 1T")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(r_on1, r_off4, "kernels-on 1T vs off 4T")) {
+      return Fail(c, *d);
+    }
+    if (s_on1.facts_derived != s_off1.facts_derived) {
+      return Fail(c, "facts_derived differs with kernels off");
+    }
+    if (s_on1.iterations != s_off1.iterations) {
+      return Fail(c, "iterations differs with kernels off");
+    }
+    if (s_on1.facts_derived != s_on4.facts_derived) {
+      return Fail(c, "facts_derived differs across thread counts");
+    }
+
+    // Static planner: different join orders, hence different kernels;
+    // the set (not the sequence — orders differ) must still agree, with
+    // kernels on and off.
+    EvalOptions st_on;
+    st_on.num_threads = 1;
+    st_on.stats_planner = false;
+    st_on.kernel_min_facts = 0;
+    EvalOptions st_off = st_on;
+    st_off.compiled_kernels = false;
+    Instance r_st_on = compiled.Eval(inst, nullptr, st_on);
+    Instance r_st_off = compiled.Eval(inst, nullptr, st_off);
+    if (auto d = DiffSets(naive, r_st_on, "naive vs static+kernels")) {
+      return Fail(c, *d);
+    }
+    if (auto d = DiffSequences(r_st_on, r_st_off,
+                               "static planner, kernels on vs off")) {
+      return Fail(c, *d);
+    }
+    return Pass();
+  }
+};
+
 // --- maintenance-differential -----------------------------------------------
 // Port of tests/maintenance_differential_test.cc: the maintained
 // materialization equals a from-scratch Materialize (at 1 and 0=env
@@ -322,7 +423,7 @@ std::optional<std::string> DiffMaterializations(const Materialization& got,
            std::to_string(got.inst.num_facts()) + " vs " +
            std::to_string(want.inst.num_facts()) + ")";
   }
-  std::vector<Fact> gf = got.inst.facts(), wf = want.inst.facts();
+  std::vector<Fact> gf = got.inst.AllFacts(), wf = want.inst.AllFacts();
   std::sort(gf.begin(), gf.end());
   std::sort(wf.begin(), wf.end());
   for (size_t i = 0; i < gf.size(); ++i) {
@@ -450,13 +551,13 @@ class DataflowOracle : public Oracle {
     // The instance-free analysis assumes IDB relations start empty, so
     // its soundness arms only apply to IDB-free inputs.
     bool idb_free = true;
-    for (const Fact& f : inst.facts()) {
+    for (const Fact& f : inst.AllFacts()) {
       if (program.IsIdb(f.pred)) idb_free = false;
     }
 
     // 1. Concrete fixpoint within gamma(abstract fixpoint).
     EmptinessResult er = AnalyzeEmptiness(program, &inst);
-    for (const Fact& f : fix.facts()) {
+    for (const Fact& f : fix.AllFacts()) {
       auto it = er.preds.find(f.pred);
       if (it == er.preds.end()) {
         return Fail(c, "no abstract value for " + vocab->name(f.pred));
@@ -478,14 +579,14 @@ class DataflowOracle : public Oracle {
       }
     }
     for (PredId p : er.empty_idbs) {
-      if (!fix.FactsWith(p).empty()) {
+      if (fix.NumRows(p) > 0) {
         return Fail(c, vocab->name(p) + " flagged empty but holds a fact");
       }
     }
     EmptinessResult free_er = AnalyzeEmptiness(program, nullptr);
     if (idb_free) {
       for (PredId p : free_er.empty_idbs) {
-        if (!fix.FactsWith(p).empty()) {
+        if (fix.NumRows(p) > 0) {
           return Fail(c, "instance-free emptiness unsound for " +
                              vocab->name(p));
         }
@@ -818,6 +919,7 @@ const std::vector<const Oracle*>& AllOracles() {
     auto* v = new std::vector<const Oracle*>();
     v->push_back(new EvalOracle());
     v->push_back(new PlanOracle());
+    v->push_back(new KernelOracle());
     v->push_back(new MaintenanceOracle());
     v->push_back(new DataflowOracle());
     v->push_back(new ParallelOracle());

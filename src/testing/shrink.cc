@@ -64,7 +64,7 @@ Instance RebuildWithoutFact(const Instance& inst, size_t drop_fact) {
   Instance out(inst.vocab());
   out.EnsureElements(inst.num_elements());
   for (size_t fi = 0; fi < inst.num_facts(); ++fi) {
-    if (fi != drop_fact) out.AddFact(inst.facts()[fi]);
+    if (fi != drop_fact) out.AddFact(inst.FactAt(static_cast<uint32_t>(fi)));
   }
   return out;
 }

@@ -156,7 +156,8 @@ TreeCode EncodeInstance(const Instance& inst, const TreeDecomposition& td,
   }
 
   // Attach each fact to the first node whose bag covers it.
-  for (const Fact& f : inst.facts()) {
+  for (uint32_t fg = 0; fg < inst.num_facts(); ++fg) {
+    const FactView f = inst.ViewAt(fg);
     bool attached = false;
     for (size_t u = 0; u < td.nodes.size() && !attached; ++u) {
       AtomLabel label;

@@ -16,7 +16,8 @@ using AdjMap = std::map<ElemId, std::set<ElemId>>;
 AdjMap BuildAdjacency(const Instance& inst) {
   AdjMap adj;
   for (ElemId e : inst.ActiveDomain()) adj[e];  // ensure presence
-  for (const Fact& f : inst.facts()) {
+  for (uint32_t fg = 0; fg < inst.num_facts(); ++fg) {
+    const FactView f = inst.ViewAt(fg);
     for (size_t i = 0; i < f.args.size(); ++i) {
       for (size_t j = i + 1; j < f.args.size(); ++j) {
         if (f.args[i] != f.args[j]) {

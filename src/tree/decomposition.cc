@@ -44,7 +44,8 @@ bool TreeDecomposition::Validate(const Instance& inst) const {
     if (s.size() != n.bag.size()) return false;
   }
   // Every fact is covered by some bag.
-  for (const Fact& f : inst.facts()) {
+  for (uint32_t fg = 0; fg < inst.num_facts(); ++fg) {
+    const FactView f = inst.ViewAt(fg);
     bool covered = false;
     for (const Node& n : nodes) {
       std::set<ElemId> s(n.bag.begin(), n.bag.end());

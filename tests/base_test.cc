@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <span>
+#include <unordered_set>
+#include <vector>
 
 #include "base/canonical.h"
 #include "base/gaifman.h"
@@ -60,12 +64,12 @@ TEST(Instance, PositionIndex) {
   auto vocab = MakeVocabulary();
   PredId r = vocab->AddPredicate("R", 2);
   Instance inst = MakePath(vocab, r, 5);
-  EXPECT_EQ(inst.FactsWith(r).size(), 5u);
-  EXPECT_EQ(inst.FactsWith(r, 0, 0).size(), 1u);
-  EXPECT_EQ(inst.FactsWith(r, 1, 0).size(), 0u);
+  EXPECT_EQ(inst.NumRows(r), 5u);
+  EXPECT_EQ(inst.RowsWith(r, 0, 0).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 1, 0).size(), 0u);
   // Index stays correct after adding more facts.
   inst.AddFact(r, {0, 0});
-  EXPECT_EQ(inst.FactsWith(r, 0, 0).size(), 2u);
+  EXPECT_EQ(inst.RowsWith(r, 0, 0).size(), 2u);
 }
 
 TEST(Instance, IncrementalIndexMaintenance) {
@@ -78,21 +82,21 @@ TEST(Instance, IncrementalIndexMaintenance) {
   inst.AddFact(r, {a, b});
   // First positional query materializes the index; from here on it is
   // maintained incrementally by AddFact.
-  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 0, a).size(), 1u);
   // Facts added after the index went live must be visible, including on
   // predicates never queried before.
   inst.AddFact(r, {b, a});
   inst.AddFact(s, {b});
-  EXPECT_EQ(inst.FactsWith(r, 0, b).size(), 1u);
-  EXPECT_EQ(inst.FactsWith(r, 1, a).size(), 1u);
-  EXPECT_EQ(inst.FactsWith(s, 0, b).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 0, b).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 1, a).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(s, 0, b).size(), 1u);
   // Interleave more adds and queries; duplicates must not re-index.
   inst.AddFact(r, {a, b});  // duplicate, rejected
-  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 0, a).size(), 1u);
   ElemId c = inst.AddElement();
   inst.AddFact(r, {a, c});
-  EXPECT_EQ(inst.FactsWith(r, 0, a).size(), 2u);
-  EXPECT_EQ(inst.FactsWith(r, 1, c).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 0, a).size(), 2u);
+  EXPECT_EQ(inst.RowsWith(r, 1, c).size(), 1u);
 }
 
 TEST(Instance, PrepareIndexesCoversAllFacts) {
@@ -103,10 +107,10 @@ TEST(Instance, PrepareIndexesCoversAllFacts) {
   // positional lookups read-only (used by the parallel evaluator before
   // fanning out worker threads).
   inst.PrepareIndexes();
-  EXPECT_EQ(inst.FactsWith(r, 0, 0).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 0, 0).size(), 1u);
   inst.AddFact(r, {2, 0});
   inst.PrepareIndexes();
-  EXPECT_EQ(inst.FactsWith(r, 1, 0).size(), 1u);
+  EXPECT_EQ(inst.RowsWith(r, 1, 0).size(), 1u);
 }
 
 TEST(Instance, RestrictTo) {
@@ -369,6 +373,55 @@ TEST(Canonical, FindIsomorphismOnPathsAndNonIso) {
   c.AddFact(r, {c0, c1});
   c.AddFact(r, {c1, c0});
   EXPECT_FALSE(FindIsomorphism(a, {}, c, {}).has_value());
+}
+
+TEST(FactHashTest, DenseConsecutiveFactsDoNotCollide) {
+  // Collision regression for the SplitMix64-finalized fact hash: the
+  // open-addressing fact table and the unordered fact sets key on
+  // HashFactKey, and the workloads it must survive are exactly the dense
+  // ones the columnar store produces — consecutive small ElemIds over a
+  // handful of predicates. A weak mix (e.g. the old shift-xor fold)
+  // collapses such keys onto a few buckets; SplitMix64's full avalanche
+  // keeps them distinct and spread.
+  constexpr int kPreds = 4;
+  constexpr ElemId kSide = 50;  // 4 * 50 * 50 = 10000 dense facts
+  std::unordered_set<uint64_t> hashes;
+  std::vector<size_t> load(1024, 0);
+  for (PredId p = 0; p < kPreds; ++p) {
+    for (ElemId a = 0; a < kSide; ++a) {
+      for (ElemId b = 0; b < kSide; ++b) {
+        const ElemId args[2] = {a, b};
+        const uint64_t h = HashFactKey(p, std::span<const ElemId>(args, 2));
+        hashes.insert(h);
+        ++load[h & 1023u];
+      }
+    }
+  }
+  // All 64-bit hashes distinct: on 10k keys even one collision is a red
+  // flag (the birthday bound for a healthy 64-bit hash is ~2^32 keys).
+  EXPECT_EQ(hashes.size(),
+            static_cast<size_t>(kPreds) * kSide * kSide);
+  // And the low bits alone must spread them: max load over 1024
+  // power-of-2 buckets stays within 3x of the mean, the regime the
+  // linear-probing table's 3/4 load factor is designed around.
+  const size_t mean = hashes.size() / load.size();
+  const size_t worst = *std::max_element(load.begin(), load.end());
+  EXPECT_LE(worst, 3 * mean) << "low-bit clustering: worst bucket "
+                             << worst << " vs mean " << mean;
+}
+
+TEST(FactHashTest, ArgumentOrderAndPredicateChangeTheHash) {
+  const ElemId ab[2] = {1, 2};
+  const ElemId ba[2] = {2, 1};
+  EXPECT_NE(HashFactKey(0, std::span<const ElemId>(ab, 2)),
+            HashFactKey(0, std::span<const ElemId>(ba, 2)));
+  EXPECT_NE(HashFactKey(0, std::span<const ElemId>(ab, 2)),
+            HashFactKey(1, std::span<const ElemId>(ab, 2)));
+  // The transparent functors agree across Fact and FactView.
+  Fact f(0, {1, 2});
+  FactView v{0, std::span<const ElemId>(ab, 2)};
+  EXPECT_EQ(FactHash{}(f), FactHash{}(v));
+  EXPECT_TRUE(FactEq{}(f, v));
 }
 
 TEST(Canonical, TestCacheComputesEachTypeOnce) {

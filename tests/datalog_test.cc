@@ -54,7 +54,7 @@ TEST(Parser, ParsesGroundInstance) {
   EXPECT_EQ(inst->num_facts(), 3u);
   EXPECT_EQ(inst->num_elements(), 3u);
   PredId r = *vocab->FindPredicate("R");
-  EXPECT_EQ(inst->FactsWith(r).size(), 2u);
+  EXPECT_EQ(inst->NumRows(r), 2u);
 }
 
 TEST(Parser, InstanceSharesElementsByName) {

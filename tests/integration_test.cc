@@ -129,7 +129,7 @@ TEST(Integration, Example1SecondViewFamily) {
     // Remove U2: both false.
     Instance broken(vocab);
     broken.EnsureElements(inst.num_elements());
-    for (const Fact& f : inst.facts()) {
+    for (const Fact& f : inst.AllFacts()) {
       if (f.pred != u2) broken.AddFact(f);
     }
     EXPECT_FALSE(DatalogHoldsOn(*query, broken)) << n;

@@ -93,7 +93,7 @@ TEST(InverseRules, Example1RewritingRejectsBrokenChains) {
   Instance broken(ex.vocab);
   broken.EnsureElements(chain.num_elements());
   PredId u2 = *ex.vocab->FindPredicate("U2");
-  for (const Fact& f : chain.facts()) {
+  for (const Fact& f : chain.AllFacts()) {
     if (f.pred != u2) broken.AddFact(f);
   }
   EXPECT_FALSE(DatalogHoldsOn(ex.query, broken));

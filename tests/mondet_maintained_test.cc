@@ -36,7 +36,7 @@ DatalogQuery MustParseQuery(const std::string& text, const std::string& goal,
 }
 
 std::vector<Fact> SortedFacts(const Instance& inst) {
-  std::vector<Fact> facts = inst.facts();
+  std::vector<Fact> facts = inst.AllFacts();
   std::sort(facts.begin(), facts.end());
   return facts;
 }
@@ -131,7 +131,7 @@ TEST(MaintainedImage, MatchesFreshImageAfterEveryBatch) {
   EXPECT_EQ(churn.inserts.front().pred, *fx.vocab->FindPredicate("VU"));
 
   // Drain the base entirely: the image must follow it down to empty.
-  std::vector<Fact> all = maintained.base().facts();
+  std::vector<Fact> all = maintained.base().AllFacts();
   ImageDelta drain = maintained.ApplyDelta({}, all);
   ExpectImageFresh(maintained, "drain");
   EXPECT_EQ(maintained.image().num_facts(), 0u);

@@ -50,7 +50,7 @@ TEST_P(SeminaiveVsNaive, SameFixpoint) {
   Instance fast = FpEval(q->program, inst);
   Instance slow = NaiveFpEval(q->program, inst);
   EXPECT_EQ(fast.num_facts(), slow.num_facts()) << "seed " << seed;
-  for (const Fact& f : slow.facts()) {
+  for (const Fact& f : slow.AllFacts()) {
     EXPECT_TRUE(fast.HasFact(f)) << "seed " << seed;
   }
 }

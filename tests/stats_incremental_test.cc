@@ -83,7 +83,7 @@ TEST(StatsIncrementalTest, ApplyOverRandomPartitionsMatchesCollect) {
         stats.Apply(inst, delta);
         delta.clear();
         // Empty deltas are legal whenever the snapshot is current.
-        if (cut_dist(rng) == 0) stats.Apply(inst, {});
+        if (cut_dist(rng) == 0) stats.Apply(inst, std::span<const Fact>());
       }
     }
     stats.Apply(inst, delta);
@@ -118,7 +118,7 @@ TEST(StatsIncrementalTest, EmptyDeltaIsANoOp) {
   std::vector<PredId> preds = vocab->AllPredicates();
   Instance inst = RandomInstance(vocab, preds, 5, 15, 8000);
   Stats stats = Stats::Collect(inst);
-  stats.Apply(inst, {});
+  stats.Apply(inst, std::span<const Fact>());
   stats.Apply(inst, std::span<const Fact>());
   ExpectStatsEqual(stats, Stats::Collect(inst), vocab, 0);
 }
@@ -177,7 +177,7 @@ TEST(StatsIncrementalTest, MixedInsertDeleteStreamMatchesCollect) {
         // Delete a present fact — unless this batch just added it, in
         // which case the pair must cancel out of the delta instead
         // (Apply's contract covers net changes only).
-        Fact f = inst.facts()[rng() % inst.num_facts()];
+        Fact f = inst.FactAt(static_cast<uint32_t>(rng() % inst.num_facts()));
         ASSERT_TRUE(inst.RemoveFact(f));
         auto it = std::find(added.begin(), added.end(), f);
         if (it != added.end()) {

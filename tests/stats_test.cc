@@ -38,7 +38,7 @@ PredicateStats BruteForce(const Instance& inst, PredId p) {
   PredicateStats ps;
   ps.distinct.assign(inst.vocab()->arity(p), 0);
   std::vector<std::set<ElemId>> vals(inst.vocab()->arity(p));
-  for (const Fact& f : inst.facts()) {
+  for (const Fact& f : inst.AllFacts()) {
     if (f.pred != p) continue;
     ++ps.cardinality;
     for (size_t i = 0; i < f.args.size(); ++i) vals[i].insert(f.args[i]);
@@ -166,7 +166,8 @@ TEST(StatsDeathTest, ApplyRejectsDeltaFromADifferentInstance) {
   // The fact-count contract check fires even in release builds
   // (MONDET_CHECK is always on): a snapshot of A fed a delta of B aborts
   // instead of silently corrupting the counts.
-  std::span<const Fact> delta(other.facts().data(), 1);
+  const std::vector<Fact> other_facts = other.AllFacts();
+  std::span<const Fact> delta(other_facts.data(), 1);
   EXPECT_DEATH(stats.Apply(other, delta), "Stats::Apply");
 }
 
@@ -179,7 +180,8 @@ TEST(StatsDeathTest, ApplyRejectsAlreadyCountedFacts) {
   ASSERT_GT(inst.num_facts(), 0u);
   // Re-offering a counted fact would double-count: |counted| + |delta|
   // overshoots inst.num_facts() and the contract check aborts.
-  std::span<const Fact> delta(inst.facts().data(), 1);
+  const std::vector<Fact> inst_facts = inst.AllFacts();
+  std::span<const Fact> delta(inst_facts.data(), 1);
   EXPECT_DEATH(stats.Apply(inst, delta), "Stats::Apply");
 }
 
@@ -194,7 +196,7 @@ TEST(StatsDeathTest, ApplyRejectsRemovalOfNeverCountedFact) {
   // report the removal of a fact the snapshot never counted: the
   // per-value (or per-relation) check aborts instead of driving some
   // other fact's multiplicity negative.
-  Fact removed = inst.facts().front();
+  Fact removed = inst.FactAt(0);
   ASSERT_TRUE(inst.RemoveFact(removed));
   ElemId fresh = inst.AddElement();
   std::vector<Fact> bogus = {
@@ -277,13 +279,13 @@ TEST(StatsTest, StaleStatsStillYieldCorrectFixpoints) {
     Instance live = compiled.Eval(inst, nullptr, with_live);
 
     ASSERT_EQ(naive.num_facts(), got.num_facts()) << "seed " << seed;
-    for (const Fact& f : naive.facts()) {
+    for (const Fact& f : naive.AllFacts()) {
       EXPECT_TRUE(got.HasFact(f)) << "seed " << seed;
     }
     // Same fact set as the default live-stats run (the sequences may
     // differ: join orders change the enumeration order within a round).
     ASSERT_EQ(live.num_facts(), got.num_facts()) << "seed " << seed;
-    for (const Fact& f : live.facts()) {
+    for (const Fact& f : live.AllFacts()) {
       EXPECT_TRUE(got.HasFact(f)) << "seed " << seed;
     }
   }

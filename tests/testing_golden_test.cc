@@ -157,7 +157,8 @@ std::vector<testing::RawBatch> Schedule(const VocabularyPtr& vocab,
     }
     for (int i = batch_dist(rng); i > 0; --i) {
       if (base.num_facts() > 0 && rng() % 2 == 0) {
-        raw_del.push_back(base.facts()[rng() % base.num_facts()]);
+        raw_del.push_back(
+            base.FactAt(static_cast<uint32_t>(rng() % base.num_facts())));
       } else {
         raw_del.push_back(BaseFact(vocab, churn, elems, rng));
       }

@@ -39,7 +39,7 @@ TEST(Thm6, AxesImageHasGridOfSFacts) {
   }
   ASSERT_NE(s, kNoPred);
   // S = C × D: 2 * 3 facts (Figure 2(b)).
-  EXPECT_EQ(image.FactsWith(s).size(), 6u);
+  EXPECT_EQ(image.NumRows(s), 6u);
 }
 
 TEST(Thm6, GridTestFalsifiesQueryIffTilingValid) {

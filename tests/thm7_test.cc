@@ -32,9 +32,9 @@ TEST(Thm7, ViewImageShape) {
   Thm7Gadget gadget = BuildThm7();
   Instance chain = gadget.DiamondChain(3);
   Instance image = gadget.views.Image(chain);
-  EXPECT_EQ(image.FactsWith(gadget.s_view).size(), 1u);
-  EXPECT_EQ(image.FactsWith(gadget.r_view).size(), 2u);
-  EXPECT_EQ(image.FactsWith(gadget.t_view).size(), 1u);
+  EXPECT_EQ(image.NumRows(gadget.s_view), 1u);
+  EXPECT_EQ(image.NumRows(gadget.r_view), 2u);
+  EXPECT_EQ(image.NumRows(gadget.t_view), 1u);
 }
 
 TEST(Thm7, DatalogRewritingViaInverseRulesIsExact) {

@@ -93,7 +93,7 @@ TEST_F(Thm8Test, FullPipelineProducesTheSeparatingPair) {
 
   // U_ℓ is contained in V(I'_ℓ) fact-by-fact (same element ids).
   Instance iprime_image = gadget_.views.Image(pipeline->iprime);
-  for (const Fact& f : pipeline->unravelling.inst.facts()) {
+  for (const Fact& f : pipeline->unravelling.inst.AllFacts()) {
     EXPECT_TRUE(iprime_image.HasFact(f))
         << FactToString(pipeline->unravelling.inst, f);
   }

@@ -47,7 +47,7 @@ TEST_F(Thm9Test, BadViewFalseOnValidRun) {
     if (gadget_.vocab->name(v.pred) == "VBad") vbad = v.pred;
   }
   ASSERT_NE(vbad, kNoPred);
-  EXPECT_TRUE(image.FactsWith(vbad).empty());
+  EXPECT_TRUE(image.NumRows(vbad) == 0);
 }
 
 TEST_F(Thm9Test, CorruptionDetected) {
@@ -60,7 +60,7 @@ TEST_F(Thm9Test, CorruptionDetected) {
   for (const View& v : gadget_.views.views()) {
     if (gadget_.vocab->name(v.pred) == "VBad") vbad = v.pred;
   }
-  EXPECT_FALSE(image.FactsWith(vbad).empty());
+  EXPECT_FALSE(image.NumRows(vbad) == 0);
 }
 
 TEST_F(Thm9Test, PreRunViewSeesCompletedRuns) {
@@ -71,7 +71,7 @@ TEST_F(Thm9Test, PreRunViewSeesCompletedRuns) {
     if (gadget_.vocab->name(v.pred) == "VPreRun") vpre = v.pred;
   }
   ASSERT_NE(vpre, kNoPred);
-  EXPECT_EQ(image.FactsWith(vpre).size(), 1u);
+  EXPECT_EQ(image.NumRows(vpre), 1u);
 }
 
 TEST_F(Thm9Test, TruncatedRunNotAccepted) {
@@ -85,7 +85,7 @@ TEST_F(Thm9Test, TruncatedRunNotAccepted) {
   prefix.EnsureElements(run.num_elements());
   PredId accept0 = gadget_.cell[gadget_.machine.accept + 1][0];
   PredId accept1 = gadget_.cell[gadget_.machine.accept + 1][1];
-  for (const Fact& f : run.facts()) {
+  for (const Fact& f : run.AllFacts()) {
     if (f.pred == accept0 || f.pred == accept1) continue;
     prefix.AddFact(f);
   }

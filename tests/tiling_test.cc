@@ -39,10 +39,10 @@ TEST(Tiling, GridInstanceShape) {
   Instance grid = GridInstance(3, 2, vocab, schema);
   EXPECT_EQ(grid.num_elements(), 6u);
   // H edges: 2 per row * 2 rows; V edges: 3 per column-step * 1.
-  EXPECT_EQ(grid.FactsWith(schema.h).size(), 4u);
-  EXPECT_EQ(grid.FactsWith(schema.v).size(), 3u);
-  EXPECT_EQ(grid.FactsWith(schema.i).size(), 1u);
-  EXPECT_EQ(grid.FactsWith(schema.f).size(), 1u);
+  EXPECT_EQ(grid.NumRows(schema.h), 4u);
+  EXPECT_EQ(grid.NumRows(schema.v), 3u);
+  EXPECT_EQ(grid.NumRows(schema.i), 1u);
+  EXPECT_EQ(grid.NumRows(schema.f), 1u);
 }
 
 TEST(Tiling, TilabilityMatchesHomomorphism) {

@@ -55,7 +55,7 @@ TEST(ViewSet, RecursiveDatalogView) {
   Instance inst = MakePath(vocab, r, 3);
   inst.AddFact(u, {3});
   Instance image = views.Image(inst);
-  EXPECT_EQ(image.FactsWith(v).size(), 4u);
+  EXPECT_EQ(image.NumRows(v), 4u);
 }
 
 TEST(ViewSet, IdbsRenamedApartAcrossViews) {
@@ -75,8 +75,8 @@ TEST(ViewSet, IdbsRenamedApartAcrossViews) {
   Instance inst = MakePath(vocab, r, 2);
   inst.AddFact(u, {2});
   Instance image = views.Image(inst);
-  EXPECT_EQ(image.FactsWith(views.views()[0].pred).size(), 3u);
-  EXPECT_EQ(image.FactsWith(views.views()[1].pred).size(), 3u);
+  EXPECT_EQ(image.NumRows(views.views()[0].pred), 3u);
+  EXPECT_EQ(image.NumRows(views.views()[1].pred), 3u);
 }
 
 TEST(ViewSet, ViewIsCqDetection) {
@@ -113,11 +113,11 @@ TEST(ViewSet, MonotoneUnderSubinstances) {
     Instance small(vocab);
     small.EnsureElements(big.num_elements());
     for (size_t i = 0; i < big.num_facts(); i += 2) {
-      small.AddFact(big.facts()[i]);
+      small.AddFact(big.FactAt(static_cast<uint32_t>(i)));
     }
     Instance img_small = views.Image(small);
     Instance img_big = views.Image(big);
-    for (const Fact& f : img_small.facts()) {
+    for (const Fact& f : img_small.AllFacts()) {
       EXPECT_TRUE(img_big.HasFact(f)) << "seed " << seed;
     }
   }
@@ -158,11 +158,11 @@ TEST(SplitDisconnectedViews, ProductViewSplits) {
     PredId v1 = split.views()[1].pred;
     // V = V#0 × V#1.
     size_t expected =
-        parts.FactsWith(v0).size() * parts.FactsWith(v1).size();
-    EXPECT_EQ(full.FactsWith(v).size(), expected) << "seed " << seed;
+        parts.NumRows(v0) * parts.NumRows(v1);
+    EXPECT_EQ(full.NumRows(v), expected) << "seed " << seed;
     // Projections agree.
-    for (uint32_t fi : full.FactsWith(v)) {
-      const Fact& f = full.facts()[fi];
+    for (uint32_t row = 0; row < full.NumRows(v); ++row) {
+      const Fact f = full.FactAt(full.GlobalOf(v, row));
       EXPECT_TRUE(parts.HasFact(v0, {f.args[0]})) << "seed " << seed;
       EXPECT_TRUE(parts.HasFact(v1, {f.args[1]})) << "seed " << seed;
     }
