@@ -1,0 +1,68 @@
+// The antichain-inclusion rung: lazy NtaIncluded vs the explicit
+// Complement + Product + IsEmpty route on the exponential family of
+// testing/generator.h (a = the single A-chain of length k+1, b = "the
+// node k below the root is labeled A"). Determinizing b over the chain
+// universe materializes ~2^(k+1) subset states, so the explicit arm is
+// capped at k = 12 — past that it stops being a benchmark and becomes a
+// memory test — while the antichain arm strolls through k = 18 visiting
+// O(k) macrostates. Both arms assert the verdict (inclusion holds) so a
+// soundness regression trips the smoke run, and the antichain arm
+// additionally asserts macrostates < 2^k, the whole point of the rung.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "automata/ops.h"
+#include "testing/generator.h"
+
+namespace mondet {
+namespace {
+
+SymbolUniverse FamilyUniverse(int k) {
+  SymbolUniverse u = SymbolsOf(testing::ChainOfANta(k + 1));
+  u.Merge(SymbolsOf(testing::NthBelowRootIsANta(k)));
+  return u;
+}
+
+void BM_AntichainInclusion(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Nta a = testing::ChainOfANta(k + 1);
+  const Nta b = testing::NthBelowRootIsANta(k);
+  const SymbolUniverse u = FamilyUniverse(k);
+  NtaInclusionResult r;
+  for (auto _ : state) {
+    r = NtaIncluded(a, b, u);
+    benchmark::DoNotOptimize(r.included);
+  }
+  state.counters["macrostates"] = static_cast<double>(r.macrostates_visited);
+  state.counters["pairs"] = static_cast<double>(r.pairs_explored);
+  state.counters["prunes"] = static_cast<double>(r.subsumption_prunes);
+  const bool small = r.macrostates_visited < (1ull << k);
+  state.SetLabel(r.included && small
+                     ? "included; macrostates well below 2^k"
+                     : "REGRESSION: wrong verdict or macrostate blowup");
+}
+BENCHMARK(BM_AntichainInclusion)->Arg(4)->Arg(8)->Arg(12)->Arg(16)->Arg(18);
+
+void BM_ExplicitInclusion(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const Nta a = testing::ChainOfANta(k + 1);
+  const Nta b = testing::NthBelowRootIsANta(k);
+  const SymbolUniverse u = FamilyUniverse(k);
+  bool included = false;
+  size_t det_states = 0;
+  for (auto _ : state) {
+    const Nta comp = Complement(b, u);
+    det_states = comp.num_states();
+    included = IsEmpty(Product(a, comp));
+    benchmark::DoNotOptimize(included);
+  }
+  state.counters["det_states"] = static_cast<double>(det_states);
+  state.SetLabel(included ? "included; paid full determinization"
+                          : "REGRESSION: wrong verdict");
+}
+BENCHMARK(BM_ExplicitInclusion)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace
+}  // namespace mondet

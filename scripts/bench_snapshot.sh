@@ -16,7 +16,7 @@ cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo > /dev/null
 cmake --build build -j "$JOBS" --target \
   bench_table1 bench_table2 bench_fig1_gridtests bench_fig2_startimage \
   bench_fig3_diamonds bench_fig4_longrows bench_fig5_lemma3 \
-  bench_maintenance bench_kernels
+  bench_maintenance bench_kernels bench_antichain
 
 # Smoke pass: every bench binary once, same flags as the tier-1 ctests.
 for b in build/bench/bench_*; do
@@ -42,25 +42,43 @@ done
   --benchmark_min_time="$MIN_TIME" \
   --benchmark_out=BENCH_fig4_rowfamily.json \
   --benchmark_out_format=json
+
+# Antichain-inclusion rung: lazy NtaIncluded vs the explicit
+# Complement+Product route on the exponential family (macrostates /
+# det_states counters expose the O(k)-vs-2^k gap; the explicit arm is
+# capped at k = 12 by design — see bench/bench_antichain.cc).
+./build/bench/bench_antichain \
+  --benchmark_min_time="$MIN_TIME" \
+  --benchmark_out=BENCH_antichain.json \
+  --benchmark_out_format=json
+
 if command -v python3 > /dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 with open("BENCH_table2.json") as f:
     table2 = json.load(f)
-with open("BENCH_fig4_rowfamily.json") as f:
-    fig4 = json.load(f)
-table2["benchmarks"] = [
-    b for b in table2["benchmarks"]
-    if not b["name"].startswith("BM_Fig4_RowFamilyEval")
-] + fig4["benchmarks"]
+extra = []
+for path, prefixes in [
+    ("BENCH_fig4_rowfamily.json", ("BM_Fig4_RowFamilyEval",)),
+    ("BENCH_antichain.json", ("BM_AntichainInclusion", "BM_ExplicitInclusion")),
+]:
+    with open(path) as f:
+        extra.extend(json.load(f)["benchmarks"])
+    table2["benchmarks"] = [
+        b for b in table2["benchmarks"]
+        if not b["name"].startswith(prefixes)
+    ]
+table2["benchmarks"] += extra
 with open("BENCH_table2.json", "w") as f:
     json.dump(table2, f, indent=2)
     f.write("\n")
 EOF
-  rm -f BENCH_fig4_rowfamily.json
-  echo "bench_snapshot: wrote BENCH_table2.json (incl. fig4 row-family sweep)"
+  rm -f BENCH_fig4_rowfamily.json BENCH_antichain.json
+  echo "bench_snapshot: wrote BENCH_table2.json (incl. fig4 row-family" \
+       "sweep and antichain rung)"
 else
-  echo "bench_snapshot: wrote BENCH_table2.json and BENCH_fig4_rowfamily.json"
+  echo "bench_snapshot: wrote BENCH_table2.json, BENCH_fig4_rowfamily.json" \
+       "and BENCH_antichain.json"
 fi
 
 # Maintenance churn family: maintained view image vs from-scratch

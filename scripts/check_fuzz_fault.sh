@@ -2,7 +2,7 @@
 # Fault-injection gate for the fuzz harness: a deliberately broken
 # evaluator must be *caught* and the failure must *shrink*.
 #
-# Two faults, one per data plane:
+# Three faults, one per data plane:
 #
 #   MONDET_FAULT=skip-delta-seat makes the semi-naive evaluator drop the
 #   last recursive delta seat of every rule (src/datalog/eval_plan.cc),
@@ -14,11 +14,18 @@
 #   so the kernel plane diverges from the generic interpreter — caught
 #   by the kernel-differential oracle.
 #
+#   MONDET_FAULT=skip-antichain-prune makes NtaIncluded's subsumption
+#   prune bidirectional (src/automata/ops.cc): it also discards new
+#   macrostates that are *subsets* of visited ones, which is unsound —
+#   inclusion verdicts flip to "included" — and is caught by the
+#   antichain-inclusion oracle's three-way agreement contract.
+#
 # For each (oracle, fault) pair this script asserts that mondet-fuzz
 #
 #   1. reports failures within the smoke seed budget (exit 1, not 0 —
 #      the harness would be decorative if a lost fixpoint got through),
-#   2. writes a shrunk repro whose program has at most 5 rules
+#   2. writes a shrunk repro whose program has at most 5 rules — or,
+#      for the NTA gate, at most 6 automaton transitions total —
 #      (the delta-debugging loop must actually reduce), and
 #   3. passes the very same seeds against the unbroken evaluator
 #      (the fault, not the harness, is what trips).
@@ -30,8 +37,8 @@ bin="${1:?usage: check_fuzz_fault.sh <mondet-fuzz binary> [seeds]}"
 seeds="${2:-64}"
 
 run_phase() {
-  local oracle="$1" fault="$2"
-  local outdir out status rules
+  local oracle="$1" fault="$2" gate="${3:-rules}"
+  local outdir out status rules trans
   outdir="$(mktemp -d)"
 
   # Clean control run: same seeds, healthy evaluator, must be green.
@@ -66,6 +73,25 @@ run_phase() {
     return 1
   fi
 
+  if [ "$gate" = "nta" ]; then
+    # Shrinking gate for NTA cases: the two [nta ...] sections together
+    # keep at most 6 leaf/unary/binary transition lines.
+    trans=$(awk '/^\[nta /{inp=1; next} /^\[/{inp=0}
+                 inp && /^(leaf|unary|binary) /{n++} END{print n+0}' \
+            "${repros[0]}")
+    if [ "$trans" -gt 6 ]; then
+      echo "fuzz-fault[$oracle]: shrunk repro still has $trans NTA" \
+           "transitions (want <= 6):" >&2
+      cat "${repros[0]}" >&2
+      rm -rf "$outdir"
+      return 1
+    fi
+    echo "fuzz-fault[$oracle]: OK — $fault caught, shrunk repro has" \
+         "$trans NTA transitions (${repros[0]##*/})"
+    rm -rf "$outdir"
+    return 0
+  fi
+
   # Shrinking gate: the first repro's [program] section has <= 5 rules.
   # Rules are the ':-'-bearing lines between [program] and the next
   # section header.
@@ -87,4 +113,5 @@ run_phase() {
 
 run_phase eval-differential skip-delta-seat || exit 1
 run_phase kernel-differential skip-kernel-row || exit 1
+run_phase antichain-inclusion skip-antichain-prune nta || exit 1
 exit 0

@@ -65,9 +65,12 @@ fi
 # never fire, pruning bit-identical at 1/4 threads);
 # kernel_differential_test is the columnar data plane's invisibility
 # oracle (compiled join kernels vs the generic interpreter, byte-
-# identical sequences at 1 and 4 threads).
+# identical sequences at 1 and 4 threads);
+# antichain_test is the lazy-inclusion arm: NtaIncluded vs the explicit
+# Complement+Product route, the Thm 5 antichain-on/off byte-identity
+# regression, and the antichain-inclusion oracle seed sweep.
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMONDET_SANITIZE=ON
-cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test kernel_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test mondet-fuzz
+cmake --build build-asan -j "$JOBS" --target eval_differential_test plan_differential_test kernel_differential_test stats_test stats_incremental_test maintenance_differential_test mondet_parallel_test dataflow_soundness_test antichain_test mondet-fuzz
 MONDET_THREADS=1 ./build-asan/tests/eval_differential_test
 MONDET_THREADS=4 ./build-asan/tests/eval_differential_test
 ./build-asan/tests/dataflow_soundness_test
@@ -79,6 +82,8 @@ MONDET_THREADS=4 ./build-asan/tests/kernel_differential_test
 MONDET_THREADS=1 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/maintenance_differential_test
 MONDET_THREADS=4 ./build-asan/tests/mondet_parallel_test
+MONDET_THREADS=1 ./build-asan/tests/antichain_test
+MONDET_THREADS=4 ./build-asan/tests/antichain_test
 
 # Fuzz smoke arm: mondet-fuzz over every registered oracle at fixed
 # seeds under ASan/UBSan (~10s). Deterministic — the same seeds every
@@ -96,10 +101,12 @@ fi
 # Fault-injection gate: deliberately broken evaluators
 # (MONDET_FAULT=skip-delta-seat drops the last recursive delta seat;
 # MONDET_FAULT=skip-kernel-row trims the last row of every compiled
-# kernel enumeration) must be caught by the eval-differential and
-# kernel-differential oracles within the smoke seed budget and shrunk
-# to <= 5 rules — proof the harness detects and the shrinker reduces,
-# not just that everything is green.
+# kernel enumeration; MONDET_FAULT=skip-antichain-prune makes the
+# NtaIncluded subsumption prune bidirectional, i.e. unsound) must be
+# caught by the eval-differential, kernel-differential and
+# antichain-inclusion oracles within the smoke seed budget and shrunk
+# to <= 5 rules (<= 6 NTA transitions) — proof the harness detects and
+# the shrinker reduces, not just that everything is green.
 ./scripts/check_fuzz_fault.sh ./build-asan/tools/mondet-fuzz
 
 # Race detection: the genuinely multi-threaded oracles — the parallel
@@ -119,10 +126,11 @@ if printf 'int main(){return 0;}\n' \
         -DMONDET_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS" \
         --target mondet_parallel_test maintenance_differential_test \
-        kernel_differential_test
+        kernel_differential_test antichain_test
   MONDET_THREADS=4 ./build-tsan/tests/mondet_parallel_test
   MONDET_THREADS=4 ./build-tsan/tests/maintenance_differential_test
   MONDET_THREADS=4 ./build-tsan/tests/kernel_differential_test
+  MONDET_THREADS=4 ./build-tsan/tests/antichain_test
 else
   rm -f "$TSAN_PROBE"
   echo "==================================================================" >&2

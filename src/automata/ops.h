@@ -64,7 +64,69 @@ SymbolUniverse SymbolsOf(const TreeCode& code);
 Nta Determinize(const Nta& a, const SymbolUniverse& universe);
 
 /// Complement relative to `universe` (determinize, then flip finals).
+/// This is the explicit-construction escape hatch: it materializes every
+/// reachable subset up front, which is exponential in the worst case.
+/// Inclusion checks should prefer `NtaIncluded`, which explores the same
+/// subsets lazily with antichain subsumption pruning and only falls back
+/// to this route for differential testing (the `antichain-inclusion`
+/// oracle checks both give the same answer).
 Nta Complement(const Nta& a, const SymbolUniverse& universe);
+
+struct NtaInclusionOptions {
+  /// Antichain subsumption pruning: per a-state, keep only the ⊆-minimal
+  /// b-macrostates. Sound because DP continuations from a smaller
+  /// macrostate reject whenever those from a larger one do, so any
+  /// counterexample reachable through a pruned (superset) macrostate is
+  /// also reachable through the kept one. Off = the same lazy walk
+  /// without pruning (the escape hatch for differential testing).
+  bool antichain_prune = true;
+};
+
+/// Outcome of NtaIncluded. Counters describe the lazy search; `witness`
+/// is populated exactly when the inclusion fails.
+struct NtaInclusionResult {
+  bool included = true;
+  /// (a-state, b-macrostate) pairs interned by the search.
+  size_t pairs_explored = 0;
+  /// Distinct b-macrostates interned — directly comparable to
+  /// Determinize(b, universe).num_states(), and never larger.
+  size_t macrostates_visited = 0;
+  /// Candidate pairs discarded because a ⊆-smaller macrostate was
+  /// already visited for the same a-state (0 with pruning off).
+  size_t subsumption_prunes = 0;
+  size_t transition_visits = 0;
+  /// When !included: a code accepted by `a` and rejected by `b`.
+  std::optional<TreeCode> witness;
+};
+
+/// Decides L(a) ⊆ L(b) over codes built from `universe` symbols, without
+/// materializing Determinize(b): explores (state-of-a, subset-of-b) pairs
+/// on demand from the leaves up, pruning ⊆-dominated macrostates, and
+/// stops at the first pair witnessing non-inclusion (final in `a`, no
+/// final of `b` in the macrostate). Equivalent to
+/// IsEmpty(Product(a, Complement(b, universe))); transitions of `a` whose
+/// symbols fall outside `universe` do not participate, matching the
+/// explicit route.
+NtaInclusionResult NtaIncluded(const Nta& a, const Nta& b,
+                               const SymbolUniverse& universe,
+                               const NtaInclusionOptions& options = {});
+
+/// Outcome of LazyProductEmptiness; `witness` is a code accepted by both
+/// automata exactly when the intersection is nonempty.
+struct LazyProductResult {
+  bool empty = true;
+  /// (a-state, b-state) pairs interned by the walk — at most
+  /// |a|·|b| but typically far fewer than Product materializes.
+  size_t pairs_explored = 0;
+  size_t transition_visits = 0;
+  std::optional<TreeCode> witness;
+};
+
+/// On-demand product emptiness: decides L(a) ∩ L(b) = ∅ by expanding
+/// reachable (a-state, b-state) pairs from the leaf frontier with the
+/// worklist machinery of DatalogContainedInUcq, never building
+/// Product(a, b). Stops at the first final×final pair.
+LazyProductResult LazyProductEmptiness(const Nta& a, const Nta& b);
 
 /// Removes states that are not inhabited (bottom-up reachable) or not
 /// co-reachable from a final state. Language-preserving.

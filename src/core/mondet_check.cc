@@ -353,35 +353,74 @@ MonDetResult CheckMonotonicDeterminacy(const DatalogQuery& query,
   return result;
 }
 
-ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
-                                        const UCQ& ucq) {
-  ContainmentResult result;
-  ForwardResult fwd = ApproximationAutomaton(query);
-  UcqMatchAutomaton dp(ucq, fwd.width);
-  const Nta& nta = fwd.automaton;
+namespace {
 
-  // Discovered pairs (NTA state, DP state) with their derivations.
+/// One (NTA state, DP state) reachability walk — the engine shared by the
+/// antichain route and the explicit escape hatch of DatalogContainedInUcq.
+/// With `prune` off and `early_exit` off this is the pre-antichain full
+/// fixpoint, byte for byte; `early_exit` stops at the first pair interned
+/// with a final NTA state and a rejecting DP state, which is exactly the
+/// pair the full fixpoint's lowest-id post-scan finds (pairs are checked
+/// in intern order and nothing before the first bad pair differs).
+struct ContainmentWalk {
   struct Deriv {
     int kind = -1;  // 0 leaf, 1 unary, 2 binary
     size_t trans = 0;
     int child1 = -1;
     int child2 = -1;
   };
-  std::map<std::pair<State, uint32_t>, int> pair_id;
   std::vector<std::pair<State, uint32_t>> pairs;
   std::vector<Deriv> derivs;
+  size_t transition_visits = 0;
+  size_t subsumption_prunes = 0;
+  int bad = -1;  // pair id, or -1 (only set when early_exit)
+};
+
+ContainmentWalk RunContainmentWalk(const Nta& nta, UcqMatchAutomaton& dp,
+                                   bool prune, bool early_exit) {
+  ContainmentWalk w;
+  using Deriv = ContainmentWalk::Deriv;
+  std::map<std::pair<State, uint32_t>, int> pair_id;
   std::map<State, std::vector<int>> pairs_by_state;
+  // Per NTA-state antichain filter: pair ids whose DP match sets are the
+  // current ⊆-minimal ones. Dominated entries leave the filter but stay
+  // in `pairs` (their derivations may already be referenced).
+  std::map<State, std::vector<int>> frontier;
   std::vector<int> worklist;  // FIFO; grows as pairs are discovered
   auto intern = [&](State q, uint32_t d, Deriv deriv) {
+    if (w.bad >= 0) return;
     auto key = std::make_pair(q, d);
     auto it = pair_id.find(key);
     if (it != pair_id.end()) return;
-    int id = static_cast<int>(pairs.size());
+    if (prune) {
+      for (int old : frontier[q]) {
+        if (dp.SubsetOf(w.pairs[old].second, d)) {
+          ++w.subsumption_prunes;
+          return;
+        }
+      }
+    }
+    int id = static_cast<int>(w.pairs.size());
     pair_id.emplace(key, id);
-    pairs.push_back(key);
-    derivs.push_back(deriv);
+    w.pairs.push_back(key);
+    w.derivs.push_back(deriv);
     pairs_by_state[q].push_back(id);
+    if (prune) {
+      auto& fr = frontier[q];
+      fr.erase(std::remove_if(fr.begin(), fr.end(),
+                              [&](int old) {
+                                return dp.SubsetOf(d, w.pairs[old].second);
+                              }),
+               fr.end());
+      fr.push_back(id);
+    }
     worklist.push_back(id);
+    // A pruned bad pair is never missed: its match sets contain a kept
+    // pair's, and rejection is downward closed, so the kept pair was
+    // already bad when it was interned.
+    if (early_exit && nta.finals().count(q) > 0 && !dp.Accepting(d)) {
+      w.bad = id;
+    }
   };
 
   // Transition indexes keyed by child state: popping a pair consults only
@@ -398,19 +437,21 @@ ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
     binary_by_child2[nta.binary_transitions()[ti].child2].push_back(ti);
   }
 
-  for (size_t ti = 0; ti < nta.leaf_transitions().size(); ++ti) {
+  for (size_t ti = 0; ti < nta.leaf_transitions().size() && w.bad < 0;
+       ++ti) {
     const auto& t = nta.leaf_transitions()[ti];
-    ++result.transition_visits;
+    ++w.transition_visits;
     intern(t.to, dp.Leaf(t.label), Deriv{0, ti, -1, -1});
   }
-  for (size_t wi = 0; wi < worklist.size(); ++wi) {
+  for (size_t wi = 0; wi < worklist.size() && w.bad < 0; ++wi) {
     const int pi = worklist[wi];
-    const State q = pairs[pi].first;
-    const uint32_t dq = pairs[pi].second;
+    const State q = w.pairs[pi].first;
+    const uint32_t dq = w.pairs[pi].second;
     if (auto it = unary_by_child.find(q); it != unary_by_child.end()) {
       for (size_t ti : it->second) {
+        if (w.bad >= 0) break;
         const auto& t = nta.unary_transitions()[ti];
-        ++result.transition_visits;
+        ++w.transition_visits;
         intern(t.to, dp.Unary(dq, t.label, t.edge), Deriv{1, ti, pi, -1});
       }
     }
@@ -418,56 +459,51 @@ ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
     // The partner list is snapshotted by size: partners interned later
     // re-pair with `pi` when they pop (pi is already in pairs_by_state),
     // so every combination is applied at least once and O(1) times.
-    if (auto it = binary_by_child1.find(q); it != binary_by_child1.end()) {
+    if (auto it = binary_by_child1.find(q);
+        it != binary_by_child1.end() && w.bad < 0) {
       for (size_t ti : it->second) {
+        if (w.bad >= 0) break;
         const auto& t = nta.binary_transitions()[ti];
         auto pit = pairs_by_state.find(t.child2);
         if (pit == pairs_by_state.end()) continue;
         size_t n = pit->second.size();
-        for (size_t k = 0; k < n; ++k) {
+        for (size_t k = 0; k < n && w.bad < 0; ++k) {
           int p2 = pit->second[k];
-          ++result.transition_visits;
+          ++w.transition_visits;
           intern(t.to,
-                 dp.Binary(dq, pairs[p2].second, t.label, t.edge1, t.edge2),
+                 dp.Binary(dq, w.pairs[p2].second, t.label, t.edge1, t.edge2),
                  Deriv{2, ti, pi, p2});
         }
       }
     }
-    if (auto it = binary_by_child2.find(q); it != binary_by_child2.end()) {
+    if (auto it = binary_by_child2.find(q);
+        it != binary_by_child2.end() && w.bad < 0) {
       for (size_t ti : it->second) {
+        if (w.bad >= 0) break;
         const auto& t = nta.binary_transitions()[ti];
         auto pit = pairs_by_state.find(t.child1);
         if (pit == pairs_by_state.end()) continue;
         size_t n = pit->second.size();
-        for (size_t k = 0; k < n; ++k) {
+        for (size_t k = 0; k < n && w.bad < 0; ++k) {
           int p1 = pit->second[k];
-          ++result.transition_visits;
+          ++w.transition_visits;
           intern(t.to,
-                 dp.Binary(pairs[p1].second, dq, t.label, t.edge1, t.edge2),
+                 dp.Binary(w.pairs[p1].second, dq, t.label, t.edge1, t.edge2),
                  Deriv{2, ti, p1, pi});
         }
       }
     }
   }
-  result.pairs_explored = pairs.size();
+  return w;
+}
 
-  // A counterexample: a final NTA state paired with a rejecting DP state.
-  int bad = -1;
-  for (size_t pi = 0; pi < pairs.size(); ++pi) {
-    if (nta.finals().count(pairs[pi].first) && !dp.Accepting(pairs[pi].second)) {
-      bad = static_cast<int>(pi);
-      break;
-    }
-  }
-  if (bad < 0) {
-    result.contained = true;
-    return result;
-  }
-  // Reconstruct the violating code.
+/// Reconstructs the violating code from a walk's derivation records.
+TreeCode BuildContainmentCode(const Nta& nta, int width,
+                              const ContainmentWalk& w, int bad) {
   TreeCode code;
-  code.width = fwd.width;
+  code.width = width;
   std::function<int(int, int)> build = [&](int pi, int parent) -> int {
-    const Deriv& d = derivs[pi];
+    const ContainmentWalk::Deriv& d = w.derivs[pi];
     int id = static_cast<int>(code.nodes.size());
     code.nodes.emplace_back();
     code.nodes[id].parent = parent;
@@ -493,11 +529,70 @@ ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
     return id;
   };
   build(bad, -1);
-  result.counterexample = std::move(code);
+  return code;
+}
+
+}  // namespace
+
+ContainmentResult DatalogContainedInUcq(const DatalogQuery& query,
+                                        const UCQ& ucq,
+                                        const ContainmentOptions& options) {
+  ContainmentResult result;
+  ForwardResult fwd = ApproximationAutomaton(query);
+  const Nta& nta = fwd.automaton;
+
+  if (options.antichain) {
+    // Verdict from the pruned early-exit walk. On failure, the witness
+    // comes from a second, unpruned early-exit walk: it interns the
+    // identical pair prefix as the escape hatch's full fixpoint, so the
+    // counterexample is byte-identical to the antichain-off route.
+    UcqMatchAutomaton dp(ucq, fwd.width);
+    ContainmentWalk w = RunContainmentWalk(nta, dp, /*prune=*/true,
+                                           /*early_exit=*/true);
+    result.pairs_explored = w.pairs.size();
+    result.transition_visits = w.transition_visits;
+    result.subsumption_prunes = w.subsumption_prunes;
+    result.macrostates_visited = dp.num_states();
+    if (w.bad < 0) {
+      result.contained = true;
+      return result;
+    }
+    UcqMatchAutomaton dp_witness(ucq, fwd.width);
+    ContainmentWalk ww = RunContainmentWalk(nta, dp_witness, /*prune=*/false,
+                                            /*early_exit=*/true);
+    MONDET_CHECK(ww.bad >= 0);
+    result.transition_visits += ww.transition_visits;
+    result.counterexample = BuildContainmentCode(nta, fwd.width, ww, ww.bad);
+    return result;
+  }
+
+  // Escape hatch: the pre-antichain full fixpoint plus lowest-id scan.
+  UcqMatchAutomaton dp(ucq, fwd.width);
+  ContainmentWalk w = RunContainmentWalk(nta, dp, /*prune=*/false,
+                                         /*early_exit=*/false);
+  result.pairs_explored = w.pairs.size();
+  result.transition_visits = w.transition_visits;
+  result.macrostates_visited = dp.num_states();
+
+  // A counterexample: a final NTA state paired with a rejecting DP state.
+  int bad = -1;
+  for (size_t pi = 0; pi < w.pairs.size(); ++pi) {
+    if (nta.finals().count(w.pairs[pi].first) &&
+        !dp.Accepting(w.pairs[pi].second)) {
+      bad = static_cast<int>(pi);
+      break;
+    }
+  }
+  if (bad < 0) {
+    result.contained = true;
+    return result;
+  }
+  result.counterexample = BuildContainmentCode(nta, fwd.width, w, bad);
   return result;
 }
 
-Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views) {
+Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views,
+                                   const ContainmentOptions& options) {
   MONDET_CHECK(query.free_vars().empty());
   const VocabularyPtr& vocab = query.vocab();
 
@@ -523,12 +618,14 @@ Thm5Result CheckCqOverDatalogViews(const CQ& query, const ViewSet& views) {
 
   UCQ target(vocab);
   target.AddDisjunct(query);
-  ContainmentResult contained = DatalogContainedInUcq(q2, target);
+  ContainmentResult contained = DatalogContainedInUcq(q2, target, options);
 
   Thm5Result out;
   out.determined = contained.contained;
   out.pairs_explored = contained.pairs_explored;
   out.transition_visits = contained.transition_visits;
+  out.macrostates_visited = contained.macrostates_visited;
+  out.subsumption_prunes = contained.subsumption_prunes;
   out.counterexample = std::move(contained.counterexample);
   return out;
 }

@@ -5,8 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "base/check.h"
 #include "datalog/parser.h"
 #include "testing/describe.h"
+#include "testing/generator.h"
 
 namespace mondet {
 namespace testing {
@@ -73,6 +75,39 @@ struct Section {
   std::vector<std::string> lines;
 };
 
+/// The corpus NTA format covers exactly the antichain oracle's automaton
+/// family (RandomNta and its shrinks): width-1 automata over the two-label
+/// alphabet with empty edge labels. Anything else has no rendering.
+std::string NtaLabelName(const NodeLabel& label) {
+  if (label == NtaLabelA()) return "A";
+  MONDET_CHECK(label == NtaLabelB());
+  return "B";
+}
+
+void SerializeNta(const Nta& m, const std::string& name, std::string* out) {
+  *out += "[nta " + name + "]\n";
+  *out += "width " + std::to_string(m.width()) + "\n";
+  *out += "states " + std::to_string(m.num_states()) + "\n";
+  *out += "finals";
+  for (State q : m.finals()) *out += " " + std::to_string(q);
+  *out += "\n";
+  for (const Nta::LeafTransition& t : m.leaf_transitions()) {
+    *out += "leaf " + NtaLabelName(t.label) + " -> " + std::to_string(t.to) +
+            "\n";
+  }
+  for (const Nta::UnaryTransition& t : m.unary_transitions()) {
+    MONDET_CHECK(t.edge.same.empty());
+    *out += "unary " + NtaLabelName(t.label) + " " + std::to_string(t.child) +
+            " -> " + std::to_string(t.to) + "\n";
+  }
+  for (const Nta::BinaryTransition& t : m.binary_transitions()) {
+    MONDET_CHECK(t.edge1.same.empty() && t.edge2.same.empty());
+    *out += "binary " + NtaLabelName(t.label) + " " +
+            std::to_string(t.child1) + " " + std::to_string(t.child2) +
+            " -> " + std::to_string(t.to) + "\n";
+  }
+}
+
 }  // namespace
 
 std::string SerializeCase(const FuzzCase& c) {
@@ -107,6 +142,8 @@ std::string SerializeCase(const FuzzCase& c) {
     out += "\n";
     out += "steps " + std::to_string(c.tm->max_steps) + "\n";
   }
+  if (c.nta_a.has_value()) SerializeNta(*c.nta_a, "a", &out);
+  if (c.nta_b.has_value()) SerializeNta(*c.nta_b, "b", &out);
   return out;
 }
 
@@ -282,6 +319,112 @@ std::optional<FuzzCase> ParseCaseText(const std::string& text,
       }
       if (tc.machine.empty()) return fail("tm: missing machine");
       c.tm = std::move(tc);
+    } else if (sec.header == "nta a" || sec.header == "nta b") {
+      int width = -1;
+      long long nstates = -1;
+      std::vector<long long> finals;
+      struct LeafLine {
+        std::string label;
+        long long to;
+      };
+      struct UnaryLine {
+        std::string label;
+        long long child, to;
+      };
+      struct BinaryLine {
+        std::string label;
+        long long c1, c2, to;
+      };
+      std::vector<LeafLine> leafs;
+      std::vector<UnaryLine> unaries;
+      std::vector<BinaryLine> binaries;
+      for (const std::string& raw : sec.lines) {
+        std::string t = Trim(raw);
+        if (t.empty()) continue;
+        std::istringstream in(t);
+        std::string kw;
+        in >> kw;
+        std::string arrow;
+        if (kw == "width") {
+          in >> width;
+        } else if (kw == "states") {
+          in >> nstates;
+        } else if (kw == "finals") {
+          long long q = 0;
+          while (in >> q) finals.push_back(q);
+        } else if (kw == "leaf") {
+          LeafLine l{"", -1};
+          in >> l.label >> arrow >> l.to;
+          if (!in || arrow != "->") return fail("nta: bad line `" + t + "`");
+          leafs.push_back(l);
+        } else if (kw == "unary") {
+          UnaryLine u{"", -1, -1};
+          in >> u.label >> u.child >> arrow >> u.to;
+          if (!in || arrow != "->") return fail("nta: bad line `" + t + "`");
+          unaries.push_back(u);
+        } else if (kw == "binary") {
+          BinaryLine b{"", -1, -1, -1};
+          in >> b.label >> b.c1 >> b.c2 >> arrow >> b.to;
+          if (!in || arrow != "->") return fail("nta: bad line `" + t + "`");
+          binaries.push_back(b);
+        } else {
+          return fail("nta: unknown key `" + kw + "`");
+        }
+      }
+      if (width < 0) return fail("nta: missing `width`");
+      if (nstates < 0) return fail("nta: missing `states`");
+      auto in_range = [&](long long q) { return q >= 0 && q < nstates; };
+      auto label_of = [&](const std::string& name,
+                          NodeLabel* out_label) -> bool {
+        if (name == "A") {
+          *out_label = NtaLabelA();
+          return true;
+        }
+        if (name == "B") {
+          *out_label = NtaLabelB();
+          return true;
+        }
+        return false;
+      };
+      Nta m(width);
+      for (long long i = 0; i < nstates; ++i) m.AddState();
+      for (long long q : finals) {
+        if (!in_range(q)) return fail("nta: final state out of range");
+        m.AddFinal(static_cast<State>(q));
+      }
+      NodeLabel label;
+      for (const LeafLine& l : leafs) {
+        if (!label_of(l.label, &label)) {
+          return fail("nta: unknown label `" + l.label + "`");
+        }
+        if (!in_range(l.to)) return fail("nta: leaf state out of range");
+        m.AddLeaf(label, static_cast<State>(l.to));
+      }
+      for (const UnaryLine& u : unaries) {
+        if (!label_of(u.label, &label)) {
+          return fail("nta: unknown label `" + u.label + "`");
+        }
+        if (!in_range(u.child) || !in_range(u.to)) {
+          return fail("nta: unary state out of range");
+        }
+        m.AddUnary(label, EdgeLabel{}, static_cast<State>(u.child),
+                   static_cast<State>(u.to));
+      }
+      for (const BinaryLine& b : binaries) {
+        if (!label_of(b.label, &label)) {
+          return fail("nta: unknown label `" + b.label + "`");
+        }
+        if (!in_range(b.c1) || !in_range(b.c2) || !in_range(b.to)) {
+          return fail("nta: binary state out of range");
+        }
+        m.AddBinary(label, EdgeLabel{}, EdgeLabel{}, static_cast<State>(b.c1),
+                    static_cast<State>(b.c2), static_cast<State>(b.to));
+      }
+      if (sec.header == "nta a") {
+        c.nta_a = std::move(m);
+      } else {
+        c.nta_b = std::move(m);
+      }
     } else {
       return fail("unknown section `[" + sec.header + "]`");
     }

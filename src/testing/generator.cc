@@ -341,5 +341,98 @@ Nta RandomNta(unsigned seed) {
   return m;
 }
 
+namespace {
+
+TreeCode NtaChainCode(const std::vector<NodeLabel>& top_down) {
+  TreeCode code;
+  code.width = 1;
+  code.nodes.resize(top_down.size());
+  for (size_t i = 0; i < top_down.size(); ++i) {
+    code.nodes[i].atoms = top_down[i];
+    if (i + 1 < top_down.size()) {
+      code.nodes[i].children = {static_cast<int>(i) + 1};
+      code.nodes[i].edge_labels = {EdgeLabel{}};
+      code.nodes[i + 1].parent = static_cast<int>(i);
+    }
+  }
+  return code;
+}
+
+TreeCode NtaBinaryCode(const NodeLabel& root, const NodeLabel& left,
+                       const NodeLabel& right) {
+  TreeCode code;
+  code.width = 1;
+  code.nodes.resize(3);
+  code.nodes[0].atoms = root;
+  code.nodes[0].children = {1, 2};
+  code.nodes[0].edge_labels = {EdgeLabel{}, EdgeLabel{}};
+  code.nodes[1].atoms = left;
+  code.nodes[1].parent = 0;
+  code.nodes[2].atoms = right;
+  code.nodes[2].parent = 0;
+  return code;
+}
+
+}  // namespace
+
+std::vector<TreeCode> NtaEnumerationCodes() {
+  const std::vector<NodeLabel> alphabet = {NtaLabelA(), NtaLabelB()};
+  std::vector<TreeCode> codes;
+  for (const NodeLabel& l0 : alphabet) {
+    codes.push_back(NtaChainCode({l0}));
+    for (const NodeLabel& l1 : alphabet) {
+      codes.push_back(NtaChainCode({l0, l1}));
+      for (const NodeLabel& l2 : alphabet) {
+        codes.push_back(NtaChainCode({l0, l1, l2}));
+      }
+    }
+  }
+  for (const NodeLabel& root : alphabet) {
+    for (const NodeLabel& l : alphabet) {
+      for (const NodeLabel& r : alphabet) {
+        codes.push_back(NtaBinaryCode(root, l, r));
+      }
+    }
+  }
+  return codes;
+}
+
+Nta NthBelowRootIsANta(int k) {
+  Nta m(1);
+  // State 0 = "don't care below the guessed A node"; states 1..k+1 =
+  // "the A was guessed i - 1 levels below the current node".
+  State dont_care = m.AddState();
+  std::vector<State> count;
+  for (int i = 0; i <= k; ++i) count.push_back(m.AddState());
+  for (const NodeLabel& l : {NtaLabelA(), NtaLabelB()}) {
+    m.AddLeaf(l, dont_care);
+    m.AddUnary(l, EdgeLabel{}, dont_care, dont_care);
+  }
+  // Guess that the current node is the one k below the root.
+  m.AddLeaf(NtaLabelA(), count[0]);
+  m.AddUnary(NtaLabelA(), EdgeLabel{}, dont_care, count[0]);
+  // Count the k levels up to the root.
+  for (int i = 0; i < k; ++i) {
+    for (const NodeLabel& l : {NtaLabelA(), NtaLabelB()}) {
+      m.AddUnary(l, EdgeLabel{}, count[i], count[i + 1]);
+    }
+  }
+  m.AddFinal(count[k]);
+  return m;
+}
+
+Nta ChainOfANta(int len) {
+  MONDET_CHECK(len >= 1);
+  Nta m(1);
+  std::vector<State> states;
+  for (int i = 0; i < len; ++i) states.push_back(m.AddState());
+  m.AddLeaf(NtaLabelA(), states[0]);
+  for (int i = 0; i + 1 < len; ++i) {
+    m.AddUnary(NtaLabelA(), EdgeLabel{}, states[i], states[i + 1]);
+  }
+  m.AddFinal(states[len - 1]);
+  return m;
+}
+
 }  // namespace testing
 }  // namespace mondet

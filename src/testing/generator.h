@@ -145,6 +145,23 @@ Nta RandomNta(unsigned seed);
 NodeLabel NtaLabelA();
 NodeLabel NtaLabelB();
 
+/// The enumerable code universe of the automata_ops tests: every chain
+/// over {A, B} of length 1..3 plus the binary-over-leaves shapes (both
+/// root labels). The antichain-inclusion oracle's brute-force arm sweeps
+/// exactly these codes against the decision procedures.
+std::vector<TreeCode> NtaEnumerationCodes();
+
+/// The exponential inclusion family: accepts the chains over {A, B}
+/// whose node k levels below the root is labeled A. Nondeterministic
+/// with k + 2 states; determinizing over the chain universe materializes
+/// ~2^(k+1) subset states, while the antichain walk against a
+/// single-chain left side visits O(k) macrostates.
+Nta NthBelowRootIsANta(int k);
+
+/// Accepts exactly the chain of `len` nodes all labeled A (deterministic,
+/// `len` states). NthBelowRootIsANta(k) includes ChainOfANta(k + 1).
+Nta ChainOfANta(int len);
+
 }  // namespace testing
 }  // namespace mondet
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/dataflow.h"
+#include "automata/ops.h"
 #include "base/homomorphism.h"
 #include "core/mondet_check.h"
 #include "datalog/eval.h"
@@ -912,6 +913,130 @@ class TmOracle : public Oracle {
   }
 };
 
+// --- antichain-inclusion ----------------------------------------------------
+// The lazy antichain inclusion check against every other way the library
+// can decide the same question: the unpruned lazy walk (escape hatch),
+// the explicit Complement + product-emptiness route (both materialized
+// and via LazyProductEmptiness), and a brute-force sweep of the
+// enumerable code universe. The first three are exact over the shared
+// universe, so their verdicts must be *equal*; the enumeration is a
+// sound refuter only (a separating code can be larger than the
+// enumerated depth), so it participates in the sound directions:
+// enumerated separating code => not included, and every non-inclusion
+// witness must itself be accepted by `a` and rejected by `b`.
+
+class AntichainOracle : public Oracle {
+ public:
+  std::string name() const override { return "antichain-inclusion"; }
+  // NTA cases carry no generated program; the profile is only the corpus
+  // vocabulary anchor (as with tm-reduction).
+  GenProfile Profile() const override { return EvalProfile(); }
+
+  FuzzCase Generate(unsigned seed) const override {
+    FuzzCase c;
+    c.oracle = name();
+    c.seed = seed;
+    c.profile = EvalProfile();
+    c.nta_a = RandomNta(31000 + seed);
+    Nta b = RandomNta(33000 + seed);
+    // Every third seed unions the left side into the right, so
+    // guaranteed-included instances (no early exit, full exploration)
+    // are as common as the random mostly-not-included ones.
+    if (seed % 3 == 0) b = UnionNta(b, *c.nta_a);
+    c.nta_b = std::move(b);
+    return c;
+  }
+
+  OracleOutcome Check(const FuzzCase& c) const override {
+    if (!c.nta_a.has_value() || !c.nta_b.has_value()) {
+      return Fail(c, "antichain-inclusion case without [nta a]/[nta b]");
+    }
+    const Nta& a = *c.nta_a;
+    const Nta& b = *c.nta_b;
+    SymbolUniverse universe = SymbolsOf(a);
+    universe.Merge(SymbolsOf(b));
+
+    const NtaInclusionResult anti = NtaIncluded(a, b, universe);
+    NtaInclusionOptions no_prune;
+    no_prune.antichain_prune = false;
+    const NtaInclusionResult plain = NtaIncluded(a, b, universe, no_prune);
+    if (anti.included != plain.included) {
+      return Fail(c, "antichain vs unpruned lazy verdicts differ");
+    }
+
+    // Explicit route: complement, then product emptiness two ways.
+    const Nta comp = Complement(b, universe);
+    const bool explicit_included = IsEmpty(Product(a, comp));
+    if (anti.included != explicit_included) {
+      return Fail(c, std::string("antichain says ") +
+                         (anti.included ? "included" : "not included") +
+                         ", explicit Complement+Product disagrees");
+    }
+    const LazyProductResult lazy = LazyProductEmptiness(a, comp);
+    if (lazy.empty != explicit_included) {
+      return Fail(c, "LazyProductEmptiness disagrees with IsEmpty(Product)");
+    }
+    if (!lazy.empty) {
+      if (!lazy.witness.has_value()) {
+        return Fail(c, "nonempty lazy product without witness");
+      }
+      if (!lazy.witness->Validate() || !a.Accepts(*lazy.witness) ||
+          !comp.Accepts(*lazy.witness)) {
+        return Fail(c, "lazy product witness not accepted by both sides");
+      }
+    }
+
+    // The antichain never materializes more macrostates than the
+    // explicit determinization has states (every interned macrostate is
+    // a reachable subset).
+    const Nta det = Determinize(b, universe);
+    if (anti.macrostates_visited > det.num_states()) {
+      return Fail(c, "antichain interned more macrostates (" +
+                         std::to_string(anti.macrostates_visited) +
+                         ") than Determinize built (" +
+                         std::to_string(det.num_states()) + ")");
+    }
+    if (anti.pairs_explored > plain.pairs_explored) {
+      return Fail(c, "pruning increased the explored pair count");
+    }
+    if (plain.subsumption_prunes != 0) {
+      return Fail(c, "subsumption_prunes nonzero with pruning off");
+    }
+
+    // Witness contract, for both lazy routes.
+    for (const NtaInclusionResult* r : {&anti, &plain}) {
+      if (r->included != !r->witness.has_value()) {
+        return Fail(c, "witness presence disagrees with the verdict");
+      }
+      if (r->witness.has_value()) {
+        if (!r->witness->Validate() || r->witness->width != a.width()) {
+          return Fail(c, "malformed non-inclusion witness");
+        }
+        if (!a.Accepts(*r->witness)) {
+          return Fail(c, "non-inclusion witness rejected by a");
+        }
+        if (b.Accepts(*r->witness)) {
+          return Fail(c, "non-inclusion witness accepted by b");
+        }
+      }
+    }
+
+    // Brute force over the enumerable universe (sound directions only).
+    for (const TreeCode& code : NtaEnumerationCodes()) {
+      if (a.Accepts(code) && !b.Accepts(code) && anti.included) {
+        return Fail(c, "enumerated separating code but verdict is included");
+      }
+    }
+
+    // Reflexivity sanity on both sides.
+    if (!NtaIncluded(a, a, universe).included ||
+        !NtaIncluded(b, b, universe).included) {
+      return Fail(c, "an automaton is not included in itself");
+    }
+    return Pass();
+  }
+};
+
 }  // namespace
 
 const std::vector<const Oracle*>& AllOracles() {
@@ -924,6 +1049,7 @@ const std::vector<const Oracle*>& AllOracles() {
     v->push_back(new DataflowOracle());
     v->push_back(new ParallelOracle());
     v->push_back(new TmOracle());
+    v->push_back(new AntichainOracle());
     return v;
   }();
   return *all;

@@ -34,6 +34,10 @@ struct FuzzCase {
   std::vector<RawBatch> schedule;
   std::vector<ViewSpec> views;
   std::optional<TmCase> tm;
+  /// The NTA pair of the antichain-inclusion oracle (the `[nta a]` /
+  /// `[nta b]` corpus sections): does L(nta_a) ⊆ L(nta_b)?
+  std::optional<Nta> nta_a;
+  std::optional<Nta> nta_b;
 };
 
 struct OracleOutcome {

@@ -69,6 +69,51 @@ Instance RebuildWithoutFact(const Instance& inst, size_t drop_fact) {
   return out;
 }
 
+/// All one-transition / one-final reductions of an NTA (states are kept:
+/// an unreachable state is harmless and dropping it would renumber every
+/// transition, defeating byte-level minimality comparisons).
+std::vector<Nta> NtaReductions(const Nta& m) {
+  std::vector<Nta> out;
+  auto rebuild = [&](size_t drop_leaf, size_t drop_unary, size_t drop_binary,
+                     std::optional<State> drop_final) {
+    Nta r(m.width());
+    for (size_t i = 0; i < m.num_states(); ++i) r.AddState();
+    for (State q : m.finals()) {
+      if (!drop_final.has_value() || q != *drop_final) r.AddFinal(q);
+    }
+    for (size_t i = 0; i < m.leaf_transitions().size(); ++i) {
+      if (i == drop_leaf) continue;
+      const Nta::LeafTransition& t = m.leaf_transitions()[i];
+      r.AddLeaf(t.label, t.to);
+    }
+    for (size_t i = 0; i < m.unary_transitions().size(); ++i) {
+      if (i == drop_unary) continue;
+      const Nta::UnaryTransition& t = m.unary_transitions()[i];
+      r.AddUnary(t.label, t.edge, t.child, t.to);
+    }
+    for (size_t i = 0; i < m.binary_transitions().size(); ++i) {
+      if (i == drop_binary) continue;
+      const Nta::BinaryTransition& t = m.binary_transitions()[i];
+      r.AddBinary(t.label, t.edge1, t.edge2, t.child1, t.child2, t.to);
+    }
+    return r;
+  };
+  constexpr size_t kKeep = std::numeric_limits<size_t>::max();
+  for (size_t i = 0; i < m.leaf_transitions().size(); ++i) {
+    out.push_back(rebuild(i, kKeep, kKeep, std::nullopt));
+  }
+  for (size_t i = 0; i < m.unary_transitions().size(); ++i) {
+    out.push_back(rebuild(kKeep, i, kKeep, std::nullopt));
+  }
+  for (size_t i = 0; i < m.binary_transitions().size(); ++i) {
+    out.push_back(rebuild(kKeep, kKeep, i, std::nullopt));
+  }
+  for (State q : m.finals()) {
+    out.push_back(rebuild(kKeep, kKeep, kKeep, q));
+  }
+  return out;
+}
+
 /// All one-step reductions of `c`, most impactful first (whole rules and
 /// batches before single atoms and mutations).
 std::vector<FuzzCase> Candidates(const FuzzCase& c) {
@@ -125,6 +170,20 @@ std::vector<FuzzCase> Candidates(const FuzzCase& c) {
     for (size_t si = 0; si < c.tm->input.size(); ++si) {
       FuzzCase cand = c;
       cand.tm->input.erase(cand.tm->input.begin() + si);
+      out.push_back(std::move(cand));
+    }
+  }
+  if (c.nta_a.has_value()) {
+    for (Nta& r : NtaReductions(*c.nta_a)) {
+      FuzzCase cand = c;
+      cand.nta_a = std::move(r);
+      out.push_back(std::move(cand));
+    }
+  }
+  if (c.nta_b.has_value()) {
+    for (Nta& r : NtaReductions(*c.nta_b)) {
+      FuzzCase cand = c;
+      cand.nta_b = std::move(r);
       out.push_back(std::move(cand));
     }
   }

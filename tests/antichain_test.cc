@@ -1,0 +1,380 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "automata/ops.h"
+#include "core/mondet_check.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "testing/corpus.h"
+#include "testing/generator.h"
+#include "testing/oracle.h"
+#include "testing/shrink.h"
+#include "tests/test_util.h"
+
+namespace mondet {
+namespace {
+
+using testing::ChainOfANta;
+using testing::NtaEnumerationCodes;
+using testing::NtaLabelA;
+using testing::NtaLabelB;
+using testing::NthBelowRootIsANta;
+using testing::RandomNta;
+
+SymbolUniverse MergedUniverse(const Nta& a, const Nta& b) {
+  SymbolUniverse u = SymbolsOf(a);
+  u.Merge(SymbolsOf(b));
+  return u;
+}
+
+/// The width-1 automaton accepting every code over the two-label alphabet.
+Nta UniversalNta() {
+  Nta m(1);
+  State q = m.AddState();
+  for (const NodeLabel& l : {NtaLabelA(), NtaLabelB()}) {
+    m.AddLeaf(l, q);
+    m.AddUnary(l, EdgeLabel{}, q, q);
+    m.AddBinary(l, EdgeLabel{}, EdgeLabel{}, q, q, q);
+  }
+  m.AddFinal(q);
+  return m;
+}
+
+bool CodesIdentical(const TreeCode& x, const TreeCode& y) {
+  if (x.width != y.width || x.nodes.size() != y.nodes.size()) return false;
+  for (size_t i = 0; i < x.nodes.size(); ++i) {
+    if (!(x.nodes[i].atoms == y.nodes[i].atoms) ||
+        x.nodes[i].children != y.nodes[i].children ||
+        !(x.nodes[i].edge_labels == y.nodes[i].edge_labels) ||
+        x.nodes[i].parent != y.nodes[i].parent) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(NtaIncluded, SelfInclusionOnRandomAutomata) {
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    Nta a = RandomNta(seed);
+    NtaInclusionResult r = NtaIncluded(a, a, SymbolsOf(a));
+    EXPECT_TRUE(r.included) << "seed " << seed;
+    EXPECT_FALSE(r.witness.has_value());
+  }
+}
+
+TEST(NtaIncluded, EmptyLeftSideIsIncludedInAnything) {
+  Nta empty(1);
+  empty.AddState();
+  empty.AddLeaf(NtaLabelA(), 0);  // reachable state, but no finals
+  for (unsigned seed = 0; seed < 10; ++seed) {
+    Nta b = RandomNta(seed);
+    NtaInclusionResult r = NtaIncluded(empty, b, MergedUniverse(empty, b));
+    EXPECT_TRUE(r.included) << "seed " << seed;
+  }
+}
+
+TEST(NtaIncluded, EverythingIsIncludedInUniversal) {
+  Nta univ = UniversalNta();
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    Nta a = RandomNta(seed);
+    NtaInclusionResult r = NtaIncluded(a, univ, MergedUniverse(a, univ));
+    EXPECT_TRUE(r.included) << "seed " << seed;
+  }
+}
+
+TEST(NtaIncluded, HandBuiltWitnessHasExactShape) {
+  // a accepts exactly the 2-chain of A's, b only the single A leaf: the
+  // sole separating code is the 2-chain, and the walk must surface it.
+  Nta a = ChainOfANta(2);
+  Nta b = ChainOfANta(1);
+  NtaInclusionResult r = NtaIncluded(a, b, MergedUniverse(a, b));
+  EXPECT_FALSE(r.included);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(r.witness->Validate());
+  EXPECT_EQ(r.witness->width, 1);
+  ASSERT_EQ(r.witness->nodes.size(), 2u);
+  EXPECT_EQ(r.witness->nodes[0].atoms, NtaLabelA());
+  EXPECT_EQ(r.witness->nodes[1].atoms, NtaLabelA());
+  EXPECT_EQ(r.witness->nodes[0].children, std::vector<int>{1});
+  EXPECT_TRUE(a.Accepts(*r.witness));
+  EXPECT_FALSE(b.Accepts(*r.witness));
+}
+
+TEST(NtaIncluded, SubsumptionPruneFiresOnGrowingMacrostate) {
+  // b's macrostate grows from {0} to {0,1} along the unary step; the
+  // antichain discards the superset, so exactly one pair and one
+  // macrostate are ever interned.
+  Nta b(1);
+  b.AddState();
+  b.AddState();
+  b.AddLeaf(NtaLabelA(), 0);
+  b.AddUnary(NtaLabelA(), EdgeLabel{}, 0, 0);
+  b.AddUnary(NtaLabelA(), EdgeLabel{}, 0, 1);
+  b.AddFinal(0);
+  Nta a(1);
+  a.AddState();
+  a.AddLeaf(NtaLabelA(), 0);
+  a.AddUnary(NtaLabelA(), EdgeLabel{}, 0, 0);
+  a.AddFinal(0);
+  NtaInclusionResult r = NtaIncluded(a, b, MergedUniverse(a, b));
+  EXPECT_TRUE(r.included);
+  EXPECT_EQ(r.subsumption_prunes, 1u);
+  EXPECT_EQ(r.macrostates_visited, 1u);
+  EXPECT_EQ(r.pairs_explored, 1u);
+}
+
+TEST(NtaIncluded, PruningOffExploresNoFewerPairsAndNeverPrunes) {
+  NtaInclusionOptions off;
+  off.antichain_prune = false;
+  for (unsigned seed = 0; seed < 30; ++seed) {
+    Nta a = RandomNta(41000 + seed);
+    Nta b = RandomNta(43000 + seed);
+    SymbolUniverse u = MergedUniverse(a, b);
+    NtaInclusionResult anti = NtaIncluded(a, b, u);
+    NtaInclusionResult plain = NtaIncluded(a, b, u, off);
+    EXPECT_EQ(anti.included, plain.included) << "seed " << seed;
+    EXPECT_LE(anti.pairs_explored, plain.pairs_explored) << "seed " << seed;
+    EXPECT_EQ(plain.subsumption_prunes, 0u);
+  }
+}
+
+TEST(NtaIncluded, MacrostatesStrictlyBelowDeterminizedStates) {
+  // The exponential family of generator.h: determinizing b over the chain
+  // universe materializes ~2^(k+1) subset states, while the antichain walk
+  // against the single-chain left side keeps only O(k) macrostates.
+  const int k = 5;
+  Nta a = ChainOfANta(k + 1);
+  Nta b = NthBelowRootIsANta(k);
+  SymbolUniverse u = MergedUniverse(a, b);
+  NtaInclusionResult r = NtaIncluded(a, b, u);
+  EXPECT_TRUE(r.included);
+  Nta det = Determinize(b, u);
+  EXPECT_LT(r.macrostates_visited, det.num_states());
+  // The gap is the point: well under half the determinized state count.
+  EXPECT_LT(2 * r.macrostates_visited, det.num_states());
+}
+
+TEST(NtaIncluded, InclusionIsRelativeToTheUniverse) {
+  // a's unary transition is invisible in a leaves-only universe, so the
+  // only codes that count are single leaves — and a accepts none of them.
+  Nta a = ChainOfANta(2);
+  Nta b = ChainOfANta(1);
+  SymbolUniverse leaves_only = SymbolsOf(b);
+  EXPECT_TRUE(NtaIncluded(a, b, leaves_only).included);
+  EXPECT_FALSE(NtaIncluded(a, b, MergedUniverse(a, b)).included);
+}
+
+TEST(NtaIncluded, AgreesWithExplicitRouteOnEnumeration) {
+  for (unsigned seed = 0; seed < 40; ++seed) {
+    Nta a = RandomNta(51000 + seed);
+    Nta b = RandomNta(53000 + seed);
+    SymbolUniverse u = MergedUniverse(a, b);
+    NtaInclusionResult r = NtaIncluded(a, b, u);
+    bool explicit_included = IsEmpty(Product(a, Complement(b, u)));
+    EXPECT_EQ(r.included, explicit_included) << "seed " << seed;
+    if (r.included) {
+      // No enumerable code may separate them.
+      for (const TreeCode& code : NtaEnumerationCodes()) {
+        EXPECT_FALSE(a.Accepts(code) && !b.Accepts(code)) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(LazyProduct, AgreesWithMaterializedProductAndWitnesses) {
+  for (unsigned seed = 0; seed < 40; ++seed) {
+    Nta a = RandomNta(61000 + seed);
+    Nta b = RandomNta(63000 + seed);
+    LazyProductResult r = LazyProductEmptiness(a, b);
+    EXPECT_EQ(r.empty, IsEmpty(Product(a, b))) << "seed " << seed;
+    if (!r.empty) {
+      ASSERT_TRUE(r.witness.has_value()) << "seed " << seed;
+      EXPECT_TRUE(r.witness->Validate());
+      EXPECT_TRUE(a.Accepts(*r.witness)) << "seed " << seed;
+      EXPECT_TRUE(b.Accepts(*r.witness)) << "seed " << seed;
+    } else {
+      EXPECT_FALSE(r.witness.has_value());
+    }
+  }
+}
+
+TEST(LazyProduct, BinaryIntersectionIsFound) {
+  // Both sides accept the binary-over-leaves shape; the witness must use
+  // the binary transition (three nodes).
+  Nta a(1);
+  a.AddState();
+  a.AddLeaf(NtaLabelA(), 0);
+  a.AddBinary(NtaLabelB(), EdgeLabel{}, EdgeLabel{}, 0, 0, 0);
+  a.AddFinal(0);
+  Nta b = UniversalNta();
+  LazyProductResult r = LazyProductEmptiness(a, b);
+  EXPECT_FALSE(r.empty);
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_TRUE(a.Accepts(*r.witness));
+}
+
+// --- Thm 5 / containment byte-identity regression arm ----------------------
+
+TEST(ContainmentAntichain, DatalogInUcqBitIdenticalOnOrOff) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  std::vector<Diagnostic> diags;
+  auto q = ParseQuery(R"(
+    P(x) :- U(x).
+    P(x) :- R(x,y), P(y).
+    Goal() :- P(x).
+  )",
+                      "Goal", vocab, &diags);
+  ASSERT_TRUE(q) << FormatDiagnostics(diags);
+  std::vector<std::string> targets = {
+      "C() :- U(x).",
+      "C() :- R(x,x).",
+      "C() :- R(x,y), R(y,z).",
+  };
+  ContainmentOptions off;
+  off.antichain = false;
+  for (const std::string& t : targets) {
+    UCQ ucq(vocab);
+    ucq.AddDisjunct(*ParseCq(t, vocab, &error));
+    ContainmentResult on_r = DatalogContainedInUcq(*q, ucq);
+    ContainmentResult off_r = DatalogContainedInUcq(*q, ucq, off);
+    EXPECT_EQ(on_r.contained, off_r.contained) << t;
+    ASSERT_EQ(on_r.counterexample.has_value(),
+              off_r.counterexample.has_value())
+        << t;
+    if (on_r.counterexample.has_value()) {
+      EXPECT_TRUE(CodesIdentical(*on_r.counterexample, *off_r.counterexample))
+          << t;
+    }
+    // Work accounting: the pruned pass never explores more pairs, the
+    // escape hatch never prunes, and both report their macrostates.
+    EXPECT_LE(on_r.pairs_explored, off_r.pairs_explored) << t;
+    EXPECT_EQ(off_r.subsumption_prunes, 0u);
+    EXPECT_GT(on_r.macrostates_visited, 0u);
+    EXPECT_GT(off_r.macrostates_visited, 0u);
+  }
+}
+
+TEST(ContainmentAntichain, Thm5BitIdenticalOnGoldenCases) {
+  auto vocab = MakeVocabulary();
+  std::string error;
+  auto q = ParseCq("Q() :- R(x,y), R(y,z).", vocab, &error);
+  ASSERT_TRUE(q) << error;
+  std::vector<Diagnostic> diags;
+  auto def = ParseQuery("W(x) :- R(x,y).\nW(x) :- R(x,y), W(y).", "W", vocab,
+                        &diags);
+  ASSERT_TRUE(def) << FormatDiagnostics(diags);
+  ViewSet views(vocab);
+  views.AddView("VW", *def);
+  ContainmentOptions off;
+  off.antichain = false;
+  Thm5Result on_r = CheckCqOverDatalogViews(*q, views);
+  Thm5Result off_r = CheckCqOverDatalogViews(*q, views, off);
+  EXPECT_FALSE(on_r.determined);
+  EXPECT_EQ(on_r.determined, off_r.determined);
+  ASSERT_TRUE(on_r.counterexample.has_value());
+  ASSERT_TRUE(off_r.counterexample.has_value());
+  EXPECT_TRUE(CodesIdentical(*on_r.counterexample, *off_r.counterexample));
+  EXPECT_GT(on_r.macrostates_visited, 0u);
+  EXPECT_EQ(off_r.subsumption_prunes, 0u);
+}
+
+TEST(ContainmentAntichain, Thm5BitIdenticalOnRandomViewSets) {
+  ContainmentOptions off;
+  off.antichain = false;
+  for (unsigned seed = 0; seed < 12; ++seed) {
+    testing::GenProfile profile = testing::EvalProfile();
+    std::vector<testing::ViewSpec> specs =
+        testing::RandomViewSpecs(profile, seed);
+    ViewSet views = testing::BuildViews(profile.vocab, specs);
+    std::string error;
+    auto q = ParseCq("Q() :- E1(x), E2(x,y).", profile.vocab, &error);
+    ASSERT_TRUE(q) << error;
+    Thm5Result on_r = CheckCqOverDatalogViews(*q, views);
+    Thm5Result off_r = CheckCqOverDatalogViews(*q, views, off);
+    EXPECT_EQ(on_r.determined, off_r.determined) << "seed " << seed;
+    ASSERT_EQ(on_r.counterexample.has_value(),
+              off_r.counterexample.has_value())
+        << "seed " << seed;
+    if (on_r.counterexample.has_value()) {
+      EXPECT_TRUE(CodesIdentical(*on_r.counterexample, *off_r.counterexample))
+          << "seed " << seed;
+    }
+  }
+}
+
+// --- Oracle and corpus integration ------------------------------------------
+
+TEST(AntichainOracle, IsRegistered) {
+  const testing::Oracle* o = testing::FindOracle("antichain-inclusion");
+  ASSERT_NE(o, nullptr);
+  EXPECT_EQ(o->name(), "antichain-inclusion");
+}
+
+TEST(AntichainOracle, CasesRoundTripThroughCorpusFormat) {
+  const testing::Oracle* o = testing::FindOracle("antichain-inclusion");
+  ASSERT_NE(o, nullptr);
+  for (unsigned seed = 0; seed < 25; ++seed) {
+    testing::FuzzCase c = o->Generate(seed);
+    std::string text = testing::SerializeCase(c);
+    std::string error;
+    auto parsed = testing::ParseCaseText(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    // Byte-exact round trip: reserializing the parsed case reproduces the
+    // file, so automata survive the format losslessly.
+    EXPECT_EQ(testing::SerializeCase(*parsed), text) << "seed " << seed;
+    EXPECT_TRUE(o->Check(*parsed).ok) << "seed " << seed;
+  }
+}
+
+TEST(AntichainOracle, ShrinkerReducesNtaCases) {
+  // A deliberately failing "oracle" that trips whenever automaton a has a
+  // binary transition: the shrinker must strip everything else away.
+  class BinaryTrips : public testing::Oracle {
+   public:
+    std::string name() const override { return "binary-trips"; }
+    testing::GenProfile Profile() const override {
+      return testing::EvalProfile();
+    }
+    testing::FuzzCase Generate(unsigned seed) const override {
+      const testing::Oracle* o = testing::FindOracle("antichain-inclusion");
+      return o->Generate(seed);
+    }
+    testing::OracleOutcome Check(const testing::FuzzCase& c) const override {
+      if (c.nta_a.has_value() && !c.nta_a->binary_transitions().empty()) {
+        return {false, "has binary"};
+      }
+      return {true, ""};
+    }
+  };
+  BinaryTrips oracle;
+  for (unsigned seed = 0; seed < 40; ++seed) {
+    testing::FuzzCase c = oracle.Generate(seed);
+    if (oracle.Check(c).ok) continue;
+    testing::ShrinkResult res = testing::ShrinkCase(oracle, c, 500);
+    EXPECT_FALSE(oracle.Check(res.best).ok);
+    // Fully shrunk: exactly the one tripping transition survives.
+    EXPECT_EQ(res.best.nta_a->binary_transitions().size(), 1u);
+    EXPECT_TRUE(res.best.nta_a->leaf_transitions().empty());
+    EXPECT_TRUE(res.best.nta_a->unary_transitions().empty());
+    return;  // one genuinely shrunk case is enough
+  }
+  FAIL() << "no seed produced a binary transition in a";
+}
+
+class AntichainOracleSeeds : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(AntichainOracleSeeds, Passes) {
+  const testing::Oracle* o = testing::FindOracle("antichain-inclusion");
+  ASSERT_NE(o, nullptr);
+  testing::OracleOutcome out = o->Check(o->Generate(GetParam()));
+  EXPECT_TRUE(out.ok) << out.message;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AntichainOracleSeeds,
+                         ::testing::Range(0u, 220u));
+
+}  // namespace
+}  // namespace mondet
